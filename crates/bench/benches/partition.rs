@@ -1,0 +1,22 @@
+//! Microbenchmark: the node-partitioning stage (Table II row 1) across
+//! all five paper networks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pimcomp_arch::HardwareConfig;
+use pimcomp_core::Partitioning;
+use pimcomp_ir::transform::normalize;
+
+fn bench_partition(c: &mut Criterion) {
+    let hw = HardwareConfig::puma();
+    let mut group = c.benchmark_group("partition");
+    for name in pimcomp_ir::models::PAPER_BENCHMARKS {
+        let graph = normalize(&pimcomp_ir::models::by_name(name).unwrap());
+        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, g| {
+            b.iter(|| Partitioning::new(std::hint::black_box(g), &hw).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

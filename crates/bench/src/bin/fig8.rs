@@ -1,0 +1,72 @@
+//! Regenerates Fig. 8: normalized throughput (HT mode) and normalized
+//! speed (LL mode) of PIMCOMP vs the PUMA-like baseline across the
+//! parallelism sweep {1, 20, 40, 200, 2000}.
+//!
+//! Values are normalized to the baseline at the same configuration, as
+//! in the paper's plot; the annotation is the PIMCOMP/PUMA ratio.
+
+use pimcomp_arch::PipelineMode;
+use pimcomp_bench::{load_network, ratio, run_pair, HarnessOptions, RunResult};
+use pimcomp_core::ReusePolicy;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig8Point {
+    ours: RunResult,
+    base: RunResult,
+    /// PIMCOMP-over-baseline improvement (throughput or speed).
+    improvement: f64,
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let ga = opts.ga();
+    let mut results: Vec<Fig8Point> = Vec::new();
+
+    for mode in [PipelineMode::HighThroughput, PipelineMode::LowLatency] {
+        let metric = match mode {
+            PipelineMode::HighThroughput => "Normalized Throughput (HT mode)",
+            PipelineMode::LowLatency => "Normalized Speed (LL mode)",
+        };
+        println!("FIG 8 — {metric}");
+        println!(
+            "{:<14} {:>6} {:>14} {:>14} {:>8}",
+            "network", "par", "PUMA-like", "PIMCOMP", "gain"
+        );
+        for net in opts.networks() {
+            let graph = load_network(net);
+            for par in opts.parallelisms() {
+                let (ours, base) = run_pair(&graph, mode, par, &ga, ReusePolicy::AgReuse);
+                // Throughput/speed are both 1/cycles: the gain is the
+                // cycle ratio baseline/ours.
+                let gain = base.cycles as f64 / ours.cycles as f64;
+                println!(
+                    "{:<14} {:>6} {:>14} {:>14} {:>8}",
+                    net,
+                    par,
+                    base.cycles,
+                    ours.cycles,
+                    ratio(base.cycles, ours.cycles)
+                );
+                results.push(Fig8Point {
+                    improvement: gain,
+                    ours,
+                    base,
+                });
+            }
+        }
+        // Per-mode mean improvement (paper: 1.6x HT, 2.4x LL).
+        let mode_str = mode.to_string();
+        let gains: Vec<f64> = results
+            .iter()
+            .filter(|p| p.ours.mode == mode_str)
+            .map(|p| p.improvement)
+            .collect();
+        if !gains.is_empty() {
+            let mean = gains.iter().sum::<f64>() / gains.len() as f64;
+            println!("mean {mode_str} improvement: {mean:.2}x\n");
+        }
+    }
+
+    opts.write_json(&results);
+}

@@ -1,0 +1,58 @@
+//! Regenerates Fig. 9: per-network energy breakdown (leakage + dynamic)
+//! at parallelism degree 20, for both compilation modes, normalized to
+//! the PUMA-like baseline.
+
+use pimcomp_arch::PipelineMode;
+use pimcomp_bench::{load_network, run_pair, HarnessOptions, RunResult};
+use pimcomp_core::ReusePolicy;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig9Point {
+    ours: RunResult,
+    base: RunResult,
+    /// PIMCOMP total energy normalized to the baseline's.
+    normalized_total: f64,
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let ga = opts.ga();
+    let mut results: Vec<Fig9Point> = Vec::new();
+
+    for mode in [PipelineMode::HighThroughput, PipelineMode::LowLatency] {
+        println!("FIG 9 — Energy breakdown, parallelism 20, {mode} mode");
+        println!(
+            "{:<14} {:>12} {:>12} {:>12} {:>12} {:>10}",
+            "network", "base dyn", "base leak", "ours dyn", "ours leak", "norm"
+        );
+        for net in opts.networks() {
+            let graph = load_network(net);
+            let (ours, base) = run_pair(&graph, mode, 20, &ga, ReusePolicy::AgReuse);
+            let base_total = base.dynamic_uj + base.leakage_uj;
+            let ours_total = ours.dynamic_uj + ours.leakage_uj;
+            let norm = ours_total / base_total;
+            println!(
+                "{:<14} {:>10.1}uJ {:>10.1}uJ {:>10.1}uJ {:>10.1}uJ {:>9.2}x",
+                net, base.dynamic_uj, base.leakage_uj, ours.dynamic_uj, ours.leakage_uj, norm
+            );
+            results.push(Fig9Point {
+                normalized_total: norm,
+                ours,
+                base,
+            });
+        }
+        let mode_str = mode.to_string();
+        let leak_reduction: Vec<f64> = results
+            .iter()
+            .filter(|p| p.ours.mode == mode_str && p.base.leakage_uj > 0.0)
+            .map(|p| 1.0 - p.ours.leakage_uj / p.base.leakage_uj)
+            .collect();
+        if !leak_reduction.is_empty() {
+            let mean = leak_reduction.iter().sum::<f64>() / leak_reduction.len() as f64;
+            println!("mean static-energy reduction ({mode_str}): {:.1}%\n", mean * 100.0);
+        }
+    }
+
+    opts.write_json(&results);
+}

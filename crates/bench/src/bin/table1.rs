@@ -1,0 +1,28 @@
+//! Regenerates Table I: hardware component power/area, including the
+//! CACTI-7-substitute memory rows and the Orion-3.0-substitute router
+//! row at their calibrated design points.
+
+use pimcomp_arch::ComponentLibrary;
+
+fn main() {
+    let lib = ComponentLibrary::puma();
+    println!("TABLE I — HARDWARE CONFIGURATIONS (PUMA-like instantiation)");
+    println!(
+        "{:<16} {:<28} {:>12} {:>12}",
+        "Component", "Specification", "Power (mW)", "Area (mm2)"
+    );
+    for row in lib.rows() {
+        println!(
+            "{:<16} {:<28} {:>12.2} {:>12.3}",
+            row.name, row.spec, row.power_mw, row.area_mm2
+        );
+    }
+    println!();
+    println!(
+        "core check: sum of parts = {:.2} mW / {:.3} mm2 (published {:.2} / {:.2})",
+        lib.core_power_from_parts(),
+        lib.core_area_from_parts(),
+        lib.core.power_mw,
+        lib.core.area_mm2
+    );
+}

@@ -1,0 +1,57 @@
+//! Regenerates Table II: wall-clock compiling time per stage (node
+//! partitioning / replicating+mapping / dataflow scheduling) for both
+//! modes across the benchmark set, with the paper's GA configuration
+//! (population 100, 200 iterations).
+
+use pimcomp_arch::PipelineMode;
+use pimcomp_bench::{compile_one, load_network, HarnessOptions};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table2Row {
+    network: String,
+    mode: String,
+    node_partitioning_s: f64,
+    replicating_mapping_s: f64,
+    dataflow_scheduling_s: f64,
+    total_s: f64,
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let ga = opts.ga();
+    let mut rows: Vec<Table2Row> = Vec::new();
+
+    println!("TABLE II — COMPILING TIME (seconds), GA {}x{}", ga.population, ga.iterations);
+    println!(
+        "{:<14} {:<5} {:>12} {:>20} {:>20} {:>10}",
+        "network", "mode", "partitioning", "replicating+mapping", "dataflow scheduling", "total"
+    );
+    for net in opts.networks() {
+        let graph = load_network(net);
+        for mode in [PipelineMode::HighThroughput, PipelineMode::LowLatency] {
+            let compiled = compile_one(&graph, mode, &ga, false);
+            let t = &compiled.report.timings;
+            let row = Table2Row {
+                network: net.to_string(),
+                mode: mode.to_string(),
+                node_partitioning_s: t.node_partitioning.as_secs_f64(),
+                replicating_mapping_s: t.replicating_mapping.as_secs_f64(),
+                dataflow_scheduling_s: t.dataflow_scheduling.as_secs_f64(),
+                total_s: t.total().as_secs_f64(),
+            };
+            println!(
+                "{:<14} {:<5} {:>12.3} {:>20.3} {:>20.3} {:>10.3}",
+                row.network,
+                row.mode,
+                row.node_partitioning_s,
+                row.replicating_mapping_s,
+                row.dataflow_scheduling_s,
+                row.total_s
+            );
+            rows.push(row);
+        }
+    }
+
+    opts.write_json(&rows);
+}

@@ -1,0 +1,293 @@
+//! Benchmark harness regenerating every table and figure of the
+//! paper's evaluation (see DESIGN.md's experiment index).
+//!
+//! Binaries (one per artifact):
+//!
+//! * `table1` — the hardware component library.
+//! * `fig8`   — normalized HT throughput / LL speed vs parallelism.
+//! * `fig9`   — energy breakdown at parallelism 20.
+//! * `fig10`  — local-memory usage and global accesses per reuse policy.
+//! * `table2` — per-stage compile times.
+//!
+//! Each binary prints the paper-style rows and, with `--json PATH`,
+//! writes machine-readable results. `--fast` shrinks the GA and the
+//! benchmark set for smoke runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pimcomp_arch::{HardwareConfig, PipelineMode};
+use pimcomp_core::{
+    CompileOptions, CompiledModel, GaParams, Partitioning, PimCompiler, PumaCompiler, ReusePolicy,
+};
+use pimcomp_ir::transform::normalize;
+use pimcomp_ir::Graph;
+use pimcomp_sim::{SimReport, Simulator};
+use serde::Serialize;
+
+/// The parallelism degrees of the Fig. 8 sweep.
+pub const PARALLELISM_SWEEP: [usize; 5] = [1, 20, 40, 200, 2000];
+
+/// Headroom factor applied when sizing chip counts: capacity ≈
+/// `headroom ×` the single-replica demand, leaving room for weight
+/// replication.
+pub const CHIP_HEADROOM: f64 = 2.0;
+
+/// Harness-wide options parsed from a binary's command line.
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    /// Shrink GA and benchmark set for a smoke run.
+    pub fast: bool,
+    /// Write machine-readable results here.
+    pub json_path: Option<String>,
+    /// Restrict to one benchmark network.
+    pub only: Option<String>,
+}
+
+impl HarnessOptions {
+    /// Parses `--fast`, `--json PATH` and `--only NAME` from args.
+    pub fn from_args() -> Self {
+        let mut opts = HarnessOptions {
+            fast: false,
+            json_path: None,
+            only: None,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--fast" => opts.fast = true,
+                "--json" => opts.json_path = args.next(),
+                "--only" => opts.only = args.next(),
+                other => eprintln!("ignoring unknown argument `{other}`"),
+            }
+        }
+        opts
+    }
+
+    /// The benchmark set under these options (fast mode keeps the two
+    /// cheapest networks).
+    pub fn networks(&self) -> Vec<&'static str> {
+        let all = ["vgg16", "resnet18", "googlenet", "inception_v3", "squeezenet"];
+        if let Some(only) = &self.only {
+            return all
+                .into_iter()
+                .filter(|n| n.eq_ignore_ascii_case(only))
+                .collect();
+        }
+        if self.fast {
+            vec!["resnet18", "squeezenet"]
+        } else {
+            all.to_vec()
+        }
+    }
+
+    /// GA parameters under these options (paper 100×200, or a small
+    /// configuration for smoke runs).
+    pub fn ga(&self) -> GaParams {
+        if self.fast {
+            GaParams {
+                population: 20,
+                iterations: 30,
+                ..GaParams::fast(1)
+            }
+        } else {
+            GaParams {
+                seed: 1,
+                ..GaParams::default()
+            }
+        }
+    }
+
+    /// Parallelism sweep (fast mode: endpoints and the paper's default).
+    pub fn parallelisms(&self) -> Vec<usize> {
+        if self.fast {
+            vec![1, 20, 2000]
+        } else {
+            PARALLELISM_SWEEP.to_vec()
+        }
+    }
+
+    /// Writes `value` as pretty JSON when `--json` was given.
+    pub fn write_json<T: Serialize>(&self, value: &T) {
+        if let Some(path) = &self.json_path {
+            match serde_json::to_string_pretty(value) {
+                Ok(s) => {
+                    if let Err(e) = std::fs::write(path, s) {
+                        eprintln!("failed to write {path}: {e}");
+                    } else {
+                        eprintln!("wrote {path}");
+                    }
+                }
+                Err(e) => eprintln!("failed to serialize results: {e}"),
+            }
+        }
+    }
+}
+
+/// Loads and normalizes a benchmark network by name.
+///
+/// # Panics
+///
+/// Panics on unknown names (harness-internal use).
+pub fn load_network(name: &str) -> Graph {
+    let g = pimcomp_ir::models::by_name(name)
+        .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+    normalize(&g)
+}
+
+/// Sizes a PUMA-like target for `graph`: enough chips for
+/// [`CHIP_HEADROOM`]× the single-replica crossbar demand.
+pub fn hardware_for(graph: &Graph, parallelism: usize) -> HardwareConfig {
+    let base = HardwareConfig::puma();
+    let p = Partitioning::new(graph, &base).expect("benchmarks partition cleanly");
+    let per_chip = base.cores_per_chip * base.crossbars_per_core;
+    let need = (p.min_crossbars() as f64 * CHIP_HEADROOM).ceil() as usize;
+    let chips = need.div_ceil(per_chip).max(1);
+    HardwareConfig::puma_with_chips(chips).with_parallelism(parallelism)
+}
+
+/// One compiled-and-simulated data point.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunResult {
+    /// Network name.
+    pub network: String,
+    /// `PIMCOMP` or `PUMA-like`.
+    pub compiler: String,
+    /// Pipeline mode.
+    pub mode: String,
+    /// Parallelism degree.
+    pub parallelism: usize,
+    /// Simulated cycles (HT: pipeline interval; LL: latency).
+    pub cycles: u64,
+    /// Dynamic energy in µJ.
+    pub dynamic_uj: f64,
+    /// Leakage energy in µJ.
+    pub leakage_uj: f64,
+    /// Average local-memory working set in kB.
+    pub avg_local_kb: f64,
+    /// Global-memory traffic in kB.
+    pub global_traffic_kb: f64,
+    /// Cores used.
+    pub active_cores: usize,
+}
+
+impl RunResult {
+    /// Converts a simulator report into a harness row.
+    pub fn from_sim(r: &SimReport, parallelism: usize) -> Self {
+        RunResult {
+            network: r.model.clone(),
+            compiler: r.compiler.clone(),
+            mode: r.mode.to_string(),
+            parallelism,
+            cycles: r.total_cycles,
+            dynamic_uj: r.energy.dynamic_pj() / 1e6,
+            leakage_uj: r.energy.leakage_pj / 1e6,
+            avg_local_kb: r.memory.avg_local_bytes / 1024.0,
+            global_traffic_kb: r.memory.global_traffic_bytes as f64 / 1024.0,
+            active_cores: r.active_cores,
+        }
+    }
+}
+
+/// Compiles `graph` with both compilers and simulates both results.
+///
+/// Returns `(pimcomp, puma_like)`.
+///
+/// # Panics
+///
+/// Panics if compilation or simulation fails — the harness treats that
+/// as a reproduction bug worth crashing on.
+pub fn run_pair(
+    graph: &Graph,
+    mode: PipelineMode,
+    parallelism: usize,
+    ga: &GaParams,
+    policy: ReusePolicy,
+) -> (RunResult, RunResult) {
+    let hw = hardware_for(graph, parallelism);
+    let opts = CompileOptions::new(mode)
+        .with_ga(ga.clone())
+        .with_policy(policy);
+    let ours = PimCompiler::new(hw.clone())
+        .compile(graph, &opts)
+        .expect("PIMCOMP compiles the benchmark");
+    let base = PumaCompiler::new(hw.clone())
+        .compile(graph, &opts)
+        .expect("baseline compiles the benchmark");
+    let sim = Simulator::new(hw);
+    let r_ours = sim.run(&ours).expect("PIMCOMP schedule simulates");
+    let r_base = sim.run(&base).expect("baseline schedule simulates");
+    (
+        RunResult::from_sim(&r_ours, parallelism),
+        RunResult::from_sim(&r_base, parallelism),
+    )
+}
+
+/// Compiles one network with one compiler (no simulation); used by
+/// `table2` and the criterion benches.
+///
+/// # Panics
+///
+/// Panics if compilation fails.
+pub fn compile_one(
+    graph: &Graph,
+    mode: PipelineMode,
+    ga: &GaParams,
+    baseline: bool,
+) -> CompiledModel {
+    let hw = hardware_for(graph, 20);
+    let opts = CompileOptions::new(mode).with_ga(ga.clone());
+    if baseline {
+        PumaCompiler::new(hw).compile(graph, &opts).expect("compiles")
+    } else {
+        PimCompiler::new(hw).compile(graph, &opts).expect("compiles")
+    }
+}
+
+/// Formats a ratio like the paper's plot annotations (`2.4x`).
+pub fn ratio(baseline: u64, ours: u64) -> String {
+    if ours == 0 {
+        return "inf".into();
+    }
+    format!("{:.1}x", baseline as f64 / ours as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardware_sizing_gives_headroom() {
+        let g = load_network("squeezenet");
+        let hw = hardware_for(&g, 20);
+        let p = Partitioning::new(&g, &hw).unwrap();
+        assert!(hw.total_crossbars() >= 2 * p.min_crossbars() - hw.crossbars_per_core);
+    }
+
+    #[test]
+    fn run_pair_produces_consistent_rows() {
+        let g = load_network("squeezenet");
+        let ga = GaParams {
+            population: 8,
+            iterations: 6,
+            ..GaParams::fast(3)
+        };
+        let (ours, base) = run_pair(
+            &g,
+            PipelineMode::HighThroughput,
+            20,
+            &ga,
+            ReusePolicy::AgReuse,
+        );
+        assert_eq!(ours.network, "squeezenet");
+        assert_eq!(ours.compiler, "PIMCOMP");
+        assert_eq!(base.compiler, "PUMA-like");
+        assert!(ours.cycles > 0 && base.cycles > 0);
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(240, 100), "2.4x");
+        assert_eq!(ratio(100, 0), "inf");
+    }
+}

@@ -1,0 +1,377 @@
+//! The top-level PIMCOMP compiler driver (paper Fig. 3).
+
+use crate::ga::{optimize, GaContext, GaParams, GaStats};
+use crate::mapping::CoreMapping;
+use crate::memory::{MemoryPlan, ReusePolicy};
+use crate::partition::Partitioning;
+use crate::schedule::{HtSchedule, LlSchedule, Schedule};
+use crate::waiting::DepInfo;
+use crate::{fitness, CompileError};
+use pimcomp_arch::{HardwareConfig, PipelineMode};
+use pimcomp_ir::Graph;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// User-facing compilation options (the "User Input" of paper Fig. 3
+/// that is not part of the hardware description).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompileOptions {
+    /// Application scenario: high-throughput or low-latency.
+    pub mode: PipelineMode,
+    /// Genetic-algorithm hyper-parameters.
+    pub ga: GaParams,
+    /// HT transfer batch: sliding windows processed between
+    /// global-memory rounds (the paper's Fig. 10 protocol uses 2).
+    pub batch: usize,
+    /// Local-memory allocation policy.
+    pub memory_policy: ReusePolicy,
+    /// Run `pimcomp_ir::transform::normalize` before compiling
+    /// (batch-norm folding, dropout elimination). On by default.
+    pub normalize: bool,
+}
+
+impl CompileOptions {
+    /// Defaults for a pipeline mode: paper GA parameters (100×200),
+    /// batch 2, AG-reuse.
+    pub fn new(mode: PipelineMode) -> Self {
+        CompileOptions {
+            mode,
+            ga: GaParams::default(),
+            batch: 2,
+            memory_policy: ReusePolicy::AgReuse,
+            normalize: true,
+        }
+    }
+
+    /// Replaces the GA parameters with the fast test configuration
+    /// seeded by `seed`.
+    pub fn with_fast_ga(mut self, seed: u64) -> Self {
+        self.ga = GaParams::fast(seed);
+        self
+    }
+
+    /// Sets the GA parameters.
+    pub fn with_ga(mut self, ga: GaParams) -> Self {
+        self.ga = ga;
+        self
+    }
+
+    /// Sets the memory policy.
+    pub fn with_policy(mut self, policy: ReusePolicy) -> Self {
+        self.memory_policy = policy;
+        self
+    }
+
+    /// Sets the HT transfer batch.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+}
+
+/// Wall-clock time of each compilation stage (Table II rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct StageTimings {
+    /// Node partitioning.
+    pub node_partitioning: Duration,
+    /// Weight replicating + core mapping (the GA, or the baseline
+    /// heuristic).
+    pub replicating_mapping: Duration,
+    /// Dataflow scheduling (including dependency analysis and memory
+    /// planning).
+    pub dataflow_scheduling: Duration,
+}
+
+impl StageTimings {
+    /// Total compile time.
+    pub fn total(&self) -> Duration {
+        self.node_partitioning + self.replicating_mapping + self.dataflow_scheduling
+    }
+}
+
+/// Summary of one compilation, including the Table II timings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompileReport {
+    /// Model name.
+    pub model: String,
+    /// Which compiler produced this (`PIMCOMP` or `PUMA-like`).
+    pub compiler: String,
+    /// Pipeline mode.
+    pub mode: PipelineMode,
+    /// Per-stage wall-clock times.
+    pub timings: StageTimings,
+    /// GA trace (absent for the baseline).
+    pub ga: Option<GaStats>,
+    /// Final replica count per partitioned node.
+    pub replication: Vec<usize>,
+    /// Cores hosting at least one AG.
+    pub active_cores: usize,
+    /// Crossbars occupied by weights.
+    pub crossbars_used: usize,
+    /// The mode's analytic fitness of the final mapping (cycles).
+    pub estimated_fitness: f64,
+}
+
+/// Everything the simulator needs to execute a compiled model.
+#[derive(Debug, Clone)]
+pub struct CompiledModel {
+    /// The normalized graph that was compiled.
+    pub graph: Graph,
+    /// Hardware target.
+    pub hw: HardwareConfig,
+    /// Pipeline mode.
+    pub mode: PipelineMode,
+    /// Node partitioning.
+    pub partitioning: Partitioning,
+    /// Replication + placement.
+    pub mapping: CoreMapping,
+    /// Dependency / waiting analysis.
+    pub dep: DepInfo,
+    /// The per-core schedule.
+    pub schedule: Schedule,
+    /// Local-memory plan under the selected policy.
+    pub memory: MemoryPlan,
+    /// Compilation summary.
+    pub report: CompileReport,
+}
+
+impl CompiledModel {
+    /// Recomputes the memory plan under a different policy without
+    /// recompiling (used by the Fig. 10 sweep).
+    pub fn replan_memory(&self, policy: ReusePolicy) -> MemoryPlan {
+        match &self.schedule {
+            Schedule::HighThroughput(s) => {
+                MemoryPlan::for_ht(s, &self.partitioning, &self.mapping, &self.hw, policy)
+            }
+            Schedule::LowLatency(s) => MemoryPlan::for_ll(
+                &self.graph,
+                s,
+                &self.partitioning,
+                &self.dep,
+                &self.hw,
+                policy,
+            ),
+        }
+    }
+}
+
+/// The PIMCOMP compiler: four stages driven by the GA optimizer.
+#[derive(Debug, Clone)]
+pub struct PimCompiler {
+    hw: HardwareConfig,
+}
+
+impl PimCompiler {
+    /// Creates a compiler for the given hardware target.
+    pub fn new(hw: HardwareConfig) -> Self {
+        PimCompiler { hw }
+    }
+
+    /// The hardware target.
+    pub fn hardware(&self) -> &HardwareConfig {
+        &self.hw
+    }
+
+    /// Runs the full pipeline: normalize → partition → GA(replicate +
+    /// map) → schedule → memory plan.
+    ///
+    /// # Errors
+    ///
+    /// * [`CompileError::InvalidHardware`] / [`CompileError::InvalidGraph`]
+    ///   for malformed inputs,
+    /// * [`CompileError::NoMvmNodes`] when nothing maps to crossbars,
+    /// * [`CompileError::InsufficientCapacity`] when the model cannot
+    ///   fit even without replication.
+    pub fn compile(
+        &self,
+        graph: &Graph,
+        opts: &CompileOptions,
+    ) -> Result<CompiledModel, CompileError> {
+        self.hw
+            .validate()
+            .map_err(|e| CompileError::InvalidHardware {
+                detail: e.to_string(),
+            })?;
+        let graph = if opts.normalize {
+            pimcomp_ir::transform::normalize(graph)
+        } else {
+            graph.clone()
+        };
+        graph.validate().map_err(|e| CompileError::InvalidGraph {
+            detail: e.to_string(),
+        })?;
+
+        // Stage 1: node partitioning.
+        let t0 = Instant::now();
+        let partitioning = Partitioning::new(&graph, &self.hw)?;
+        let dep_for_ga = DepInfo::analyze(&graph);
+        let t_partition = t0.elapsed();
+
+        // Stages 2+3: weight replicating + core mapping (joint GA).
+        let t1 = Instant::now();
+        let ctx = GaContext {
+            hw: &self.hw,
+            graph: &graph,
+            partitioning: &partitioning,
+            dep: &dep_for_ga,
+            mode: opts.mode,
+        };
+        let (chromosome, ga_stats) = optimize(&ctx, &opts.ga)?;
+        let mapping = CoreMapping::from_chromosome(&chromosome, &partitioning)?;
+        let t_mapping = t1.elapsed();
+
+        // Stage 4: dataflow scheduling + memory planning.
+        let t2 = Instant::now();
+        let dep = dep_for_ga;
+        let schedule = match opts.mode {
+            PipelineMode::HighThroughput => Schedule::HighThroughput(HtSchedule::build(
+                &graph,
+                &partitioning,
+                &mapping,
+                &dep,
+                &self.hw,
+                opts.batch,
+            )),
+            PipelineMode::LowLatency => Schedule::LowLatency(LlSchedule::build(
+                &graph,
+                &partitioning,
+                &mapping,
+                &dep,
+                &self.hw,
+            )),
+        };
+        let memory = match &schedule {
+            Schedule::HighThroughput(s) => {
+                MemoryPlan::for_ht(s, &partitioning, &mapping, &self.hw, opts.memory_policy)
+            }
+            Schedule::LowLatency(s) => MemoryPlan::for_ll(
+                &graph,
+                s,
+                &partitioning,
+                &dep,
+                &self.hw,
+                opts.memory_policy,
+            ),
+        };
+        let t_schedule = t2.elapsed();
+
+        let estimated = match opts.mode {
+            PipelineMode::HighThroughput => {
+                fitness::ht_fitness_from_mapping(&self.hw, &partitioning, &mapping)
+            }
+            PipelineMode::LowLatency => fitness::ll_fitness(
+                &self.hw,
+                &graph,
+                &partitioning,
+                &dep,
+                &mapping.replication,
+            ),
+        };
+
+        let report = CompileReport {
+            model: graph.name().to_string(),
+            compiler: "PIMCOMP".to_string(),
+            mode: opts.mode,
+            timings: StageTimings {
+                node_partitioning: t_partition,
+                replicating_mapping: t_mapping,
+                dataflow_scheduling: t_schedule,
+            },
+            ga: Some(ga_stats),
+            replication: mapping.replication.counts().to_vec(),
+            active_cores: mapping.active_cores(),
+            crossbars_used: mapping.replication.total_crossbars(&partitioning),
+            estimated_fitness: estimated,
+        };
+
+        Ok(CompiledModel {
+            graph,
+            hw: self.hw.clone(),
+            mode: opts.mode,
+            partitioning,
+            mapping,
+            dep,
+            schedule,
+            memory,
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimcomp_ir::models;
+
+    fn compile(mode: PipelineMode) -> CompiledModel {
+        let graph = models::tiny_cnn();
+        let hw = HardwareConfig::small_test();
+        let opts = CompileOptions::new(mode).with_fast_ga(11);
+        PimCompiler::new(hw).compile(&graph, &opts).unwrap()
+    }
+
+    #[test]
+    fn ht_compilation_produces_ht_schedule() {
+        let c = compile(PipelineMode::HighThroughput);
+        assert!(c.schedule.as_ht().is_some());
+        assert!(c.report.ga.is_some());
+        assert!(c.report.estimated_fitness > 0.0);
+        assert!(c.report.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn ll_compilation_produces_ll_schedule() {
+        let c = compile(PipelineMode::LowLatency);
+        assert!(c.schedule.as_ll().is_some());
+    }
+
+    #[test]
+    fn compilation_is_deterministic_per_seed() {
+        let a = compile(PipelineMode::HighThroughput);
+        let b = compile(PipelineMode::HighThroughput);
+        assert_eq!(a.report.replication, b.report.replication);
+        assert_eq!(a.mapping, b.mapping);
+    }
+
+    #[test]
+    fn replan_memory_changes_only_the_plan() {
+        let c = compile(PipelineMode::HighThroughput);
+        let naive = c.replan_memory(ReusePolicy::Naive);
+        let ag = c.replan_memory(ReusePolicy::AgReuse);
+        assert!(naive.avg_bytes >= ag.avg_bytes);
+        assert_eq!(c.memory.policy, ReusePolicy::AgReuse);
+    }
+
+    #[test]
+    fn normalization_folds_bn_before_compiling() {
+        let graph = models::resnet18();
+        let hw = HardwareConfig::puma_with_chips(8);
+        let opts = CompileOptions {
+            ga: GaParams {
+                population: 4,
+                iterations: 2,
+                ..GaParams::fast(1)
+            },
+            ..CompileOptions::new(PipelineMode::HighThroughput)
+        };
+        let out = PimCompiler::new(hw).compile(&graph, &opts).unwrap();
+        assert!(out
+            .graph
+            .nodes()
+            .iter()
+            .all(|n| !matches!(n.op, pimcomp_ir::Op::BatchNorm)));
+    }
+
+    #[test]
+    fn invalid_hardware_is_rejected() {
+        let mut hw = HardwareConfig::small_test();
+        hw.parallelism = 0;
+        let err = PimCompiler::new(hw)
+            .compile(
+                &models::tiny_mlp(),
+                &CompileOptions::new(PipelineMode::HighThroughput).with_fast_ga(1),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CompileError::InvalidHardware { .. }));
+    }
+}

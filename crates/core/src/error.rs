@@ -1,0 +1,79 @@
+use std::fmt;
+
+/// Errors produced by the PIMCOMP compiler.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// The model's minimum crossbar demand (one replica per node)
+    /// exceeds the accelerator's crossbar capacity.
+    InsufficientCapacity {
+        /// Crossbars required for one replica of every node.
+        required: usize,
+        /// Crossbars available on the target.
+        available: usize,
+    },
+    /// A single Array Group is wider than one core's PIMMU, so it cannot
+    /// be kept on a single core (the paper's placement invariant).
+    AgTooWide {
+        /// Node whose AG does not fit.
+        node: String,
+        /// Crossbars one AG of this node needs.
+        crossbars: usize,
+        /// Crossbars per core.
+        capacity: usize,
+    },
+    /// The graph has no convolution or fully connected node, so there is
+    /// nothing to map onto the crossbars.
+    NoMvmNodes,
+    /// An invariant of the genetic-algorithm state was violated
+    /// (indicates an internal bug; included for diagnosability).
+    MappingInvariant {
+        /// Description of the violated invariant.
+        detail: String,
+    },
+    /// The hardware configuration failed validation.
+    InvalidHardware {
+        /// Underlying description.
+        detail: String,
+    },
+    /// The input graph failed validation.
+    InvalidGraph {
+        /// Underlying description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::InsufficientCapacity {
+                required,
+                available,
+            } => write!(
+                f,
+                "model needs at least {required} crossbars but target has {available}"
+            ),
+            CompileError::AgTooWide {
+                node,
+                crossbars,
+                capacity,
+            } => write!(
+                f,
+                "one array group of node `{node}` needs {crossbars} crossbars \
+                 but a core only has {capacity}"
+            ),
+            CompileError::NoMvmNodes => {
+                write!(f, "graph contains no convolution or fully connected node")
+            }
+            CompileError::MappingInvariant { detail } => {
+                write!(f, "mapping invariant violated: {detail}")
+            }
+            CompileError::InvalidHardware { detail } => {
+                write!(f, "invalid hardware configuration: {detail}")
+            }
+            CompileError::InvalidGraph { detail } => write!(f, "invalid graph: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}

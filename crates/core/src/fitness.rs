@@ -1,0 +1,396 @@
+//! GA fitness functions for both compilation modes (paper Section
+//! IV-C.2, Figs. 5 and 6). Lower is better for both.
+
+use crate::mapping::Chromosome;
+use crate::partition::Partitioning;
+use crate::replication::ReplicationPlan;
+use crate::waiting::DepInfo;
+use pimcomp_arch::HardwareConfig;
+use pimcomp_ir::{Graph, NodeId, Op};
+use std::collections::HashMap;
+
+/// Estimated busy time of one core in HT mode (paper Fig. 5).
+///
+/// `items` holds `(ag_count, cycles)` pairs: a node contributing
+/// `ag_count` AGs, each of which must run `cycles` operation cycles
+/// (sliding windows). AGs start in turn at `T_interval` spacing; each
+/// operation cycle over `n` live AGs costs
+/// `f(n) = max(n·T_interval, T_MVM)`. As nodes complete, `n` drops —
+/// the piecewise rearrangement of Fig. 5(b)/(c).
+pub fn ht_core_time(hw: &HardwareConfig, items: &[(usize, usize)]) -> u64 {
+    let mut items: Vec<(usize, usize)> = items
+        .iter()
+        .copied()
+        .filter(|&(a, c)| a > 0 && c > 0)
+        .collect();
+    if items.is_empty() {
+        return 0;
+    }
+    items.sort_by_key(|&(_, cycles)| cycles);
+    let mut live: usize = items.iter().map(|&(a, _)| a).sum();
+    let mut done_cycles = 0usize;
+    let mut time = 0u64;
+    for &(ags, cycles) in &items {
+        let span = (cycles - done_cycles) as u64;
+        if span > 0 {
+            time += span * hw.operation_cycle_cost(live);
+            done_cycles = cycles;
+        }
+        live -= ags;
+    }
+    time
+}
+
+/// Weight of the mean-load tie-breaker added to the `max` objective.
+///
+/// `F_HT = max_i time_i` is a plateau-heavy landscape: replicating one
+/// of several equally-loaded bottleneck nodes leaves the max unchanged,
+/// so a pure-max GA stalls. A small fraction of the mean core time is
+/// added as a tie-breaker — it never changes which of two mappings with
+/// different maxima wins, but gives the GA a gradient across plateaus.
+pub const HT_TIE_BREAK: f64 = 1e-3;
+
+/// HT fitness `F_HT = max_i time_i` over all cores (paper Fig. 5),
+/// plus the [`HT_TIE_BREAK`] mean-load term.
+pub fn ht_fitness(
+    hw: &HardwareConfig,
+    partitioning: &Partitioning,
+    chromosome: &Chromosome,
+    replication: &ReplicationPlan,
+) -> f64 {
+    let mut worst = 0u64;
+    let mut sum = 0u64;
+    let mut active = 0u64;
+    let mut items: Vec<(usize, usize)> = Vec::new();
+    for core in 0..chromosome.cores() {
+        items.clear();
+        for (_, gene) in chromosome.genes_of_core(core) {
+            let cycles = replication.windows_per_replica(partitioning, gene.mvm);
+            items.push((gene.ag_count, cycles));
+        }
+        let t = ht_core_time(hw, &items);
+        worst = worst.max(t);
+        if t > 0 {
+            sum += t;
+            active += 1;
+        }
+    }
+    worst as f64 + HT_TIE_BREAK * sum as f64 / active.max(1) as f64
+}
+
+/// HT fitness computed from a materialized [`CoreMapping`] instead of a
+/// chromosome (used for baseline mappings built without the GA). The
+/// `max` objective only — no tie-breaker — so reported values compare
+/// directly against the paper's `F_HT`.
+///
+/// [`CoreMapping`]: crate::mapping::CoreMapping
+pub fn ht_fitness_from_mapping(
+    hw: &HardwareConfig,
+    partitioning: &Partitioning,
+    mapping: &crate::mapping::CoreMapping,
+) -> f64 {
+    let mut worst = 0u64;
+    for ids in &mapping.per_core {
+        if ids.is_empty() {
+            continue;
+        }
+        // Collapse instances to (ag_count, cycles) per node.
+        let mut per_node: HashMap<usize, usize> = HashMap::new();
+        for &id in ids {
+            *per_node.entry(mapping.instances[id].mvm).or_default() += 1;
+        }
+        let items: Vec<(usize, usize)> = per_node
+            .into_iter()
+            .map(|(mvm, ags)| {
+                (
+                    ags,
+                    mapping.replication.windows_per_replica(partitioning, mvm),
+                )
+            })
+            .collect();
+        worst = worst.max(ht_core_time(hw, &items));
+    }
+    worst as f64
+}
+
+/// Per-node quantities for the LL estimate.
+#[derive(Debug, Clone, Copy)]
+struct LlNodeState {
+    start: f64,
+    finish: f64,
+}
+
+/// LL fitness (paper Fig. 6): iterate nodes in topological order; a
+/// consumer starts after its provider has produced for `W × P_p` time,
+/// and cannot finish before the provider does (`f = min(R_p/R_x, 1)`
+/// rate-throttling folds into the finish recursion).
+///
+/// Uninterrupted execution times `U_x`:
+/// * MVM nodes: `windows/R × max(ags_per_replica·T_interval, T_MVM)`
+///   (minimum over column groups folded via the max of group times);
+/// * vector/memory nodes: element count divided by the VFU rate of the
+///   `R_pred` cores the work is distributed over (Section IV-D.2).
+pub fn ll_fitness(
+    hw: &HardwareConfig,
+    graph: &Graph,
+    partitioning: &Partitioning,
+    dep: &DepInfo,
+    replication: &ReplicationPlan,
+) -> f64 {
+    ll_chain_estimate(hw, graph, partitioning, dep, replication)
+}
+
+/// LL fitness including a per-core issue-capacity floor.
+///
+/// The Fig. 6 chain estimate assumes each replica's core is dedicated;
+/// when many AGs share a core, the core's MVM issue bandwidth
+/// (`1/T_interval`) bounds the inference time from below by
+/// `Σ windows-per-AG × T_interval` on the busiest core. Taking the max
+/// keeps the GA from stacking streaming pipelines onto one core at low
+/// parallelism degrees.
+pub fn ll_fitness_with_issue_floor(
+    hw: &HardwareConfig,
+    graph: &Graph,
+    partitioning: &Partitioning,
+    dep: &DepInfo,
+    chromosome: &Chromosome,
+    replication: &ReplicationPlan,
+) -> f64 {
+    let chain = ll_chain_estimate(hw, graph, partitioning, dep, replication);
+    let mut worst: u64 = 0;
+    let mut loads = vec![0u64; chromosome.cores()];
+    for (slot, gene) in chromosome.genes() {
+        let core = chromosome.core_of_slot(slot);
+        let wpr = replication.windows_per_replica(partitioning, gene.mvm) as u64;
+        loads[core] += gene.ag_count as u64 * wpr;
+        worst = worst.max(loads[core]);
+    }
+    chain.max(worst as f64 * hw.issue_interval() as f64)
+}
+
+/// The Fig. 6 topological chain estimate.
+fn ll_chain_estimate(
+    hw: &HardwareConfig,
+    graph: &Graph,
+    partitioning: &Partitioning,
+    dep: &DepInfo,
+    replication: &ReplicationPlan,
+) -> f64 {
+    let mut states: HashMap<NodeId, LlNodeState> = HashMap::new();
+    let mut last_finish: f64 = 0.0;
+
+    for id in graph.topo_order() {
+        let node = graph.node(id);
+        if matches!(node.op, Op::Input { .. }) {
+            states.insert(
+                id,
+                LlNodeState {
+                    start: 0.0,
+                    finish: 0.0,
+                },
+            );
+            continue;
+        }
+
+        let u = node_uninterrupted_time(hw, graph, partitioning, dep, replication, id);
+
+        let mut start: f64 = 0.0;
+        let mut providers_finish: f64 = 0.0;
+        for &p in graph.predecessors(id) {
+            let ps = states[&p];
+            let period = (ps.finish - ps.start).max(0.0);
+            let w = dep.edge(id, p).map_or(0.0, |e| e.waiting);
+            start = start.max(ps.start + period * w);
+            providers_finish = providers_finish.max(ps.finish);
+        }
+
+        let finish = (start + u).max(providers_finish);
+        last_finish = last_finish.max(finish);
+        states.insert(id, LlNodeState { start, finish });
+    }
+    last_finish
+}
+
+/// Uninterrupted execution time `U_x` of one node under the plan.
+pub(crate) fn node_uninterrupted_time(
+    hw: &HardwareConfig,
+    graph: &Graph,
+    partitioning: &Partitioning,
+    dep: &DepInfo,
+    replication: &ReplicationPlan,
+    id: NodeId,
+) -> f64 {
+    let node = graph.node(id);
+    if node.op.is_mvm() {
+        // Max over column groups: the node is done when its slowest
+        // group is.
+        let mut u: f64 = 0.0;
+        for idx in partitioning.indices_of(id) {
+            let e = partitioning.entry(idx);
+            let r = replication.count(idx);
+            let per_window =
+                (e.ags_per_replica as u64 * hw.issue_interval()).max(hw.mvm_latency);
+            u = u.max(e.windows.div_ceil(r) as f64 * per_window as f64);
+        }
+        u
+    } else {
+        // Vector/memory work distributed across the predecessor conv's
+        // replicas.
+        let elems = dep.windows_of(id) * dep.elems_of(id);
+        let r_pred = effective_pred_replication(graph, partitioning, replication, id);
+        let vfu_rate = hw.vfu_per_core as f64 * hw.vfu_lane_throughput;
+        elems as f64 / (vfu_rate * r_pred as f64)
+    }
+}
+
+/// Replication of the node's nearest MVM provider(s); 1 when none.
+pub(crate) fn effective_pred_replication(
+    graph: &Graph,
+    partitioning: &Partitioning,
+    replication: &ReplicationPlan,
+    id: NodeId,
+) -> usize {
+    graph
+        .mvm_providers(id)
+        .into_iter()
+        .flat_map(|p| partitioning.indices_of(p))
+        .map(|idx| replication.count(idx))
+        .max()
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimcomp_ir::GraphBuilder;
+
+    fn hw() -> HardwareConfig {
+        // T_MVM = 2000, parallelism 20 -> T_interval = 100.
+        HardwareConfig::puma()
+    }
+
+    #[test]
+    fn fig5_example_reproduces() {
+        // Fig. 5: 4 nodes with (2 AGs, 3000), (2, 1000), (1, 500),
+        // (3, 300) on one core. time = 300·f(8) + 200·f(5) + 500·f(4)
+        // + 2000·f(2). With T_int=100, T_MVM=2000:
+        // f(8)=2000, f(5)=2000, f(4)=2000, f(2)=2000 (all latency-bound
+        // at parallelism 20) -> use parallelism 1 to match the paper's
+        // issue-bound regime instead.
+        let mut cfg = hw().with_parallelism(1);
+        cfg.mvm_latency = 2000; // T_interval = 2000
+        let items = [(2usize, 3000usize), (2, 1000), (1, 500), (3, 300)];
+        // All segments issue-bound: f(n) = n * 2000.
+        let expect: u64 =
+            300 * 8 * 2000 + 200 * 5 * 2000 + 500 * 4 * 2000 + 2000 * 2 * 2000;
+        assert_eq!(ht_core_time(&cfg, &items), expect);
+    }
+
+    #[test]
+    fn ht_core_time_latency_bound_regime() {
+        // One AG: every operation cycle costs T_MVM.
+        let cfg = hw();
+        assert_eq!(ht_core_time(&cfg, &[(1, 10)]), 10 * 2000);
+    }
+
+    #[test]
+    fn ht_core_time_empty_is_zero() {
+        assert_eq!(ht_core_time(&hw(), &[]), 0);
+        assert_eq!(ht_core_time(&hw(), &[(0, 100), (2, 0)]), 0);
+    }
+
+    #[test]
+    fn ht_fitness_is_max_over_cores() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", [64, 28, 28]);
+        let c1 = b.conv2d("c1", x, 64, (3, 3), (1, 1), (1, 1)).unwrap();
+        let _ = b.conv2d("c2", c1, 32, (3, 3), (1, 1), (1, 1)).unwrap();
+        let g = b.finish().unwrap();
+        let p = Partitioning::new(&g, &hw()).unwrap();
+        let mut c = Chromosome::empty(2, 4);
+        c.set_gene(
+            0,
+            Some(crate::mapping::Gene {
+                mvm: 0,
+                ag_count: p.entry(0).ags_per_replica,
+            }),
+        );
+        c.set_gene(
+            4,
+            Some(crate::mapping::Gene {
+                mvm: 1,
+                ag_count: p.entry(1).ags_per_replica,
+            }),
+        );
+        let plan = c.replication(&p).unwrap();
+        let f = ht_fitness(&hw(), &p, &c, &plan);
+        let t0 = ht_core_time(&hw(), &[(p.entry(0).ags_per_replica, 28 * 28)]);
+        let t1 = ht_core_time(&hw(), &[(p.entry(1).ags_per_replica, 28 * 28)]);
+        let expect = t0.max(t1) as f64 + HT_TIE_BREAK * (t0 + t1) as f64 / 2.0;
+        assert!((f - expect).abs() < 1e-9, "{f} vs {expect}");
+    }
+
+    #[test]
+    fn replication_reduces_both_fitnesses() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", [16, 16, 16]);
+        let c1 = b.conv2d("c1", x, 16, (3, 3), (1, 1), (1, 1)).unwrap();
+        let _c2 = b.conv2d("c2", c1, 16, (3, 3), (1, 1), (1, 1)).unwrap();
+        let g = b.finish().unwrap();
+        let cfg = hw();
+        let p = Partitioning::new(&g, &cfg).unwrap();
+        let dep = DepInfo::analyze(&g);
+
+        let r1 = ReplicationPlan::ones(&p);
+        let mut r2 = ReplicationPlan::ones(&p);
+        r2.set_count(0, 4);
+        r2.set_count(1, 4);
+
+        let ll1 = ll_fitness(&cfg, &g, &p, &dep, &r1);
+        let ll2 = ll_fitness(&cfg, &g, &p, &dep, &r2);
+        assert!(
+            ll2 < ll1,
+            "4x replication should cut LL estimate: {ll2} vs {ll1}"
+        );
+    }
+
+    #[test]
+    fn ll_fitness_respects_chain_waiting() {
+        // conv -> fc: the fc must wait for the conv to finish entirely
+        // (W = 1), so LL time >= conv time + fc time.
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", [8, 8, 8]);
+        let c = b.conv2d("c", x, 8, (3, 3), (1, 1), (1, 1)).unwrap();
+        let f = b.flatten("f", c).unwrap();
+        let _fc = b.linear("fc", f, 10).unwrap();
+        let g = b.finish().unwrap();
+        let cfg = hw();
+        let p = Partitioning::new(&g, &cfg).unwrap();
+        let dep = DepInfo::analyze(&g);
+        let plan = ReplicationPlan::ones(&p);
+        let total = ll_fitness(&cfg, &g, &p, &dep, &plan);
+
+        let conv_u = 64.0 * cfg.mvm_latency as f64; // 64 windows, 1 AG
+        assert!(total >= conv_u, "{total} < {conv_u}");
+    }
+
+    #[test]
+    fn streaming_chain_overlaps_execution() {
+        // Two equal convs with stride-1 3x3: consumer waits only a tiny
+        // prefix, so total << sum of layer times.
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", [8, 16, 16]);
+        let c1 = b.conv2d("c1", x, 8, (3, 3), (1, 1), (1, 1)).unwrap();
+        let _c2 = b.conv2d("c2", c1, 8, (3, 3), (1, 1), (1, 1)).unwrap();
+        let g = b.finish().unwrap();
+        let cfg = hw();
+        let p = Partitioning::new(&g, &cfg).unwrap();
+        let dep = DepInfo::analyze(&g);
+        let plan = ReplicationPlan::ones(&p);
+        let total = ll_fitness(&cfg, &g, &p, &dep, &plan);
+        let u1 = 256.0 * cfg.mvm_latency as f64;
+        let u2 = 256.0 * cfg.mvm_latency as f64;
+        assert!(total < 0.8 * (u1 + u2), "{total} vs {}", u1 + u2);
+        assert!(total >= u1.max(u2));
+    }
+}

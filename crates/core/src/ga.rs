@@ -1,0 +1,781 @@
+//! The modified genetic algorithm jointly optimizing weight replication
+//! and core mapping (paper Section IV-C).
+//!
+//! Individuals are [`Chromosome`]s (gene grids of
+//! `core_num × max_node_num_in_core` slots). As in the paper, the
+//! crossover phase is skipped — recombining two mappings almost never
+//! yields a feasible mapping — and evolution proceeds through four
+//! mutation operators:
+//!
+//! 1. **Grow**: increase a node's replication, placing the new replica's
+//!    AGs on random cores with free capacity.
+//! 2. **Shrink**: decrease a node's replication, returning its crossbars.
+//! 3. **Spread**: move part of one gene's AGs to another core.
+//! 4. **Merge**: fold one gene into a gene of the same node on another
+//!    core.
+//!
+//! All operators preserve feasibility (crossbar capacity and per-core
+//! node limits), so no penalty terms are needed.
+
+use crate::fitness::{ht_fitness, ll_fitness_with_issue_floor};
+use crate::mapping::{Chromosome, Gene};
+use crate::partition::{MvmIdx, Partitioning};
+use crate::waiting::DepInfo;
+use crate::CompileError;
+use pimcomp_arch::{HardwareConfig, PipelineMode};
+use pimcomp_ir::Graph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Genetic-algorithm hyper-parameters.
+///
+/// Defaults follow the paper's evaluation: population 100, 200
+/// iterations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaParams {
+    /// Population size (paper: 100).
+    pub population: usize,
+    /// Generation count (paper: 200).
+    pub iterations: usize,
+    /// RNG seed for reproducible compilations.
+    pub seed: u64,
+    /// Fraction of the population carried over unchanged each
+    /// generation.
+    pub elite_fraction: f64,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Maximum mutation operators applied to one child.
+    pub max_mutations_per_child: usize,
+    /// Per-core distinct-node limit (`max_node_num_in_core`); `None`
+    /// selects a heuristic based on node and core counts.
+    pub max_nodes_per_core: Option<usize>,
+}
+
+impl Default for GaParams {
+    fn default() -> Self {
+        GaParams {
+            population: 100,
+            iterations: 200,
+            seed: 0xC0FFEE,
+            elite_fraction: 0.2,
+            tournament: 3,
+            max_mutations_per_child: 3,
+            max_nodes_per_core: None,
+        }
+    }
+}
+
+impl GaParams {
+    /// A down-scaled configuration for tests and examples (population
+    /// 16, 24 iterations, given seed).
+    pub fn fast(seed: u64) -> Self {
+        GaParams {
+            population: 16,
+            iterations: 24,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Optimization trace returned alongside the best chromosome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaStats {
+    /// Best fitness of the initial random population.
+    pub initial_fitness: f64,
+    /// Best fitness after the final generation.
+    pub final_fitness: f64,
+    /// Best fitness at each generation.
+    pub history: Vec<f64>,
+    /// Total fitness evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Everything the fitness functions need, bundled for reuse.
+pub struct GaContext<'a> {
+    /// Hardware target.
+    pub hw: &'a HardwareConfig,
+    /// The (normalized) graph.
+    pub graph: &'a Graph,
+    /// Node partitioning.
+    pub partitioning: &'a Partitioning,
+    /// Dependency/waiting analysis.
+    pub dep: &'a DepInfo,
+    /// Which fitness to optimize.
+    pub mode: PipelineMode,
+}
+
+impl GaContext<'_> {
+    /// Evaluates the mode's fitness for a chromosome (lower is better).
+    ///
+    /// # Errors
+    ///
+    /// Propagates invariant violations from replication derivation.
+    pub fn fitness(&self, chromosome: &Chromosome) -> Result<f64, CompileError> {
+        let plan = chromosome.replication(self.partitioning)?;
+        Ok(match self.mode {
+            PipelineMode::HighThroughput => {
+                ht_fitness(self.hw, self.partitioning, chromosome, &plan)
+            }
+            PipelineMode::LowLatency => ll_fitness_with_issue_floor(
+                self.hw,
+                self.graph,
+                self.partitioning,
+                self.dep,
+                chromosome,
+                &plan,
+            ),
+        })
+    }
+}
+
+/// A chromosome plus cached bookkeeping.
+#[derive(Debug, Clone)]
+struct Individual {
+    chromosome: Chromosome,
+    used_crossbars: Vec<usize>,
+    fitness: f64,
+}
+
+/// Heuristic `max_node_num_in_core` when the user does not pin one.
+pub fn default_max_nodes_per_core(nodes: usize, cores: usize) -> usize {
+    ((2 * nodes).div_ceil(cores) + 2).clamp(4, nodes.max(4))
+}
+
+/// Runs the GA and returns the best chromosome with its trace.
+///
+/// # Errors
+///
+/// [`CompileError::InsufficientCapacity`] when even one replica of every
+/// node cannot be placed.
+pub fn optimize(
+    ctx: &GaContext<'_>,
+    params: &GaParams,
+) -> Result<(Chromosome, GaStats), CompileError> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let cores = ctx.hw.total_cores();
+    let capacity = ctx.hw.crossbar_capacity_per_core();
+    let max_nodes = params
+        .max_nodes_per_core
+        .unwrap_or_else(|| default_max_nodes_per_core(ctx.partitioning.len(), cores));
+
+    let required = ctx.partitioning.min_crossbars();
+    let available = cores * capacity;
+    if required > available {
+        return Err(CompileError::InsufficientCapacity {
+            required,
+            available,
+        });
+    }
+
+    // Initial population: random replication numbers per node (the
+    // paper's initialization), placed big-AGs-first so fragmentation
+    // cannot strand them. Individual 0 stays at the minimum plan as a
+    // safe anchor.
+    let mut population = Vec::with_capacity(params.population);
+    let mut evaluations = 0usize;
+    for i in 0..params.population.max(1) {
+        let randomize = i > 0;
+        let mut ind = initial_individual(ctx, cores, max_nodes, capacity, randomize, &mut rng)?;
+        ind.fitness = ctx.fitness(&ind.chromosome)?;
+        evaluations += 1;
+        population.push(ind);
+    }
+
+    population.sort_by(|a, b| a.fitness.total_cmp(&b.fitness));
+    let initial_fitness = population[0].fitness;
+    let mut history = Vec::with_capacity(params.iterations);
+
+    let elite = ((params.population as f64 * params.elite_fraction).ceil() as usize)
+        .clamp(1, params.population);
+
+    for _gen in 0..params.iterations {
+        let mut next: Vec<Individual> = population[..elite].to_vec();
+        while next.len() < params.population {
+            let parent = tournament(&population, params.tournament, &mut rng);
+            let mut child = parent.clone();
+            let n_mut = rng.gen_range(1..=params.max_mutations_per_child);
+            let mut changed = false;
+            for _ in 0..n_mut {
+                changed |= mutate(&mut child, ctx, capacity, &mut rng);
+            }
+            if changed {
+                child.fitness = ctx.fitness(&child.chromosome)?;
+                evaluations += 1;
+            }
+            next.push(child);
+        }
+        next.sort_by(|a, b| a.fitness.total_cmp(&b.fitness));
+        next.truncate(params.population);
+        population = next;
+        history.push(population[0].fitness);
+    }
+
+    let best = population.remove(0);
+    let stats = GaStats {
+        initial_fitness,
+        final_fitness: best.fitness,
+        history,
+        evaluations,
+    };
+    Ok((best.chromosome, stats))
+}
+
+/// Builds a feasible individual. With `randomize` set, each node draws
+/// a random power-of-two replication number (halved until it fits);
+/// otherwise every node gets exactly one replica.
+fn initial_individual(
+    ctx: &GaContext<'_>,
+    cores: usize,
+    max_nodes: usize,
+    capacity: usize,
+    randomize: bool,
+    rng: &mut StdRng,
+) -> Result<Individual, CompileError> {
+    let mut ind = Individual {
+        chromosome: Chromosome::empty(cores, max_nodes),
+        used_crossbars: vec![0; cores],
+        fitness: f64::INFINITY,
+    };
+    // Pass 1: the mandatory replica of every node, wide-AG nodes first
+    // so fragmentation cannot strand them.
+    let mut order: Vec<MvmIdx> = (0..ctx.partitioning.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(ctx.partitioning.entry(i).crossbars_per_ag));
+    for &mvm in &order {
+        let a = ctx.partitioning.entry(mvm).ags_per_replica;
+        // Random start first; deterministic first-fit as the fallback
+        // so pass 1 only fails on true capacity exhaustion.
+        if !place_ags(&mut ind, ctx, mvm, a, capacity, rng)
+            && !place_ags_from(&mut ind, ctx, mvm, a, capacity, 0)
+        {
+            return Err(CompileError::InsufficientCapacity {
+                required: ctx.partitioning.min_crossbars(),
+                available: cores * capacity,
+            });
+        }
+    }
+    // Pass 2: random replication — the paper's initialization draws a
+    // random replication number per node. Unstructured draws saturate
+    // the crossbar budget and freeze every later mutation, so the draw
+    // is structured: each individual samples a random *window target*
+    // `t` (log-uniform) and replicates every node toward
+    // `ceil(windows/t)`, stopping at ~85% occupancy so the mutation
+    // operators always have room to move.
+    if randomize {
+        // A random fraction of individuals draw aggressive targets
+        // (up to ~98% occupancy, where the balanced heuristic lives);
+        // the rest keep slack so the mutation operators can move.
+        let pct = *[98usize, 90, 75].choose(rng).expect("non-empty");
+        let budget = (cores * capacity) * pct / 100;
+        let max_windows = (0..ctx.partitioning.len())
+            .map(|i| ctx.partitioning.entry(i).windows)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let t_fit = fit_window_target(ctx.partitioning, budget, max_windows);
+        // Log-uniform sample in [t_fit, max_windows], biased low (more
+        // replication) by taking the min of two draws.
+        let (lo, hi) = ((t_fit.max(1) as f64).ln(), (max_windows.max(2) as f64).ln());
+        let draw = |rng: &mut StdRng| rng.gen_range(lo..=hi).exp().round().max(1.0) as usize;
+        let t = draw(rng).min(draw(rng));
+        let mut occupied: usize = ind.used_crossbars.iter().sum();
+        for &mvm in &order {
+            let entry = ctx.partitioning.entry(mvm);
+            let a = entry.ags_per_replica;
+            let want = entry.windows.div_ceil(t).max(1);
+            let mut extra = want.saturating_sub(1).min(entry.windows.saturating_sub(1));
+            // Respect the occupancy budget.
+            let per_replica = entry.crossbars_per_replica().max(1);
+            extra = extra.min(budget.saturating_sub(occupied) / per_replica);
+            while extra > 0 {
+                if place_ags(&mut ind, ctx, mvm, extra * a, capacity, rng) {
+                    occupied += extra * per_replica;
+                    break;
+                }
+                extra /= 2;
+            }
+        }
+    }
+    Ok(ind)
+}
+
+/// Smallest window target `t` whose windows-proportional replication
+/// (`R = ceil(windows/t)`) fits the crossbar `budget`.
+fn fit_window_target(partitioning: &Partitioning, budget: usize, max_windows: usize) -> usize {
+    let cost = |t: usize| -> usize {
+        (0..partitioning.len())
+            .map(|i| {
+                let e = partitioning.entry(i);
+                e.windows.div_ceil(t) * e.crossbars_per_replica()
+            })
+            .sum()
+    };
+    let (mut lo, mut hi) = (1usize, max_windows);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if cost(mid) <= budget {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// Tournament selection.
+fn tournament<'a>(
+    population: &'a [Individual],
+    k: usize,
+    rng: &mut StdRng,
+) -> &'a Individual {
+    let mut best = &population[rng.gen_range(0..population.len())];
+    for _ in 1..k.max(1) {
+        let cand = &population[rng.gen_range(0..population.len())];
+        if cand.fitness < best.fitness {
+            best = cand;
+        }
+    }
+    best
+}
+
+/// Applies one random mutation operator; returns whether the chromosome
+/// changed.
+///
+/// Node selection is criticality-biased in HT mode: half of the grow
+/// operations target a node on the current bottleneck core, and half of
+/// the shrinks target the most over-replicated node. Uniform-random
+/// selection (the paper's wording) needs far more generations to walk
+/// the `max`-objective plateau; the bias changes which node is drawn,
+/// not what the operators do.
+fn mutate(ind: &mut Individual, ctx: &GaContext<'_>, capacity: usize, rng: &mut StdRng) -> bool {
+    let n = ctx.partitioning.len();
+    match rng.gen_range(0..4u8) {
+        0 => {
+            let node = if ctx.mode == PipelineMode::HighThroughput && rng.gen_bool(0.5) {
+                critical_node(ind, ctx).unwrap_or_else(|| rng.gen_range(0..n))
+            } else {
+                rng.gen_range(0..n)
+            };
+            mutate_grow(ind, ctx, node, capacity, rng)
+        }
+        1 => {
+            let node = if rng.gen_bool(0.5) {
+                over_replicated_node(ind, ctx).unwrap_or_else(|| rng.gen_range(0..n))
+            } else {
+                rng.gen_range(0..n)
+            };
+            mutate_shrink(ind, ctx, node, rng)
+        }
+        2 => mutate_spread(ind, ctx, capacity, rng),
+        _ => mutate_merge(ind, ctx, capacity, rng),
+    }
+}
+
+/// A node with AGs on the bottleneck core (largest estimated HT time),
+/// preferring the gene with the largest cycle count there.
+fn critical_node(ind: &Individual, ctx: &GaContext<'_>) -> Option<MvmIdx> {
+    let plan = ind.chromosome.replication(ctx.partitioning).ok()?;
+    let mut worst: Option<(u64, usize)> = None;
+    let mut items: Vec<(usize, usize)> = Vec::new();
+    for core in 0..ind.chromosome.cores() {
+        items.clear();
+        for (_, gene) in ind.chromosome.genes_of_core(core) {
+            items.push((gene.ag_count, plan.windows_per_replica(ctx.partitioning, gene.mvm)));
+        }
+        let t = crate::fitness::ht_core_time(ctx.hw, &items);
+        if worst.is_none_or(|(w, _)| t > w) {
+            worst = Some((t, core));
+        }
+    }
+    let (_, core) = worst?;
+    ind.chromosome
+        .genes_of_core(core)
+        .max_by_key(|(_, g)| plan.windows_per_replica(ctx.partitioning, g.mvm))
+        .map(|(_, g)| g.mvm)
+}
+
+/// The replicated node with the smallest windows-per-replica (the most
+/// over-replicated one; shrinking it frees the most useful capacity).
+fn over_replicated_node(ind: &Individual, ctx: &GaContext<'_>) -> Option<MvmIdx> {
+    let plan = ind.chromosome.replication(ctx.partitioning).ok()?;
+    (0..ctx.partitioning.len())
+        .filter(|&i| plan.count(i) > 1)
+        .min_by_key(|&i| plan.windows_per_replica(ctx.partitioning, i))
+}
+
+/// Operator I: increase `node`'s replication, scattering the new AGs
+/// onto cores with free capacity. The step size is geometric (up to
+/// doubling the current count) so large targets are reachable in few
+/// generations; falls back to +1, rolls back entirely on failure.
+fn mutate_grow(
+    ind: &mut Individual,
+    ctx: &GaContext<'_>,
+    node: MvmIdx,
+    capacity: usize,
+    rng: &mut StdRng,
+) -> bool {
+    let entry = ctx.partitioning.entry(node);
+    let a = entry.ags_per_replica;
+    let cur = ind.chromosome.ag_total(node) / a.max(1);
+    // Replicating beyond one replica per window is pure waste.
+    let headroom = entry.windows.saturating_sub(cur);
+    if headroom == 0 {
+        return false;
+    }
+    let mut amount = rng.gen_range(1..=cur.max(1)).min(headroom);
+    while amount > 0 {
+        if place_ags(ind, ctx, node, amount * a, capacity, rng) {
+            if std::env::var("GA_DEBUG").is_ok() { eprintln!("grow ok node={node} amount={amount}"); }
+            return true;
+        }
+        amount /= 2;
+    }
+    if std::env::var("GA_DEBUG").is_ok() {
+        let free_caps = ind.used_crossbars.iter().filter(|&&u| u + entry.crossbars_per_ag <= capacity).count();
+        let free_slots = (0..ind.chromosome.cores()).filter(|&c| ind.chromosome.free_slot_of_core(c).is_some()).count();
+        eprintln!("grow FAIL node={node} cur={cur} headroom={headroom} xb={} a={} cores_with_cap={free_caps} cores_with_slot={free_slots}", entry.crossbars_per_ag, entry.ags_per_replica);
+    }
+    false
+}
+
+/// Operator II: decrease `node`'s replication (geometric step, at least
+/// one replica remains), recovering the crossbars from its genes.
+fn mutate_shrink(
+    ind: &mut Individual,
+    ctx: &GaContext<'_>,
+    node: MvmIdx,
+    rng: &mut StdRng,
+) -> bool {
+    let entry = ctx.partitioning.entry(node);
+    let a = entry.ags_per_replica;
+    let total = ind.chromosome.ag_total(node);
+    if total < 2 * a {
+        return false; // last replica must stay
+    }
+    let cur = total / a;
+    let amount = rng.gen_range(1..cur);
+    let mut to_remove = amount * a;
+    // Walk this node's gene slots in random order, shaving counts.
+    let mut slots: Vec<usize> = ind
+        .chromosome
+        .genes()
+        .filter(|(_, g)| g.mvm == node)
+        .map(|(s, _)| s)
+        .collect();
+    slots.shuffle(rng);
+    for slot in slots {
+        if to_remove == 0 {
+            break;
+        }
+        let gene = match ind.chromosome.gene(slot) {
+            Some(g) => g,
+            None => continue,
+        };
+        let take = gene.ag_count.min(to_remove);
+        let core = ind.chromosome.core_of_slot(slot);
+        ind.used_crossbars[core] -= take * entry.crossbars_per_ag;
+        to_remove -= take;
+        let left = gene.ag_count - take;
+        ind.chromosome.set_gene(
+            slot,
+            (left > 0).then_some(Gene {
+                mvm: node,
+                ag_count: left,
+            }),
+        );
+    }
+    debug_assert_eq!(to_remove, 0);
+    true
+}
+
+/// Operator III: spread part of a random gene's AGs to another core.
+fn mutate_spread(
+    ind: &mut Individual,
+    ctx: &GaContext<'_>,
+    capacity: usize,
+    rng: &mut StdRng,
+) -> bool {
+    let genes: Vec<(usize, Gene)> = ind
+        .chromosome
+        .genes()
+        .filter(|(_, g)| g.ag_count >= 2)
+        .collect();
+    let Some(&(slot, gene)) = genes.choose(rng) else {
+        return false;
+    };
+    let entry = ctx.partitioning.entry(gene.mvm);
+    let src_core = ind.chromosome.core_of_slot(slot);
+    let move_n = rng.gen_range(1..gene.ag_count);
+    let needed = move_n * entry.crossbars_per_ag;
+
+    let cores = ind.chromosome.cores();
+    let start = rng.gen_range(0..cores);
+    for off in 0..cores {
+        let dst = (start + off) % cores;
+        if dst == src_core || ind.used_crossbars[dst] + needed > capacity {
+            continue;
+        }
+        let dst_slot = ind
+            .chromosome
+            .slot_of_node_on_core(dst, gene.mvm)
+            .or_else(|| ind.chromosome.free_slot_of_core(dst));
+        let Some(dst_slot) = dst_slot else { continue };
+        // Commit.
+        let dst_count = ind
+            .chromosome
+            .gene(dst_slot)
+            .map_or(0, |g| g.ag_count);
+        ind.chromosome.set_gene(
+            dst_slot,
+            Some(Gene {
+                mvm: gene.mvm,
+                ag_count: dst_count + move_n,
+            }),
+        );
+        ind.chromosome.set_gene(
+            slot,
+            Some(Gene {
+                mvm: gene.mvm,
+                ag_count: gene.ag_count - move_n,
+            }),
+        );
+        ind.used_crossbars[src_core] -= needed;
+        ind.used_crossbars[dst] += needed;
+        return true;
+    }
+    false
+}
+
+/// Operator IV: merge a whole gene into a gene of the same node on
+/// another core.
+fn mutate_merge(
+    ind: &mut Individual,
+    ctx: &GaContext<'_>,
+    capacity: usize,
+    rng: &mut StdRng,
+) -> bool {
+    let genes: Vec<(usize, Gene)> = ind.chromosome.genes().collect();
+    let Some(&(slot, gene)) = genes.choose(rng) else {
+        return false;
+    };
+    let entry = ctx.partitioning.entry(gene.mvm);
+    let src_core = ind.chromosome.core_of_slot(slot);
+    let needed = gene.ag_count * entry.crossbars_per_ag;
+
+    // Candidate targets: other cores already hosting this node.
+    let mut targets: Vec<(usize, Gene)> = genes
+        .iter()
+        .copied()
+        .filter(|&(s, g)| {
+            g.mvm == gene.mvm && ind.chromosome.core_of_slot(s) != src_core
+        })
+        .collect();
+    targets.shuffle(rng);
+    for (dst_slot, dst_gene) in targets {
+        let dst_core = ind.chromosome.core_of_slot(dst_slot);
+        if ind.used_crossbars[dst_core] + needed > capacity {
+            continue;
+        }
+        ind.chromosome.set_gene(
+            dst_slot,
+            Some(Gene {
+                mvm: gene.mvm,
+                ag_count: dst_gene.ag_count + gene.ag_count,
+            }),
+        );
+        ind.chromosome.set_gene(slot, None);
+        ind.used_crossbars[src_core] -= needed;
+        ind.used_crossbars[dst_core] += needed;
+        return true;
+    }
+    false
+}
+
+/// Places `count` AGs of `node` on cores with capacity and slot room,
+/// scanning from a random start. Cores already hosting the node are
+/// preferred (they need no fresh slot), which keeps slot pressure low.
+/// All-or-nothing: rolls back on failure.
+fn place_ags(
+    ind: &mut Individual,
+    ctx: &GaContext<'_>,
+    node: MvmIdx,
+    count: usize,
+    capacity: usize,
+    rng: &mut StdRng,
+) -> bool {
+    let cores = ind.chromosome.cores();
+    let start = rng.gen_range(0..cores);
+    place_ags_from(ind, ctx, node, count, capacity, start)
+}
+
+/// Deterministic variant of [`place_ags`] scanning from `start`.
+fn place_ags_from(
+    ind: &mut Individual,
+    ctx: &GaContext<'_>,
+    node: MvmIdx,
+    count: usize,
+    capacity: usize,
+    start: usize,
+) -> bool {
+    let entry = ctx.partitioning.entry(node);
+    let xb = entry.crossbars_per_ag;
+    let cores = ind.chromosome.cores();
+    let mut placed: Vec<usize> = Vec::with_capacity(count); // slots touched
+
+    'outer: for _ in 0..count {
+        // First pass: merge into a core already hosting the node.
+        let mut fallback: Option<(usize, usize)> = None;
+        for off in 0..cores {
+            let core = (start + off) % cores;
+            if ind.used_crossbars[core] + xb > capacity {
+                continue;
+            }
+            if let Some(slot) = ind.chromosome.slot_of_node_on_core(core, node) {
+                let cur = ind.chromosome.gene(slot).map_or(0, |g| g.ag_count);
+                ind.chromosome.set_gene(
+                    slot,
+                    Some(Gene {
+                        mvm: node,
+                        ag_count: cur + 1,
+                    }),
+                );
+                ind.used_crossbars[core] += xb;
+                placed.push(slot);
+                continue 'outer;
+            }
+            if fallback.is_none() {
+                if let Some(slot) = ind.chromosome.free_slot_of_core(core) {
+                    fallback = Some((core, slot));
+                }
+            }
+        }
+        // Second pass: open a fresh slot.
+        if let Some((core, slot)) = fallback {
+            ind.chromosome.set_gene(
+                slot,
+                Some(Gene {
+                    mvm: node,
+                    ag_count: 1,
+                }),
+            );
+            ind.used_crossbars[core] += xb;
+            placed.push(slot);
+            continue 'outer;
+        }
+        // Could not place this AG: roll back everything.
+        for &slot in placed.iter().rev() {
+            let core = ind.chromosome.core_of_slot(slot);
+            let gene = ind.chromosome.gene(slot).expect("just placed");
+            ind.used_crossbars[core] -= xb;
+            ind.chromosome.set_gene(
+                slot,
+                (gene.ag_count > 1).then_some(Gene {
+                    mvm: node,
+                    ag_count: gene.ag_count - 1,
+                }),
+            );
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimcomp_ir::models;
+    use pimcomp_ir::transform::normalize;
+
+    fn setup(
+        mode: PipelineMode,
+    ) -> (Graph, HardwareConfig) {
+        let g = normalize(&models::tiny_cnn());
+        let hw = HardwareConfig::small_test();
+        let _ = mode;
+        (g, hw)
+    }
+
+    fn run(mode: PipelineMode, seed: u64) -> (Chromosome, GaStats, Partitioning) {
+        let (g, hw) = setup(mode);
+        let p = Partitioning::new(&g, &hw).unwrap();
+        let dep = DepInfo::analyze(&g);
+        let ctx = GaContext {
+            hw: &hw,
+            graph: &g,
+            partitioning: &p,
+            dep: &dep,
+            mode,
+        };
+        let (best, stats) = optimize(&ctx, &GaParams::fast(seed)).unwrap();
+        (best, stats, p)
+    }
+
+    #[test]
+    fn ga_improves_or_matches_initial_fitness_ht() {
+        let (_, stats, _) = run(PipelineMode::HighThroughput, 1);
+        assert!(stats.final_fitness <= stats.initial_fitness);
+        assert!(stats.evaluations > 0);
+        assert_eq!(stats.history.len(), GaParams::fast(1).iterations);
+    }
+
+    #[test]
+    fn ga_improves_or_matches_initial_fitness_ll() {
+        let (_, stats, _) = run(PipelineMode::LowLatency, 2);
+        assert!(stats.final_fitness <= stats.initial_fitness);
+    }
+
+    #[test]
+    fn ga_is_deterministic_per_seed() {
+        let (a, _, _) = run(PipelineMode::HighThroughput, 42);
+        let (b, _, _) = run(PipelineMode::HighThroughput, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn best_chromosome_is_feasible() {
+        let (best, _, p) = run(PipelineMode::HighThroughput, 7);
+        let hw = HardwareConfig::small_test();
+        let used = best.used_crossbars(&p);
+        assert!(used
+            .iter()
+            .all(|&u| u <= hw.crossbar_capacity_per_core()));
+        let plan = best.replication(&p).unwrap();
+        assert!(plan.counts().iter().all(|&r| r >= 1));
+        let mapping = crate::mapping::CoreMapping::from_chromosome(&best, &p).unwrap();
+        mapping.validate(&p).unwrap();
+    }
+
+    #[test]
+    fn ga_exploits_replication_when_capacity_allows() {
+        // tiny_cnn on the small target leaves plenty of room, so the GA
+        // should end with at least one node replicated.
+        let (best, _, p) = run(PipelineMode::HighThroughput, 3);
+        let plan = best.replication(&p).unwrap();
+        assert!(
+            plan.counts().iter().any(|&r| r > 1),
+            "expected some replication, got {:?}",
+            plan.counts()
+        );
+    }
+
+    #[test]
+    fn insufficient_capacity_is_reported() {
+        let g = normalize(&models::vgg16());
+        let hw = HardwareConfig::small_test(); // far too small for vgg16
+        let p = Partitioning::new(&g, &hw).unwrap();
+        let dep = DepInfo::analyze(&g);
+        let ctx = GaContext {
+            hw: &hw,
+            graph: &g,
+            partitioning: &p,
+            dep: &dep,
+            mode: PipelineMode::HighThroughput,
+        };
+        assert!(matches!(
+            optimize(&ctx, &GaParams::fast(1)),
+            Err(CompileError::InsufficientCapacity { .. })
+        ));
+    }
+}

@@ -1,0 +1,64 @@
+//! The PIMCOMP compiler (paper Section IV): node partitioning, weight
+//! replicating, core mapping and dataflow scheduling for crossbar-based
+//! PIM DNN accelerators.
+//!
+//! # Pipeline
+//!
+//! ```text
+//! Graph (pimcomp-ir) ──► Partitioning ──► GA (replication + mapping) ──► Schedule
+//!                          §IV-B             §IV-C                        §IV-D
+//! ```
+//!
+//! The driver is [`PimCompiler`]; its output, [`CompiledModel`], carries
+//! everything the cycle-accurate simulator (`pimcomp-sim`) executes.
+//!
+//! # Example
+//!
+//! ```
+//! use pimcomp_core::{CompileOptions, PimCompiler};
+//! use pimcomp_arch::{HardwareConfig, PipelineMode};
+//!
+//! # fn main() -> Result<(), pimcomp_core::CompileError> {
+//! let graph = pimcomp_ir::models::tiny_cnn();
+//! let hw = HardwareConfig::small_test();
+//! let opts = CompileOptions::new(PipelineMode::HighThroughput).with_fast_ga(1);
+//! let compiled = PimCompiler::new(hw).compile(&graph, &opts)?;
+//! assert!(compiled.mapping.active_cores() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baseline;
+mod compiler;
+mod error;
+mod fitness;
+mod ga;
+mod lower;
+mod mapping;
+mod memory;
+mod partition;
+mod replication;
+mod schedule;
+mod waiting;
+
+pub use baseline::{puma_mapping, PumaCompiler};
+pub use compiler::{CompileOptions, CompileReport, CompiledModel, PimCompiler, StageTimings};
+pub use error::CompileError;
+pub use fitness::{
+    ht_core_time, ht_fitness, ht_fitness_from_mapping, ll_fitness, ll_fitness_with_issue_floor,
+    HT_TIE_BREAK,
+};
+pub use ga::{default_max_nodes_per_core, optimize, GaContext, GaParams, GaStats};
+pub use lower::{lower_to_ops, CoreOp, OpStream};
+pub use mapping::{AgInstance, Chromosome, CoreMapping, Gene, GENE_RADIX};
+pub use memory::{MemoryPlan, ReusePolicy};
+pub use partition::{MvmIdx, NodePartition, Partitioning};
+pub use replication::ReplicationPlan;
+pub use schedule::{
+    HtNodeProgram, HtSchedule, HtSend, HtVecTask, LlProviderRef, LlReplica, LlSchedule, LlUnit,
+    LlUnitKind, Schedule,
+};
+pub use waiting::{required_windows, DepInfo, DepRule, EdgeDep};

@@ -1,0 +1,327 @@
+//! Lowering a compiled schedule to an explicit operation sequence.
+//!
+//! The paper's execution model (§III-B) describes each core's work as a
+//! static sequence of basic operations — MVM, VEC, COMM and MEM — and
+//! explicitly allows either "a series of instructions, or a schedule of
+//! basic operators". The compiler's native output is the compact
+//! schedule; this module expands it into the instruction form, which is
+//! useful for debugging, for golden-trace tests, and as a starting
+//! point for a real ISA backend.
+//!
+//! Streams can be large (millions of operations for the paper
+//! benchmarks), so lowering takes a per-core instruction cap.
+
+use crate::compiler::CompiledModel;
+use crate::schedule::Schedule;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One basic operation of the abstract execution model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoreOp {
+    /// Load bytes from global memory into the local scratchpad.
+    MemLoad {
+        /// Payload size.
+        bytes: usize,
+    },
+    /// Store bytes from the local scratchpad to global memory.
+    MemStore {
+        /// Payload size.
+        bytes: usize,
+    },
+    /// One MVM on one Array Group instance.
+    Mvm {
+        /// AG instance id (into `CoreMapping::instances`).
+        instance: usize,
+        /// Sliding-window index.
+        window: usize,
+    },
+    /// VFU element operations (accumulation, activation, pooling, …).
+    Vec {
+        /// Element-operation count.
+        elements: usize,
+    },
+    /// Send a partial-sum / forwarding message to another core.
+    CommSend {
+        /// Destination core.
+        to: usize,
+        /// Payload size.
+        bytes: usize,
+    },
+    /// Blocking receive of a message from another core.
+    CommRecv {
+        /// Source count (how many messages this receive joins).
+        count: usize,
+    },
+}
+
+impl fmt::Display for CoreOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreOp::MemLoad { bytes } => write!(f, "MEM.load   {bytes}B"),
+            CoreOp::MemStore { bytes } => write!(f, "MEM.store  {bytes}B"),
+            CoreOp::Mvm { instance, window } => {
+                write!(f, "MVM        ag{instance} w{window}")
+            }
+            CoreOp::Vec { elements } => write!(f, "VEC        {elements} elems"),
+            CoreOp::CommSend { to, bytes } => write!(f, "COMM.send  -> core{to} {bytes}B"),
+            CoreOp::CommRecv { count } => write!(f, "COMM.recv  x{count}"),
+        }
+    }
+}
+
+/// The lowered per-core operation sequences.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpStream {
+    /// Per-core instruction lists (empty for idle cores).
+    pub per_core: Vec<Vec<CoreOp>>,
+    /// `true` when any core hit the instruction cap and was truncated.
+    pub truncated: bool,
+}
+
+impl OpStream {
+    /// Total instruction count across cores.
+    pub fn len(&self) -> usize {
+        self.per_core.iter().map(Vec::len).sum()
+    }
+
+    /// `true` when no instructions were emitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Instruction-class histogram `(mem, mvm, vec, comm)`.
+    pub fn histogram(&self) -> (usize, usize, usize, usize) {
+        let (mut mem, mut mvm, mut vec, mut comm) = (0, 0, 0, 0);
+        for ops in &self.per_core {
+            for op in ops {
+                match op {
+                    CoreOp::MemLoad { .. } | CoreOp::MemStore { .. } => mem += 1,
+                    CoreOp::Mvm { .. } => mvm += 1,
+                    CoreOp::Vec { .. } => vec += 1,
+                    CoreOp::CommSend { .. } | CoreOp::CommRecv { .. } => comm += 1,
+                }
+            }
+        }
+        (mem, mvm, vec, comm)
+    }
+
+    /// Renders one core's stream as text (for traces and golden tests).
+    pub fn render_core(&self, core: usize) -> String {
+        let mut out = String::new();
+        for (i, op) in self.per_core[core].iter().enumerate() {
+            out.push_str(&format!("{i:>6}: {op}\n"));
+        }
+        out
+    }
+}
+
+/// Expands a compiled model into explicit per-core operation sequences.
+///
+/// `max_ops_per_core` bounds the expansion; cores whose program is
+/// longer are truncated (flagged in [`OpStream::truncated`]). Only HT
+/// schedules lower to static per-core sequences — the LL schedule's
+/// instruction order is data-dependent, so its units lower to one
+/// representative window per replica.
+pub fn lower_to_ops(compiled: &CompiledModel, max_ops_per_core: usize) -> OpStream {
+    let cores = compiled.hw.total_cores();
+    let mut per_core: Vec<Vec<CoreOp>> = vec![Vec::new(); cores];
+    let mut truncated = false;
+
+    match &compiled.schedule {
+        Schedule::HighThroughput(s) => {
+            for core in 0..cores {
+                let ops = &mut per_core[core];
+                'rounds: for round in 0.. {
+                    let mut any = false;
+                    for &pid in &s.per_core[core] {
+                        let p = &s.programs[pid];
+                        if round >= p.rounds {
+                            continue;
+                        }
+                        any = true;
+                        if ops.len() >= max_ops_per_core {
+                            truncated = true;
+                            break 'rounds;
+                        }
+                        if p.load_bytes_per_round > 0 {
+                            ops.push(CoreOp::MemLoad {
+                                bytes: p.load_bytes_per_round,
+                            });
+                        }
+                        for b in 0..s.batch {
+                            for &inst in &p.ag_instances {
+                                ops.push(CoreOp::Mvm {
+                                    instance: inst,
+                                    window: round * s.batch + b,
+                                });
+                            }
+                        }
+                        if p.vec_elems_per_round > 0 {
+                            ops.push(CoreOp::Vec {
+                                elements: p.vec_elems_per_round,
+                            });
+                        }
+                        for send in &p.sends_per_round {
+                            ops.push(CoreOp::CommSend {
+                                to: send.to_core,
+                                bytes: send.bytes,
+                            });
+                        }
+                        if p.recvs_per_round > 0 {
+                            ops.push(CoreOp::CommRecv {
+                                count: p.recvs_per_round,
+                            });
+                        }
+                        if p.store_bytes_per_round > 0 {
+                            ops.push(CoreOp::MemStore {
+                                bytes: p.store_bytes_per_round,
+                            });
+                        }
+                    }
+                    if !any {
+                        break;
+                    }
+                }
+                // One-shot vector tasks close the stream.
+                for &vid in &s.vec_per_core[core] {
+                    if per_core[core].len() >= max_ops_per_core {
+                        truncated = true;
+                        break;
+                    }
+                    let t = &s.vec_tasks[vid];
+                    if t.load_bytes > 0 {
+                        per_core[core].push(CoreOp::MemLoad { bytes: t.load_bytes });
+                    }
+                    per_core[core].push(CoreOp::Vec { elements: t.elems });
+                    if t.store_bytes > 0 {
+                        per_core[core].push(CoreOp::MemStore {
+                            bytes: t.store_bytes,
+                        });
+                    }
+                }
+            }
+        }
+        Schedule::LowLatency(s) => {
+            let eb = compiled.hw.input_bytes_per_element();
+            for unit in &s.units {
+                for rep in &unit.replicas {
+                    if rep.windows == 0 {
+                        continue;
+                    }
+                    // One representative window per replica.
+                    for &(core, count) in &rep.ags_per_core {
+                        let ops = &mut per_core[core];
+                        if ops.len() + count + 2 > max_ops_per_core {
+                            truncated = true;
+                            continue;
+                        }
+                        for k in 0..count {
+                            ops.push(CoreOp::Mvm {
+                                instance: k,
+                                window: 0,
+                            });
+                        }
+                        if core != rep.owner {
+                            ops.push(CoreOp::CommSend {
+                                to: rep.owner,
+                                bytes: unit.elems_per_window * eb,
+                            });
+                        }
+                    }
+                    let owner_ops = &mut per_core[rep.owner];
+                    if owner_ops.len() + 2 <= max_ops_per_core {
+                        if rep.ags_per_core.len() > 1 {
+                            owner_ops.push(CoreOp::CommRecv {
+                                count: rep.ags_per_core.len() - 1,
+                            });
+                        }
+                        if unit.vfu_elems_per_window > 0 {
+                            owner_ops.push(CoreOp::Vec {
+                                elements: unit.vfu_elems_per_window,
+                            });
+                        }
+                    } else {
+                        truncated = true;
+                    }
+                }
+            }
+        }
+    }
+
+    OpStream {
+        per_core,
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompileOptions, PimCompiler};
+    use pimcomp_arch::{HardwareConfig, PipelineMode};
+    use pimcomp_ir::models;
+
+    fn compile(mode: PipelineMode) -> CompiledModel {
+        PimCompiler::new(HardwareConfig::small_test())
+            .compile(&models::tiny_cnn(), &CompileOptions::new(mode).with_fast_ga(3))
+            .unwrap()
+    }
+
+    #[test]
+    fn ht_stream_contains_all_op_classes() {
+        let compiled = compile(PipelineMode::HighThroughput);
+        let stream = lower_to_ops(&compiled, 100_000);
+        let (mem, mvm, vec, _comm) = stream.histogram();
+        assert!(mem > 0, "loads/stores expected");
+        assert!(mvm > 0, "MVMs expected");
+        assert!(vec > 0, "VFU ops expected");
+    }
+
+    #[test]
+    fn ht_mvm_count_matches_schedule() {
+        let compiled = compile(PipelineMode::HighThroughput);
+        let stream = lower_to_ops(&compiled, usize::MAX);
+        assert!(!stream.truncated);
+        let (_, mvm, _, _) = stream.histogram();
+        let s = compiled.schedule.as_ht().unwrap();
+        let expect: usize = s
+            .programs
+            .iter()
+            .map(|p| p.rounds * s.batch * p.ag_instances.len())
+            .sum();
+        assert_eq!(mvm, expect);
+    }
+
+    #[test]
+    fn truncation_is_flagged_and_bounded() {
+        let compiled = compile(PipelineMode::HighThroughput);
+        let stream = lower_to_ops(&compiled, 8);
+        assert!(stream.truncated);
+        for ops in &stream.per_core {
+            // Small slack: a round's tail ops may pass the cap check once.
+            assert!(ops.len() <= 8 + 64, "core stream too long: {}", ops.len());
+        }
+    }
+
+    #[test]
+    fn ll_stream_lowers_representative_windows() {
+        let compiled = compile(PipelineMode::LowLatency);
+        let stream = lower_to_ops(&compiled, 10_000);
+        let (_, mvm, vec, _) = stream.histogram();
+        assert!(mvm > 0);
+        assert!(vec > 0);
+    }
+
+    #[test]
+    fn rendering_is_stable() {
+        let compiled = compile(PipelineMode::HighThroughput);
+        let stream = lower_to_ops(&compiled, 64);
+        let core = (0..stream.per_core.len())
+            .find(|&c| !stream.per_core[c].is_empty())
+            .expect("some active core");
+        let text = stream.render_core(core);
+        assert!(text.contains("MVM"));
+        assert!(text.lines().count() == stream.per_core[core].len());
+    }
+}

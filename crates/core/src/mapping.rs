@@ -1,0 +1,504 @@
+//! Gene encoding and core-mapping materialization (paper Section IV-C).
+//!
+//! Each **gene** represents several AGs of one node mapped to one core,
+//! encoded as the integer `node_index * 10000 + ag_count` (the paper's
+//! example: `1030025` = 25 AGs of node 103). A **chromosome** is a fixed
+//! grid of `core_num × max_node_num_in_core` gene slots; the slot
+//! position determines the core. Decoding a chromosome yields a
+//! [`CoreMapping`]: concrete AG instances `(node, replica, slice)`
+//! assigned to cores, with per-replica accumulation owners.
+
+use crate::partition::{MvmIdx, Partitioning};
+use crate::replication::ReplicationPlan;
+use crate::CompileError;
+use serde::{Deserialize, Serialize};
+
+/// The paper's gene radix: `code = node_index * 10000 + ag_count`.
+pub const GENE_RADIX: u64 = 10_000;
+
+/// Several AGs of one node on one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Gene {
+    /// Which partitioned node.
+    pub mvm: MvmIdx,
+    /// How many of its AG instances live on this slot's core.
+    pub ag_count: usize,
+}
+
+impl Gene {
+    /// Encodes as the paper's integer representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ag_count >= 10000` (outside the paper's radix).
+    pub fn code(&self) -> u64 {
+        assert!(
+            (self.ag_count as u64) < GENE_RADIX,
+            "ag_count {} exceeds the gene radix",
+            self.ag_count
+        );
+        self.mvm as u64 * GENE_RADIX + self.ag_count as u64
+    }
+
+    /// Decodes the paper's integer representation; `None` if the AG
+    /// count field is zero (an empty slot).
+    pub fn from_code(code: u64) -> Option<Self> {
+        let ag_count = (code % GENE_RADIX) as usize;
+        if ag_count == 0 {
+            return None;
+        }
+        Some(Gene {
+            mvm: (code / GENE_RADIX) as usize,
+            ag_count,
+        })
+    }
+}
+
+/// A fixed grid of gene slots: `core_num × max_node_num_in_core`.
+///
+/// `max_node_num_in_core` bounds how many distinct nodes one core may
+/// host, which keeps the mapping from scattering so far that on-chip
+/// communication dominates (paper Section IV-C.1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Chromosome {
+    slots: Vec<Option<Gene>>,
+    cores: usize,
+    max_nodes_per_core: usize,
+}
+
+impl Chromosome {
+    /// An empty chromosome for `cores` cores with the given per-core
+    /// node limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn empty(cores: usize, max_nodes_per_core: usize) -> Self {
+        assert!(cores > 0 && max_nodes_per_core > 0);
+        Chromosome {
+            slots: vec![None; cores * max_nodes_per_core],
+            cores,
+            max_nodes_per_core,
+        }
+    }
+
+    /// Total slot count (`cores × max_node_num_in_core`).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` if no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// Core count.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Per-core node limit.
+    pub fn max_nodes_per_core(&self) -> usize {
+        self.max_nodes_per_core
+    }
+
+    /// The core a slot index belongs to.
+    pub fn core_of_slot(&self, slot: usize) -> usize {
+        slot / self.max_nodes_per_core
+    }
+
+    /// Slot range of a core.
+    pub fn slots_of_core(&self, core: usize) -> std::ops::Range<usize> {
+        core * self.max_nodes_per_core..(core + 1) * self.max_nodes_per_core
+    }
+
+    /// Gene in a slot.
+    pub fn gene(&self, slot: usize) -> Option<Gene> {
+        self.slots[slot]
+    }
+
+    /// Replaces a slot's content, returning the previous gene.
+    pub fn set_gene(&mut self, slot: usize, gene: Option<Gene>) -> Option<Gene> {
+        std::mem::replace(&mut self.slots[slot], gene)
+    }
+
+    /// All `(slot, gene)` pairs in slot order.
+    pub fn genes(&self) -> impl Iterator<Item = (usize, Gene)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.map(|g| (i, g)))
+    }
+
+    /// Genes of one core.
+    pub fn genes_of_core(&self, core: usize) -> impl Iterator<Item = (usize, Gene)> + '_ {
+        let range = self.slots_of_core(core);
+        self.slots[range.clone()]
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, g)| g.map(|g| (range.start + i, g)))
+    }
+
+    /// First free slot of a core, if any.
+    pub fn free_slot_of_core(&self, core: usize) -> Option<usize> {
+        self.slots_of_core(core).find(|&s| self.slots[s].is_none())
+    }
+
+    /// Slot of a gene of `mvm` on `core`, if present.
+    pub fn slot_of_node_on_core(&self, core: usize, mvm: MvmIdx) -> Option<usize> {
+        self.genes_of_core(core)
+            .find(|(_, g)| g.mvm == mvm)
+            .map(|(s, _)| s)
+    }
+
+    /// Total AG instances of `mvm` across all cores.
+    pub fn ag_total(&self, mvm: MvmIdx) -> usize {
+        self.genes()
+            .filter(|(_, g)| g.mvm == mvm)
+            .map(|(_, g)| g.ag_count)
+            .sum()
+    }
+
+    /// Crossbars used on each core under `partitioning`.
+    pub fn used_crossbars(&self, partitioning: &Partitioning) -> Vec<usize> {
+        let mut used = vec![0usize; self.cores];
+        for (slot, gene) in self.genes() {
+            used[self.core_of_slot(slot)] +=
+                gene.ag_count * partitioning.entry(gene.mvm).crossbars_per_ag;
+        }
+        used
+    }
+
+    /// AG totals per node in a single pass over the genes.
+    pub fn ag_totals(&self, partitioning: &Partitioning) -> Vec<usize> {
+        let mut totals = vec![0usize; partitioning.len()];
+        for (_, gene) in self.genes() {
+            if gene.mvm < totals.len() {
+                totals[gene.mvm] += gene.ag_count;
+            }
+        }
+        totals
+    }
+
+    /// Derives the replication plan implied by AG totals.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::MappingInvariant`] when some node's AG total is
+    /// zero or not a multiple of its AGs-per-replica.
+    pub fn replication(&self, partitioning: &Partitioning) -> Result<ReplicationPlan, CompileError> {
+        let totals = self.ag_totals(partitioning);
+        let mut counts = Vec::with_capacity(partitioning.len());
+        for (idx, &total) in totals.iter().enumerate() {
+            let a = partitioning.entry(idx).ags_per_replica;
+            if total == 0 || total % a != 0 {
+                return Err(CompileError::MappingInvariant {
+                    detail: format!(
+                        "node {} ({}) has {total} AGs, not a positive multiple of {a}",
+                        idx,
+                        partitioning.entry(idx).name
+                    ),
+                });
+            }
+            counts.push(total / a);
+        }
+        Ok(ReplicationPlan::from_counts(partitioning, counts))
+    }
+
+    /// The paper's flat integer encoding of the whole chromosome
+    /// (`0` for empty slots).
+    pub fn to_codes(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .map(|s| s.map_or(0, |g| g.code()))
+            .collect()
+    }
+
+    /// Rebuilds a chromosome from [`Chromosome::to_codes`] output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes` length is not `cores * max_nodes_per_core`.
+    pub fn from_codes(codes: &[u64], cores: usize, max_nodes_per_core: usize) -> Self {
+        assert_eq!(codes.len(), cores * max_nodes_per_core);
+        Chromosome {
+            slots: codes.iter().map(|&c| Gene::from_code(c)).collect(),
+            cores,
+            max_nodes_per_core,
+        }
+    }
+}
+
+/// One AG instance: a concrete `(node, replica, slice)` living on a
+/// core. `slice` is the AG's position along the weight-matrix height;
+/// partial sums of all slices of one replica accumulate at the replica's
+/// owner core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgInstance {
+    /// Which partitioned node.
+    pub mvm: MvmIdx,
+    /// Replica index within the node.
+    pub replica: usize,
+    /// AG index within the replica (weight-matrix row block).
+    pub slice: usize,
+    /// Core holding all of this AG's crossbars.
+    pub core: usize,
+}
+
+/// The decoded mapping: concrete AG instances per core plus replica
+/// accumulation owners.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreMapping {
+    /// Replication plan the mapping realizes.
+    pub replication: ReplicationPlan,
+    /// All AG instances, grouped by node then replica then slice.
+    pub instances: Vec<AgInstance>,
+    /// Instance indices living on each core.
+    pub per_core: Vec<Vec<usize>>,
+    /// `owners[mvm][replica]` = core of the replica's first AG, where
+    /// partial sums accumulate (paper Algorithm 1, line 7).
+    pub owners: Vec<Vec<usize>>,
+}
+
+impl CoreMapping {
+    /// Materializes a chromosome into concrete AG instances.
+    ///
+    /// Assignment is replica-aware: every gene first receives as many
+    /// *whole* replicas as fit (`floor(ag_count / A)`), so those
+    /// replicas accumulate entirely within one core; only the gene
+    /// leftovers are pooled into split replicas. This minimizes the
+    /// inter-core partial-sum synchronization of Algorithm 1 line 7.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError::MappingInvariant`] from
+    /// [`Chromosome::replication`].
+    pub fn from_chromosome(
+        chromosome: &Chromosome,
+        partitioning: &Partitioning,
+    ) -> Result<Self, CompileError> {
+        let replication = chromosome.replication(partitioning)?;
+        let cores = chromosome.cores();
+        let mut instances = Vec::new();
+        let mut per_core = vec![Vec::new(); cores];
+        let mut owners: Vec<Vec<usize>> = Vec::with_capacity(partitioning.len());
+
+        for mvm in 0..partitioning.len() {
+            let a = partitioning.entry(mvm).ags_per_replica;
+            let r = replication.count(mvm);
+            // Gene capacities in slot order.
+            let gene_cores: Vec<(usize, usize)> = chromosome
+                .genes()
+                .filter(|(_, g)| g.mvm == mvm)
+                .map(|(slot, g)| (chromosome.core_of_slot(slot), g.ag_count))
+                .collect();
+            let mut node_owners = vec![usize::MAX; r];
+            let mut replica = 0usize;
+            let push = |core: usize,
+                            replica: usize,
+                            slice: usize,
+                            instances: &mut Vec<AgInstance>,
+                            per_core: &mut Vec<Vec<usize>>,
+                            node_owners: &mut Vec<usize>| {
+                if slice == 0 {
+                    node_owners[replica] = core;
+                }
+                let id = instances.len();
+                instances.push(AgInstance {
+                    mvm,
+                    replica,
+                    slice,
+                    core,
+                });
+                per_core[core].push(id);
+            };
+            // Pass 1: whole replicas within single genes.
+            let mut leftovers: Vec<(usize, usize)> = Vec::new(); // (core, count)
+            for &(core, count) in &gene_cores {
+                let whole = count / a;
+                for _ in 0..whole {
+                    for slice in 0..a {
+                        push(core, replica, slice, &mut instances, &mut per_core, &mut node_owners);
+                    }
+                    replica += 1;
+                }
+                if count % a > 0 {
+                    leftovers.push((core, count % a));
+                }
+            }
+            // Pass 2: pool leftovers into split replicas.
+            let mut slice = 0usize;
+            for (core, count) in leftovers {
+                for _ in 0..count {
+                    push(core, replica, slice, &mut instances, &mut per_core, &mut node_owners);
+                    slice += 1;
+                    if slice == a {
+                        slice = 0;
+                        replica += 1;
+                    }
+                }
+            }
+            debug_assert_eq!(replica, r);
+            debug_assert_eq!(slice, 0);
+            owners.push(node_owners);
+        }
+
+        Ok(CoreMapping {
+            replication,
+            instances,
+            per_core,
+            owners,
+        })
+    }
+
+    /// Number of cores that host at least one AG.
+    pub fn active_cores(&self) -> usize {
+        self.per_core.iter().filter(|v| !v.is_empty()).count()
+    }
+
+    /// Cores (deduplicated, sorted) hosting AGs of `(mvm, replica)`.
+    pub fn replica_cores(&self, mvm: MvmIdx, replica: usize) -> Vec<usize> {
+        let mut cores: Vec<usize> = self
+            .instances
+            .iter()
+            .filter(|i| i.mvm == mvm && i.replica == replica)
+            .map(|i| i.core)
+            .collect();
+        cores.sort_unstable();
+        cores.dedup();
+        cores
+    }
+
+    /// Checks internal consistency (every replica fully placed, owners
+    /// defined, per-core index coherent).
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::MappingInvariant`] describing the first violation.
+    pub fn validate(&self, partitioning: &Partitioning) -> Result<(), CompileError> {
+        let fail = |detail: String| Err(CompileError::MappingInvariant { detail });
+        for (mvm, node_owners) in self.owners.iter().enumerate() {
+            if node_owners.len() != self.replication.count(mvm) {
+                return fail(format!("node {mvm}: owner count != replica count"));
+            }
+            if node_owners.contains(&usize::MAX) {
+                return fail(format!("node {mvm}: replica without owner"));
+            }
+            let a = partitioning.entry(mvm).ags_per_replica;
+            let n = self
+                .instances
+                .iter()
+                .filter(|i| i.mvm == mvm)
+                .count();
+            if n != a * self.replication.count(mvm) {
+                return fail(format!("node {mvm}: {n} instances, expected {}", a * self.replication.count(mvm)));
+            }
+        }
+        for (core, ids) in self.per_core.iter().enumerate() {
+            for &id in ids {
+                if self.instances[id].core != core {
+                    return fail(format!("instance {id} mis-indexed on core {core}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimcomp_arch::HardwareConfig;
+    use pimcomp_ir::GraphBuilder;
+
+    fn part() -> Partitioning {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", [64, 28, 28]);
+        // 3x3x64 -> 576 rows -> 5 AGs; 64 cols -> 4 crossbars/AG.
+        let c1 = b.conv2d("c1", x, 64, (3, 3), (1, 1), (1, 1)).unwrap();
+        let _c2 = b.conv2d("c2", c1, 32, (3, 3), (1, 1), (1, 1)).unwrap();
+        let g = b.finish().unwrap();
+        Partitioning::new(&g, &HardwareConfig::puma()).unwrap()
+    }
+
+    #[test]
+    fn gene_code_round_trip_matches_paper_format() {
+        let g = Gene { mvm: 103, ag_count: 25 };
+        assert_eq!(g.code(), 1_030_025);
+        assert_eq!(Gene::from_code(1_030_025), Some(g));
+        assert_eq!(Gene::from_code(0), None);
+        assert_eq!(Gene::from_code(1_030_000), None);
+    }
+
+    #[test]
+    fn chromosome_slot_to_core_arithmetic() {
+        let c = Chromosome::empty(4, 3);
+        assert_eq!(c.len(), 12);
+        assert_eq!(c.core_of_slot(0), 0);
+        assert_eq!(c.core_of_slot(2), 0);
+        assert_eq!(c.core_of_slot(3), 1);
+        assert_eq!(c.slots_of_core(2), 6..9);
+    }
+
+    fn filled() -> (Chromosome, Partitioning) {
+        let p = part();
+        let mut c = Chromosome::empty(4, 2);
+        // Node 0: 5 AGs per replica, 2 replicas = 10 AGs: 6 on core 0, 4 on core 1.
+        c.set_gene(0, Some(Gene { mvm: 0, ag_count: 6 }));
+        c.set_gene(2, Some(Gene { mvm: 0, ag_count: 4 }));
+        // Node 1: 5 AGs per replica, 1 replica on core 2.
+        c.set_gene(4, Some(Gene { mvm: 1, ag_count: 5 }));
+        (c, p)
+    }
+
+    #[test]
+    fn replication_is_derived_from_ag_totals() {
+        let (c, p) = filled();
+        let plan = c.replication(&p).unwrap();
+        assert_eq!(plan.count(0), 2);
+        assert_eq!(plan.count(1), 1);
+    }
+
+    #[test]
+    fn non_multiple_ag_total_is_an_invariant_violation() {
+        let (mut c, p) = filled();
+        c.set_gene(2, Some(Gene { mvm: 0, ag_count: 3 })); // total 9, not /5
+        assert!(matches!(
+            c.replication(&p),
+            Err(CompileError::MappingInvariant { .. })
+        ));
+    }
+
+    #[test]
+    fn mapping_materializes_instances_and_owners() {
+        let (c, p) = filled();
+        let m = CoreMapping::from_chromosome(&c, &p).unwrap();
+        m.validate(&p).unwrap();
+        // Node 0: replica 0 entirely on core 0 (6 >= 5); replica 1
+        // split: slice 0 on core 0 (the 6th AG), slices 1-4 on core 1.
+        assert_eq!(m.owners[0], vec![0, 0]);
+        assert_eq!(m.replica_cores(0, 0), vec![0]);
+        assert_eq!(m.replica_cores(0, 1), vec![0, 1]);
+        assert_eq!(m.owners[1], vec![2]);
+        assert_eq!(m.active_cores(), 3);
+    }
+
+    #[test]
+    fn used_crossbars_accounts_ag_width() {
+        let (c, p) = filled();
+        let used = c.used_crossbars(&p);
+        // Node 0: 4 xbars/AG; node 1: 2 xbars/AG (32 cols / 16).
+        assert_eq!(used[0], 6 * 4);
+        assert_eq!(used[1], 4 * 4);
+        assert_eq!(used[2], 5 * 2);
+        assert_eq!(used[3], 0);
+    }
+
+    #[test]
+    fn codes_round_trip() {
+        let (c, _) = filled();
+        let codes = c.to_codes();
+        let c2 = Chromosome::from_codes(&codes, 4, 2);
+        assert_eq!(c, c2);
+    }
+}

@@ -1,0 +1,43 @@
+//! Dataflow scheduling (paper Section IV-D): lowering a mapping into
+//! per-core execution structures for the two pipeline modes.
+//!
+//! The paper deliberately leaves the operation-sequence format open
+//! ("a series of instructions, or a schedule of basic operators"); this
+//! implementation emits *schedules of basic operators* — compact
+//! per-core programs whose basic operations are MVM, VEC, COMM and MEM —
+//! which the cycle-accurate simulator interprets.
+
+mod ht;
+mod ll;
+
+pub use ht::{HtNodeProgram, HtSchedule, HtSend, HtVecTask};
+pub use ll::{LlProviderRef, LlReplica, LlSchedule, LlUnit, LlUnitKind};
+
+use serde::{Deserialize, Serialize};
+
+/// A compiled dataflow schedule, one variant per pipeline mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Layer-by-layer pipeline over different inferences (Algorithm 1).
+    HighThroughput(HtSchedule),
+    /// Element-granular streaming pipeline within one inference.
+    LowLatency(LlSchedule),
+}
+
+impl Schedule {
+    /// The HT schedule, if this is one.
+    pub fn as_ht(&self) -> Option<&HtSchedule> {
+        match self {
+            Schedule::HighThroughput(s) => Some(s),
+            Schedule::LowLatency(_) => None,
+        }
+    }
+
+    /// The LL schedule, if this is one.
+    pub fn as_ll(&self) -> Option<&LlSchedule> {
+        match self {
+            Schedule::LowLatency(s) => Some(s),
+            Schedule::HighThroughput(_) => None,
+        }
+    }
+}

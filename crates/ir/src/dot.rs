@@ -1,0 +1,80 @@
+//! Graphviz DOT export for visual inspection of model graphs.
+
+use crate::{Graph, Op};
+use std::fmt::Write;
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// Node shapes encode the execution-model class: boxes for crossbar
+/// MVM producers (conv/fc), ellipses for VFU work, plain text for
+/// memory/reshape operators, and diamonds for inputs.
+///
+/// # Example
+///
+/// ```
+/// let g = pimcomp_ir::models::tiny_mlp();
+/// let dot = pimcomp_ir::to_dot(&g);
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("fc1"));
+/// ```
+pub fn to_dot(graph: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", graph.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [fontname=\"monospace\", fontsize=10];");
+    for node in graph.nodes() {
+        let shape = match &node.op {
+            Op::Input { .. } => "diamond",
+            op if op.is_mvm() => "box",
+            op if op.is_vector() => "ellipse",
+            _ => "plaintext",
+        };
+        let label = format!("{}\\n{} {}", node.name, node.op, node.output_shape);
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{label}\", shape={shape}];",
+            node.id.index()
+        );
+    }
+    for node in graph.nodes() {
+        for &p in graph.predecessors(node.id) {
+            let _ = writeln!(out, "  n{} -> n{};", p.index(), node.id.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let g = models::two_branch();
+        let dot = to_dot(&g);
+        for node in g.nodes() {
+            assert!(dot.contains(&format!("n{} [", node.id.index())));
+        }
+        let edge_count = dot.matches(" -> ").count();
+        let expect: usize = g.nodes().iter().map(|n| n.inputs.len()).sum();
+        assert_eq!(edge_count, expect);
+    }
+
+    #[test]
+    fn dot_uses_class_shapes() {
+        let g = models::tiny_cnn();
+        let dot = to_dot(&g);
+        assert!(dot.contains("shape=diamond")); // input
+        assert!(dot.contains("shape=box")); // conv/fc
+        assert!(dot.contains("shape=ellipse")); // relu/pool
+    }
+
+    #[test]
+    fn dot_is_balanced() {
+        let g = models::tiny_mlp();
+        let dot = to_dot(&g);
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}

@@ -1,0 +1,72 @@
+use std::fmt;
+
+/// Errors produced while constructing or validating a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// A node references an input id that does not exist in the graph.
+    UnknownNode {
+        /// The offending id value.
+        id: usize,
+    },
+    /// A node name was used twice within the same graph.
+    DuplicateName {
+        /// The duplicated node name.
+        name: String,
+    },
+    /// An operator received an input whose shape it cannot accept.
+    ShapeMismatch {
+        /// Node name where the mismatch was detected.
+        node: String,
+        /// Human-readable description of the expected/actual shapes.
+        detail: String,
+    },
+    /// An operator received the wrong number of inputs.
+    ArityMismatch {
+        /// Node name where the mismatch was detected.
+        node: String,
+        /// Number of inputs expected by the operator.
+        expected: usize,
+        /// Number of inputs actually wired.
+        actual: usize,
+    },
+    /// The graph contains a cycle and therefore is not a valid DNN DAG.
+    CyclicGraph,
+    /// The graph has no input node.
+    MissingInput,
+    /// An attribute value is out of its valid domain (e.g. zero-sized
+    /// kernel or stride).
+    InvalidAttribute {
+        /// Node name carrying the attribute.
+        node: String,
+        /// Description of the invalid attribute.
+        detail: String,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::UnknownNode { id } => write!(f, "unknown node id {id}"),
+            IrError::DuplicateName { name } => write!(f, "duplicate node name `{name}`"),
+            IrError::ShapeMismatch { node, detail } => {
+                write!(f, "shape mismatch at node `{node}`: {detail}")
+            }
+            IrError::ArityMismatch {
+                node,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "node `{node}` expects {expected} input(s) but received {actual}"
+            ),
+            IrError::CyclicGraph => write!(f, "graph contains a cycle"),
+            IrError::MissingInput => write!(f, "graph has no input node"),
+            IrError::InvalidAttribute { node, detail } => {
+                write!(f, "invalid attribute at node `{node}`: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IrError {}

@@ -1,0 +1,162 @@
+//! GoogLeNet / Inception-v1 (Szegedy et al., 2015) — nine inception
+//! modules with four-way concat joins.
+
+use crate::{Graph, GraphBuilder, NodeId, PoolKind};
+
+/// Builds GoogLeNet (inception-v1, main branch only — auxiliary
+/// classifiers are training-time artifacts and absent from inference
+/// deployments) with 1000 output classes.
+pub fn googlenet() -> Graph {
+    let mut b = GraphBuilder::new("googlenet");
+    let x = b.input("input", [3, 224, 224]);
+
+    // Stem.
+    let c1 = b
+        .conv2d("conv1", x, 64, (7, 7), (2, 2), (3, 3))
+        .expect("conv1");
+    let r1 = b.relu("conv1_relu", c1).expect("relu");
+    let p1 = b
+        .pool("pool1", r1, PoolKind::Max, (3, 3), (2, 2), (0, 0), true)
+        .expect("pool1");
+    let n1 = b.lrn("lrn1", p1, 5).expect("lrn1");
+    let c2 = b
+        .conv2d("conv2_reduce", n1, 64, (1, 1), (1, 1), (0, 0))
+        .expect("conv2_reduce");
+    let r2 = b.relu("conv2_reduce_relu", c2).expect("relu");
+    let c3 = b
+        .conv2d("conv2", r2, 192, (3, 3), (1, 1), (1, 1))
+        .expect("conv2");
+    let r3 = b.relu("conv2_relu", c3).expect("relu");
+    let n2 = b.lrn("lrn2", r3, 5).expect("lrn2");
+    let p2 = b
+        .pool("pool2", n2, PoolKind::Max, (3, 3), (2, 2), (0, 0), true)
+        .expect("pool2");
+
+    // Inception parameter table: (1x1, 3x3reduce, 3x3, 5x5reduce, 5x5, pool_proj).
+    let i3a = inception(&mut b, "inception_3a", p2, [64, 96, 128, 16, 32, 32]);
+    let i3b = inception(&mut b, "inception_3b", i3a, [128, 128, 192, 32, 96, 64]);
+    let p3 = b
+        .pool("pool3", i3b, PoolKind::Max, (3, 3), (2, 2), (0, 0), true)
+        .expect("pool3");
+
+    let i4a = inception(&mut b, "inception_4a", p3, [192, 96, 208, 16, 48, 64]);
+    let i4b = inception(&mut b, "inception_4b", i4a, [160, 112, 224, 24, 64, 64]);
+    let i4c = inception(&mut b, "inception_4c", i4b, [128, 128, 256, 24, 64, 64]);
+    let i4d = inception(&mut b, "inception_4d", i4c, [112, 144, 288, 32, 64, 64]);
+    let i4e = inception(&mut b, "inception_4e", i4d, [256, 160, 320, 32, 128, 128]);
+    let p4 = b
+        .pool("pool4", i4e, PoolKind::Max, (3, 3), (2, 2), (0, 0), true)
+        .expect("pool4");
+
+    let i5a = inception(&mut b, "inception_5a", p4, [256, 160, 320, 32, 128, 128]);
+    let i5b = inception(&mut b, "inception_5b", i5a, [384, 192, 384, 48, 128, 128]);
+
+    let gap = b.global_avg_pool("gap", i5b).expect("gap");
+    let d = b.dropout("dropout", gap).expect("dropout");
+    let flat = b.flatten("flatten", d).expect("flatten");
+    let _fc = b.linear("fc", flat, 1000).expect("fc");
+
+    b.finish().expect("googlenet topology is a valid DAG")
+}
+
+/// The four-branch inception module:
+/// 1×1 / 1×1→3×3 / 1×1→5×5 / 3×3-maxpool→1×1, concatenated on channels.
+fn inception(b: &mut GraphBuilder, name: &str, input: NodeId, p: [usize; 6]) -> NodeId {
+    let [c1, c3r, c3, c5r, c5, pp] = p;
+
+    let b1 = conv_relu(b, &format!("{name}_1x1"), input, c1, (1, 1), (0, 0));
+
+    let b2r = conv_relu(b, &format!("{name}_3x3_reduce"), input, c3r, (1, 1), (0, 0));
+    let b2 = conv_relu(b, &format!("{name}_3x3"), b2r, c3, (3, 3), (1, 1));
+
+    let b3r = conv_relu(b, &format!("{name}_5x5_reduce"), input, c5r, (1, 1), (0, 0));
+    let b3 = conv_relu(b, &format!("{name}_5x5"), b3r, c5, (5, 5), (2, 2));
+
+    let pool = b
+        .pool(
+            format!("{name}_pool"),
+            input,
+            PoolKind::Max,
+            (3, 3),
+            (1, 1),
+            (1, 1),
+            false,
+        )
+        .expect("stride-1 pool always fits");
+    let b4 = conv_relu(b, &format!("{name}_pool_proj"), pool, pp, (1, 1), (0, 0));
+
+    b.concat(format!("{name}_concat"), vec![b1, b2, b3, b4])
+        .expect("branches share spatial dims by construction")
+}
+
+fn conv_relu(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: NodeId,
+    out_ch: usize,
+    kernel: (usize, usize),
+    padding: (usize, usize),
+) -> NodeId {
+    let c = b
+        .conv2d(name, input, out_ch, kernel, (1, 1), padding)
+        .expect("inception conv dims are valid");
+    b.relu(format!("{name}_relu"), c).expect("unique name")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Op, Shape};
+
+    #[test]
+    fn googlenet_has_57_convs() {
+        // 3 stem convs + 9 modules * 6 convs.
+        let g = googlenet();
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Conv2d(_)))
+            .count();
+        assert_eq!(convs, 57);
+    }
+
+    #[test]
+    fn module_output_channels_match_the_paper_table() {
+        let g = googlenet();
+        let expect = [
+            ("inception_3a_concat", 256),
+            ("inception_3b_concat", 480),
+            ("inception_4a_concat", 512),
+            ("inception_4e_concat", 832),
+            ("inception_5b_concat", 1024),
+        ];
+        for (name, ch) in expect {
+            let n = g.node_by_name(name).unwrap();
+            assert_eq!(n.output_shape.channels(), ch, "{name}");
+        }
+    }
+
+    #[test]
+    fn spatial_pyramid_is_canonical() {
+        let g = googlenet();
+        assert_eq!(
+            g.node_by_name("inception_3b_concat").unwrap().output_shape,
+            Shape::chw(480, 28, 28)
+        );
+        assert_eq!(
+            g.node_by_name("inception_5b_concat").unwrap().output_shape,
+            Shape::chw(1024, 7, 7)
+        );
+    }
+
+    #[test]
+    fn lrn_nodes_present_in_stem() {
+        let g = googlenet();
+        let lrns = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Lrn(_)))
+            .count();
+        assert_eq!(lrns, 2);
+    }
+}

@@ -1,0 +1,269 @@
+//! Inception-v3 (Szegedy et al., 2016) — the deepest benchmark, with
+//! factorized 1×7/7×1 convolutions and four inception module families.
+
+use crate::{Graph, GraphBuilder, NodeId, PoolKind};
+
+/// Builds Inception-v3 with 1000 output classes and the canonical
+/// 299×299 input.
+///
+/// Every convolution is followed by explicit batch-norm and ReLU nodes,
+/// matching the ONNX export of the reference implementation; fold them
+/// with [`transform::normalize`](crate::transform::normalize).
+pub fn inception_v3() -> Graph {
+    let mut b = GraphBuilder::new("inception_v3");
+    let x = b.input("input", [3, 299, 299]);
+
+    // Stem.
+    let c1 = cbr(&mut b, "stem_conv1", x, 32, (3, 3), (2, 2), (0, 0));
+    let c2 = cbr(&mut b, "stem_conv2", c1, 32, (3, 3), (1, 1), (0, 0));
+    let c3 = cbr(&mut b, "stem_conv3", c2, 64, (3, 3), (1, 1), (1, 1));
+    let p1 = b
+        .max_pool("stem_pool1", c3, (3, 3), (2, 2), (0, 0))
+        .expect("stem pool1");
+    let c4 = cbr(&mut b, "stem_conv4", p1, 80, (1, 1), (1, 1), (0, 0));
+    let c5 = cbr(&mut b, "stem_conv5", c4, 192, (3, 3), (1, 1), (0, 0));
+    let p2 = b
+        .max_pool("stem_pool2", c5, (3, 3), (2, 2), (0, 0))
+        .expect("stem pool2");
+
+    // 35x35 modules.
+    let a1 = inception_a(&mut b, "mixed_a1", p2, 32);
+    let a2 = inception_a(&mut b, "mixed_a2", a1, 64);
+    let a3 = inception_a(&mut b, "mixed_a3", a2, 64);
+
+    // Reduction to 17x17.
+    let r1 = reduction_b(&mut b, "mixed_b", a3);
+
+    // 17x17 modules with growing 7x7 channel counts.
+    let c_1 = inception_c(&mut b, "mixed_c1", r1, 128);
+    let c_2 = inception_c(&mut b, "mixed_c2", c_1, 160);
+    let c_3 = inception_c(&mut b, "mixed_c3", c_2, 160);
+    let c_4 = inception_c(&mut b, "mixed_c4", c_3, 192);
+
+    // Reduction to 8x8.
+    let r2 = reduction_d(&mut b, "mixed_d", c_4);
+
+    // 8x8 modules.
+    let e1 = inception_e(&mut b, "mixed_e1", r2);
+    let e2 = inception_e(&mut b, "mixed_e2", e1);
+
+    let gap = b.global_avg_pool("gap", e2).expect("gap");
+    let d = b.dropout("dropout", gap).expect("dropout");
+    let flat = b.flatten("flatten", d).expect("flatten");
+    let _fc = b.linear("fc", flat, 1000).expect("fc");
+
+    b.finish().expect("inception_v3 topology is a valid DAG")
+}
+
+/// conv → batch-norm → relu, the basic unit of inception-v3.
+fn cbr(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: NodeId,
+    out_ch: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: (usize, usize),
+) -> NodeId {
+    let c = b
+        .conv2d(name, input, out_ch, kernel, stride, padding)
+        .expect("inception conv dims are valid");
+    let bn = b.batch_norm(format!("{name}_bn"), c).expect("bn");
+    b.relu(format!("{name}_relu"), bn).expect("relu")
+}
+
+/// 35×35 module: 1×1 / 1×1→5×5 / 1×1→3×3→3×3 / avgpool→1×1.
+fn inception_a(b: &mut GraphBuilder, name: &str, input: NodeId, pool_ch: usize) -> NodeId {
+    let b1 = cbr(b, &format!("{name}_1x1"), input, 64, (1, 1), (1, 1), (0, 0));
+
+    let b2a = cbr(b, &format!("{name}_5x5_r"), input, 48, (1, 1), (1, 1), (0, 0));
+    let b2 = cbr(b, &format!("{name}_5x5"), b2a, 64, (5, 5), (1, 1), (2, 2));
+
+    let b3a = cbr(b, &format!("{name}_3x3_r"), input, 64, (1, 1), (1, 1), (0, 0));
+    let b3b = cbr(b, &format!("{name}_3x3a"), b3a, 96, (3, 3), (1, 1), (1, 1));
+    let b3 = cbr(b, &format!("{name}_3x3b"), b3b, 96, (3, 3), (1, 1), (1, 1));
+
+    let pool = b
+        .pool(
+            format!("{name}_pool"),
+            input,
+            PoolKind::Avg,
+            (3, 3),
+            (1, 1),
+            (1, 1),
+            false,
+        )
+        .expect("stride-1 pool");
+    let b4 = cbr(b, &format!("{name}_pool_proj"), pool, pool_ch, (1, 1), (1, 1), (0, 0));
+
+    b.concat(format!("{name}_concat"), vec![b1, b2, b3, b4])
+        .expect("equal spatial dims")
+}
+
+/// 35→17 reduction: 3×3/2 / 1×1→3×3→3×3/2 / maxpool/2.
+fn reduction_b(b: &mut GraphBuilder, name: &str, input: NodeId) -> NodeId {
+    let b1 = cbr(b, &format!("{name}_3x3"), input, 384, (3, 3), (2, 2), (0, 0));
+
+    let b2a = cbr(b, &format!("{name}_dbl_r"), input, 64, (1, 1), (1, 1), (0, 0));
+    let b2b = cbr(b, &format!("{name}_dbl_a"), b2a, 96, (3, 3), (1, 1), (1, 1));
+    let b2 = cbr(b, &format!("{name}_dbl_b"), b2b, 96, (3, 3), (2, 2), (0, 0));
+
+    let b3 = b
+        .max_pool(format!("{name}_pool"), input, (3, 3), (2, 2), (0, 0))
+        .expect("reduction pool");
+
+    b.concat(format!("{name}_concat"), vec![b1, b2, b3])
+        .expect("equal spatial dims")
+}
+
+/// 17×17 module with factorized 7×7 convolutions.
+fn inception_c(b: &mut GraphBuilder, name: &str, input: NodeId, ch7: usize) -> NodeId {
+    let b1 = cbr(b, &format!("{name}_1x1"), input, 192, (1, 1), (1, 1), (0, 0));
+
+    let b2a = cbr(b, &format!("{name}_7_r"), input, ch7, (1, 1), (1, 1), (0, 0));
+    let b2b = cbr(b, &format!("{name}_7_a"), b2a, ch7, (1, 7), (1, 1), (0, 3));
+    let b2 = cbr(b, &format!("{name}_7_b"), b2b, 192, (7, 1), (1, 1), (3, 0));
+
+    let b3a = cbr(b, &format!("{name}_7dbl_r"), input, ch7, (1, 1), (1, 1), (0, 0));
+    let b3b = cbr(b, &format!("{name}_7dbl_a"), b3a, ch7, (7, 1), (1, 1), (3, 0));
+    let b3c = cbr(b, &format!("{name}_7dbl_b"), b3b, ch7, (1, 7), (1, 1), (0, 3));
+    let b3d = cbr(b, &format!("{name}_7dbl_c"), b3c, ch7, (7, 1), (1, 1), (3, 0));
+    let b3 = cbr(b, &format!("{name}_7dbl_d"), b3d, 192, (1, 7), (1, 1), (0, 3));
+
+    let pool = b
+        .pool(
+            format!("{name}_pool"),
+            input,
+            PoolKind::Avg,
+            (3, 3),
+            (1, 1),
+            (1, 1),
+            false,
+        )
+        .expect("stride-1 pool");
+    let b4 = cbr(b, &format!("{name}_pool_proj"), pool, 192, (1, 1), (1, 1), (0, 0));
+
+    b.concat(format!("{name}_concat"), vec![b1, b2, b3, b4])
+        .expect("equal spatial dims")
+}
+
+/// 17→8 reduction with a factorized 7×7 branch.
+fn reduction_d(b: &mut GraphBuilder, name: &str, input: NodeId) -> NodeId {
+    let b1a = cbr(b, &format!("{name}_3x3_r"), input, 192, (1, 1), (1, 1), (0, 0));
+    let b1 = cbr(b, &format!("{name}_3x3"), b1a, 320, (3, 3), (2, 2), (0, 0));
+
+    let b2a = cbr(b, &format!("{name}_7x7_r"), input, 192, (1, 1), (1, 1), (0, 0));
+    let b2b = cbr(b, &format!("{name}_7x7_a"), b2a, 192, (1, 7), (1, 1), (0, 3));
+    let b2c = cbr(b, &format!("{name}_7x7_b"), b2b, 192, (7, 1), (1, 1), (3, 0));
+    let b2 = cbr(b, &format!("{name}_7x7_c"), b2c, 192, (3, 3), (2, 2), (0, 0));
+
+    let b3 = b
+        .max_pool(format!("{name}_pool"), input, (3, 3), (2, 2), (0, 0))
+        .expect("reduction pool");
+
+    b.concat(format!("{name}_concat"), vec![b1, b2, b3])
+        .expect("equal spatial dims")
+}
+
+/// 8×8 module with split 1×3/3×1 expansions.
+fn inception_e(b: &mut GraphBuilder, name: &str, input: NodeId) -> NodeId {
+    let b1 = cbr(b, &format!("{name}_1x1"), input, 320, (1, 1), (1, 1), (0, 0));
+
+    let b2a = cbr(b, &format!("{name}_3x3_r"), input, 384, (1, 1), (1, 1), (0, 0));
+    let b2l = cbr(b, &format!("{name}_3x3_l"), b2a, 384, (1, 3), (1, 1), (0, 1));
+    let b2r = cbr(b, &format!("{name}_3x3_rr"), b2a, 384, (3, 1), (1, 1), (1, 0));
+    let b2 = b
+        .concat(format!("{name}_3x3_cat"), vec![b2l, b2r])
+        .expect("split branches share dims");
+
+    let b3a = cbr(b, &format!("{name}_dbl_r"), input, 448, (1, 1), (1, 1), (0, 0));
+    let b3b = cbr(b, &format!("{name}_dbl_m"), b3a, 384, (3, 3), (1, 1), (1, 1));
+    let b3l = cbr(b, &format!("{name}_dbl_l"), b3b, 384, (1, 3), (1, 1), (0, 1));
+    let b3r = cbr(b, &format!("{name}_dbl_rr"), b3b, 384, (3, 1), (1, 1), (1, 0));
+    let b3 = b
+        .concat(format!("{name}_dbl_cat"), vec![b3l, b3r])
+        .expect("split branches share dims");
+
+    let pool = b
+        .pool(
+            format!("{name}_pool"),
+            input,
+            PoolKind::Avg,
+            (3, 3),
+            (1, 1),
+            (1, 1),
+            false,
+        )
+        .expect("stride-1 pool");
+    let b4 = cbr(b, &format!("{name}_pool_proj"), pool, 192, (1, 1), (1, 1), (0, 0));
+
+    b.concat(format!("{name}_concat"), vec![b1, b2, b3, b4])
+        .expect("equal spatial dims")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Op, Shape};
+
+    #[test]
+    fn inception_v3_has_94_convs() {
+        // Canonical count for the main branch (torchvision: 94 conv
+        // layers when the aux classifier is excluded).
+        let g = inception_v3();
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Conv2d(_)))
+            .count();
+        assert_eq!(convs, 94);
+    }
+
+    #[test]
+    fn stage_shapes_are_canonical() {
+        let g = inception_v3();
+        let expect = [
+            ("stem_pool2", Shape::chw(192, 35, 35)),
+            ("mixed_a1_concat", Shape::chw(256, 35, 35)),
+            ("mixed_a3_concat", Shape::chw(288, 35, 35)),
+            ("mixed_b_concat", Shape::chw(768, 17, 17)),
+            ("mixed_c4_concat", Shape::chw(768, 17, 17)),
+            ("mixed_d_concat", Shape::chw(1280, 8, 8)),
+            ("mixed_e2_concat", Shape::chw(2048, 8, 8)),
+        ];
+        for (name, shape) in expect {
+            let n = g.node_by_name(name).unwrap();
+            assert_eq!(n.output_shape, shape, "{name}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_kernels_are_present() {
+        let g = inception_v3();
+        let asym = g
+            .nodes()
+            .iter()
+            .filter(|n| match &n.op {
+                Op::Conv2d(c) => c.kernel.0 != c.kernel.1,
+                _ => false,
+            })
+            .count();
+        assert!(asym >= 20, "factorized convs expected, found {asym}");
+    }
+
+    #[test]
+    fn every_conv_has_batch_norm() {
+        let g = inception_v3();
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Conv2d(_)))
+            .count();
+        let bns = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::BatchNorm))
+            .count();
+        assert_eq!(convs, bns);
+    }
+}

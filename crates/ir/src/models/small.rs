@@ -1,0 +1,95 @@
+//! Small synthetic networks used by unit/integration tests and the
+//! quickstart example: fast to compile, yet exercising every operator
+//! class (MVM, vector, memory) and every topology feature (chains,
+//! branches, joins).
+
+use crate::{Graph, GraphBuilder};
+
+/// A tiny LeNet-style CNN on 3×32×32 inputs: two conv/pool stages and two
+/// fully connected layers. Exercises the straight-line pipeline path.
+pub fn tiny_cnn() -> Graph {
+    let mut b = GraphBuilder::new("tiny_cnn");
+    let x = b.input("input", [3, 32, 32]);
+    let c1 = b.conv2d("conv1", x, 16, (3, 3), (1, 1), (1, 1)).expect("conv1");
+    let r1 = b.relu("relu1", c1).expect("relu1");
+    let p1 = b.max_pool("pool1", r1, (2, 2), (2, 2), (0, 0)).expect("pool1");
+    let c2 = b.conv2d("conv2", p1, 32, (3, 3), (1, 1), (1, 1)).expect("conv2");
+    let r2 = b.relu("relu2", c2).expect("relu2");
+    let p2 = b.max_pool("pool2", r2, (2, 2), (2, 2), (0, 0)).expect("pool2");
+    let f = b.flatten("flatten", p2).expect("flatten");
+    let fc1 = b.linear("fc1", f, 128).expect("fc1");
+    let r3 = b.relu("relu3", fc1).expect("relu3");
+    let _fc2 = b.linear("fc2", r3, 10).expect("fc2");
+    b.finish().expect("tiny_cnn is valid")
+}
+
+/// A two-layer perceptron on flat inputs. The smallest compilable model:
+/// two FC nodes, no spatial structure.
+pub fn tiny_mlp() -> Graph {
+    let mut b = GraphBuilder::new("tiny_mlp");
+    let x = b.input_flat("input", 256);
+    let fc1 = b.linear("fc1", x, 64).expect("fc1");
+    let r = b.relu("relu1", fc1).expect("relu");
+    let _fc2 = b.linear("fc2", r, 10).expect("fc2");
+    b.finish().expect("tiny_mlp is valid")
+}
+
+/// A residual-style two-branch network joined by element-wise addition.
+/// Exercises branch divergence and the eltwise join in LL scheduling.
+pub fn two_branch() -> Graph {
+    let mut b = GraphBuilder::new("two_branch");
+    let x = b.input("input", [8, 16, 16]);
+    let stem = b.conv2d("stem", x, 16, (3, 3), (1, 1), (1, 1)).expect("stem");
+    let l = b.conv2d("left", stem, 16, (3, 3), (1, 1), (1, 1)).expect("left");
+    let lr = b.relu("left_relu", l).expect("relu");
+    let r = b.conv2d("right", stem, 16, (1, 1), (1, 1), (0, 0)).expect("right");
+    let add = b.eltwise_add("join", lr, r).expect("join");
+    let rr = b.relu("join_relu", add).expect("relu");
+    let g = b.global_avg_pool("gap", rr).expect("gap");
+    let f = b.flatten("flatten", g).expect("flatten");
+    let _fc = b.linear("fc", f, 10).expect("fc");
+    b.finish().expect("two_branch is valid")
+}
+
+/// A chain of `depth` equally-sized convolutions; useful for pipeline
+/// scaling studies (each layer has identical work).
+///
+/// # Panics
+///
+/// Panics if `depth` is zero.
+pub fn linear_chain(depth: usize) -> Graph {
+    assert!(depth > 0, "chain depth must be positive");
+    let mut b = GraphBuilder::new(format!("chain{depth}"));
+    let mut cur = b.input("input", [8, 16, 16]);
+    for i in 0..depth {
+        cur = b
+            .conv2d(format!("conv{i}"), cur, 8, (3, 3), (1, 1), (1, 1))
+            .expect("chain conv");
+    }
+    b.finish().expect("chain is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Op;
+
+    #[test]
+    fn small_models_validate() {
+        for g in [tiny_cnn(), tiny_mlp(), two_branch(), linear_chain(4)] {
+            g.validate().unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+        }
+    }
+
+    #[test]
+    fn two_branch_has_a_join() {
+        let g = two_branch();
+        assert!(g.nodes().iter().any(|n| matches!(n.op, Op::Eltwise(_))));
+    }
+
+    #[test]
+    fn chain_depth_matches() {
+        let g = linear_chain(7);
+        assert_eq!(g.mvm_nodes().len(), 7);
+    }
+}

@@ -1,0 +1,128 @@
+//! SqueezeNet 1.0 (Iandola et al., 2016) — fire modules with concat
+//! joins; the lightest benchmark in the paper.
+
+use crate::{Graph, GraphBuilder, NodeId, PoolKind};
+
+/// Builds SqueezeNet 1.0 with 1000 output classes.
+pub fn squeezenet() -> Graph {
+    let mut b = GraphBuilder::new("squeezenet");
+    let x = b.input("input", [3, 224, 224]);
+
+    let c1 = b
+        .conv2d("conv1", x, 96, (7, 7), (2, 2), (0, 0))
+        .expect("conv1");
+    let r1 = b.relu("conv1_relu", c1).expect("relu");
+    let p1 = b
+        .pool("pool1", r1, PoolKind::Max, (3, 3), (2, 2), (0, 0), true)
+        .expect("pool1");
+
+    let f2 = fire(&mut b, "fire2", p1, 16, 64);
+    let f3 = fire(&mut b, "fire3", f2, 16, 64);
+    let f4 = fire(&mut b, "fire4", f3, 32, 128);
+    let p4 = b
+        .pool("pool4", f4, PoolKind::Max, (3, 3), (2, 2), (0, 0), true)
+        .expect("pool4");
+
+    let f5 = fire(&mut b, "fire5", p4, 32, 128);
+    let f6 = fire(&mut b, "fire6", f5, 48, 192);
+    let f7 = fire(&mut b, "fire7", f6, 48, 192);
+    let f8 = fire(&mut b, "fire8", f7, 64, 256);
+    let p8 = b
+        .pool("pool8", f8, PoolKind::Max, (3, 3), (2, 2), (0, 0), true)
+        .expect("pool8");
+
+    let f9 = fire(&mut b, "fire9", p8, 64, 256);
+    let d = b.dropout("drop9", f9).expect("drop");
+    let c10 = b
+        .conv2d("conv10", d, 1000, (1, 1), (1, 1), (0, 0))
+        .expect("conv10");
+    let r10 = b.relu("conv10_relu", c10).expect("relu10");
+    let gap = b.global_avg_pool("gap", r10).expect("gap");
+    let _flat = b.flatten("flatten", gap).expect("flatten");
+
+    b.finish().expect("squeezenet topology is a valid DAG")
+}
+
+/// Fire module: 1×1 squeeze followed by parallel 1×1 and 3×3 expands
+/// whose outputs are concatenated along channels.
+fn fire(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: NodeId,
+    squeeze_ch: usize,
+    expand_ch: usize,
+) -> NodeId {
+    let s = b
+        .conv2d(
+            format!("{name}_squeeze"),
+            input,
+            squeeze_ch,
+            (1, 1),
+            (1, 1),
+            (0, 0),
+        )
+        .expect("squeeze conv");
+    let sr = b.relu(format!("{name}_squeeze_relu"), s).expect("relu");
+    let e1 = b
+        .conv2d(
+            format!("{name}_expand1x1"),
+            sr,
+            expand_ch,
+            (1, 1),
+            (1, 1),
+            (0, 0),
+        )
+        .expect("expand1x1");
+    let e1r = b.relu(format!("{name}_expand1x1_relu"), e1).expect("relu");
+    let e3 = b
+        .conv2d(
+            format!("{name}_expand3x3"),
+            sr,
+            expand_ch,
+            (3, 3),
+            (1, 1),
+            (1, 1),
+        )
+        .expect("expand3x3");
+    let e3r = b.relu(format!("{name}_expand3x3_relu"), e3).expect("relu");
+    b.concat(format!("{name}_concat"), vec![e1r, e3r])
+        .expect("equal spatial dims by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Op, Shape};
+
+    #[test]
+    fn squeezenet_has_26_convs() {
+        // conv1 + 8 fires * 3 convs + conv10.
+        let g = squeezenet();
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Conv2d(_)))
+            .count();
+        assert_eq!(convs, 26);
+    }
+
+    #[test]
+    fn fire_concat_doubles_expand_channels() {
+        let g = squeezenet();
+        let f2 = g.node_by_name("fire2_concat").unwrap();
+        assert_eq!(f2.output_shape.channels(), 128);
+    }
+
+    #[test]
+    fn final_feature_is_1000_channels() {
+        let g = squeezenet();
+        let gap = g.node_by_name("gap").unwrap();
+        assert_eq!(gap.output_shape, Shape::chw(1000, 1, 1));
+    }
+
+    #[test]
+    fn no_fully_connected_layers() {
+        let g = squeezenet();
+        assert!(!g.nodes().iter().any(|n| matches!(n.op, Op::Linear(_))));
+    }
+}

@@ -1,0 +1,80 @@
+//! VGG-16 (Simonyan & Zisserman, 2015) — the paper's computationally
+//! intensive benchmark.
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Builds VGG-16 with 1000 output classes (configuration "D": thirteen
+/// 3×3 convolutions in five blocks, followed by three fully connected
+/// layers).
+pub fn vgg16() -> Graph {
+    let mut b = GraphBuilder::new("vgg16");
+    let x = b.input("input", [3, 224, 224]);
+
+    let mut cur = x;
+    let blocks: [(usize, usize); 5] = [(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)];
+    for (bi, (convs, ch)) in blocks.into_iter().enumerate() {
+        for ci in 0..convs {
+            cur = conv_relu(&mut b, &format!("conv{}_{}", bi + 1, ci + 1), cur, ch);
+        }
+        cur = b
+            .max_pool(format!("pool{}", bi + 1), cur, (2, 2), (2, 2), (0, 0))
+            .expect("vgg16 pooling dims are valid");
+    }
+
+    let flat = b.flatten("flatten", cur).expect("flatten is infallible");
+    let fc6 = b.linear("fc6", flat, 4096).expect("fc6");
+    let r6 = b.relu("relu6", fc6).expect("relu6");
+    let d6 = b.dropout("drop6", r6).expect("drop6");
+    let fc7 = b.linear("fc7", d6, 4096).expect("fc7");
+    let r7 = b.relu("relu7", fc7).expect("relu7");
+    let d7 = b.dropout("drop7", r7).expect("drop7");
+    let fc8 = b.linear("fc8", d7, 1000).expect("fc8");
+    let _ = b.softmax("prob", fc8).expect("softmax");
+
+    b.finish().expect("vgg16 topology is a valid DAG")
+}
+
+fn conv_relu(b: &mut GraphBuilder, name: &str, input: NodeId, out_ch: usize) -> NodeId {
+    let c = b
+        .conv2d(name, input, out_ch, (3, 3), (1, 1), (1, 1))
+        .expect("vgg16 conv dims are valid");
+    b.relu(format!("{name}_relu"), c).expect("relu name unique")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Op, Shape};
+
+    #[test]
+    fn vgg16_has_13_convs_and_3_fcs() {
+        let g = vgg16();
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Conv2d(_)))
+            .count();
+        let fcs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Op::Linear(_)))
+            .count();
+        assert_eq!(convs, 13);
+        assert_eq!(fcs, 3);
+    }
+
+    #[test]
+    fn vgg16_feature_extent_shrinks_to_7x7() {
+        let g = vgg16();
+        let pool5 = g.node_by_name("pool5").unwrap();
+        assert_eq!(pool5.output_shape, Shape::chw(512, 7, 7));
+    }
+
+    #[test]
+    fn vgg16_output_is_1000_way() {
+        let g = vgg16();
+        let out: Vec<_> = g.outputs().collect();
+        assert_eq!(out.len(), 1);
+        assert_eq!(g.node(out[0]).output_shape, Shape::flat(1000));
+    }
+}

@@ -1,0 +1,361 @@
+//! Per-operator output shape inference.
+
+use crate::{IrError, Op, Shape};
+
+/// Computes one spatial output extent for a sliding-window operator.
+///
+/// `floor((in + 2*pad - kernel) / stride) + 1`, or the ceiling variant
+/// when `ceil_mode` is set (googlenet pools).
+pub(crate) fn window_extent(
+    input: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    ceil_mode: bool,
+) -> Option<usize> {
+    let padded = input + 2 * pad;
+    if padded < kernel || stride == 0 {
+        return None;
+    }
+    let span = padded - kernel;
+    let out = if ceil_mode {
+        span.div_ceil(stride) + 1
+    } else {
+        span / stride + 1
+    };
+    Some(out)
+}
+
+/// Infers the output shape of `op` given its input shapes.
+///
+/// `node` is used only for error messages.
+///
+/// # Errors
+///
+/// Returns [`IrError::ArityMismatch`] when the wrong number of inputs is
+/// supplied, [`IrError::ShapeMismatch`] when an input shape is not
+/// acceptable for the operator, and [`IrError::InvalidAttribute`] when an
+/// attribute is out of domain (e.g. zero stride).
+pub fn infer_output_shape(node: &str, op: &Op, inputs: &[&Shape]) -> Result<Shape, IrError> {
+    let arity_err = |expected: usize| IrError::ArityMismatch {
+        node: node.to_string(),
+        expected,
+        actual: inputs.len(),
+    };
+    let shape_err = |detail: String| IrError::ShapeMismatch {
+        node: node.to_string(),
+        detail,
+    };
+    let attr_err = |detail: String| IrError::InvalidAttribute {
+        node: node.to_string(),
+        detail,
+    };
+
+    match op {
+        Op::Input { shape } => {
+            if !inputs.is_empty() {
+                return Err(arity_err(0));
+            }
+            Ok(shape.clone())
+        }
+        Op::Conv2d(c) => {
+            let x = single(inputs).ok_or_else(|| arity_err(1))?;
+            if !x.is_chw() {
+                return Err(shape_err(format!("conv expects CxHxW input, got {x}")));
+            }
+            if x.channels() != c.in_channels {
+                return Err(shape_err(format!(
+                    "conv expects {} input channels, got {}",
+                    c.in_channels,
+                    x.channels()
+                )));
+            }
+            if c.kernel.0 == 0 || c.kernel.1 == 0 {
+                return Err(attr_err("kernel must be positive".into()));
+            }
+            if c.stride.0 == 0 || c.stride.1 == 0 {
+                return Err(attr_err("stride must be positive".into()));
+            }
+            if c.groups == 0
+                || c.in_channels % c.groups != 0
+                || c.out_channels % c.groups != 0
+            {
+                return Err(attr_err(format!(
+                    "groups {} must divide Cin {} and Cout {}",
+                    c.groups, c.in_channels, c.out_channels
+                )));
+            }
+            let h = window_extent(x.height(), c.kernel.0, c.stride.0, c.padding.0, false)
+                .ok_or_else(|| {
+                    shape_err(format!(
+                        "kernel {}x{} larger than padded input {}x{}",
+                        c.kernel.0,
+                        c.kernel.1,
+                        x.height() + 2 * c.padding.0,
+                        x.width() + 2 * c.padding.1
+                    ))
+                })?;
+            let w = window_extent(x.width(), c.kernel.1, c.stride.1, c.padding.1, false)
+                .ok_or_else(|| shape_err("kernel wider than padded input".into()))?;
+            Ok(Shape::chw(c.out_channels, h, w))
+        }
+        Op::Linear(l) => {
+            let x = single(inputs).ok_or_else(|| arity_err(1))?;
+            if x.numel() != l.in_features {
+                return Err(shape_err(format!(
+                    "fc expects {} input features, got {} ({x})",
+                    l.in_features,
+                    x.numel()
+                )));
+            }
+            Ok(Shape::flat(l.out_features))
+        }
+        Op::Pool(p) => {
+            let x = single(inputs).ok_or_else(|| arity_err(1))?;
+            if !x.is_chw() {
+                return Err(shape_err(format!("pool expects CxHxW input, got {x}")));
+            }
+            if p.stride.0 == 0 || p.stride.1 == 0 {
+                return Err(attr_err("stride must be positive".into()));
+            }
+            let h = window_extent(x.height(), p.kernel.0, p.stride.0, p.padding.0, p.ceil_mode)
+                .ok_or_else(|| shape_err("pool kernel larger than padded input".into()))?;
+            let w = window_extent(x.width(), p.kernel.1, p.stride.1, p.padding.1, p.ceil_mode)
+                .ok_or_else(|| shape_err("pool kernel larger than padded input".into()))?;
+            Ok(Shape::chw(x.channels(), h, w))
+        }
+        Op::GlobalAvgPool => {
+            let x = single(inputs).ok_or_else(|| arity_err(1))?;
+            if !x.is_chw() {
+                return Err(shape_err(format!("gap expects CxHxW input, got {x}")));
+            }
+            Ok(Shape::chw(x.channels(), 1, 1))
+        }
+        Op::Activation(_) | Op::BatchNorm | Op::Dropout | Op::Softmax => {
+            let x = single(inputs).ok_or_else(|| arity_err(1))?;
+            Ok(x.clone())
+        }
+        Op::Lrn(l) => {
+            let x = single(inputs).ok_or_else(|| arity_err(1))?;
+            if l.size == 0 {
+                return Err(attr_err("lrn size must be positive".into()));
+            }
+            Ok(x.clone())
+        }
+        Op::Concat => {
+            if inputs.len() < 2 {
+                return Err(arity_err(2));
+            }
+            let first = inputs[0];
+            if !first.is_chw() {
+                return Err(shape_err(format!(
+                    "concat expects CxHxW inputs, got {first}"
+                )));
+            }
+            let (h, w) = (first.height(), first.width());
+            let mut channels = 0;
+            for x in inputs {
+                if !x.is_chw() || x.height() != h || x.width() != w {
+                    return Err(shape_err(format!(
+                        "concat inputs must share spatial dims; got {first} vs {x}"
+                    )));
+                }
+                channels += x.channels();
+            }
+            Ok(Shape::chw(channels, h, w))
+        }
+        Op::Eltwise(_) => {
+            if inputs.len() != 2 {
+                return Err(arity_err(2));
+            }
+            if inputs[0] != inputs[1] {
+                return Err(shape_err(format!(
+                    "eltwise inputs must match: {} vs {}",
+                    inputs[0], inputs[1]
+                )));
+            }
+            Ok(inputs[0].clone())
+        }
+        Op::Flatten => {
+            let x = single(inputs).ok_or_else(|| arity_err(1))?;
+            Ok(Shape::flat(x.numel()))
+        }
+        Op::Pad(p) => {
+            let x = single(inputs).ok_or_else(|| arity_err(1))?;
+            if !x.is_chw() {
+                return Err(shape_err(format!("pad expects CxHxW input, got {x}")));
+            }
+            Ok(Shape::chw(
+                x.channels(),
+                x.height() + 2 * p.height,
+                x.width() + 2 * p.width,
+            ))
+        }
+    }
+}
+
+fn single<'a>(inputs: &[&'a Shape]) -> Option<&'a Shape> {
+    if inputs.len() == 1 {
+        Some(inputs[0])
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Conv2d, EltwiseKind, Linear, Pool, PoolKind};
+
+    fn conv(cin: usize, cout: usize, k: usize, s: usize, p: usize) -> Op {
+        Op::Conv2d(Conv2d {
+            in_channels: cin,
+            out_channels: cout,
+            kernel: (k, k),
+            stride: (s, s),
+            padding: (p, p),
+            groups: 1,
+            bias: true,
+        })
+    }
+
+    #[test]
+    fn conv_same_padding_preserves_extent() {
+        let x = Shape::chw(64, 56, 56);
+        let y = infer_output_shape("c", &conv(64, 128, 3, 1, 1), &[&x]).unwrap();
+        assert_eq!(y, Shape::chw(128, 56, 56));
+    }
+
+    #[test]
+    fn conv_stride_two_halves_extent() {
+        let x = Shape::chw(3, 224, 224);
+        let y = infer_output_shape("c", &conv(3, 64, 7, 2, 3), &[&x]).unwrap();
+        assert_eq!(y, Shape::chw(64, 112, 112));
+    }
+
+    #[test]
+    fn conv_rejects_channel_mismatch() {
+        let x = Shape::chw(3, 8, 8);
+        let e = infer_output_shape("c", &conv(4, 8, 3, 1, 1), &[&x]).unwrap_err();
+        assert!(matches!(e, IrError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn conv_rejects_oversized_kernel() {
+        let x = Shape::chw(3, 4, 4);
+        let e = infer_output_shape("c", &conv(3, 8, 7, 1, 0), &[&x]).unwrap_err();
+        assert!(matches!(e, IrError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn asymmetric_conv_shapes() {
+        let op = Op::Conv2d(Conv2d {
+            in_channels: 128,
+            out_channels: 192,
+            kernel: (1, 7),
+            stride: (1, 1),
+            padding: (0, 3),
+            groups: 1,
+            bias: false,
+        });
+        let x = Shape::chw(128, 17, 17);
+        let y = infer_output_shape("c", &op, &[&x]).unwrap();
+        assert_eq!(y, Shape::chw(192, 17, 17));
+    }
+
+    #[test]
+    fn pool_floor_vs_ceil() {
+        // span = 12 - 3 = 9: floor(9/2)+1 = 5, ceil(9/2)+1 = 6.
+        let x = Shape::chw(64, 12, 12);
+        let floor = Op::Pool(Pool {
+            kind: PoolKind::Max,
+            kernel: (3, 3),
+            stride: (2, 2),
+            padding: (0, 0),
+            ceil_mode: false,
+        });
+        let ceil = Op::Pool(Pool {
+            kind: PoolKind::Max,
+            kernel: (3, 3),
+            stride: (2, 2),
+            padding: (0, 0),
+            ceil_mode: true,
+        });
+        assert_eq!(
+            infer_output_shape("p", &floor, &[&x]).unwrap(),
+            Shape::chw(64, 5, 5)
+        );
+        assert_eq!(
+            infer_output_shape("p", &ceil, &[&x]).unwrap(),
+            Shape::chw(64, 6, 6)
+        );
+    }
+
+    #[test]
+    fn linear_checks_feature_count() {
+        let op = Op::Linear(Linear {
+            in_features: 512,
+            out_features: 10,
+            bias: true,
+        });
+        let ok = Shape::flat(512);
+        assert_eq!(
+            infer_output_shape("fc", &op, &[&ok]).unwrap(),
+            Shape::flat(10)
+        );
+        // A CxHxW input with matching element count is also accepted
+        // (implicit flatten, as ONNX Gemm often sees).
+        let chw = Shape::chw(512, 1, 1);
+        assert_eq!(
+            infer_output_shape("fc", &op, &[&chw]).unwrap(),
+            Shape::flat(10)
+        );
+        let bad = Shape::flat(100);
+        assert!(infer_output_shape("fc", &op, &[&bad]).is_err());
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        let a = Shape::chw(64, 28, 28);
+        let b = Shape::chw(128, 28, 28);
+        let c = Shape::chw(32, 28, 28);
+        let y = infer_output_shape("cat", &Op::Concat, &[&a, &b, &c]).unwrap();
+        assert_eq!(y, Shape::chw(224, 28, 28));
+    }
+
+    #[test]
+    fn concat_rejects_spatial_mismatch() {
+        let a = Shape::chw(64, 28, 28);
+        let b = Shape::chw(64, 14, 14);
+        assert!(infer_output_shape("cat", &Op::Concat, &[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn eltwise_requires_equal_shapes() {
+        let a = Shape::chw(64, 28, 28);
+        let b = Shape::chw(64, 28, 28);
+        let y = infer_output_shape("add", &Op::Eltwise(EltwiseKind::Add), &[&a, &b]).unwrap();
+        assert_eq!(y, a);
+        let c = Shape::chw(32, 28, 28);
+        assert!(infer_output_shape("add", &Op::Eltwise(EltwiseKind::Add), &[&a, &c]).is_err());
+    }
+
+    #[test]
+    fn flatten_collapses() {
+        let x = Shape::chw(512, 7, 7);
+        let y = infer_output_shape("f", &Op::Flatten, &[&x]).unwrap();
+        assert_eq!(y, Shape::flat(512 * 7 * 7));
+    }
+
+    #[test]
+    fn window_extent_edge_cases() {
+        // Kernel exactly covers the input: one window.
+        assert_eq!(window_extent(3, 3, 1, 0, false), Some(1));
+        // Kernel larger than padded input: no window.
+        assert_eq!(window_extent(2, 3, 1, 0, false), None);
+        // Padding rescues it.
+        assert_eq!(window_extent(2, 3, 1, 1, false), Some(2));
+        // Zero stride is invalid.
+        assert_eq!(window_extent(8, 3, 0, 0, false), None);
+    }
+}

@@ -1,0 +1,128 @@
+//! Workload statistics used by reports and by compiler heuristics.
+
+use crate::{Graph, Node, Op};
+use serde::{Deserialize, Serialize};
+
+/// Per-node workload statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Node name.
+    pub name: String,
+    /// Operator mnemonic.
+    pub op: String,
+    /// Weight parameter count (0 for weight-less operators).
+    pub params: usize,
+    /// Multiply-accumulate count for one inference.
+    pub macs: usize,
+    /// Output element count.
+    pub output_elems: usize,
+    /// Sliding-window count `Hout*Wout` (1 for FC; 0 for non-MVM ops).
+    pub windows: usize,
+}
+
+/// Whole-graph workload statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Model name.
+    pub model: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Conv + FC node count.
+    pub mvm_nodes: usize,
+    /// Total parameters.
+    pub params: usize,
+    /// Total MACs per inference.
+    pub macs: usize,
+    /// Per-node breakdown in topological order.
+    pub per_node: Vec<NodeStats>,
+}
+
+impl NodeStats {
+    /// Computes statistics for a single node.
+    pub fn of(node: &Node) -> Self {
+        let (params, macs, windows) = match &node.op {
+            Op::Conv2d(c) => {
+                let windows = node.output_shape.height() * node.output_shape.width();
+                let per_window = c.weight_matrix_height() * c.out_channels;
+                (c.weight_count(), per_window * windows, windows)
+            }
+            Op::Linear(l) => (
+                l.in_features * l.out_features,
+                l.in_features * l.out_features,
+                1,
+            ),
+            _ => (0, 0, 0),
+        };
+        NodeStats {
+            name: node.name.clone(),
+            op: node.op.mnemonic().to_string(),
+            params,
+            macs,
+            output_elems: node.output_shape.numel(),
+            windows,
+        }
+    }
+}
+
+impl GraphStats {
+    /// Computes statistics for every node of `graph`.
+    pub fn of(graph: &Graph) -> Self {
+        let per_node: Vec<NodeStats> = graph
+            .topo_order()
+            .into_iter()
+            .map(|id| NodeStats::of(graph.node(id)))
+            .collect();
+        GraphStats {
+            model: graph.name().to_string(),
+            nodes: graph.node_count(),
+            mvm_nodes: per_node.iter().filter(|s| s.windows > 0).count(),
+            params: per_node.iter().map(|s| s.params).sum(),
+            macs: per_node.iter().map(|s| s.macs).sum(),
+            per_node,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn conv_stats_count_macs_and_windows() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", [3, 8, 8]);
+        let c = b.conv2d("c", x, 16, (3, 3), (1, 1), (1, 1)).unwrap();
+        let g = b.finish().unwrap();
+        let s = NodeStats::of(g.node(c));
+        assert_eq!(s.windows, 64);
+        assert_eq!(s.params, 3 * 3 * 3 * 16);
+        assert_eq!(s.macs, 27 * 16 * 64);
+    }
+
+    #[test]
+    fn fc_counts_one_window() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input_flat("x", 128);
+        let f = b.linear("fc", x, 10).unwrap();
+        let g = b.finish().unwrap();
+        let s = NodeStats::of(g.node(f));
+        assert_eq!(s.windows, 1);
+        assert_eq!(s.macs, 1280);
+    }
+
+    #[test]
+    fn graph_stats_aggregate() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", [3, 8, 8]);
+        let c = b.conv2d("c", x, 4, (3, 3), (1, 1), (1, 1)).unwrap();
+        let r = b.relu("r", c).unwrap();
+        let f = b.flatten("f", r).unwrap();
+        let _l = b.linear("fc", f, 10).unwrap();
+        let g = b.finish().unwrap();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.mvm_nodes, 2);
+        assert!(s.macs > 0 && s.params > 0);
+    }
+}

@@ -1,0 +1,162 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape of a feature tensor flowing along a graph edge.
+///
+/// PIMCOMP compiles single-sample inference (the pipeline parallelism the
+/// paper studies is *across* inferences, not across a batch dimension), so
+/// shapes are stored batch-free:
+///
+/// * `[C, H, W]` for convolutional feature maps,
+/// * `[F]` for flattened / fully-connected features.
+///
+/// # Example
+///
+/// ```
+/// use pimcomp_ir::Shape;
+///
+/// let s = Shape::chw(64, 56, 56);
+/// assert_eq!(s.channels(), 64);
+/// assert_eq!(s.numel(), 64 * 56 * 56);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from raw dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or any dimension is zero; a zero-sized
+    /// tensor is never meaningful in this IR.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        let dims = dims.into();
+        assert!(!dims.is_empty(), "shape must have at least one dimension");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "shape dimensions must be positive, got {dims:?}"
+        );
+        Shape(dims)
+    }
+
+    /// Creates a `[C, H, W]` feature-map shape.
+    pub fn chw(channels: usize, height: usize, width: usize) -> Self {
+        Shape::new([channels, height, width])
+    }
+
+    /// Creates a flat `[F]` feature shape.
+    pub fn flat(features: usize) -> Self {
+        Shape::new([features])
+    }
+
+    /// The raw dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total element count.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// `true` when this is a `[C, H, W]` feature map.
+    pub fn is_chw(&self) -> bool {
+        self.0.len() == 3
+    }
+
+    /// `true` when this is a flat `[F]` vector.
+    pub fn is_flat(&self) -> bool {
+        self.0.len() == 1
+    }
+
+    /// Channel count.
+    ///
+    /// For `[C, H, W]` this is `C`; for a flat `[F]` shape the whole
+    /// vector is treated as `F` channels of a 1×1 feature map, which is
+    /// how fully connected layers are viewed as special convolutions in
+    /// the paper's node-partitioning stage (Section IV-B).
+    pub fn channels(&self) -> usize {
+        self.0[0]
+    }
+
+    /// Spatial height (1 for flat shapes).
+    pub fn height(&self) -> usize {
+        if self.is_chw() {
+            self.0[1]
+        } else {
+            1
+        }
+    }
+
+    /// Spatial width (1 for flat shapes).
+    pub fn width(&self) -> usize {
+        if self.is_chw() {
+            self.0[2]
+        } else {
+            1
+        }
+    }
+}
+
+impl fmt::Display for Shape {
+    /// Renders as `CxHxW` (e.g. `64x56x56`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for d in &self.0 {
+            if !first {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chw_accessors() {
+        let s = Shape::chw(3, 224, 224);
+        assert_eq!(s.channels(), 3);
+        assert_eq!(s.height(), 224);
+        assert_eq!(s.width(), 224);
+        assert_eq!(s.numel(), 3 * 224 * 224);
+        assert!(s.is_chw());
+        assert!(!s.is_flat());
+    }
+
+    #[test]
+    fn flat_accessors() {
+        let s = Shape::flat(4096);
+        assert_eq!(s.channels(), 4096);
+        assert_eq!(s.height(), 1);
+        assert_eq!(s.width(), 1);
+        assert!(s.is_flat());
+    }
+
+    #[test]
+    fn display_renders_dims() {
+        assert_eq!(Shape::chw(64, 7, 7).to_string(), "64x7x7");
+        assert_eq!(Shape::flat(10).to_string(), "10");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_rejected() {
+        let _ = Shape::new([1, 0, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_rejected() {
+        let _ = Shape::new(Vec::new());
+    }
+}

@@ -1,0 +1,204 @@
+//! Graph normalization passes executed before compilation.
+//!
+//! The paper's front end parses ONNX and hands the backend a clean node
+//! list; these passes perform the cleanup a real front end does:
+//! batch-norm folding (resnet/inception export BN separately), dropout
+//! elimination, and dead-node elimination.
+
+use crate::graph::{Graph, Node, NodeId};
+use crate::Op;
+use std::collections::{HashMap, HashSet};
+
+/// Removes `Dropout` nodes (identity at inference), rewiring consumers to
+/// the dropout's producer.
+pub fn eliminate_dropout(graph: &Graph) -> Graph {
+    remove_identity_nodes(graph, |n| matches!(n.op, Op::Dropout))
+}
+
+/// Folds `BatchNorm` nodes into the scale/shift of their producer; for
+/// compilation purposes this means deleting the node, since affine
+/// parameters ride along with the convolution weights on the crossbars.
+pub fn fold_batch_norm(graph: &Graph) -> Graph {
+    remove_identity_nodes(graph, |n| matches!(n.op, Op::BatchNorm))
+}
+
+/// Removes nodes whose output is never consumed and which are not graph
+/// outputs of interest (conservatively: keeps every sink that is not an
+/// orphaned `Input`).
+pub fn eliminate_dead_nodes(graph: &Graph) -> Graph {
+    // Mark everything reachable walking backwards from sinks.
+    let mut live: HashSet<NodeId> = HashSet::new();
+    let mut stack: Vec<NodeId> = graph
+        .outputs()
+        .filter(|&id| !matches!(graph.node(id).op, Op::Input { .. }))
+        .collect();
+    while let Some(id) = stack.pop() {
+        if live.insert(id) {
+            stack.extend(graph.predecessors(id).iter().copied());
+        }
+    }
+    rebuild_subset(graph, |id| live.contains(&id))
+}
+
+/// Runs the standard pre-compilation pipeline:
+/// dropout elimination → batch-norm folding → dead-node elimination.
+pub fn normalize(graph: &Graph) -> Graph {
+    eliminate_dead_nodes(&fold_batch_norm(&eliminate_dropout(graph)))
+}
+
+/// Removes all single-input nodes matching `pred`, splicing consumers to
+/// the removed node's producer.
+fn remove_identity_nodes(graph: &Graph, pred: impl Fn(&Node) -> bool) -> Graph {
+    // Resolve each removed node to its surviving ancestor.
+    let mut forward: HashMap<NodeId, NodeId> = HashMap::new();
+    for id in graph.topo_order() {
+        let n = graph.node(id);
+        if pred(n) && n.inputs.len() == 1 {
+            let src = n.inputs[0];
+            let resolved = *forward.get(&src).unwrap_or(&src);
+            forward.insert(id, resolved);
+        }
+    }
+    rebuild_with_remap(graph, &forward)
+}
+
+/// Rebuilds the graph keeping only nodes for which `keep` holds,
+/// renumbering ids densely. Edges to dropped nodes must not exist.
+fn rebuild_subset(graph: &Graph, keep: impl Fn(NodeId) -> bool) -> Graph {
+    let mut remap: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut nodes = Vec::new();
+    for id in graph.topo_order() {
+        if !keep(id) {
+            continue;
+        }
+        let old = graph.node(id);
+        let new_id = NodeId(nodes.len());
+        remap.insert(id, new_id);
+        nodes.push(Node {
+            id: new_id,
+            name: old.name.clone(),
+            op: old.op.clone(),
+            inputs: old.inputs.iter().map(|i| remap[i]).collect(),
+            output_shape: old.output_shape.clone(),
+        });
+    }
+    Graph::from_nodes(graph.name(), nodes)
+        .expect("subset of a valid graph with remapped dense ids is valid")
+}
+
+/// Rebuilds the graph dropping the keys of `forward`, rewiring any edge
+/// into a dropped node to its resolved ancestor.
+fn rebuild_with_remap(graph: &Graph, forward: &HashMap<NodeId, NodeId>) -> Graph {
+    let mut remap: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut nodes = Vec::new();
+    for id in graph.topo_order() {
+        if forward.contains_key(&id) {
+            continue;
+        }
+        let old = graph.node(id);
+        let new_id = NodeId(nodes.len());
+        remap.insert(id, new_id);
+        nodes.push(Node {
+            id: new_id,
+            name: old.name.clone(),
+            op: old.op.clone(),
+            inputs: old
+                .inputs
+                .iter()
+                .map(|i| {
+                    let resolved = forward.get(i).unwrap_or(i);
+                    remap[resolved]
+                })
+                .collect(),
+            output_shape: old.output_shape.clone(),
+        });
+    }
+    Graph::from_nodes(graph.name(), nodes)
+        .expect("identity-node removal preserves validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn dropout_is_spliced_out() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", [4, 8, 8]);
+        let c = b.conv2d("c", x, 4, (3, 3), (1, 1), (1, 1)).unwrap();
+        let d = b.dropout("drop", c).unwrap();
+        let _r = b.relu("r", d).unwrap();
+        let g = b.finish().unwrap();
+        let g2 = eliminate_dropout(&g);
+        assert_eq!(g2.node_count(), 3);
+        let r = g2.node_by_name("r").unwrap();
+        let c = g2.node_by_name("c").unwrap();
+        assert_eq!(g2.predecessors(r.id), &[c.id]);
+    }
+
+    #[test]
+    fn chained_identities_resolve_transitively() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", [4, 8, 8]);
+        let c = b.conv2d("c", x, 4, (3, 3), (1, 1), (1, 1)).unwrap();
+        let d1 = b.dropout("d1", c).unwrap();
+        let d2 = b.dropout("d2", d1).unwrap();
+        let _r = b.relu("r", d2).unwrap();
+        let g = b.finish().unwrap();
+        let g2 = eliminate_dropout(&g);
+        assert_eq!(g2.node_count(), 3);
+        assert!(g2.validate().is_ok());
+    }
+
+    #[test]
+    fn batch_norm_folds_into_producer() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", [4, 8, 8]);
+        let c = b.conv2d("c", x, 4, (3, 3), (1, 1), (1, 1)).unwrap();
+        let bn = b.batch_norm("bn", c).unwrap();
+        let _r = b.relu("r", bn).unwrap();
+        let g = b.finish().unwrap();
+        let g2 = fold_batch_norm(&g);
+        assert!(g2.node_by_name("bn").is_none());
+        assert_eq!(g2.node_count(), 3);
+    }
+
+    #[test]
+    fn dead_branches_are_pruned() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", [4, 8, 8]);
+        let c = b.conv2d("c", x, 4, (3, 3), (1, 1), (1, 1)).unwrap();
+        // Dead side branch: never consumed downstream of relu.
+        let _dead = b.conv2d("dead", x, 2, (1, 1), (1, 1), (0, 0)).unwrap();
+        let _r = b.relu("r", c).unwrap();
+        let g = b.finish().unwrap();
+        // Both `dead` and `r` are sinks; dead-node elimination keeps all
+        // non-input sinks, so nothing is removed here...
+        let g2 = eliminate_dead_nodes(&g);
+        assert_eq!(g2.node_count(), 4);
+        // ...but an orphaned input disappears.
+        let mut b = GraphBuilder::new("t2");
+        let _orphan = b.input("unused", [1, 1, 1]);
+        let x = b.input("x", [4, 8, 8]);
+        let _c = b.conv2d("c", x, 4, (3, 3), (1, 1), (1, 1)).unwrap();
+        let g = b.finish().unwrap();
+        let g2 = eliminate_dead_nodes(&g);
+        assert_eq!(g2.node_count(), 2);
+        assert!(g2.node_by_name("unused").is_none());
+    }
+
+    #[test]
+    fn normalize_pipeline_is_idempotent() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", [4, 8, 8]);
+        let c = b.conv2d("c", x, 4, (3, 3), (1, 1), (1, 1)).unwrap();
+        let bn = b.batch_norm("bn", c).unwrap();
+        let d = b.dropout("d", bn).unwrap();
+        let _r = b.relu("r", d).unwrap();
+        let g = b.finish().unwrap();
+        let once = normalize(&g);
+        let twice = normalize(&once);
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,378 @@
+//! ONNX → PIMCOMP IR import.
+//!
+//! Resolves the ONNX value-name dataflow into [`Graph`] edges, reading
+//! layer hyper-parameters from node attributes and weight shapes from
+//! initializer dims (weight *values* are irrelevant to compilation and
+//! are ignored). Batch dimensions (symbolic or 1) are stripped: PIMCOMP
+//! compiles single-sample inference.
+
+use crate::proto::{GraphProto, ModelProto, NodeProto};
+use crate::OnnxError;
+use pimcomp_ir::{Activation, EltwiseKind, Graph, GraphBuilder, NodeId, Op, PoolKind};
+use std::collections::HashMap;
+
+/// Imports a decoded ONNX model into a validated IR graph.
+///
+/// # Errors
+///
+/// * [`OnnxError::MissingGraph`] — model without a graph.
+/// * [`OnnxError::UnsupportedOp`] — operator outside the supported
+///   DNN-inference subset.
+/// * [`OnnxError::Import`] — structural problems (unknown value names,
+///   unsupported attribute combinations, shape conflicts).
+pub fn import_model(model: &ModelProto) -> Result<Graph, OnnxError> {
+    let graph = model.graph.as_ref().ok_or(OnnxError::MissingGraph)?;
+    import_graph(graph)
+}
+
+/// Imports raw `.onnx` bytes.
+///
+/// # Errors
+///
+/// Wire-format and import failures as in [`import_model`].
+pub fn import_bytes(bytes: &[u8]) -> Result<Graph, OnnxError> {
+    import_model(&ModelProto::decode(bytes)?)
+}
+
+fn import_graph(g: &GraphProto) -> Result<Graph, OnnxError> {
+    let mut b = GraphBuilder::new(if g.name.is_empty() {
+        "onnx_model"
+    } else {
+        g.name.as_str()
+    });
+
+    // Weight dims by initializer name.
+    let weights: HashMap<&str, &[i64]> = g
+        .initializer
+        .iter()
+        .map(|t| (t.name.as_str(), t.dims.as_slice()))
+        .collect();
+
+    // Value name -> producing IR node.
+    let mut value: HashMap<String, NodeId> = HashMap::new();
+
+    // Graph inputs that are not initializers become IR inputs.
+    for vi in &g.input {
+        if weights.contains_key(vi.name.as_str()) {
+            continue;
+        }
+        let dims: Vec<usize> = vi
+            .shape
+            .dims
+            .iter()
+            .filter_map(|d| d.map(|v| v as usize))
+            .filter(|&v| v > 0)
+            .collect();
+        // Strip a leading batch of 1 when a 4-D NCHW shape remains.
+        let id = match dims.len() {
+            4 if dims[0] == 1 => b.input(&vi.name, [dims[1], dims[2], dims[3]]),
+            3 => b.input(&vi.name, [dims[0], dims[1], dims[2]]),
+            2 if dims[0] == 1 => b.input_flat(&vi.name, dims[1]),
+            1 => b.input_flat(&vi.name, dims[0]),
+            _ => {
+                return Err(OnnxError::Import {
+                    detail: format!(
+                        "input `{}` has unsupported shape {:?}",
+                        vi.name, vi.shape.dims
+                    ),
+                })
+            }
+        };
+        value.insert(vi.name.clone(), id);
+    }
+
+    for (idx, node) in g.node.iter().enumerate() {
+        let name = if node.name.is_empty() {
+            format!("{}_{}", node.op_type.to_lowercase(), idx)
+        } else {
+            node.name.clone()
+        };
+        let id = import_node(&mut b, node, &name, &value, &weights)?;
+        for out in &node.output {
+            value.insert(out.clone(), id);
+        }
+    }
+
+    b.finish().map_err(|e| OnnxError::Import {
+        detail: e.to_string(),
+    })
+}
+
+fn data_input(
+    node: &NodeProto,
+    i: usize,
+    value: &HashMap<String, NodeId>,
+) -> Result<NodeId, OnnxError> {
+    let name = node.input.get(i).ok_or_else(|| OnnxError::Import {
+        detail: format!("node `{}` missing input {i}", node.op_type),
+    })?;
+    value.get(name).copied().ok_or_else(|| OnnxError::Import {
+        detail: format!("unknown value `{name}` consumed by `{}`", node.op_type),
+    })
+}
+
+fn pair(v: &[i64], default: usize) -> (usize, usize) {
+    match v {
+        [a] => (*a as usize, *a as usize),
+        [a, b, ..] => (*a as usize, *b as usize),
+        [] => (default, default),
+    }
+}
+
+/// Symmetric `(ph, pw)` from an ONNX `pads` attribute
+/// `[begin_h, begin_w, end_h, end_w]`.
+fn sym_pads(node: &NodeProto) -> Result<(usize, usize), OnnxError> {
+    let pads = node.attr_ints("pads");
+    match pads {
+        [] => Ok((0, 0)),
+        [bh, bw, eh, ew] if bh == eh && bw == ew => Ok((*bh as usize, *bw as usize)),
+        [b, e] if b == e => Ok((*b as usize, *b as usize)),
+        other => Err(OnnxError::Import {
+            detail: format!(
+                "asymmetric padding {other:?} on `{}` is not supported",
+                node.op_type
+            ),
+        }),
+    }
+}
+
+fn import_node(
+    b: &mut GraphBuilder,
+    node: &NodeProto,
+    name: &str,
+    value: &HashMap<String, NodeId>,
+    weights: &HashMap<&str, &[i64]>,
+) -> Result<NodeId, OnnxError> {
+    let err = |detail: String| OnnxError::Import { detail };
+    let ir = |e: pimcomp_ir::IrError| OnnxError::Import {
+        detail: e.to_string(),
+    };
+
+    match node.op_type.as_str() {
+        "Conv" => {
+            let x = data_input(node, 0, value)?;
+            let wname = node.input.get(1).ok_or_else(|| {
+                err(format!("Conv `{name}` has no weight input"))
+            })?;
+            let wdims = weights.get(wname.as_str()).ok_or_else(|| {
+                err(format!("Conv `{name}` weight `{wname}` is not an initializer"))
+            })?;
+            if wdims.len() != 4 {
+                return Err(err(format!(
+                    "Conv `{name}` weight has {} dims, expected 4",
+                    wdims.len()
+                )));
+            }
+            let out_channels = wdims[0] as usize;
+            let kernel = match node.attr_ints("kernel_shape") {
+                [] => (wdims[2] as usize, wdims[3] as usize),
+                ks => pair(ks, 1),
+            };
+            let strides = pair(node.attr_ints("strides"), 1);
+            let padding = sym_pads(node)?;
+            let groups = node.attr_i("group", 1) as usize;
+            let dil = pair(node.attr_ints("dilations"), 1);
+            if dil != (1, 1) {
+                return Err(OnnxError::UnsupportedOp {
+                    op: format!("Conv with dilation {dil:?}"),
+                });
+            }
+            let in_channels = b.shape(x).channels();
+            b.add(
+                name,
+                Op::Conv2d(pimcomp_ir::Conv2d {
+                    in_channels,
+                    out_channels,
+                    kernel,
+                    stride: strides,
+                    padding,
+                    groups,
+                    bias: node.input.len() > 2,
+                }),
+                vec![x],
+            )
+            .map_err(ir)
+        }
+        "Gemm" | "MatMul" => {
+            let x = data_input(node, 0, value)?;
+            let wname = node.input.get(1).ok_or_else(|| {
+                err(format!("Gemm `{name}` has no weight input"))
+            })?;
+            let wdims = weights.get(wname.as_str()).ok_or_else(|| {
+                err(format!("Gemm `{name}` weight `{wname}` is not an initializer"))
+            })?;
+            if wdims.len() != 2 {
+                return Err(err(format!("Gemm `{name}` weight must be 2-D")));
+            }
+            let trans_b = node.attr_i("transB", 0) != 0;
+            let out_features = if trans_b { wdims[0] } else { wdims[1] } as usize;
+            b.linear(name, x, out_features).map_err(ir)
+        }
+        "MaxPool" | "AveragePool" => {
+            let x = data_input(node, 0, value)?;
+            let kind = if node.op_type == "MaxPool" {
+                PoolKind::Max
+            } else {
+                PoolKind::Avg
+            };
+            let kernel = pair(node.attr_ints("kernel_shape"), 1);
+            let strides = pair(node.attr_ints("strides"), kernel.0);
+            let padding = sym_pads(node)?;
+            let ceil_mode = node.attr_i("ceil_mode", 0) != 0;
+            b.pool(name, x, kind, kernel, strides, padding, ceil_mode)
+                .map_err(ir)
+        }
+        "GlobalAveragePool" => {
+            let x = data_input(node, 0, value)?;
+            b.global_avg_pool(name, x).map_err(ir)
+        }
+        "Relu" => {
+            let x = data_input(node, 0, value)?;
+            b.activation(name, x, Activation::Relu).map_err(ir)
+        }
+        "Sigmoid" => {
+            let x = data_input(node, 0, value)?;
+            b.activation(name, x, Activation::Sigmoid).map_err(ir)
+        }
+        "Tanh" => {
+            let x = data_input(node, 0, value)?;
+            b.activation(name, x, Activation::Tanh).map_err(ir)
+        }
+        "Concat" => {
+            let axis = node.attr_i("axis", 1);
+            if axis != 1 {
+                return Err(OnnxError::UnsupportedOp {
+                    op: format!("Concat with axis {axis}"),
+                });
+            }
+            let inputs: Result<Vec<NodeId>, OnnxError> = (0..node.input.len())
+                .map(|i| data_input(node, i, value))
+                .collect();
+            b.concat(name, inputs?).map_err(ir)
+        }
+        "Add" | "Sum" => {
+            let a = data_input(node, 0, value)?;
+            let c = data_input(node, 1, value)?;
+            b.add(name, Op::Eltwise(EltwiseKind::Add), vec![a, c])
+                .map_err(ir)
+        }
+        "Mul" => {
+            let a = data_input(node, 0, value)?;
+            let c = data_input(node, 1, value)?;
+            b.add(name, Op::Eltwise(EltwiseKind::Mul), vec![a, c])
+                .map_err(ir)
+        }
+        "Flatten" | "Reshape" => {
+            // Reshape in classification nets collapses to the FC input;
+            // both are represented as Flatten (a zero-cost view).
+            let x = data_input(node, 0, value)?;
+            b.flatten(name, x).map_err(ir)
+        }
+        "Softmax" => {
+            let x = data_input(node, 0, value)?;
+            b.softmax(name, x).map_err(ir)
+        }
+        "BatchNormalization" => {
+            let x = data_input(node, 0, value)?;
+            b.batch_norm(name, x).map_err(ir)
+        }
+        "Dropout" | "Identity" => {
+            let x = data_input(node, 0, value)?;
+            b.dropout(name, x).map_err(ir)
+        }
+        "LRN" => {
+            let x = data_input(node, 0, value)?;
+            let size = node.attr_i("size", 5) as usize;
+            b.lrn(name, x, size).map_err(ir)
+        }
+        "Pad" => {
+            let x = data_input(node, 0, value)?;
+            let (ph, pw) = sym_pads(node)?;
+            b.pad(name, x, ph, pw).map_err(ir)
+        }
+        other => Err(OnnxError::UnsupportedOp { op: other.into() }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::export_graph;
+
+    #[test]
+    fn unsupported_op_is_reported() {
+        let mut g = GraphProto {
+            name: "g".into(),
+            ..Default::default()
+        };
+        g.input.push(crate::proto::ValueInfoProto {
+            name: "x".into(),
+            elem_type: 1,
+            shape: crate::proto::TensorShapeProto {
+                dims: vec![Some(1), Some(3), Some(8), Some(8)],
+            },
+        });
+        g.node.push(NodeProto {
+            input: vec!["x".into()],
+            output: vec!["y".into()],
+            name: "rnn".into(),
+            op_type: "LSTM".into(),
+            ..Default::default()
+        });
+        let model = ModelProto {
+            graph: Some(g),
+            ..Default::default()
+        };
+        assert!(matches!(
+            import_model(&model),
+            Err(OnnxError::UnsupportedOp { .. })
+        ));
+    }
+
+    #[test]
+    fn round_trip_preserves_tiny_cnn_structure() {
+        let original = pimcomp_ir::models::tiny_cnn();
+        let model = export_graph(&original);
+        let bytes = model.encode();
+        let back = import_bytes(&bytes).unwrap();
+        assert_eq!(back.node_count(), original.node_count());
+        // Same op multiset in topo order.
+        let ops = |g: &Graph| -> Vec<String> {
+            g.topo_order()
+                .into_iter()
+                .map(|id| g.node(id).op.mnemonic().to_string())
+                .collect()
+        };
+        assert_eq!(ops(&back), ops(&original));
+        // Same shapes at every node.
+        for (a, z) in original.topo_order().iter().zip(back.topo_order()) {
+            assert_eq!(
+                original.node(*a).output_shape,
+                back.node(z).output_shape
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_branching_models() {
+        for original in [
+            pimcomp_ir::models::two_branch(),
+            pimcomp_ir::models::squeezenet(),
+            pimcomp_ir::models::resnet18(),
+        ] {
+            let model = export_graph(&original);
+            let back = import_bytes(&model.encode())
+                .unwrap_or_else(|e| panic!("{}: {e}", original.name()));
+            assert_eq!(
+                back.node_count(),
+                original.node_count(),
+                "{}",
+                original.name()
+            );
+            let a = pimcomp_ir::GraphStats::of(&original);
+            let z = pimcomp_ir::GraphStats::of(&back);
+            assert_eq!(a.params, z.params, "{}", original.name());
+            assert_eq!(a.macs, z.macs, "{}", original.name());
+        }
+    }
+}

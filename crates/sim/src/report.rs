@@ -1,0 +1,118 @@
+//! Simulation results: the quantities behind every figure of the
+//! paper's evaluation.
+
+use pimcomp_arch::PipelineMode;
+use serde::{Deserialize, Serialize};
+
+/// Energy breakdown in picojoules (Fig. 9's dynamic/leakage split plus
+/// per-component detail).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct EnergyReport {
+    /// Crossbar MVM energy.
+    pub mvm_pj: f64,
+    /// VFU energy.
+    pub vfu_pj: f64,
+    /// Local + global memory access energy.
+    pub memory_pj: f64,
+    /// NoC transfer energy.
+    pub noc_pj: f64,
+    /// Total leakage (static) energy.
+    pub leakage_pj: f64,
+}
+
+impl EnergyReport {
+    /// Total dynamic energy.
+    pub fn dynamic_pj(&self) -> f64 {
+        self.mvm_pj + self.vfu_pj + self.memory_pj + self.noc_pj
+    }
+
+    /// Total energy.
+    pub fn total_pj(&self) -> f64 {
+        self.dynamic_pj() + self.leakage_pj
+    }
+}
+
+/// Local/global memory statistics (Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct MemoryReport {
+    /// Mean local-memory working set across active cores, bytes.
+    pub avg_local_bytes: f64,
+    /// Peak local-memory working set, bytes.
+    pub peak_local_bytes: usize,
+    /// Global-memory traffic per inference, bytes (loads + stores +
+    /// spills).
+    pub global_traffic_bytes: usize,
+}
+
+/// Full result of one simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Model name.
+    pub model: String,
+    /// Compiler that produced the schedule (`PIMCOMP` / `PUMA-like`).
+    pub compiler: String,
+    /// Pipeline mode simulated.
+    pub mode: PipelineMode,
+    /// HT: the steady-state pipeline interval (bottleneck core's busy
+    /// time per inference). LL: the single-inference latency.
+    pub total_cycles: u64,
+    /// HT steady-state throughput in inferences/second.
+    pub throughput_inf_per_s: f64,
+    /// Latency in microseconds (meaningful in LL; in HT this is the
+    /// same bottleneck interval expressed in time).
+    pub latency_us: f64,
+    /// MVM operations issued (one per AG per window).
+    pub mvm_ops: u64,
+    /// Crossbar-level MVM activations (MVM ops × crossbars per AG).
+    pub crossbar_mvms: u64,
+    /// VFU element-operations executed.
+    pub vfu_elems: u64,
+    /// Bytes moved between cores.
+    pub noc_bytes: u64,
+    /// Bytes moved through global memory.
+    pub global_bytes: u64,
+    /// Energy breakdown.
+    pub energy: EnergyReport,
+    /// Memory statistics.
+    pub memory: MemoryReport,
+    /// Cores that did any work.
+    pub active_cores: usize,
+    /// Per-core busy cycles (bottleneck analysis).
+    pub per_core_busy: Vec<u64>,
+}
+
+impl SimReport {
+    /// Inferences per second for a pipeline interval of `cycles` at
+    /// `clock_ghz`.
+    pub fn throughput_from_cycles(cycles: u64, clock_ghz: f64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        clock_ghz * 1e9 / cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_totals_add_up() {
+        let e = EnergyReport {
+            mvm_pj: 10.0,
+            vfu_pj: 5.0,
+            memory_pj: 3.0,
+            noc_pj: 2.0,
+            leakage_pj: 20.0,
+        };
+        assert_eq!(e.dynamic_pj(), 20.0);
+        assert_eq!(e.total_pj(), 40.0);
+    }
+
+    #[test]
+    fn throughput_conversion() {
+        // 1e6 cycles at 1 GHz = 1 ms -> 1000 inf/s.
+        assert_eq!(SimReport::throughput_from_cycles(1_000_000, 1.0), 1000.0);
+        assert_eq!(SimReport::throughput_from_cycles(0, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Design-space exploration: sweep the accelerator's crossbar size and
+//! parallelism degree for one workload and report how throughput,
+//! energy and resource usage respond — the kind of study the abstract
+//! architecture (paper Section III) exists to enable.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use pimcomp::prelude::*;
+use pimcomp_arch::PipelineMode;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = pimcomp::ir::models::tiny_cnn();
+    println!("workload: {}", graph.name());
+    println!(
+        "\n{:>8} {:>6} {:>12} {:>14} {:>12} {:>12}",
+        "xbar", "par", "crossbars", "interval(cyc)", "energy(uJ)", "avg mem(kB)"
+    );
+
+    for xbar in [32usize, 64, 128] {
+        for par in [1usize, 8, 64] {
+            let mut hw = HardwareConfig::small_test();
+            hw.crossbar_rows = xbar;
+            hw.crossbar_cols = xbar;
+            hw.parallelism = par;
+            // Keep MVM latency proportional to the array size (bigger
+            // arrays integrate longer bit-lines).
+            hw.mvm_latency = xbar as u64;
+            hw.validate()?;
+
+            let opts =
+                CompileOptions::new(PipelineMode::HighThroughput).with_fast_ga(17);
+            let compiled = match PimCompiler::new(hw.clone()).compile(&graph, &opts) {
+                Ok(c) => c,
+                Err(e) => {
+                    println!("{xbar:>8} {par:>6} {:>12} (does not fit: {e})", "-");
+                    continue;
+                }
+            };
+            let report = Simulator::new(hw).run(&compiled)?;
+            println!(
+                "{:>8} {:>6} {:>12} {:>14} {:>12.2} {:>12.1}",
+                xbar,
+                par,
+                compiled.report.crossbars_used,
+                report.total_cycles,
+                report.energy.total_pj() / 1e6,
+                report.memory.avg_local_bytes / 1024.0
+            );
+        }
+    }
+
+    println!("\nReading the table:");
+    println!("- larger crossbars store more weights per array (fewer crossbars used),");
+    println!("  but each MVM integrates longer;");
+    println!("- higher parallelism shortens the pipeline interval until T_MVM dominates");
+    println!("  (the paper's Fig. 8 saturation effect).");
+    Ok(())
+}

@@ -1,0 +1,290 @@
+//! `pimcomp` — command-line driver for the compilation framework.
+//!
+//! ```text
+//! pimcomp compile  --model resnet18 [--mode ht|ll] [--chips N] [--parallelism P]
+//!                  [--policy naive|add|ag] [--ga POPxITERS] [--seed S]
+//!                  [--simulate] [--report out.json]
+//! pimcomp inspect  --model model.onnx           # print graph + workload stats
+//! pimcomp export   --model vgg16 --out vgg16.onnx
+//! pimcomp models                                # list the zoo
+//! ```
+//!
+//! `--model` accepts either a zoo name (`vgg16`, `resnet18`,
+//! `googlenet`, `inception_v3`, `squeezenet`, `tiny_cnn`, …) or a path
+//! to an `.onnx` file.
+
+use pimcomp::prelude::*;
+use pimcomp_arch::PipelineMode;
+use pimcomp_core::{GaParams, Partitioning, ReusePolicy};
+use pimcomp_ir::transform::normalize;
+use pimcomp_ir::{Graph, GraphStats};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_flags(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "compile" => cmd_compile(&opts),
+        "inspect" => cmd_inspect(&opts),
+        "export" => cmd_export(&opts),
+        "models" => cmd_models(),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "pimcomp — compilation framework for crossbar-based PIM DNN accelerators
+
+USAGE:
+  pimcomp compile --model <NAME|FILE.onnx> [options]   compile (and optionally simulate)
+  pimcomp inspect --model <NAME|FILE.onnx>             print graph and workload statistics
+  pimcomp export  --model <NAME> --out <FILE.onnx>     export a zoo model as ONNX
+  pimcomp models                                       list zoo models
+
+OPTIONS (compile):
+  --mode ht|ll            pipeline mode (default: ht)
+  --chips N               chip count (default: sized to fit with 2x headroom)
+  --parallelism P         parallelism degree (default: 20)
+  --policy naive|add|ag   memory-reuse policy (default: ag)
+  --ga POPxITERS          GA size (default: 100x200)
+  --seed S                GA seed (default: 1)
+  --simulate              run the cycle-accurate simulator on the result
+  --report FILE.json      write a JSON report";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{a}`"));
+        };
+        match key {
+            "simulate" => {
+                map.insert(key.to_string(), "true".to_string());
+            }
+            _ => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                map.insert(key.to_string(), v.clone());
+            }
+        }
+    }
+    Ok(map)
+}
+
+fn load_model(opts: &HashMap<String, String>) -> Result<Graph, String> {
+    let spec = opts
+        .get("model")
+        .ok_or("`--model` is required (zoo name or .onnx path)")?;
+    if spec.ends_with(".onnx") {
+        let bytes =
+            std::fs::read(spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
+        return pimcomp_onnx::import_bytes(&bytes).map_err(|e| e.to_string());
+    }
+    match spec.as_str() {
+        "tiny_cnn" => Ok(pimcomp::ir::models::tiny_cnn()),
+        "tiny_mlp" => Ok(pimcomp::ir::models::tiny_mlp()),
+        "two_branch" => Ok(pimcomp::ir::models::two_branch()),
+        name => pimcomp::ir::models::by_name(name)
+            .ok_or_else(|| format!("unknown model `{name}` (try `pimcomp models`)")),
+    }
+}
+
+fn hardware(opts: &HashMap<String, String>, graph: &Graph) -> Result<HardwareConfig, String> {
+    let parallelism: usize = opts
+        .get("parallelism")
+        .map(|s| s.parse().map_err(|_| "bad --parallelism"))
+        .transpose()?
+        .unwrap_or(20);
+    let chips = match opts.get("chips") {
+        Some(s) => s.parse().map_err(|_| "bad --chips")?,
+        None => {
+            let base = HardwareConfig::puma();
+            let p = Partitioning::new(graph, &base).map_err(|e| e.to_string())?;
+            let per_chip = base.cores_per_chip * base.crossbars_per_core;
+            (2 * p.min_crossbars()).div_ceil(per_chip).max(1)
+        }
+    };
+    let hw = HardwareConfig::puma_with_chips(chips).with_parallelism(parallelism);
+    hw.validate().map_err(|e| e.to_string())?;
+    Ok(hw)
+}
+
+fn cmd_compile(opts: &HashMap<String, String>) -> Result<(), String> {
+    let graph = normalize(&load_model(opts)?);
+    let hw = hardware(opts, &graph)?;
+    let mode = match opts.get("mode").map(String::as_str).unwrap_or("ht") {
+        "ht" | "HT" => PipelineMode::HighThroughput,
+        "ll" | "LL" => PipelineMode::LowLatency,
+        other => return Err(format!("unknown mode `{other}` (ht|ll)")),
+    };
+    let policy = match opts.get("policy").map(String::as_str).unwrap_or("ag") {
+        "naive" => ReusePolicy::Naive,
+        "add" => ReusePolicy::AddReuse,
+        "ag" => ReusePolicy::AgReuse,
+        other => return Err(format!("unknown policy `{other}` (naive|add|ag)")),
+    };
+    let seed: u64 = opts
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(1);
+    let ga = match opts.get("ga").map(String::as_str) {
+        Some(spec) => {
+            let (pop, iters) = spec
+                .split_once('x')
+                .ok_or("--ga expects POPxITERS, e.g. 100x200")?;
+            GaParams {
+                population: pop.parse().map_err(|_| "bad GA population")?,
+                iterations: iters.parse().map_err(|_| "bad GA iterations")?,
+                seed,
+                ..GaParams::default()
+            }
+        }
+        None => GaParams {
+            seed,
+            ..GaParams::default()
+        },
+    };
+
+    println!(
+        "compiling {} for {} chips x {} cores (parallelism {}, {mode} mode)...",
+        graph.name(),
+        hw.chips,
+        hw.cores_per_chip,
+        hw.parallelism
+    );
+    let compile_opts = CompileOptions::new(mode).with_ga(ga).with_policy(policy);
+    let compiled = PimCompiler::new(hw.clone())
+        .compile(&graph, &compile_opts)
+        .map_err(|e| e.to_string())?;
+
+    let r = &compiled.report;
+    println!("  stages: partition {:?}, replicate+map {:?}, schedule {:?}",
+        r.timings.node_partitioning, r.timings.replicating_mapping, r.timings.dataflow_scheduling);
+    println!("  replication: {:?}", r.replication);
+    println!(
+        "  {} active cores, {} / {} crossbars, estimated {} = {:.0} cycles",
+        r.active_cores,
+        r.crossbars_used,
+        hw.total_crossbars(),
+        if mode == PipelineMode::HighThroughput { "F_HT" } else { "F_LL" },
+        r.estimated_fitness
+    );
+
+    let sim_report = if opts.contains_key("simulate") {
+        let report = Simulator::new(hw)
+            .run(&compiled)
+            .map_err(|e| e.to_string())?;
+        match mode {
+            PipelineMode::HighThroughput => println!(
+                "  simulated: {} cycles/inference -> {:.0} inf/s",
+                report.total_cycles, report.throughput_inf_per_s
+            ),
+            PipelineMode::LowLatency => println!(
+                "  simulated: {} cycles latency ({:.1} us)",
+                report.total_cycles, report.latency_us
+            ),
+        }
+        println!(
+            "  energy {:.1} uJ (dyn {:.1} + leak {:.1}), avg local mem {:.1} kB",
+            report.energy.total_pj() / 1e6,
+            report.energy.dynamic_pj() / 1e6,
+            report.energy.leakage_pj / 1e6,
+            report.memory.avg_local_bytes / 1024.0
+        );
+        Some(report)
+    } else {
+        None
+    };
+
+    if let Some(path) = opts.get("report") {
+        #[derive(serde::Serialize)]
+        struct FullReport<'a> {
+            compile: &'a pimcomp_core::CompileReport,
+            simulation: Option<&'a pimcomp_sim::SimReport>,
+        }
+        let payload = FullReport {
+            compile: r,
+            simulation: sim_report.as_ref(),
+        };
+        let json = serde_json::to_string_pretty(&payload).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        println!("  wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_inspect(opts: &HashMap<String, String>) -> Result<(), String> {
+    let graph = load_model(opts)?;
+    let stats = GraphStats::of(&graph);
+    println!("model: {} ({} nodes)", stats.model, stats.nodes);
+    println!(
+        "totals: {} conv/fc nodes, {:.2}M params, {:.2}G MACs",
+        stats.mvm_nodes,
+        stats.params as f64 / 1e6,
+        stats.macs as f64 / 1e9
+    );
+    println!(
+        "\n{:<28} {:<10} {:>12} {:>14} {:>10}",
+        "node", "op", "params", "MACs", "windows"
+    );
+    for n in &stats.per_node {
+        if n.macs == 0 && n.params == 0 {
+            continue;
+        }
+        println!(
+            "{:<28} {:<10} {:>12} {:>14} {:>10}",
+            n.name, n.op, n.params, n.macs, n.windows
+        );
+    }
+    Ok(())
+}
+
+fn cmd_export(opts: &HashMap<String, String>) -> Result<(), String> {
+    let graph = load_model(opts)?;
+    let out = opts.get("out").ok_or("`--out FILE.onnx` is required")?;
+    let bytes = pimcomp_onnx::export_graph(&graph).encode();
+    std::fs::write(out, &bytes).map_err(|e| e.to_string())?;
+    println!("wrote {out} ({} bytes)", bytes.len());
+    Ok(())
+}
+
+fn cmd_models() -> Result<(), String> {
+    println!("paper benchmarks:");
+    for m in pimcomp::ir::models::PAPER_BENCHMARKS {
+        let g = pimcomp::ir::models::by_name(m).expect("zoo model");
+        let s = GraphStats::of(&g);
+        println!(
+            "  {:<14} {:>3} nodes {:>7.2}M params {:>6.2}G MACs",
+            m,
+            s.nodes,
+            s.params as f64 / 1e6,
+            s.macs as f64 / 1e9
+        );
+    }
+    println!("test models: tiny_cnn, tiny_mlp, two_branch");
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! PIMCOMP — a universal compilation framework for crossbar-based PIM
+//! DNN accelerators, reproduced from Sun et al., DAC 2023.
+//!
+//! This facade crate re-exports the workspace crates so applications can
+//! depend on a single name:
+//!
+//! * [`ir`] — DNN graph IR, shape inference, model zoo ([`pimcomp_ir`]).
+//! * [`onnx`] — minimal ONNX interchange ([`pimcomp_onnx`]).
+//! * [`arch`] — abstract accelerator architecture ([`pimcomp_arch`]).
+//! * [`compiler`] — the four compilation stages ([`pimcomp_core`]).
+//! * [`sim`] — the cycle-accurate simulator ([`pimcomp_sim`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pimcomp::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. A model (tiny CNN from the zoo; real flows load ONNX).
+//! let graph = pimcomp::ir::models::tiny_cnn();
+//!
+//! // 2. A hardware target (scaled-down PUMA-like preset).
+//! let hw = HardwareConfig::small_test();
+//!
+//! // 3. Compile in high-throughput mode.
+//! let opts = CompileOptions::new(PipelineMode::HighThroughput).with_fast_ga(7);
+//! let compiled = PimCompiler::new(hw.clone()).compile(&graph, &opts)?;
+//!
+//! // 4. Simulate the result cycle-accurately.
+//! let report = Simulator::new(hw).run(&compiled)?;
+//! assert!(report.total_cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use pimcomp_arch as arch;
+pub use pimcomp_core as compiler;
+pub use pimcomp_ir as ir;
+pub use pimcomp_onnx as onnx;
+pub use pimcomp_sim as sim;
+
+/// The most commonly used items, importable with one `use`.
+pub mod prelude {
+    pub use pimcomp_arch::{HardwareConfig, PipelineMode};
+    pub use pimcomp_core::{CompileOptions, CompiledModel, PimCompiler};
+    pub use pimcomp_ir::{Graph, GraphBuilder};
+    pub use pimcomp_sim::{SimReport, Simulator};
+}

@@ -1,0 +1,196 @@
+//! Property-based tests over the core data structures and invariants.
+
+use pimcomp_arch::HardwareConfig;
+use pimcomp_core::{
+    required_windows, Chromosome, CoreMapping, DepRule, Gene, Partitioning, ReplicationPlan,
+};
+use pimcomp_ir::{Graph, GraphBuilder};
+use proptest::prelude::*;
+
+/// A random straight-line CNN: input + alternating conv/relu stages.
+fn arb_chain_graph() -> impl Strategy<Value = Graph> {
+    (
+        2usize..32,          // input channels
+        8usize..40,          // input extent
+        1usize..5,           // conv stages
+        proptest::collection::vec((1usize..32, 1usize..4), 1..5),
+    )
+        .prop_map(|(cin, extent, _stages, convs)| {
+            let mut b = GraphBuilder::new("prop");
+            let mut cur = b.input("x", [cin, extent, extent]);
+            for (i, (ch, k)) in convs.into_iter().enumerate() {
+                let k = (2 * k + 1).min(extent); // odd kernel that fits
+                let pad = k / 2;
+                cur = b
+                    .conv2d(format!("c{i}"), cur, ch, (k, k), (1, 1), (pad, pad))
+                    .expect("generated conv fits");
+                cur = b.relu(format!("r{i}"), cur).expect("relu");
+            }
+            b.finish().expect("generated graph is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn partitioning_conserves_weight_area(graph in arb_chain_graph()) {
+        let hw = HardwareConfig::small_test();
+        let p = Partitioning::new(&graph, &hw).unwrap();
+        for entry in p.entries() {
+            // AGs cover the weight matrix height exactly.
+            prop_assert!(entry.ags_per_replica * hw.crossbar_rows >= entry.weight_height);
+            prop_assert!((entry.ags_per_replica - 1) * hw.crossbar_rows < entry.weight_height);
+            // Crossbars cover the width exactly.
+            let wcols = hw.weight_cols_per_crossbar();
+            prop_assert!(entry.crossbars_per_ag * wcols >= entry.weight_width);
+            prop_assert!((entry.crossbars_per_ag.saturating_sub(1)) * wcols < entry.weight_width);
+            // Windows equal the output spatial extent.
+            prop_assert_eq!(entry.windows, entry.out_height * entry.out_width);
+        }
+    }
+
+    #[test]
+    fn windows_per_replica_partitions_work(
+        graph in arb_chain_graph(),
+        r in 1usize..20,
+    ) {
+        let hw = HardwareConfig::small_test();
+        let p = Partitioning::new(&graph, &hw).unwrap();
+        for (idx, entry) in p.entries().iter().enumerate() {
+            let mut plan = ReplicationPlan::ones(&p);
+            plan.set_count(idx, r);
+            let wpr = plan.windows_per_replica(&p, idx);
+            // Ceil division: r * wpr covers all windows with less than
+            // one replica's worth of slack.
+            prop_assert!(r * wpr >= entry.windows);
+            prop_assert!(r * wpr < entry.windows + r);
+        }
+    }
+
+    #[test]
+    fn gene_codes_round_trip(mvm in 0usize..5000, count in 1usize..9999) {
+        let g = Gene { mvm, ag_count: count };
+        prop_assert_eq!(Gene::from_code(g.code()), Some(g));
+    }
+
+    #[test]
+    fn chromosome_codes_round_trip(
+        cores in 1usize..12,
+        max_nodes in 1usize..5,
+        genes in proptest::collection::vec((0usize..8, 1usize..50), 0..16),
+    ) {
+        let mut c = Chromosome::empty(cores, max_nodes);
+        for (i, (mvm, count)) in genes.into_iter().enumerate() {
+            let slot = i % c.len();
+            c.set_gene(slot, Some(Gene { mvm, ag_count: count }));
+        }
+        let codes = c.to_codes();
+        let back = Chromosome::from_codes(&codes, cores, max_nodes);
+        prop_assert_eq!(c, back);
+    }
+
+    #[test]
+    fn required_windows_is_monotone_in_j(
+        k in 1usize..6,
+        s in 1usize..4,
+        p in 0usize..3,
+        hi in 6usize..20,
+        wi in 6usize..20,
+    ) {
+        prop_assume!(k + s > p); // window formula stays meaningful
+        let rule = DepRule::SlidingWindow {
+            kernel: (k, k),
+            stride: (s, s),
+            padding: (p, p),
+        };
+        // Consumer dims derived from the provider dims.
+        let ho = (hi + 2 * p).saturating_sub(k) / s + 1;
+        let wo = (wi + 2 * p).saturating_sub(k) / s + 1;
+        prop_assume!(ho > 0 && wo > 0);
+        let nc = ho * wo;
+        let np = hi * wi;
+        let mut prev = 0usize;
+        for j in 0..nc {
+            let req = required_windows(rule, j, (ho, wo), nc, (hi, wi), np);
+            prop_assert!(req <= np, "dep beyond provider output");
+            // Monotone along each output row; across rows it may only
+            // grow as well because rd grows with r.
+            if j % wo != 0 {
+                prop_assert!(req >= prev, "dep must not shrink within a row");
+            }
+            prev = req;
+        }
+        // The last window needs (nearly) the whole provider.
+        let last = required_windows(rule, nc - 1, (ho, wo), nc, (hi, wi), np);
+        prop_assert!(last >= np - (s - 1) * wi - (s - 1),
+            "last window should need ~everything: {last} of {np}");
+    }
+
+    #[test]
+    fn mapping_materialization_is_consistent(
+        graph in arb_chain_graph(),
+        seed_counts in proptest::collection::vec(1usize..4, 1..6),
+    ) {
+        let hw = HardwareConfig::small_test();
+        let p = Partitioning::new(&graph, &hw).unwrap();
+        let cores = hw.total_cores();
+        let mut c = Chromosome::empty(cores, p.len().max(1));
+        // Deterministic striped placement with the requested replicas.
+        let mut core = 0usize;
+        let mut used = vec![0usize; cores];
+        let capacity = hw.crossbar_capacity_per_core();
+        for idx in 0..p.len() {
+            let entry = p.entry(idx);
+            let r = seed_counts[idx % seed_counts.len()];
+            let mut remaining = r * entry.ags_per_replica;
+            while remaining > 0 {
+                if used[core] + entry.crossbars_per_ag > capacity
+                    || c.slot_of_node_on_core(core, idx)
+                        .or_else(|| c.free_slot_of_core(core))
+                        .is_none()
+                {
+                    core = (core + 1) % cores;
+                    continue;
+                }
+                let slot = c
+                    .slot_of_node_on_core(core, idx)
+                    .or_else(|| c.free_slot_of_core(core))
+                    .unwrap();
+                let cur = c.gene(slot).map_or(0, |g| g.ag_count);
+                c.set_gene(slot, Some(Gene { mvm: idx, ag_count: cur + 1 }));
+                used[core] += entry.crossbars_per_ag;
+                remaining -= 1;
+            }
+        }
+        let mapping = CoreMapping::from_chromosome(&c, &p).unwrap();
+        mapping.validate(&p).unwrap();
+        // Whole-replica preference: every owner hosts slice 0.
+        for (mvm, owners) in mapping.owners.iter().enumerate() {
+            for (replica, &owner) in owners.iter().enumerate() {
+                let has_slice0 = mapping.instances.iter().any(|i| {
+                    i.mvm == mvm && i.replica == replica && i.slice == 0 && i.core == owner
+                });
+                prop_assert!(has_slice0, "owner must host slice 0");
+            }
+        }
+    }
+
+    #[test]
+    fn ht_core_time_is_monotone_in_load(
+        items in proptest::collection::vec((1usize..8, 1usize..500), 1..6),
+        extra_ags in 1usize..4,
+        extra_cycles in 1usize..200,
+    ) {
+        let hw = HardwareConfig::small_test();
+        let base = pimcomp_core::ht_core_time(&hw, &items);
+        // Adding a node never reduces core time.
+        let mut more = items.clone();
+        more.push((extra_ags, extra_cycles));
+        prop_assert!(pimcomp_core::ht_core_time(&hw, &more) >= base);
+        // Growing any node's cycles never reduces core time.
+        let mut longer = items.clone();
+        longer[0].1 += extra_cycles;
+        prop_assert!(pimcomp_core::ht_core_time(&hw, &longer) >= base);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests over the ONNX interchange: arbitrary generated
+//! graphs must survive export→import with structure, shapes and
+//! workload statistics intact.
+
+use pimcomp_ir::{Graph, GraphBuilder, GraphStats};
+use pimcomp_onnx::{export_graph, import_bytes};
+use proptest::prelude::*;
+
+/// A random branching CNN: stem conv, optional two-way branch joined by
+/// concat, optional pool, classifier head.
+fn arb_model() -> impl Strategy<Value = Graph> {
+    (
+        2usize..16,   // input channels
+        10usize..33,  // extent
+        4usize..32,   // stem channels
+        any::<bool>(),    // branch?
+        any::<bool>(),    // pool?
+        1usize..64,   // head features
+    )
+        .prop_map(|(cin, extent, stem_ch, branch, pool, classes)| {
+            let mut b = GraphBuilder::new("prop_onnx");
+            let x = b.input("x", [cin, extent, extent]);
+            let stem = b
+                .conv2d("stem", x, stem_ch, (3, 3), (1, 1), (1, 1))
+                .expect("stem fits");
+            let mut cur = b.relu("stem_relu", stem).expect("relu");
+            if branch {
+                let l = b
+                    .conv2d("left", cur, stem_ch, (3, 3), (1, 1), (1, 1))
+                    .expect("left");
+                let r = b
+                    .conv2d("right", cur, stem_ch, (1, 1), (1, 1), (0, 0))
+                    .expect("right");
+                cur = b.concat("cat", vec![l, r]).expect("concat");
+            }
+            if pool && extent >= 2 {
+                cur = b
+                    .max_pool("pool", cur, (2, 2), (2, 2), (0, 0))
+                    .expect("pool fits");
+            }
+            let gap = b.global_avg_pool("gap", cur).expect("gap");
+            let flat = b.flatten("flat", gap).expect("flatten");
+            let _fc = b.linear("fc", flat, classes).expect("fc");
+            b.finish().expect("generated model is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn export_import_round_trip(graph in arb_model()) {
+        let bytes = export_graph(&graph).encode();
+        let back = import_bytes(&bytes).expect("round trip imports");
+        prop_assert_eq!(back.node_count(), graph.node_count());
+        let a = GraphStats::of(&graph);
+        let b = GraphStats::of(&back);
+        prop_assert_eq!(a.params, b.params);
+        prop_assert_eq!(a.macs, b.macs);
+        prop_assert_eq!(a.mvm_nodes, b.mvm_nodes);
+        // Shapes must agree node by node in topological order.
+        for (x, y) in graph.topo_order().iter().zip(back.topo_order()) {
+            prop_assert_eq!(
+                &graph.node(*x).output_shape,
+                &back.node(y).output_shape
+            );
+        }
+    }
+
+    #[test]
+    fn exported_bytes_always_decode(graph in arb_model()) {
+        let bytes = export_graph(&graph).encode();
+        let model = pimcomp_onnx::proto::ModelProto::decode(&bytes).expect("decodes");
+        prop_assert!(model.graph.is_some());
+    }
+
+    #[test]
+    fn truncated_onnx_never_panics(graph in arb_model(), cut in 1usize..64) {
+        let bytes = export_graph(&graph).encode();
+        let truncated = &bytes[..bytes.len().saturating_sub(cut)];
+        // Must return an error or a partial model — never panic.
+        let _ = import_bytes(truncated);
+    }
+}
