@@ -232,7 +232,9 @@ impl HardwareConfig {
     /// realizes the parallelism degree `T_MVM / T_interval`
     /// (paper Fig. 5: `f(n) = n*T_interval` when issue-bound).
     pub fn issue_interval(&self) -> u64 {
-        (self.mvm_latency as f64 / self.parallelism as f64).ceil().max(1.0) as u64
+        (self.mvm_latency as f64 / self.parallelism as f64)
+            .ceil()
+            .max(1.0) as u64
     }
 
     /// Cost in cycles of one *operation cycle* (one sliding window

@@ -65,8 +65,7 @@ impl EnergyModel {
         // mW * ns = pJ; T_MVM in cycles / clock_ghz = ns.
         let mvm_ns = hw.mvm_latency as f64 / hw.clock_ghz;
         let mvm_pj_per_crossbar =
-            lib.pimmu.power_mw * dyn_frac / hw.crossbars_per_core as f64 * mvm_ns / 1000.0
-                * 1000.0;
+            lib.pimmu.power_mw * dyn_frac / hw.crossbars_per_core as f64 * mvm_ns / 1000.0 * 1000.0;
         // (mW = pJ/ns, so power_mw * ns = pJ directly; the *1000/1000
         // pair above cancels and is kept for unit legibility.)
 
@@ -125,9 +124,7 @@ mod tests {
         let one = m.leakage.chip_total_mw(1);
         let ten = m.leakage.chip_total_mw(10);
         assert!(ten > one);
-        assert!(
-            (ten - one - 9.0 * (m.leakage.core_mw + m.leakage.router_mw)).abs() < 1e-9
-        );
+        assert!((ten - one - 9.0 * (m.leakage.core_mw + m.leakage.router_mw)).abs() < 1e-9);
     }
 
     #[test]

@@ -98,9 +98,7 @@ mod tests {
     #[test]
     fn access_energy_grows_with_capacity() {
         let m = SramModel::calibrated();
-        assert!(
-            m.access_pj_per_byte(4 * 1024 * 1024) > m.access_pj_per_byte(64 * 1024)
-        );
+        assert!(m.access_pj_per_byte(4 * 1024 * 1024) > m.access_pj_per_byte(64 * 1024));
         assert!((m.access_pj_per_byte(64 * 1024) - 1.0).abs() < 1e-12);
     }
 }

@@ -136,7 +136,7 @@ mod tests {
         assert_eq!(m.hops(0, 1), 1); // (0,0)->(1,0)
         assert_eq!(m.hops(0, 7), 2); // (0,0)->(1,1)
         assert_eq!(m.hops(0, 35), 10); // (0,0)->(5,5)
-        // Symmetry.
+                                       // Symmetry.
         assert_eq!(m.hops(3, 20), m.hops(20, 3));
     }
 

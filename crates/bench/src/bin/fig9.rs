@@ -50,7 +50,10 @@ fn main() {
             .collect();
         if !leak_reduction.is_empty() {
             let mean = leak_reduction.iter().sum::<f64>() / leak_reduction.len() as f64;
-            println!("mean static-energy reduction ({mode_str}): {:.1}%\n", mean * 100.0);
+            println!(
+                "mean static-energy reduction ({mode_str}): {:.1}%\n",
+                mean * 100.0
+            );
         }
     }
 

@@ -22,7 +22,10 @@ fn main() {
     let ga = opts.ga();
     let mut rows: Vec<Table2Row> = Vec::new();
 
-    println!("TABLE II — COMPILING TIME (seconds), GA {}x{}", ga.population, ga.iterations);
+    println!(
+        "TABLE II — COMPILING TIME (seconds), GA {}x{}",
+        ga.population, ga.iterations
+    );
     println!(
         "{:<14} {:<5} {:>12} {:>20} {:>20} {:>10}",
         "network", "mode", "partitioning", "replicating+mapping", "dataflow scheduling", "total"

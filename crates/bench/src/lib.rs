@@ -67,7 +67,13 @@ impl HarnessOptions {
     /// The benchmark set under these options (fast mode keeps the two
     /// cheapest networks).
     pub fn networks(&self) -> Vec<&'static str> {
-        let all = ["vgg16", "resnet18", "googlenet", "inception_v3", "squeezenet"];
+        let all = [
+            "vgg16",
+            "resnet18",
+            "googlenet",
+            "inception_v3",
+            "squeezenet",
+        ];
         if let Some(only) = &self.only {
             return all
                 .into_iter()
@@ -130,8 +136,8 @@ impl HarnessOptions {
 ///
 /// Panics on unknown names (harness-internal use).
 pub fn load_network(name: &str) -> Graph {
-    let g = pimcomp_ir::models::by_name(name)
-        .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+    let g =
+        pimcomp_ir::models::by_name(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
     normalize(&g)
 }
 
@@ -238,9 +244,13 @@ pub fn compile_one(
     let hw = hardware_for(graph, 20);
     let opts = CompileOptions::new(mode).with_ga(ga.clone());
     if baseline {
-        PumaCompiler::new(hw).compile(graph, &opts).expect("compiles")
+        PumaCompiler::new(hw)
+            .compile(graph, &opts)
+            .expect("compiles")
     } else {
-        PimCompiler::new(hw).compile(graph, &opts).expect("compiles")
+        PimCompiler::new(hw)
+            .compile(graph, &opts)
+            .expect("compiles")
     }
 }
 

@@ -1,0 +1,326 @@
+//! Versioned, serializable compiled models — the compile-once /
+//! serve-many deployment artifact.
+//!
+//! A [`CompiledArtifact`] wraps a [`CompiledModel`] with a format
+//! version and a fingerprint of the hardware configuration it was
+//! compiled for. Artifacts serialize to JSON, survive a round trip
+//! bit-for-bit (including every float in the model), and refuse to load
+//! against a different format version or execute against mismatched
+//! hardware — so a compilation service can persist them and simulator /
+//! runtime instances can consume them later without recompiling.
+//!
+//! # Example
+//!
+//! ```
+//! use pimcomp_arch::{HardwareConfig, PipelineMode};
+//! use pimcomp_core::{CompileOptions, CompileSession, CompiledArtifact};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let hw = HardwareConfig::small_test();
+//! let model = CompileSession::new(
+//!     hw.clone(),
+//!     &pimcomp_ir::models::tiny_mlp(),
+//!     CompileOptions::new(PipelineMode::HighThroughput).with_fast_ga(1),
+//! )?
+//! .run()?;
+//!
+//! let json = CompiledArtifact::new(model).to_json()?;
+//! let artifact = CompiledArtifact::from_json(&json)?;
+//! let model = artifact.into_model(&hw)?; // fingerprint-checked
+//! assert_eq!(model.hw, hw);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::compiler::CompiledModel;
+use pimcomp_arch::HardwareConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
+
+/// Errors raised while persisting or loading a [`CompiledArtifact`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArtifactError {
+    /// The artifact was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version found in the artifact.
+        found: u32,
+        /// Version this build reads and writes.
+        supported: u32,
+    },
+    /// The artifact was compiled for different hardware than the one it
+    /// is being loaded against.
+    HardwareMismatch {
+        /// Fingerprint of the hardware the caller provided.
+        expected: u64,
+        /// Fingerprint recorded in the artifact.
+        found: u64,
+    },
+    /// JSON (de)serialization failed.
+    Serialization(String),
+    /// Filesystem I/O failed.
+    Io(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "artifact format version {found} is not supported (this build reads v{supported})"
+            ),
+            ArtifactError::HardwareMismatch { expected, found } => write!(
+                f,
+                "artifact was compiled for different hardware \
+                 (fingerprint {found:#018x}, target is {expected:#018x})"
+            ),
+            ArtifactError::Serialization(detail) => {
+                write!(f, "artifact serialization failed: {detail}")
+            }
+            ArtifactError::Io(detail) => write!(f, "artifact I/O failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// A compiled model packaged for persistence: format version +
+/// hardware fingerprint + the full [`CompiledModel`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompiledArtifact {
+    format_version: u32,
+    hw_fingerprint: u64,
+    model: CompiledModel,
+}
+
+impl CompiledArtifact {
+    /// The artifact format this build writes (and the only one it
+    /// reads). Bump on any breaking change to the serialized shape of
+    /// [`CompiledModel`] or its components.
+    pub const FORMAT_VERSION: u32 = 1;
+
+    /// Packages a compiled model, fingerprinting its hardware target.
+    #[must_use]
+    pub fn new(model: CompiledModel) -> Self {
+        let hw_fingerprint = hardware_fingerprint(&model.hw);
+        CompiledArtifact {
+            format_version: Self::FORMAT_VERSION,
+            hw_fingerprint,
+            model,
+        }
+    }
+
+    /// The format version recorded in this artifact.
+    pub fn format_version(&self) -> u32 {
+        self.format_version
+    }
+
+    /// The fingerprint of the hardware the model was compiled for.
+    pub fn hw_fingerprint(&self) -> u64 {
+        self.hw_fingerprint
+    }
+
+    /// Read-only view of the packaged model.
+    pub fn model(&self) -> &CompiledModel {
+        &self.model
+    }
+
+    /// Checks that `hw` matches the hardware this artifact was compiled
+    /// for.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::HardwareMismatch`] when the fingerprints differ.
+    pub fn verify_hardware(&self, hw: &HardwareConfig) -> Result<(), ArtifactError> {
+        let expected = hardware_fingerprint(hw);
+        if expected != self.hw_fingerprint {
+            return Err(ArtifactError::HardwareMismatch {
+                expected,
+                found: self.hw_fingerprint,
+            });
+        }
+        Ok(())
+    }
+
+    /// Unpacks the model after verifying it was compiled for `hw`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::HardwareMismatch`] when the fingerprints differ.
+    pub fn into_model(self, hw: &HardwareConfig) -> Result<CompiledModel, ArtifactError> {
+        self.verify_hardware(hw)?;
+        Ok(self.model)
+    }
+
+    /// Unpacks the model without a hardware check (the model still
+    /// carries its own `hw`; use when the artifact's target is the
+    /// source of truth).
+    #[must_use]
+    pub fn into_model_unchecked(self) -> CompiledModel {
+        self.model
+    }
+
+    /// Serializes the artifact as JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Serialization`] when encoding fails.
+    pub fn to_json(&self) -> Result<String, ArtifactError> {
+        serde_json::to_string(self).map_err(|e| ArtifactError::Serialization(e.to_string()))
+    }
+
+    /// Deserializes an artifact from JSON, checking the format version
+    /// *before* decoding the full model so version mismatches produce a
+    /// clean error instead of a shape mismatch.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::UnsupportedVersion`] /
+    /// [`ArtifactError::Serialization`].
+    pub fn from_json(json: &str) -> Result<Self, ArtifactError> {
+        let value = serde_json::parse_value(json)
+            .map_err(|e| ArtifactError::Serialization(e.to_string()))?;
+        let found = value
+            .get("format_version")
+            .and_then(|v| match v {
+                serde::Value::Int(i) => u32::try_from(*i).ok(),
+                _ => None,
+            })
+            .ok_or_else(|| {
+                ArtifactError::Serialization("artifact is missing `format_version`".to_string())
+            })?;
+        if found != Self::FORMAT_VERSION {
+            return Err(ArtifactError::UnsupportedVersion {
+                found,
+                supported: Self::FORMAT_VERSION,
+            });
+        }
+        serde::Deserialize::from_value(&value)
+            .map_err(|e| ArtifactError::Serialization(e.to_string()))
+    }
+
+    /// Writes the artifact as JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Serialization`] / [`ArtifactError::Io`].
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        let json = self.to_json()?;
+        std::fs::write(path.as_ref(), json)
+            .map_err(|e| ArtifactError::Io(format!("writing {}: {e}", path.as_ref().display())))
+    }
+
+    /// Reads an artifact from a JSON file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Io`] / [`ArtifactError::UnsupportedVersion`] /
+    /// [`ArtifactError::Serialization`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ArtifactError> {
+        let json = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| ArtifactError::Io(format!("reading {}: {e}", path.as_ref().display())))?;
+        Self::from_json(&json)
+    }
+}
+
+/// Stable 64-bit fingerprint of a hardware configuration: FNV-1a over
+/// its canonical JSON serialization. Independent of process, platform,
+/// and `HashMap` seeds (the config contains none).
+#[must_use]
+pub fn hardware_fingerprint(hw: &HardwareConfig) -> u64 {
+    let json = serde_json::to_string(hw).unwrap_or_default();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in json.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompileOptions, CompileSession};
+    use pimcomp_arch::PipelineMode;
+    use pimcomp_ir::models;
+
+    fn model() -> CompiledModel {
+        CompileSession::new(
+            HardwareConfig::small_test(),
+            &models::tiny_cnn(),
+            CompileOptions::new(PipelineMode::HighThroughput).with_fast_ga(5),
+        )
+        .unwrap()
+        .run()
+        .unwrap()
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_model() {
+        let m = model();
+        let artifact = CompiledArtifact::new(m.clone());
+        let json = artifact.to_json().unwrap();
+        let back = CompiledArtifact::from_json(&json).unwrap();
+        assert_eq!(back.format_version(), CompiledArtifact::FORMAT_VERSION);
+        assert_eq!(back.hw_fingerprint(), artifact.hw_fingerprint());
+        let restored = back.into_model(&m.hw).unwrap();
+        assert_eq!(restored.graph, m.graph);
+        assert_eq!(restored.mapping, m.mapping);
+        assert_eq!(restored.schedule, m.schedule);
+        assert_eq!(restored.memory, m.memory);
+        assert_eq!(restored.report, m.report);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_fails_cleanly() {
+        let artifact = CompiledArtifact::new(model());
+        let other = HardwareConfig::small_test().with_parallelism(999);
+        assert!(matches!(
+            artifact.verify_hardware(&other),
+            Err(ArtifactError::HardwareMismatch { .. })
+        ));
+        assert!(matches!(
+            artifact.into_model(&other),
+            Err(ArtifactError::HardwareMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn version_mismatch_fails_before_decoding() {
+        let artifact = CompiledArtifact::new(model());
+        let json = artifact.to_json().unwrap().replacen(
+            "\"format_version\":1",
+            "\"format_version\":999",
+            1,
+        );
+        assert!(matches!(
+            CompiledArtifact::from_json(&json),
+            Err(ArtifactError::UnsupportedVersion {
+                found: 999,
+                supported: CompiledArtifact::FORMAT_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let artifact = CompiledArtifact::new(model());
+        let dir = std::env::temp_dir().join("pimcomp-artifact-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.pimc.json");
+        artifact.save(&path).unwrap();
+        let back = CompiledArtifact::load(&path).unwrap();
+        assert_eq!(back.model().report, artifact.model().report);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = hardware_fingerprint(&HardwareConfig::small_test());
+        let b = hardware_fingerprint(&HardwareConfig::small_test());
+        assert_eq!(a, b);
+        let c = hardware_fingerprint(&HardwareConfig::small_test().with_parallelism(2));
+        assert_ne!(a, c);
+    }
+}

@@ -206,14 +206,9 @@ impl PumaCompiler {
             Schedule::HighThroughput(s) => {
                 MemoryPlan::for_ht(s, &partitioning, &mapping, &self.hw, opts.memory_policy)
             }
-            Schedule::LowLatency(s) => MemoryPlan::for_ll(
-                &graph,
-                s,
-                &partitioning,
-                &dep,
-                &self.hw,
-                opts.memory_policy,
-            ),
+            Schedule::LowLatency(s) => {
+                MemoryPlan::for_ll(&graph, s, &partitioning, &dep, &self.hw, opts.memory_policy)
+            }
         };
         let t_schedule = t2.elapsed();
 
@@ -221,13 +216,9 @@ impl PumaCompiler {
             PipelineMode::HighThroughput => {
                 fitness::ht_fitness_from_mapping(&self.hw, &partitioning, &mapping)
             }
-            PipelineMode::LowLatency => fitness::ll_fitness(
-                &self.hw,
-                &graph,
-                &partitioning,
-                &dep,
-                &mapping.replication,
-            ),
+            PipelineMode::LowLatency => {
+                fitness::ll_fitness(&self.hw, &graph, &partitioning, &dep, &mapping.replication)
+            }
         };
 
         let report = CompileReport {

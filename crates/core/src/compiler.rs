@@ -1,16 +1,21 @@
 //! The top-level PIMCOMP compiler driver (paper Fig. 3).
+//!
+//! [`PimCompiler::compile`] is a thin wrapper over the staged
+//! [`CompileSession`](crate::CompileSession) API — both produce
+//! identical results for identical inputs (same GA seed).
 
-use crate::ga::{optimize, GaContext, GaParams, GaStats};
+use crate::ga::{GaParams, GaStats};
 use crate::mapping::CoreMapping;
 use crate::memory::{MemoryPlan, ReusePolicy};
 use crate::partition::Partitioning;
-use crate::schedule::{HtSchedule, LlSchedule, Schedule};
+use crate::schedule::Schedule;
+use crate::session::{CompileObserver, CompileSession};
 use crate::waiting::DepInfo;
-use crate::{fitness, CompileError};
+use crate::CompileError;
 use pimcomp_arch::{HardwareConfig, PipelineMode};
 use pimcomp_ir::Graph;
 use serde::{Deserialize, Serialize};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// User-facing compilation options (the "User Input" of paper Fig. 3
 /// that is not part of the hardware description).
@@ -32,15 +37,68 @@ pub struct CompileOptions {
 
 impl CompileOptions {
     /// Defaults for a pipeline mode: paper GA parameters (100×200),
-    /// batch 2, AG-reuse.
+    /// AG-reuse, and the mode's natural batch (the paper's Fig. 10
+    /// protocol value of 2 for HT; 1 for LL, where batching does not
+    /// apply).
     pub fn new(mode: PipelineMode) -> Self {
         CompileOptions {
             mode,
             ga: GaParams::default(),
-            batch: 2,
+            batch: match mode {
+                PipelineMode::HighThroughput => 2,
+                PipelineMode::LowLatency => 1,
+            },
             memory_policy: ReusePolicy::AgReuse,
             normalize: true,
         }
+    }
+
+    /// Checks internal consistency. Run automatically when a
+    /// [`CompileSession`] is created, so stage code never sees
+    /// malformed options.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::InvalidOptions`] when:
+    ///
+    /// * `batch` is zero,
+    /// * the GA population or generation count is zero,
+    /// * the GA tournament size is zero or the elite fraction is
+    ///   outside `[0, 1]`,
+    /// * `max_nodes_per_core` is pinned to zero,
+    /// * a batch larger than 1 is combined with low-latency mode
+    ///   (batching is a high-throughput transfer concept).
+    pub fn validate(&self) -> Result<(), CompileError> {
+        let invalid = |detail: &str| {
+            Err(CompileError::InvalidOptions {
+                detail: detail.to_string(),
+            })
+        };
+        if self.batch == 0 {
+            return invalid("`batch` must be at least 1");
+        }
+        if self.ga.population == 0 {
+            return invalid("GA population must be at least 1");
+        }
+        if self.ga.iterations == 0 {
+            return invalid("GA generation count must be at least 1");
+        }
+        if self.ga.tournament == 0 {
+            return invalid("GA tournament size must be at least 1");
+        }
+        if !self.ga.elite_fraction.is_finite() || !(0.0..=1.0).contains(&self.ga.elite_fraction) {
+            return invalid("GA elite fraction must be within [0, 1]");
+        }
+        if self.ga.max_nodes_per_core == Some(0) {
+            return invalid("`max_nodes_per_core` cannot be pinned to 0");
+        }
+        if self.mode == PipelineMode::LowLatency && self.batch > 1 {
+            return invalid(
+                "`batch` only applies to high-throughput mode; \
+                 use batch 1 (the default) for low-latency compilations",
+            );
+        }
+        Ok(())
     }
 
     /// Replaces the GA parameters with the fast test configuration
@@ -113,7 +171,11 @@ pub struct CompileReport {
 }
 
 /// Everything the simulator needs to execute a compiled model.
-#[derive(Debug, Clone)]
+///
+/// Serializable: wrap in a
+/// [`CompiledArtifact`](crate::CompiledArtifact) for versioned,
+/// fingerprint-checked persistence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CompiledModel {
     /// The normalized graph that was compiled.
     pub graph: Graph,
@@ -139,19 +201,15 @@ impl CompiledModel {
     /// Recomputes the memory plan under a different policy without
     /// recompiling (used by the Fig. 10 sweep).
     pub fn replan_memory(&self, policy: ReusePolicy) -> MemoryPlan {
-        match &self.schedule {
-            Schedule::HighThroughput(s) => {
-                MemoryPlan::for_ht(s, &self.partitioning, &self.mapping, &self.hw, policy)
-            }
-            Schedule::LowLatency(s) => MemoryPlan::for_ll(
-                &self.graph,
-                s,
-                &self.partitioning,
-                &self.dep,
-                &self.hw,
-                policy,
-            ),
-        }
+        MemoryPlan::for_schedule(
+            &self.graph,
+            &self.schedule,
+            &self.partitioning,
+            &self.mapping,
+            &self.dep,
+            &self.hw,
+            policy,
+        )
     }
 }
 
@@ -175,10 +233,14 @@ impl PimCompiler {
     /// Runs the full pipeline: normalize → partition → GA(replicate +
     /// map) → schedule → memory plan.
     ///
+    /// Thin wrapper over [`CompileSession`]: equivalent to
+    /// `CompileSession::new(hw, graph, opts)?.run()`, stage by stage
+    /// and bit for bit.
+    ///
     /// # Errors
     ///
     /// * [`CompileError::InvalidHardware`] / [`CompileError::InvalidGraph`]
-    ///   for malformed inputs,
+    ///   / [`CompileError::InvalidOptions`] for malformed inputs,
     /// * [`CompileError::NoMvmNodes`] when nothing maps to crossbars,
     /// * [`CompileError::InsufficientCapacity`] when the model cannot
     ///   fit even without replication.
@@ -187,114 +249,21 @@ impl PimCompiler {
         graph: &Graph,
         opts: &CompileOptions,
     ) -> Result<CompiledModel, CompileError> {
-        self.hw
-            .validate()
-            .map_err(|e| CompileError::InvalidHardware {
-                detail: e.to_string(),
-            })?;
-        let graph = if opts.normalize {
-            pimcomp_ir::transform::normalize(graph)
-        } else {
-            graph.clone()
-        };
-        graph.validate().map_err(|e| CompileError::InvalidGraph {
-            detail: e.to_string(),
-        })?;
+        CompileSession::new(self.hw.clone(), graph, opts.clone())?.run()
+    }
 
-        // Stage 1: node partitioning.
-        let t0 = Instant::now();
-        let partitioning = Partitioning::new(&graph, &self.hw)?;
-        let dep_for_ga = DepInfo::analyze(&graph);
-        let t_partition = t0.elapsed();
-
-        // Stages 2+3: weight replicating + core mapping (joint GA).
-        let t1 = Instant::now();
-        let ctx = GaContext {
-            hw: &self.hw,
-            graph: &graph,
-            partitioning: &partitioning,
-            dep: &dep_for_ga,
-            mode: opts.mode,
-        };
-        let (chromosome, ga_stats) = optimize(&ctx, &opts.ga)?;
-        let mapping = CoreMapping::from_chromosome(&chromosome, &partitioning)?;
-        let t_mapping = t1.elapsed();
-
-        // Stage 4: dataflow scheduling + memory planning.
-        let t2 = Instant::now();
-        let dep = dep_for_ga;
-        let schedule = match opts.mode {
-            PipelineMode::HighThroughput => Schedule::HighThroughput(HtSchedule::build(
-                &graph,
-                &partitioning,
-                &mapping,
-                &dep,
-                &self.hw,
-                opts.batch,
-            )),
-            PipelineMode::LowLatency => Schedule::LowLatency(LlSchedule::build(
-                &graph,
-                &partitioning,
-                &mapping,
-                &dep,
-                &self.hw,
-            )),
-        };
-        let memory = match &schedule {
-            Schedule::HighThroughput(s) => {
-                MemoryPlan::for_ht(s, &partitioning, &mapping, &self.hw, opts.memory_policy)
-            }
-            Schedule::LowLatency(s) => MemoryPlan::for_ll(
-                &graph,
-                s,
-                &partitioning,
-                &dep,
-                &self.hw,
-                opts.memory_policy,
-            ),
-        };
-        let t_schedule = t2.elapsed();
-
-        let estimated = match opts.mode {
-            PipelineMode::HighThroughput => {
-                fitness::ht_fitness_from_mapping(&self.hw, &partitioning, &mapping)
-            }
-            PipelineMode::LowLatency => fitness::ll_fitness(
-                &self.hw,
-                &graph,
-                &partitioning,
-                &dep,
-                &mapping.replication,
-            ),
-        };
-
-        let report = CompileReport {
-            model: graph.name().to_string(),
-            compiler: "PIMCOMP".to_string(),
-            mode: opts.mode,
-            timings: StageTimings {
-                node_partitioning: t_partition,
-                replicating_mapping: t_mapping,
-                dataflow_scheduling: t_schedule,
-            },
-            ga: Some(ga_stats),
-            replication: mapping.replication.counts().to_vec(),
-            active_cores: mapping.active_cores(),
-            crossbars_used: mapping.replication.total_crossbars(&partitioning),
-            estimated_fitness: estimated,
-        };
-
-        Ok(CompiledModel {
-            graph,
-            hw: self.hw.clone(),
-            mode: opts.mode,
-            partitioning,
-            mapping,
-            dep,
-            schedule,
-            memory,
-            report,
-        })
+    /// [`PimCompiler::compile`] with progress callbacks.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PimCompiler::compile`].
+    pub fn compile_observed(
+        &self,
+        graph: &Graph,
+        opts: &CompileOptions,
+        observer: &mut dyn CompileObserver,
+    ) -> Result<CompiledModel, CompileError> {
+        CompileSession::new(self.hw.clone(), graph, opts.clone())?.run_observed(observer)
     }
 }
 

@@ -41,6 +41,14 @@ pub enum CompileError {
         /// Underlying description.
         detail: String,
     },
+    /// The [`CompileOptions`](crate::CompileOptions) are malformed or
+    /// internally inconsistent (zero batch, empty GA population, an
+    /// option that does not apply to the selected pipeline mode, ...).
+    /// Raised at session creation, before any stage runs.
+    InvalidOptions {
+        /// Underlying description.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -72,6 +80,9 @@ impl fmt::Display for CompileError {
                 write!(f, "invalid hardware configuration: {detail}")
             }
             CompileError::InvalidGraph { detail } => write!(f, "invalid graph: {detail}"),
+            CompileError::InvalidOptions { detail } => {
+                write!(f, "invalid compile options: {detail}")
+            }
         }
     }
 }

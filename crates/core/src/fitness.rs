@@ -228,8 +228,7 @@ pub(crate) fn node_uninterrupted_time(
         for idx in partitioning.indices_of(id) {
             let e = partitioning.entry(idx);
             let r = replication.count(idx);
-            let per_window =
-                (e.ags_per_replica as u64 * hw.issue_interval()).max(hw.mvm_latency);
+            let per_window = (e.ags_per_replica as u64 * hw.issue_interval()).max(hw.mvm_latency);
             u = u.max(e.windows.div_ceil(r) as f64 * per_window as f64);
         }
         u
@@ -281,8 +280,7 @@ mod tests {
         cfg.mvm_latency = 2000; // T_interval = 2000
         let items = [(2usize, 3000usize), (2, 1000), (1, 500), (3, 300)];
         // All segments issue-bound: f(n) = n * 2000.
-        let expect: u64 =
-            300 * 8 * 2000 + 200 * 5 * 2000 + 500 * 4 * 2000 + 2000 * 2 * 2000;
+        let expect: u64 = 300 * 8 * 2000 + 200 * 5 * 2000 + 500 * 4 * 2000 + 2000 * 2 * 2000;
         assert_eq!(ht_core_time(&cfg, &items), expect);
     }
 

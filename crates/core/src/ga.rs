@@ -93,6 +93,21 @@ pub struct GaStats {
     pub evaluations: usize,
 }
 
+/// One generation's progress snapshot, delivered to
+/// [`CompileObserver::on_ga_generation`](crate::CompileObserver::on_ga_generation)
+/// while the GA runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaGeneration {
+    /// Generation index (0-based).
+    pub generation: usize,
+    /// Total generations this run will execute.
+    pub total_generations: usize,
+    /// Best fitness in the population after this generation.
+    pub best_fitness: f64,
+    /// Cumulative fitness evaluations so far.
+    pub evaluations: usize,
+}
+
 /// Everything the fitness functions need, bundled for reuse.
 pub struct GaContext<'a> {
     /// Hardware target.
@@ -154,6 +169,21 @@ pub fn optimize(
     ctx: &GaContext<'_>,
     params: &GaParams,
 ) -> Result<(Chromosome, GaStats), CompileError> {
+    optimize_observed(ctx, params, &mut |_| {})
+}
+
+/// Runs the GA like [`optimize`], invoking `on_generation` after every
+/// generation with a [`GaGeneration`] progress snapshot.
+///
+/// # Errors
+///
+/// [`CompileError::InsufficientCapacity`] when even one replica of every
+/// node cannot be placed.
+pub fn optimize_observed(
+    ctx: &GaContext<'_>,
+    params: &GaParams,
+    on_generation: &mut dyn FnMut(GaGeneration),
+) -> Result<(Chromosome, GaStats), CompileError> {
     let mut rng = StdRng::seed_from_u64(params.seed);
     let cores = ctx.hw.total_cores();
     let capacity = ctx.hw.crossbar_capacity_per_core();
@@ -191,7 +221,7 @@ pub fn optimize(
     let elite = ((params.population as f64 * params.elite_fraction).ceil() as usize)
         .clamp(1, params.population);
 
-    for _gen in 0..params.iterations {
+    for gen in 0..params.iterations {
         let mut next: Vec<Individual> = population[..elite].to_vec();
         while next.len() < params.population {
             let parent = tournament(&population, params.tournament, &mut rng);
@@ -211,6 +241,12 @@ pub fn optimize(
         next.truncate(params.population);
         population = next;
         history.push(population[0].fitness);
+        on_generation(GaGeneration {
+            generation: gen,
+            total_generations: params.iterations,
+            best_fitness: population[0].fitness,
+            evaluations,
+        });
     }
 
     let best = population.remove(0);
@@ -325,11 +361,7 @@ fn fit_window_target(partitioning: &Partitioning, budget: usize, max_windows: us
 }
 
 /// Tournament selection.
-fn tournament<'a>(
-    population: &'a [Individual],
-    k: usize,
-    rng: &mut StdRng,
-) -> &'a Individual {
+fn tournament<'a>(population: &'a [Individual], k: usize, rng: &mut StdRng) -> &'a Individual {
     let mut best = &population[rng.gen_range(0..population.len())];
     for _ in 1..k.max(1) {
         let cand = &population[rng.gen_range(0..population.len())];
@@ -382,7 +414,10 @@ fn critical_node(ind: &Individual, ctx: &GaContext<'_>) -> Option<MvmIdx> {
     for core in 0..ind.chromosome.cores() {
         items.clear();
         for (_, gene) in ind.chromosome.genes_of_core(core) {
-            items.push((gene.ag_count, plan.windows_per_replica(ctx.partitioning, gene.mvm)));
+            items.push((
+                gene.ag_count,
+                plan.windows_per_replica(ctx.partitioning, gene.mvm),
+            ));
         }
         let t = crate::fitness::ht_core_time(ctx.hw, &items);
         if worst.is_none_or(|(w, _)| t > w) {
@@ -427,14 +462,22 @@ fn mutate_grow(
     let mut amount = rng.gen_range(1..=cur.max(1)).min(headroom);
     while amount > 0 {
         if place_ags(ind, ctx, node, amount * a, capacity, rng) {
-            if std::env::var("GA_DEBUG").is_ok() { eprintln!("grow ok node={node} amount={amount}"); }
+            if std::env::var("GA_DEBUG").is_ok() {
+                eprintln!("grow ok node={node} amount={amount}");
+            }
             return true;
         }
         amount /= 2;
     }
     if std::env::var("GA_DEBUG").is_ok() {
-        let free_caps = ind.used_crossbars.iter().filter(|&&u| u + entry.crossbars_per_ag <= capacity).count();
-        let free_slots = (0..ind.chromosome.cores()).filter(|&c| ind.chromosome.free_slot_of_core(c).is_some()).count();
+        let free_caps = ind
+            .used_crossbars
+            .iter()
+            .filter(|&&u| u + entry.crossbars_per_ag <= capacity)
+            .count();
+        let free_slots = (0..ind.chromosome.cores())
+            .filter(|&c| ind.chromosome.free_slot_of_core(c).is_some())
+            .count();
         eprintln!("grow FAIL node={node} cur={cur} headroom={headroom} xb={} a={} cores_with_cap={free_caps} cores_with_slot={free_slots}", entry.crossbars_per_ag, entry.ags_per_replica);
     }
     false
@@ -523,10 +566,7 @@ fn mutate_spread(
             .or_else(|| ind.chromosome.free_slot_of_core(dst));
         let Some(dst_slot) = dst_slot else { continue };
         // Commit.
-        let dst_count = ind
-            .chromosome
-            .gene(dst_slot)
-            .map_or(0, |g| g.ag_count);
+        let dst_count = ind.chromosome.gene(dst_slot).map_or(0, |g| g.ag_count);
         ind.chromosome.set_gene(
             dst_slot,
             Some(Gene {
@@ -568,9 +608,7 @@ fn mutate_merge(
     let mut targets: Vec<(usize, Gene)> = genes
         .iter()
         .copied()
-        .filter(|&(s, g)| {
-            g.mvm == gene.mvm && ind.chromosome.core_of_slot(s) != src_core
-        })
+        .filter(|&(s, g)| g.mvm == gene.mvm && ind.chromosome.core_of_slot(s) != src_core)
         .collect();
     targets.shuffle(rng);
     for (dst_slot, dst_gene) in targets {
@@ -688,9 +726,7 @@ mod tests {
     use pimcomp_ir::models;
     use pimcomp_ir::transform::normalize;
 
-    fn setup(
-        mode: PipelineMode,
-    ) -> (Graph, HardwareConfig) {
+    fn setup(mode: PipelineMode) -> (Graph, HardwareConfig) {
         let g = normalize(&models::tiny_cnn());
         let hw = HardwareConfig::small_test();
         let _ = mode;
@@ -738,9 +774,7 @@ mod tests {
         let (best, _, p) = run(PipelineMode::HighThroughput, 7);
         let hw = HardwareConfig::small_test();
         let used = best.used_crossbars(&p);
-        assert!(used
-            .iter()
-            .all(|&u| u <= hw.crossbar_capacity_per_core()));
+        assert!(used.iter().all(|&u| u <= hw.crossbar_capacity_per_core()));
         let plan = best.replication(&p).unwrap();
         assert!(plan.counts().iter().all(|&r| r >= 1));
         let mapping = crate::mapping::CoreMapping::from_chromosome(&best, &p).unwrap();

@@ -9,28 +9,47 @@
 //!                          §IV-B             §IV-C                        §IV-D
 //! ```
 //!
-//! The driver is [`PimCompiler`]; its output, [`CompiledModel`], carries
-//! everything the cycle-accurate simulator (`pimcomp-sim`) executes.
+//! The primary entry point is the staged [`CompileSession`], whose
+//! typed artifacts ([`Partitioned`] → [`Optimized`] → [`Scheduled`] →
+//! [`CompiledModel`]) make every stage inspectable and re-enterable.
+//! [`PimCompiler::compile`] remains as a one-call wrapper over the same
+//! pipeline. A finished model wraps into a versioned, serializable
+//! [`CompiledArtifact`] for the compile-once/serve-many flow.
 //!
-//! # Example
+//! # Example: staged compilation
 //!
 //! ```
-//! use pimcomp_core::{CompileOptions, PimCompiler};
+//! use pimcomp_core::{CompileOptions, CompileSession, CompiledArtifact};
 //! use pimcomp_arch::{HardwareConfig, PipelineMode};
 //!
-//! # fn main() -> Result<(), pimcomp_core::CompileError> {
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let graph = pimcomp_ir::models::tiny_cnn();
 //! let hw = HardwareConfig::small_test();
 //! let opts = CompileOptions::new(PipelineMode::HighThroughput).with_fast_ga(1);
-//! let compiled = PimCompiler::new(hw).compile(&graph, &opts)?;
-//! assert!(compiled.mapping.active_cores() > 0);
+//!
+//! // Walk the stages; inspect any intermediate artifact.
+//! let session = CompileSession::new(hw, &graph, opts)?;
+//! let partitioned = session.partition()?;
+//! assert!(partitioned.partitioning().len() > 0);
+//! let optimized = partitioned.optimize()?;
+//! assert!(optimized.mapping().active_cores() > 0);
+//! let compiled = optimized.schedule()?.finish();
+//!
+//! // Persist for later simulation without recompiling.
+//! let json = CompiledArtifact::new(compiled).to_json()?;
+//! assert!(CompiledArtifact::from_json(&json).is_ok());
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Progress can be observed live — stage boundaries and per-generation
+//! GA fitness — by passing a [`CompileObserver`] to the `_observed`
+//! stage variants.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod artifact;
 mod baseline;
 mod compiler;
 mod error;
@@ -42,8 +61,10 @@ mod memory;
 mod partition;
 mod replication;
 mod schedule;
+mod session;
 mod waiting;
 
+pub use artifact::{hardware_fingerprint, ArtifactError, CompiledArtifact};
 pub use baseline::{puma_mapping, PumaCompiler};
 pub use compiler::{CompileOptions, CompileReport, CompiledModel, PimCompiler, StageTimings};
 pub use error::CompileError;
@@ -51,7 +72,10 @@ pub use fitness::{
     ht_core_time, ht_fitness, ht_fitness_from_mapping, ll_fitness, ll_fitness_with_issue_floor,
     HT_TIE_BREAK,
 };
-pub use ga::{default_max_nodes_per_core, optimize, GaContext, GaParams, GaStats};
+pub use ga::{
+    default_max_nodes_per_core, optimize, optimize_observed, GaContext, GaGeneration, GaParams,
+    GaStats,
+};
 pub use lower::{lower_to_ops, CoreOp, OpStream};
 pub use mapping::{AgInstance, Chromosome, CoreMapping, Gene, GENE_RADIX};
 pub use memory::{MemoryPlan, ReusePolicy};
@@ -60,5 +84,8 @@ pub use replication::ReplicationPlan;
 pub use schedule::{
     HtNodeProgram, HtSchedule, HtSend, HtVecTask, LlProviderRef, LlReplica, LlSchedule, LlUnit,
     LlUnitKind, Schedule,
+};
+pub use session::{
+    CompileObserver, CompileSession, CompileStage, NullObserver, Optimized, Partitioned, Scheduled,
 };
 pub use waiting::{required_windows, DepInfo, DepRule, EdgeDep};

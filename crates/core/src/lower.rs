@@ -130,8 +130,7 @@ pub fn lower_to_ops(compiled: &CompiledModel, max_ops_per_core: usize) -> OpStre
 
     match &compiled.schedule {
         Schedule::HighThroughput(s) => {
-            for core in 0..cores {
-                let ops = &mut per_core[core];
+            for (core, ops) in per_core.iter_mut().enumerate() {
                 'rounds: for round in 0.. {
                     let mut any = false;
                     for &pid in &s.per_core[core] {
@@ -185,17 +184,19 @@ pub fn lower_to_ops(compiled: &CompiledModel, max_ops_per_core: usize) -> OpStre
                 }
                 // One-shot vector tasks close the stream.
                 for &vid in &s.vec_per_core[core] {
-                    if per_core[core].len() >= max_ops_per_core {
+                    if ops.len() >= max_ops_per_core {
                         truncated = true;
                         break;
                     }
                     let t = &s.vec_tasks[vid];
                     if t.load_bytes > 0 {
-                        per_core[core].push(CoreOp::MemLoad { bytes: t.load_bytes });
+                        ops.push(CoreOp::MemLoad {
+                            bytes: t.load_bytes,
+                        });
                     }
-                    per_core[core].push(CoreOp::Vec { elements: t.elems });
+                    ops.push(CoreOp::Vec { elements: t.elems });
                     if t.store_bytes > 0 {
-                        per_core[core].push(CoreOp::MemStore {
+                        ops.push(CoreOp::MemStore {
                             bytes: t.store_bytes,
                         });
                     }
@@ -264,7 +265,10 @@ mod tests {
 
     fn compile(mode: PipelineMode) -> CompiledModel {
         PimCompiler::new(HardwareConfig::small_test())
-            .compile(&models::tiny_cnn(), &CompileOptions::new(mode).with_fast_ga(3))
+            .compile(
+                &models::tiny_cnn(),
+                &CompileOptions::new(mode).with_fast_ga(3),
+            )
             .unwrap()
     }
 

@@ -186,7 +186,10 @@ impl Chromosome {
     ///
     /// [`CompileError::MappingInvariant`] when some node's AG total is
     /// zero or not a multiple of its AGs-per-replica.
-    pub fn replication(&self, partitioning: &Partitioning) -> Result<ReplicationPlan, CompileError> {
+    pub fn replication(
+        &self,
+        partitioning: &Partitioning,
+    ) -> Result<ReplicationPlan, CompileError> {
         let totals = self.ag_totals(partitioning);
         let mut counts = Vec::with_capacity(partitioning.len());
         for (idx, &total) in totals.iter().enumerate() {
@@ -295,11 +298,11 @@ impl CoreMapping {
             let mut node_owners = vec![usize::MAX; r];
             let mut replica = 0usize;
             let push = |core: usize,
-                            replica: usize,
-                            slice: usize,
-                            instances: &mut Vec<AgInstance>,
-                            per_core: &mut Vec<Vec<usize>>,
-                            node_owners: &mut Vec<usize>| {
+                        replica: usize,
+                        slice: usize,
+                        instances: &mut Vec<AgInstance>,
+                        per_core: &mut Vec<Vec<usize>>,
+                        node_owners: &mut Vec<usize>| {
                 if slice == 0 {
                     node_owners[replica] = core;
                 }
@@ -318,7 +321,14 @@ impl CoreMapping {
                 let whole = count / a;
                 for _ in 0..whole {
                     for slice in 0..a {
-                        push(core, replica, slice, &mut instances, &mut per_core, &mut node_owners);
+                        push(
+                            core,
+                            replica,
+                            slice,
+                            &mut instances,
+                            &mut per_core,
+                            &mut node_owners,
+                        );
                     }
                     replica += 1;
                 }
@@ -330,7 +340,14 @@ impl CoreMapping {
             let mut slice = 0usize;
             for (core, count) in leftovers {
                 for _ in 0..count {
-                    push(core, replica, slice, &mut instances, &mut per_core, &mut node_owners);
+                    push(
+                        core,
+                        replica,
+                        slice,
+                        &mut instances,
+                        &mut per_core,
+                        &mut node_owners,
+                    );
                     slice += 1;
                     if slice == a {
                         slice = 0;
@@ -385,13 +402,12 @@ impl CoreMapping {
                 return fail(format!("node {mvm}: replica without owner"));
             }
             let a = partitioning.entry(mvm).ags_per_replica;
-            let n = self
-                .instances
-                .iter()
-                .filter(|i| i.mvm == mvm)
-                .count();
+            let n = self.instances.iter().filter(|i| i.mvm == mvm).count();
             if n != a * self.replication.count(mvm) {
-                return fail(format!("node {mvm}: {n} instances, expected {}", a * self.replication.count(mvm)));
+                return fail(format!(
+                    "node {mvm}: {n} instances, expected {}",
+                    a * self.replication.count(mvm)
+                ));
             }
         }
         for (core, ids) in self.per_core.iter().enumerate() {
@@ -423,7 +439,10 @@ mod tests {
 
     #[test]
     fn gene_code_round_trip_matches_paper_format() {
-        let g = Gene { mvm: 103, ag_count: 25 };
+        let g = Gene {
+            mvm: 103,
+            ag_count: 25,
+        };
         assert_eq!(g.code(), 1_030_025);
         assert_eq!(Gene::from_code(1_030_025), Some(g));
         assert_eq!(Gene::from_code(0), None);
@@ -444,10 +463,28 @@ mod tests {
         let p = part();
         let mut c = Chromosome::empty(4, 2);
         // Node 0: 5 AGs per replica, 2 replicas = 10 AGs: 6 on core 0, 4 on core 1.
-        c.set_gene(0, Some(Gene { mvm: 0, ag_count: 6 }));
-        c.set_gene(2, Some(Gene { mvm: 0, ag_count: 4 }));
+        c.set_gene(
+            0,
+            Some(Gene {
+                mvm: 0,
+                ag_count: 6,
+            }),
+        );
+        c.set_gene(
+            2,
+            Some(Gene {
+                mvm: 0,
+                ag_count: 4,
+            }),
+        );
         // Node 1: 5 AGs per replica, 1 replica on core 2.
-        c.set_gene(4, Some(Gene { mvm: 1, ag_count: 5 }));
+        c.set_gene(
+            4,
+            Some(Gene {
+                mvm: 1,
+                ag_count: 5,
+            }),
+        );
         (c, p)
     }
 
@@ -462,7 +499,13 @@ mod tests {
     #[test]
     fn non_multiple_ag_total_is_an_invariant_violation() {
         let (mut c, p) = filled();
-        c.set_gene(2, Some(Gene { mvm: 0, ag_count: 3 })); // total 9, not /5
+        c.set_gene(
+            2,
+            Some(Gene {
+                mvm: 0,
+                ag_count: 3,
+            }),
+        ); // total 9, not /5
         assert!(matches!(
             c.replication(&p),
             Err(CompileError::MappingInvariant { .. })

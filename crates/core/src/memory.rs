@@ -18,7 +18,7 @@
 
 use crate::mapping::CoreMapping;
 use crate::partition::Partitioning;
-use crate::schedule::{HtSchedule, LlSchedule, LlUnitKind};
+use crate::schedule::{HtSchedule, LlSchedule, LlUnitKind, Schedule};
 use crate::waiting::{DepInfo, DepRule};
 use pimcomp_arch::HardwareConfig;
 use pimcomp_ir::Graph;
@@ -80,6 +80,24 @@ pub struct MemoryPlan {
 }
 
 impl MemoryPlan {
+    /// Plans local memory for either schedule kind — the single
+    /// dispatch point used by the session, the legacy driver and
+    /// [`CompiledModel::replan_memory`](crate::CompiledModel::replan_memory).
+    pub fn for_schedule(
+        graph: &Graph,
+        schedule: &Schedule,
+        partitioning: &Partitioning,
+        mapping: &CoreMapping,
+        dep: &DepInfo,
+        hw: &HardwareConfig,
+        policy: ReusePolicy,
+    ) -> Self {
+        match schedule {
+            Schedule::HighThroughput(s) => Self::for_ht(s, partitioning, mapping, hw, policy),
+            Schedule::LowLatency(s) => Self::for_ll(graph, s, partitioning, dep, hw, policy),
+        }
+    }
+
     /// Plans local memory for an HT schedule.
     pub fn for_ht(
         schedule: &HtSchedule,
@@ -308,13 +326,7 @@ mod tests {
     use crate::mapping::{Chromosome, Gene};
     use pimcomp_ir::GraphBuilder;
 
-    fn setup() -> (
-        Graph,
-        Partitioning,
-        CoreMapping,
-        DepInfo,
-        HardwareConfig,
-    ) {
+    fn setup() -> (Graph, Partitioning, CoreMapping, DepInfo, HardwareConfig) {
         let mut b = GraphBuilder::new("t");
         let x = b.input("x", [64, 16, 16]);
         let c1 = b.conv2d("c1", x, 64, (3, 3), (1, 1), (1, 1)).unwrap();
@@ -324,8 +336,20 @@ mod tests {
         let hw = HardwareConfig::puma();
         let part = Partitioning::new(&g, &hw).unwrap();
         let mut c = Chromosome::empty(hw.total_cores(), 4);
-        c.set_gene(0, Some(Gene { mvm: 0, ag_count: 5 }));
-        c.set_gene(4, Some(Gene { mvm: 1, ag_count: 5 }));
+        c.set_gene(
+            0,
+            Some(Gene {
+                mvm: 0,
+                ag_count: 5,
+            }),
+        );
+        c.set_gene(
+            4,
+            Some(Gene {
+                mvm: 1,
+                ag_count: 5,
+            }),
+        );
         let mapping = CoreMapping::from_chromosome(&c, &part).unwrap();
         let dep = DepInfo::analyze(&g);
         (g, part, mapping, dep, hw)

@@ -74,7 +74,9 @@ impl ReplicationPlan {
 
     /// Sliding windows each replica of node `idx` processes.
     pub fn windows_per_replica(&self, partitioning: &Partitioning, idx: MvmIdx) -> usize {
-        partitioning.entry(idx).windows_per_replica(self.counts[idx])
+        partitioning
+            .entry(idx)
+            .windows_per_replica(self.counts[idx])
     }
 }
 

@@ -297,8 +297,20 @@ mod tests {
         let part = Partitioning::new(&g, &hw).unwrap();
         let mut c = Chromosome::empty(hw.total_cores(), 4);
         // One replica split across cores 0 (3 AGs) and 1 (2 AGs).
-        c.set_gene(0, Some(Gene { mvm: 0, ag_count: 3 }));
-        c.set_gene(4, Some(Gene { mvm: 0, ag_count: 2 }));
+        c.set_gene(
+            0,
+            Some(Gene {
+                mvm: 0,
+                ag_count: 3,
+            }),
+        );
+        c.set_gene(
+            4,
+            Some(Gene {
+                mvm: 0,
+                ag_count: 2,
+            }),
+        );
         let mapping = CoreMapping::from_chromosome(&c, &part).unwrap();
         let dep = DepInfo::analyze(&g);
         (g, part, mapping, dep, hw)

@@ -280,8 +280,20 @@ mod tests {
         let part = Partitioning::new(&g, &hw).unwrap();
         // c1: 144 rows -> 2 AGs; c2: same. Replicate c1 twice.
         let mut c = Chromosome::empty(hw.total_cores(), 4);
-        c.set_gene(0, Some(Gene { mvm: 0, ag_count: 4 })); // 2 replicas
-        c.set_gene(4, Some(Gene { mvm: 1, ag_count: 2 }));
+        c.set_gene(
+            0,
+            Some(Gene {
+                mvm: 0,
+                ag_count: 4,
+            }),
+        ); // 2 replicas
+        c.set_gene(
+            4,
+            Some(Gene {
+                mvm: 1,
+                ag_count: 2,
+            }),
+        );
         let mapping = CoreMapping::from_chromosome(&c, &part).unwrap();
         let dep = DepInfo::analyze(&g);
         (g, part, mapping, dep, hw)
@@ -312,10 +324,7 @@ mod tests {
         let c1 = &s.units[0];
         assert!(matches!(c1.kind, LlUnitKind::Mvm { mvm: 0 }));
         assert_eq!(c1.replicas.len(), 2);
-        assert_eq!(
-            c1.replicas[0].windows + c1.replicas[1].windows,
-            c1.windows
-        );
+        assert_eq!(c1.replicas[0].windows + c1.replicas[1].windows, c1.windows);
         let _ = g;
     }
 
@@ -323,11 +332,7 @@ mod tests {
     fn vector_units_follow_predecessor_owners() {
         let (g, part, mapping, dep, hw) = setup();
         let s = LlSchedule::build(&g, &part, &mapping, &dep, &hw);
-        let relu = s
-            .units
-            .iter()
-            .find(|u| u.name == "r")
-            .expect("relu unit");
+        let relu = s.units.iter().find(|u| u.name == "r").expect("relu unit");
         // c1 has 2 replicas, both owned by core 0 -> one distinct owner.
         assert!(matches!(relu.kind, LlUnitKind::Vector));
         for rep in &relu.replicas {

@@ -84,13 +84,7 @@ impl DepInfo {
             for &p in graph.predecessors(node.id) {
                 if matches!(graph.node(p).op, Op::Input { .. }) {
                     // Inputs are resident before inference starts.
-                    edges.insert(
-                        (node.id, p),
-                        EdgeDep {
-                            rule,
-                            waiting: 0.0,
-                        },
-                    );
+                    edges.insert((node.id, p), EdgeDep { rule, waiting: 0.0 });
                     continue;
                 }
                 let provider = graph.node(p);
@@ -98,7 +92,10 @@ impl DepInfo {
                     rule,
                     (node.output_shape.height(), node.output_shape.width()),
                     windows[node.id.index()],
-                    (provider.output_shape.height(), provider.output_shape.width()),
+                    (
+                        provider.output_shape.height(),
+                        provider.output_shape.width(),
+                    ),
                     windows[p.index()],
                 );
                 edges.insert((node.id, p), EdgeDep { rule, waiting: w });

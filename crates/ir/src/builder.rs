@@ -61,13 +61,27 @@ impl GraphBuilder {
     /// [`GraphBuilder::input_flat`]).
     pub fn input(&mut self, name: impl Into<String>, chw: [usize; 3]) -> NodeId {
         let shape = Shape::chw(chw[0], chw[1], chw[2]);
-        self.push_unchecked(name.into(), Op::Input { shape: shape.clone() }, vec![], shape)
+        self.push_unchecked(
+            name.into(),
+            Op::Input {
+                shape: shape.clone(),
+            },
+            vec![],
+            shape,
+        )
     }
 
     /// Adds a flat graph input of `features` elements.
     pub fn input_flat(&mut self, name: impl Into<String>, features: usize) -> NodeId {
         let shape = Shape::flat(features);
-        self.push_unchecked(name.into(), Op::Input { shape: shape.clone() }, vec![], shape)
+        self.push_unchecked(
+            name.into(),
+            Op::Input {
+                shape: shape.clone(),
+            },
+            vec![],
+            shape,
+        )
     }
 
     /// Adds an arbitrary operator; the general escape hatch behind the

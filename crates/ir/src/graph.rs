@@ -332,8 +332,7 @@ mod tests {
         let g = diamond();
         let order = g.topo_order();
         assert_eq!(order.len(), g.node_count());
-        let pos: HashMap<NodeId, usize> =
-            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let pos: HashMap<NodeId, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         for n in g.nodes() {
             for &p in &n.inputs {
                 assert!(pos[&p] < pos[&n.id], "{p} must precede {}", n.id);

@@ -76,10 +76,26 @@ fn cbr(
 fn inception_a(b: &mut GraphBuilder, name: &str, input: NodeId, pool_ch: usize) -> NodeId {
     let b1 = cbr(b, &format!("{name}_1x1"), input, 64, (1, 1), (1, 1), (0, 0));
 
-    let b2a = cbr(b, &format!("{name}_5x5_r"), input, 48, (1, 1), (1, 1), (0, 0));
+    let b2a = cbr(
+        b,
+        &format!("{name}_5x5_r"),
+        input,
+        48,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
     let b2 = cbr(b, &format!("{name}_5x5"), b2a, 64, (5, 5), (1, 1), (2, 2));
 
-    let b3a = cbr(b, &format!("{name}_3x3_r"), input, 64, (1, 1), (1, 1), (0, 0));
+    let b3a = cbr(
+        b,
+        &format!("{name}_3x3_r"),
+        input,
+        64,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
     let b3b = cbr(b, &format!("{name}_3x3a"), b3a, 96, (3, 3), (1, 1), (1, 1));
     let b3 = cbr(b, &format!("{name}_3x3b"), b3b, 96, (3, 3), (1, 1), (1, 1));
 
@@ -94,7 +110,15 @@ fn inception_a(b: &mut GraphBuilder, name: &str, input: NodeId, pool_ch: usize) 
             false,
         )
         .expect("stride-1 pool");
-    let b4 = cbr(b, &format!("{name}_pool_proj"), pool, pool_ch, (1, 1), (1, 1), (0, 0));
+    let b4 = cbr(
+        b,
+        &format!("{name}_pool_proj"),
+        pool,
+        pool_ch,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
 
     b.concat(format!("{name}_concat"), vec![b1, b2, b3, b4])
         .expect("equal spatial dims")
@@ -102,9 +126,25 @@ fn inception_a(b: &mut GraphBuilder, name: &str, input: NodeId, pool_ch: usize) 
 
 /// 35→17 reduction: 3×3/2 / 1×1→3×3→3×3/2 / maxpool/2.
 fn reduction_b(b: &mut GraphBuilder, name: &str, input: NodeId) -> NodeId {
-    let b1 = cbr(b, &format!("{name}_3x3"), input, 384, (3, 3), (2, 2), (0, 0));
+    let b1 = cbr(
+        b,
+        &format!("{name}_3x3"),
+        input,
+        384,
+        (3, 3),
+        (2, 2),
+        (0, 0),
+    );
 
-    let b2a = cbr(b, &format!("{name}_dbl_r"), input, 64, (1, 1), (1, 1), (0, 0));
+    let b2a = cbr(
+        b,
+        &format!("{name}_dbl_r"),
+        input,
+        64,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
     let b2b = cbr(b, &format!("{name}_dbl_a"), b2a, 96, (3, 3), (1, 1), (1, 1));
     let b2 = cbr(b, &format!("{name}_dbl_b"), b2b, 96, (3, 3), (2, 2), (0, 0));
 
@@ -118,17 +158,73 @@ fn reduction_b(b: &mut GraphBuilder, name: &str, input: NodeId) -> NodeId {
 
 /// 17×17 module with factorized 7×7 convolutions.
 fn inception_c(b: &mut GraphBuilder, name: &str, input: NodeId, ch7: usize) -> NodeId {
-    let b1 = cbr(b, &format!("{name}_1x1"), input, 192, (1, 1), (1, 1), (0, 0));
+    let b1 = cbr(
+        b,
+        &format!("{name}_1x1"),
+        input,
+        192,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
 
-    let b2a = cbr(b, &format!("{name}_7_r"), input, ch7, (1, 1), (1, 1), (0, 0));
+    let b2a = cbr(
+        b,
+        &format!("{name}_7_r"),
+        input,
+        ch7,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
     let b2b = cbr(b, &format!("{name}_7_a"), b2a, ch7, (1, 7), (1, 1), (0, 3));
     let b2 = cbr(b, &format!("{name}_7_b"), b2b, 192, (7, 1), (1, 1), (3, 0));
 
-    let b3a = cbr(b, &format!("{name}_7dbl_r"), input, ch7, (1, 1), (1, 1), (0, 0));
-    let b3b = cbr(b, &format!("{name}_7dbl_a"), b3a, ch7, (7, 1), (1, 1), (3, 0));
-    let b3c = cbr(b, &format!("{name}_7dbl_b"), b3b, ch7, (1, 7), (1, 1), (0, 3));
-    let b3d = cbr(b, &format!("{name}_7dbl_c"), b3c, ch7, (7, 1), (1, 1), (3, 0));
-    let b3 = cbr(b, &format!("{name}_7dbl_d"), b3d, 192, (1, 7), (1, 1), (0, 3));
+    let b3a = cbr(
+        b,
+        &format!("{name}_7dbl_r"),
+        input,
+        ch7,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
+    let b3b = cbr(
+        b,
+        &format!("{name}_7dbl_a"),
+        b3a,
+        ch7,
+        (7, 1),
+        (1, 1),
+        (3, 0),
+    );
+    let b3c = cbr(
+        b,
+        &format!("{name}_7dbl_b"),
+        b3b,
+        ch7,
+        (1, 7),
+        (1, 1),
+        (0, 3),
+    );
+    let b3d = cbr(
+        b,
+        &format!("{name}_7dbl_c"),
+        b3c,
+        ch7,
+        (7, 1),
+        (1, 1),
+        (3, 0),
+    );
+    let b3 = cbr(
+        b,
+        &format!("{name}_7dbl_d"),
+        b3d,
+        192,
+        (1, 7),
+        (1, 1),
+        (0, 3),
+    );
 
     let pool = b
         .pool(
@@ -141,7 +237,15 @@ fn inception_c(b: &mut GraphBuilder, name: &str, input: NodeId, ch7: usize) -> N
             false,
         )
         .expect("stride-1 pool");
-    let b4 = cbr(b, &format!("{name}_pool_proj"), pool, 192, (1, 1), (1, 1), (0, 0));
+    let b4 = cbr(
+        b,
+        &format!("{name}_pool_proj"),
+        pool,
+        192,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
 
     b.concat(format!("{name}_concat"), vec![b1, b2, b3, b4])
         .expect("equal spatial dims")
@@ -149,13 +253,53 @@ fn inception_c(b: &mut GraphBuilder, name: &str, input: NodeId, ch7: usize) -> N
 
 /// 17→8 reduction with a factorized 7×7 branch.
 fn reduction_d(b: &mut GraphBuilder, name: &str, input: NodeId) -> NodeId {
-    let b1a = cbr(b, &format!("{name}_3x3_r"), input, 192, (1, 1), (1, 1), (0, 0));
+    let b1a = cbr(
+        b,
+        &format!("{name}_3x3_r"),
+        input,
+        192,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
     let b1 = cbr(b, &format!("{name}_3x3"), b1a, 320, (3, 3), (2, 2), (0, 0));
 
-    let b2a = cbr(b, &format!("{name}_7x7_r"), input, 192, (1, 1), (1, 1), (0, 0));
-    let b2b = cbr(b, &format!("{name}_7x7_a"), b2a, 192, (1, 7), (1, 1), (0, 3));
-    let b2c = cbr(b, &format!("{name}_7x7_b"), b2b, 192, (7, 1), (1, 1), (3, 0));
-    let b2 = cbr(b, &format!("{name}_7x7_c"), b2c, 192, (3, 3), (2, 2), (0, 0));
+    let b2a = cbr(
+        b,
+        &format!("{name}_7x7_r"),
+        input,
+        192,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
+    let b2b = cbr(
+        b,
+        &format!("{name}_7x7_a"),
+        b2a,
+        192,
+        (1, 7),
+        (1, 1),
+        (0, 3),
+    );
+    let b2c = cbr(
+        b,
+        &format!("{name}_7x7_b"),
+        b2b,
+        192,
+        (7, 1),
+        (1, 1),
+        (3, 0),
+    );
+    let b2 = cbr(
+        b,
+        &format!("{name}_7x7_c"),
+        b2c,
+        192,
+        (3, 3),
+        (2, 2),
+        (0, 0),
+    );
 
     let b3 = b
         .max_pool(format!("{name}_pool"), input, (3, 3), (2, 2), (0, 0))
@@ -167,19 +311,83 @@ fn reduction_d(b: &mut GraphBuilder, name: &str, input: NodeId) -> NodeId {
 
 /// 8×8 module with split 1×3/3×1 expansions.
 fn inception_e(b: &mut GraphBuilder, name: &str, input: NodeId) -> NodeId {
-    let b1 = cbr(b, &format!("{name}_1x1"), input, 320, (1, 1), (1, 1), (0, 0));
+    let b1 = cbr(
+        b,
+        &format!("{name}_1x1"),
+        input,
+        320,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
 
-    let b2a = cbr(b, &format!("{name}_3x3_r"), input, 384, (1, 1), (1, 1), (0, 0));
-    let b2l = cbr(b, &format!("{name}_3x3_l"), b2a, 384, (1, 3), (1, 1), (0, 1));
-    let b2r = cbr(b, &format!("{name}_3x3_rr"), b2a, 384, (3, 1), (1, 1), (1, 0));
+    let b2a = cbr(
+        b,
+        &format!("{name}_3x3_r"),
+        input,
+        384,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
+    let b2l = cbr(
+        b,
+        &format!("{name}_3x3_l"),
+        b2a,
+        384,
+        (1, 3),
+        (1, 1),
+        (0, 1),
+    );
+    let b2r = cbr(
+        b,
+        &format!("{name}_3x3_rr"),
+        b2a,
+        384,
+        (3, 1),
+        (1, 1),
+        (1, 0),
+    );
     let b2 = b
         .concat(format!("{name}_3x3_cat"), vec![b2l, b2r])
         .expect("split branches share dims");
 
-    let b3a = cbr(b, &format!("{name}_dbl_r"), input, 448, (1, 1), (1, 1), (0, 0));
-    let b3b = cbr(b, &format!("{name}_dbl_m"), b3a, 384, (3, 3), (1, 1), (1, 1));
-    let b3l = cbr(b, &format!("{name}_dbl_l"), b3b, 384, (1, 3), (1, 1), (0, 1));
-    let b3r = cbr(b, &format!("{name}_dbl_rr"), b3b, 384, (3, 1), (1, 1), (1, 0));
+    let b3a = cbr(
+        b,
+        &format!("{name}_dbl_r"),
+        input,
+        448,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
+    let b3b = cbr(
+        b,
+        &format!("{name}_dbl_m"),
+        b3a,
+        384,
+        (3, 3),
+        (1, 1),
+        (1, 1),
+    );
+    let b3l = cbr(
+        b,
+        &format!("{name}_dbl_l"),
+        b3b,
+        384,
+        (1, 3),
+        (1, 1),
+        (0, 1),
+    );
+    let b3r = cbr(
+        b,
+        &format!("{name}_dbl_rr"),
+        b3b,
+        384,
+        (3, 1),
+        (1, 1),
+        (1, 0),
+    );
     let b3 = b
         .concat(format!("{name}_dbl_cat"), vec![b3l, b3r])
         .expect("split branches share dims");
@@ -195,7 +403,15 @@ fn inception_e(b: &mut GraphBuilder, name: &str, input: NodeId) -> NodeId {
             false,
         )
         .expect("stride-1 pool");
-    let b4 = cbr(b, &format!("{name}_pool_proj"), pool, 192, (1, 1), (1, 1), (0, 0));
+    let b4 = cbr(
+        b,
+        &format!("{name}_pool_proj"),
+        pool,
+        192,
+        (1, 1),
+        (1, 1),
+        (0, 0),
+    );
 
     b.concat(format!("{name}_concat"), vec![b1, b2, b3, b4])
         .expect("equal spatial dims")

@@ -45,13 +45,7 @@ pub fn resnet50() -> Graph {
     for (si, (ch, first_stride)) in stages.into_iter().enumerate() {
         for blk in 0..blocks[si] {
             let stride = if blk == 0 { first_stride } else { 1 };
-            cur = bottleneck_block(
-                &mut b,
-                &format!("layer{}_{}", si + 1, blk),
-                cur,
-                ch,
-                stride,
-            );
+            cur = bottleneck_block(&mut b, &format!("layer{}_{}", si + 1, blk), cur, ch, stride);
         }
     }
 
@@ -138,7 +132,14 @@ fn bottleneck_block(
 ) -> NodeId {
     let out_ch = mid_ch * 4;
     let c1 = b
-        .conv2d(format!("{name}_conv1"), input, mid_ch, (1, 1), (1, 1), (0, 0))
+        .conv2d(
+            format!("{name}_conv1"),
+            input,
+            mid_ch,
+            (1, 1),
+            (1, 1),
+            (0, 0),
+        )
         .expect("bottleneck conv1");
     let bn1 = b.batch_norm(format!("{name}_bn1"), c1).expect("bn1");
     let r1 = b.relu(format!("{name}_relu1"), bn1).expect("relu1");

@@ -10,12 +10,20 @@ use crate::{Graph, GraphBuilder};
 pub fn tiny_cnn() -> Graph {
     let mut b = GraphBuilder::new("tiny_cnn");
     let x = b.input("input", [3, 32, 32]);
-    let c1 = b.conv2d("conv1", x, 16, (3, 3), (1, 1), (1, 1)).expect("conv1");
+    let c1 = b
+        .conv2d("conv1", x, 16, (3, 3), (1, 1), (1, 1))
+        .expect("conv1");
     let r1 = b.relu("relu1", c1).expect("relu1");
-    let p1 = b.max_pool("pool1", r1, (2, 2), (2, 2), (0, 0)).expect("pool1");
-    let c2 = b.conv2d("conv2", p1, 32, (3, 3), (1, 1), (1, 1)).expect("conv2");
+    let p1 = b
+        .max_pool("pool1", r1, (2, 2), (2, 2), (0, 0))
+        .expect("pool1");
+    let c2 = b
+        .conv2d("conv2", p1, 32, (3, 3), (1, 1), (1, 1))
+        .expect("conv2");
     let r2 = b.relu("relu2", c2).expect("relu2");
-    let p2 = b.max_pool("pool2", r2, (2, 2), (2, 2), (0, 0)).expect("pool2");
+    let p2 = b
+        .max_pool("pool2", r2, (2, 2), (2, 2), (0, 0))
+        .expect("pool2");
     let f = b.flatten("flatten", p2).expect("flatten");
     let fc1 = b.linear("fc1", f, 128).expect("fc1");
     let r3 = b.relu("relu3", fc1).expect("relu3");
@@ -39,10 +47,16 @@ pub fn tiny_mlp() -> Graph {
 pub fn two_branch() -> Graph {
     let mut b = GraphBuilder::new("two_branch");
     let x = b.input("input", [8, 16, 16]);
-    let stem = b.conv2d("stem", x, 16, (3, 3), (1, 1), (1, 1)).expect("stem");
-    let l = b.conv2d("left", stem, 16, (3, 3), (1, 1), (1, 1)).expect("left");
+    let stem = b
+        .conv2d("stem", x, 16, (3, 3), (1, 1), (1, 1))
+        .expect("stem");
+    let l = b
+        .conv2d("left", stem, 16, (3, 3), (1, 1), (1, 1))
+        .expect("left");
     let lr = b.relu("left_relu", l).expect("relu");
-    let r = b.conv2d("right", stem, 16, (1, 1), (1, 1), (0, 0)).expect("right");
+    let r = b
+        .conv2d("right", stem, 16, (1, 1), (1, 1), (0, 0))
+        .expect("right");
     let add = b.eltwise_add("join", lr, r).expect("join");
     let rr = b.relu("join_relu", add).expect("relu");
     let g = b.global_avg_pool("gap", rr).expect("gap");

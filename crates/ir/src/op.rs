@@ -354,8 +354,9 @@ mod tests {
             }),
         ];
         for op in &ops {
-            let classes =
-                usize::from(op.is_mvm()) + usize::from(op.is_vector()) + usize::from(op.is_memory());
+            let classes = usize::from(op.is_mvm())
+                + usize::from(op.is_vector())
+                + usize::from(op.is_memory());
             assert_eq!(classes, 1, "op {op} must belong to exactly one class");
         }
     }

@@ -76,10 +76,7 @@ pub fn infer_output_shape(node: &str, op: &Op, inputs: &[&Shape]) -> Result<Shap
             if c.stride.0 == 0 || c.stride.1 == 0 {
                 return Err(attr_err("stride must be positive".into()));
             }
-            if c.groups == 0
-                || c.in_channels % c.groups != 0
-                || c.out_channels % c.groups != 0
-            {
+            if c.groups == 0 || c.in_channels % c.groups != 0 || c.out_channels % c.groups != 0 {
                 return Err(attr_err(format!(
                     "groups {} must divide Cin {} and Cout {}",
                     c.groups, c.in_channels, c.out_channels

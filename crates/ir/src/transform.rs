@@ -113,8 +113,7 @@ fn rebuild_with_remap(graph: &Graph, forward: &HashMap<NodeId, NodeId>) -> Graph
             output_shape: old.output_shape.clone(),
         });
     }
-    Graph::from_nodes(graph.name(), nodes)
-        .expect("identity-node removal preserves validity")
+    Graph::from_nodes(graph.name(), nodes).expect("identity-node removal preserves validity")
 }
 
 #[cfg(test)]

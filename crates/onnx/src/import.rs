@@ -151,11 +151,14 @@ fn import_node(
     match node.op_type.as_str() {
         "Conv" => {
             let x = data_input(node, 0, value)?;
-            let wname = node.input.get(1).ok_or_else(|| {
-                err(format!("Conv `{name}` has no weight input"))
-            })?;
+            let wname = node
+                .input
+                .get(1)
+                .ok_or_else(|| err(format!("Conv `{name}` has no weight input")))?;
             let wdims = weights.get(wname.as_str()).ok_or_else(|| {
-                err(format!("Conv `{name}` weight `{wname}` is not an initializer"))
+                err(format!(
+                    "Conv `{name}` weight `{wname}` is not an initializer"
+                ))
             })?;
             if wdims.len() != 4 {
                 return Err(err(format!(
@@ -195,11 +198,14 @@ fn import_node(
         }
         "Gemm" | "MatMul" => {
             let x = data_input(node, 0, value)?;
-            let wname = node.input.get(1).ok_or_else(|| {
-                err(format!("Gemm `{name}` has no weight input"))
-            })?;
+            let wname = node
+                .input
+                .get(1)
+                .ok_or_else(|| err(format!("Gemm `{name}` has no weight input")))?;
             let wdims = weights.get(wname.as_str()).ok_or_else(|| {
-                err(format!("Gemm `{name}` weight `{wname}` is not an initializer"))
+                err(format!(
+                    "Gemm `{name}` weight `{wname}` is not an initializer"
+                ))
             })?;
             if wdims.len() != 2 {
                 return Err(err(format!("Gemm `{name}` weight must be 2-D")));
@@ -346,10 +352,7 @@ mod tests {
         assert_eq!(ops(&back), ops(&original));
         // Same shapes at every node.
         for (a, z) in original.topo_order().iter().zip(back.topo_order()) {
-            assert_eq!(
-                original.node(*a).output_shape,
-                back.node(z).output_shape
-            );
+            assert_eq!(original.node(*a).output_shape, back.node(z).output_shape);
         }
     }
 

@@ -295,7 +295,17 @@ mod tests {
 
     #[test]
     fn varint_round_trip() {
-        for v in [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut w = Writer::new();
             w.varint(v);
             let bytes = w.into_bytes();

@@ -219,15 +219,12 @@ pub(crate) fn run(
 
                         // 3. Local adds (owner's remote adds + act are
                         //    costed in the AwaitPartials phase).
-                        let remote_elems = (p.recvs_per_round
-                            + usize::from(p.recvs_per_round > 0))
+                        let remote_elems = (p.recvs_per_round + usize::from(p.recvs_per_round > 0))
                             * compiled.partitioning.entry(p.mvm).weight_width
                             * schedule.batch;
-                        let local_add_elems =
-                            p.vec_elems_per_round.saturating_sub(remote_elems);
+                        let local_add_elems = p.vec_elems_per_round.saturating_sub(remote_elems);
                         let t_adds = if local_add_elems > 0 {
-                            let t =
-                                vfu_free[core].max(t_mvm_end) + hw.vfu_cycles(local_add_elems);
+                            let t = vfu_free[core].max(t_mvm_end) + hw.vfu_cycles(local_add_elems);
                             vfu_free[core] = t;
                             vfu_elems += local_add_elems as u64;
                             t
@@ -252,7 +249,10 @@ pub(crate) fn run(
                         // 5. Owner waits for partials; non-owners (and
                         //    ownerless rounds) go straight to the store.
                         phase[pid] = if p.recvs_per_round > 0 {
-                            Phase::AwaitPartials { round, ready: t_adds }
+                            Phase::AwaitPartials {
+                                round,
+                                ready: t_adds,
+                            }
                         } else {
                             Phase::StorePending { round, at: t_adds }
                         };
@@ -280,7 +280,8 @@ pub(crate) fn run(
                         let t_store = if t.store_bytes > 0 {
                             global_bytes += t.store_bytes as u64;
                             local_bytes += t.store_bytes as u64;
-                            global_mem[chip_of(core)].acquire(now, hw.global_memory_cycles(t.store_bytes))
+                            global_mem[chip_of(core)]
+                                .acquire(now, hw.global_memory_cycles(t.store_bytes))
                         } else {
                             now
                         };
@@ -295,7 +296,8 @@ pub(crate) fn run(
                         let t_load = if t.load_bytes > 0 {
                             global_bytes += t.load_bytes as u64;
                             local_bytes += t.load_bytes as u64;
-                            global_mem[chip_of(core)].acquire(now, hw.global_memory_cycles(t.load_bytes))
+                            global_mem[chip_of(core)]
+                                .acquire(now, hw.global_memory_cycles(t.load_bytes))
                         } else {
                             now
                         };

@@ -10,17 +10,26 @@
 //!
 //! # Example
 //!
+//! Compile through a staged session, persist the result as a versioned
+//! artifact, and simulate the reloaded artifact — the
+//! compile-once/serve-many flow:
+//!
 //! ```
 //! use pimcomp_arch::{HardwareConfig, PipelineMode};
-//! use pimcomp_core::{CompileOptions, PimCompiler};
+//! use pimcomp_core::{CompileOptions, CompileSession, CompiledArtifact};
 //! use pimcomp_sim::Simulator;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let graph = pimcomp_ir::models::tiny_mlp();
 //! let hw = HardwareConfig::small_test();
-//! let compiled = PimCompiler::new(hw.clone())
-//!     .compile(&graph, &CompileOptions::new(PipelineMode::HighThroughput).with_fast_ga(3))?;
-//! let report = Simulator::new(hw).run(&compiled)?;
+//! let opts = CompileOptions::new(PipelineMode::HighThroughput).with_fast_ga(3);
+//! let compiled = CompileSession::new(hw.clone(), &graph, opts)?.run()?;
+//!
+//! // Persist + reload (normally across processes / machines) ...
+//! let artifact = CompiledArtifact::from_json(&CompiledArtifact::new(compiled).to_json()?)?;
+//!
+//! // ... and serve it: the simulator fingerprint-checks the target.
+//! let report = Simulator::new(hw).run_artifact(&artifact)?;
 //! assert!(report.total_cycles > 0);
 //! assert!(report.energy.total_pj() > 0.0);
 //! # Ok(())
@@ -39,7 +48,7 @@ pub use report::{EnergyReport, MemoryReport, SimReport};
 pub use resources::{ActivitySpan, BandwidthServer};
 
 use pimcomp_arch::{ComponentLibrary, EnergyModel, HardwareConfig};
-use pimcomp_core::CompiledModel;
+use pimcomp_core::{CompiledArtifact, CompiledModel};
 use std::fmt;
 
 /// Simulation errors.
@@ -61,6 +70,12 @@ pub enum SimError {
         /// Diagnostic description.
         detail: String,
     },
+    /// A [`CompiledArtifact`] was compiled for hardware that does not
+    /// match this simulator's target (fingerprint check failed).
+    HardwareMismatch {
+        /// Diagnostic description.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -69,6 +84,9 @@ impl fmt::Display for SimError {
             SimError::WrongScheduleKind => write!(f, "schedule kind does not match simulator"),
             SimError::Diverged { detail } => write!(f, "simulation diverged: {detail}"),
             SimError::Deadlock { detail } => write!(f, "simulation deadlocked: {detail}"),
+            SimError::HardwareMismatch { detail } => {
+                write!(f, "artifact/simulator hardware mismatch: {detail}")
+            }
         }
     }
 }
@@ -117,6 +135,24 @@ impl Simulator {
             pimcomp_arch::PipelineMode::HighThroughput => ht::run(compiled, &self.energy),
             pimcomp_arch::PipelineMode::LowLatency => ll::run(compiled, &self.energy),
         }
+    }
+
+    /// Executes a persisted [`CompiledArtifact`] after verifying it was
+    /// compiled for this simulator's hardware — the serve side of the
+    /// compile-once/serve-many flow.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::HardwareMismatch`] when the artifact's hardware
+    /// fingerprint differs from this simulator's target, plus the
+    /// [`Simulator::run`] errors.
+    pub fn run_artifact(&self, artifact: &CompiledArtifact) -> Result<SimReport, SimError> {
+        artifact
+            .verify_hardware(&self.hw)
+            .map_err(|e| SimError::HardwareMismatch {
+                detail: e.to_string(),
+            })?;
+        self.run(artifact.model())
     }
 }
 
@@ -195,15 +231,16 @@ mod tests {
         // comparison lives in the fig8 benchmark harness.)
         let graph = models::tiny_cnn();
         let hw = HardwareConfig::small_test();
-        let opts = CompileOptions::new(PipelineMode::HighThroughput).with_ga(
-            pimcomp_core::GaParams {
+        let opts =
+            CompileOptions::new(PipelineMode::HighThroughput).with_ga(pimcomp_core::GaParams {
                 population: 24,
                 iterations: 80,
                 ..pimcomp_core::GaParams::fast(9)
-            },
-        );
+            });
         let ours = PimCompiler::new(hw.clone()).compile(&graph, &opts).unwrap();
-        let base = PumaCompiler::new(hw.clone()).compile(&graph, &opts).unwrap();
+        let base = PumaCompiler::new(hw.clone())
+            .compile(&graph, &opts)
+            .unwrap();
         assert!(
             ours.report.estimated_fitness <= base.report.estimated_fitness * 1.02,
             "GA fitness {} vs baseline {}",

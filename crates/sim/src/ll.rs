@@ -178,8 +178,7 @@ pub(crate) fn run(
                 for &(core, _) in &rep_spec.ags_per_core {
                     if core != owner {
                         let bytes = entry.weight_width * eb;
-                        arrive =
-                            arrive.max(mvm_end + noc.transfer_cycles(core, owner, bytes));
+                        arrive = arrive.max(mvm_end + noc.transfer_cycles(core, owner, bytes));
                         noc_bytes += bytes as u64;
                         noc_pj += noc.transfer_energy_pj(core, owner, bytes);
                     }

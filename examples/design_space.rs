@@ -29,10 +29,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             hw.mvm_latency = xbar as u64;
             hw.validate()?;
 
-            let opts =
-                CompileOptions::new(PipelineMode::HighThroughput).with_fast_ga(17);
-            let compiled = match PimCompiler::new(hw.clone()).compile(&graph, &opts) {
-                Ok(c) => c,
+            let opts = CompileOptions::new(PipelineMode::HighThroughput).with_fast_ga(17);
+            // Partition first: infeasible points are detected from the
+            // stage-1 artifact alone, before paying for the GA.
+            let partitioned = CompileSession::new(hw.clone(), &graph, opts)?.partition()?;
+            if partitioned.partitioning().min_crossbars() > hw.total_crossbars() {
+                println!("{xbar:>8} {par:>6} {:>12} (does not fit)", "-");
+                continue;
+            }
+            let compiled = match partitioned.optimize().and_then(|o| o.schedule()) {
+                Ok(s) => s.finish(),
                 Err(e) => {
                     println!("{xbar:>8} {par:>6} {:>12} (does not fit: {e})", "-");
                     continue;

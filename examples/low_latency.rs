@@ -16,7 +16,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hw = HardwareConfig::small_test();
     let opts = CompileOptions::new(PipelineMode::LowLatency).with_fast_ga(7);
 
-    let ours = PimCompiler::new(hw.clone()).compile(&graph, &opts)?;
+    // Stage the PIMCOMP compilation so the GA trace is inspectable.
+    let optimized = CompileSession::new(hw.clone(), &graph, opts.clone())?
+        .partition()?
+        .optimize()?;
+    println!(
+        "GA converged over {} generations ({} fitness evaluations)",
+        optimized.ga_stats().history.len(),
+        optimized.ga_stats().evaluations
+    );
+    let ours = optimized.schedule()?.finish();
     let base = PumaCompiler::new(hw.clone()).compile(&graph, &opts)?;
 
     let sim = Simulator::new(hw);
@@ -24,11 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r_base = sim.run(&base)?;
 
     println!("model: {} (residual two-branch join)", graph.name());
-    println!("\n{:<12} {:>14} {:>12} {:>14}", "compiler", "latency (cyc)", "replicas", "active cores");
-    for (label, r, c) in [
-        ("PUMA-like", &r_base, &base),
-        ("PIMCOMP", &r_ours, &ours),
-    ] {
+    println!(
+        "\n{:<12} {:>14} {:>12} {:>14}",
+        "compiler", "latency (cyc)", "replicas", "active cores"
+    );
+    for (label, r, c) in [("PUMA-like", &r_base, &base), ("PIMCOMP", &r_ours, &ours)] {
         println!(
             "{:<12} {:>14} {:>12} {:>14}",
             label,

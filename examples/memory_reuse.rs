@@ -2,6 +2,10 @@
 //! local-memory allocation policies on one compilation and show their
 //! working sets and global-memory traffic.
 //!
+//! Demonstrates session re-entry: the pipeline runs up to the
+//! `Scheduled` stage once, then `replan_memory` swaps the policy
+//! without re-running partitioning, the GA, or scheduling.
+//!
 //! ```sh
 //! cargo run --release --example memory_reuse
 //! ```
@@ -15,17 +19,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hw = HardwareConfig::small_test();
 
     for mode in [PipelineMode::HighThroughput, PipelineMode::LowLatency] {
+        // Compile once, stopping at the Scheduled stage artifact.
         let opts = CompileOptions::new(mode).with_fast_ga(23);
-        let compiled = PimCompiler::new(hw.clone()).compile(&graph, &opts)?;
+        let mut scheduled = CompileSession::new(hw.clone(), &graph, opts)?
+            .partition()?
+            .optimize()?
+            .schedule()?;
 
-        println!("== {mode} mode (local memory budget: {} kB)", hw.local_memory_bytes / 1024);
+        println!(
+            "== {mode} mode (local memory budget: {} kB)",
+            hw.local_memory_bytes / 1024
+        );
         println!(
             "{:<12} {:>12} {:>12} {:>16}",
             "policy", "avg (kB)", "peak (kB)", "global traffic"
         );
         let mut naive_traffic = 0usize;
         for policy in ReusePolicy::ALL {
-            let plan = compiled.replan_memory(policy);
+            // Re-enter only the memory-planning step of stage 4.
+            scheduled = scheduled.replan_memory(policy);
+            let plan = scheduled.memory();
             if policy == ReusePolicy::Naive {
                 naive_traffic = plan.global_traffic;
             }

@@ -38,13 +38,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(loaded.node_count(), original.node_count());
 
-    // The imported graph compiles exactly like the original.
+    // The imported graph compiles exactly like the original. Persist
+    // the result as a versioned artifact and serve it from disk — the
+    // compile-once/serve-many flow.
     let hw = HardwareConfig::small_test();
     let opts = CompileOptions::new(PipelineMode::HighThroughput).with_fast_ga(5);
-    let compiled = PimCompiler::new(hw.clone()).compile(&loaded, &opts)?;
-    let report = Simulator::new(hw).run(&compiled)?;
+    let compiled = CompileSession::new(hw.clone(), &loaded, opts)?.run()?;
+
+    let artifact_path = std::env::temp_dir().join("pimcomp_quickstart.pimc.json");
+    CompiledArtifact::new(compiled).save(&artifact_path)?;
+    println!("saved compiled artifact {}", artifact_path.display());
+
+    let artifact = CompiledArtifact::load(&artifact_path)?;
+    let report = Simulator::new(hw).run_artifact(&artifact)?;
     println!(
-        "compiled + simulated the imported model: {} cycles/inference",
+        "reloaded + simulated the artifact: {} cycles/inference",
         report.total_cycles
     );
     Ok(())

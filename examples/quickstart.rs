@@ -33,17 +33,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         hw.crossbar_cols
     );
 
-    // 3. Compile and simulate in both modes.
+    // 3. Compile and simulate in both modes, stage by stage: a
+    //    CompileSession walks the paper's pipeline through typed
+    //    artifacts (Partitioned -> Optimized -> Scheduled), each one
+    //    inspectable before committing to the next stage.
     for mode in [PipelineMode::HighThroughput, PipelineMode::LowLatency] {
         let opts = CompileOptions::new(mode).with_fast_ga(42);
-        let compiled = PimCompiler::new(hw.clone()).compile(&graph, &opts)?;
+        let partitioned = CompileSession::new(hw.clone(), &graph, opts)?.partition()?;
+        println!(
+            "\n== {mode} mode ==\n  partitioned into {} MVM nodes ({} crossbars minimum)",
+            partitioned.partitioning().len(),
+            partitioned.partitioning().min_crossbars()
+        );
+        let optimized = partitioned.optimize()?;
+        println!(
+            "  GA: {:.0} -> {:.0} estimated cycles",
+            optimized.ga_stats().initial_fitness,
+            optimized.ga_stats().final_fitness
+        );
+        let compiled = optimized.schedule()?.finish();
         let report = Simulator::new(hw.clone()).run(&compiled)?;
 
-        println!("\n== {mode} mode ==");
-        println!(
-            "  replication plan: {:?}",
-            compiled.report.replication
-        );
+        println!("  replication plan: {:?}", compiled.report.replication);
         println!(
             "  {} active cores, {} crossbars holding weights",
             compiled.report.active_cores, compiled.report.crossbars_used

@@ -3,8 +3,11 @@
 //! ```text
 //! pimcomp compile  --model resnet18 [--mode ht|ll] [--chips N] [--parallelism P]
 //!                  [--policy naive|add|ag] [--ga POPxITERS] [--seed S]
+//!                  [--artifact out.pimc.json] [--progress]
 //!                  [--simulate] [--report out.json]
-//! pimcomp inspect  --model model.onnx           # print graph + workload stats
+//! pimcomp simulate --artifact model.pimc.json [--report out.json]
+//! pimcomp inspect  --model model.onnx           # graph + workload stats
+//! pimcomp inspect  --artifact model.pimc.json   # compiled-stage summary
 //! pimcomp export   --model vgg16 --out vgg16.onnx
 //! pimcomp models                                # list the zoo
 //! ```
@@ -12,14 +15,21 @@
 //! `--model` accepts either a zoo name (`vgg16`, `resnet18`,
 //! `googlenet`, `inception_v3`, `squeezenet`, `tiny_cnn`, …) or a path
 //! to an `.onnx` file.
+//!
+//! The compile-once/serve-many flow: `compile --artifact` persists a
+//! versioned [`CompiledArtifact`]; `simulate --artifact` (typically on
+//! another machine) executes it without recompiling. Pass
+//! `--chips`/`--parallelism` to `simulate` to pin the serving target —
+//! the artifact's hardware fingerprint is then checked against it.
 
 use pimcomp::prelude::*;
 use pimcomp_arch::PipelineMode;
-use pimcomp_core::{GaParams, Partitioning, ReusePolicy};
+use pimcomp_core::{CompileStage, GaParams, Partitioning, ReusePolicy};
 use pimcomp_ir::transform::normalize;
 use pimcomp_ir::{Graph, GraphStats};
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,6 +46,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "compile" => cmd_compile(&opts),
+        "simulate" => cmd_simulate(&opts),
         "inspect" => cmd_inspect(&opts),
         "export" => cmd_export(&opts),
         "models" => cmd_models(),
@@ -57,9 +68,11 @@ fn main() -> ExitCode {
 const USAGE: &str = "pimcomp — compilation framework for crossbar-based PIM DNN accelerators
 
 USAGE:
-  pimcomp compile --model <NAME|FILE.onnx> [options]   compile (and optionally simulate)
-  pimcomp inspect --model <NAME|FILE.onnx>             print graph and workload statistics
-  pimcomp export  --model <NAME> --out <FILE.onnx>     export a zoo model as ONNX
+  pimcomp compile  --model <NAME|FILE.onnx> [options]  compile (and optionally simulate)
+  pimcomp simulate --artifact <FILE.pimc.json>         simulate a saved artifact
+  pimcomp inspect  --model <NAME|FILE.onnx>            print graph and workload statistics
+  pimcomp inspect  --artifact <FILE.pimc.json>         summarize a saved artifact's stages
+  pimcomp export   --model <NAME> --out <FILE.onnx>    export a zoo model as ONNX
   pimcomp models                                       list zoo models
 
 OPTIONS (compile):
@@ -69,8 +82,18 @@ OPTIONS (compile):
   --policy naive|add|ag   memory-reuse policy (default: ag)
   --ga POPxITERS          GA size (default: 100x200)
   --seed S                GA seed (default: 1)
+  --artifact FILE         save the compiled model as a versioned artifact
+  --progress              stream stage + GA-generation progress to stderr
   --simulate              run the cycle-accurate simulator on the result
-  --report FILE.json      write a JSON report";
+  --report FILE.json      write a JSON report
+
+OPTIONS (simulate):
+  --artifact FILE         artifact produced by `compile --artifact`
+  --chips N, --parallelism P
+                          pin the serving target; the artifact's hardware
+                          fingerprint is checked against it (default: the
+                          artifact's own embedded hardware)
+  --report FILE.json      write the simulation report as JSON";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
@@ -80,13 +103,11 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("unexpected argument `{a}`"));
         };
         match key {
-            "simulate" => {
+            "simulate" | "progress" => {
                 map.insert(key.to_string(), "true".to_string());
             }
             _ => {
-                let v = it
-                    .next()
-                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
                 map.insert(key.to_string(), v.clone());
             }
         }
@@ -99,8 +120,7 @@ fn load_model(opts: &HashMap<String, String>) -> Result<Graph, String> {
         .get("model")
         .ok_or("`--model` is required (zoo name or .onnx path)")?;
     if spec.ends_with(".onnx") {
-        let bytes =
-            std::fs::read(spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
+        let bytes = std::fs::read(spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
         return pimcomp_onnx::import_bytes(&bytes).map_err(|e| e.to_string());
     }
     match spec.as_str() {
@@ -177,20 +197,31 @@ fn cmd_compile(opts: &HashMap<String, String>) -> Result<(), String> {
         hw.parallelism
     );
     let compile_opts = CompileOptions::new(mode).with_ga(ga).with_policy(policy);
-    let compiled = PimCompiler::new(hw.clone())
-        .compile(&graph, &compile_opts)
-        .map_err(|e| e.to_string())?;
+    let session =
+        CompileSession::new(hw.clone(), &graph, compile_opts).map_err(|e| e.to_string())?;
+    let compiled = if opts.contains_key("progress") {
+        session.run_observed(&mut ProgressPrinter::default())
+    } else {
+        session.run()
+    }
+    .map_err(|e| e.to_string())?;
 
     let r = &compiled.report;
-    println!("  stages: partition {:?}, replicate+map {:?}, schedule {:?}",
-        r.timings.node_partitioning, r.timings.replicating_mapping, r.timings.dataflow_scheduling);
+    println!(
+        "  stages: partition {:?}, replicate+map {:?}, schedule {:?}",
+        r.timings.node_partitioning, r.timings.replicating_mapping, r.timings.dataflow_scheduling
+    );
     println!("  replication: {:?}", r.replication);
     println!(
         "  {} active cores, {} / {} crossbars, estimated {} = {:.0} cycles",
         r.active_cores,
         r.crossbars_used,
         hw.total_crossbars(),
-        if mode == PipelineMode::HighThroughput { "F_HT" } else { "F_LL" },
+        if mode == PipelineMode::HighThroughput {
+            "F_HT"
+        } else {
+            "F_LL"
+        },
         r.estimated_fitness
     );
 
@@ -234,10 +265,164 @@ fn cmd_compile(opts: &HashMap<String, String>) -> Result<(), String> {
         std::fs::write(path, json).map_err(|e| e.to_string())?;
         println!("  wrote {path}");
     }
+
+    // Last, so the model can be moved into the artifact without a
+    // deep copy (compiled models for large networks are megabytes).
+    if let Some(path) = opts.get("artifact") {
+        let artifact = CompiledArtifact::new(compiled);
+        artifact.save(path).map_err(|e| e.to_string())?;
+        println!(
+            "  wrote artifact {path} (format v{}, hw fingerprint {:#018x})",
+            artifact.format_version(),
+            artifact.hw_fingerprint()
+        );
+    }
+    Ok(())
+}
+
+/// Observer streaming stage + GA progress to stderr (`--progress`).
+#[derive(Default)]
+struct ProgressPrinter {
+    last_reported: usize,
+}
+
+impl CompileObserver for ProgressPrinter {
+    fn on_stage_start(&mut self, stage: CompileStage) {
+        eprintln!("[stage] {} ...", stage.label());
+    }
+
+    fn on_stage_finish(&mut self, stage: CompileStage, elapsed: Duration) {
+        eprintln!("[stage] {} done in {elapsed:?}", stage.label());
+    }
+
+    fn on_ga_generation(&mut self, p: GaGeneration) {
+        // Report ~20 times per run to keep stderr readable.
+        let step = (p.total_generations / 20).max(1);
+        if p.generation >= self.last_reported + step || p.generation + 1 == p.total_generations {
+            self.last_reported = p.generation;
+            eprintln!(
+                "[ga] generation {}/{}: best fitness {:.0} ({} evaluations)",
+                p.generation + 1,
+                p.total_generations,
+                p.best_fitness,
+                p.evaluations
+            );
+        }
+    }
+}
+
+fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let path = opts
+        .get("artifact")
+        .ok_or("`--artifact FILE` is required (produced by `compile --artifact`)")?;
+    let artifact = CompiledArtifact::load(path).map_err(|e| e.to_string())?;
+    let model = artifact.model();
+    println!(
+        "loaded {path}: {} ({} mode, format v{}, hw fingerprint {:#018x})",
+        model.report.model,
+        model.mode,
+        artifact.format_version(),
+        artifact.hw_fingerprint()
+    );
+    // With --chips/--parallelism the caller pins the serving target and
+    // the fingerprint check is meaningful; otherwise the artifact's own
+    // embedded hardware is the target (trivially matching).
+    let target = if opts.contains_key("chips") || opts.contains_key("parallelism") {
+        let chips = match opts.get("chips") {
+            Some(s) => s.parse().map_err(|_| "bad --chips")?,
+            None => model.hw.chips,
+        };
+        let parallelism = match opts.get("parallelism") {
+            Some(s) => s.parse().map_err(|_| "bad --parallelism")?,
+            None => model.hw.parallelism,
+        };
+        HardwareConfig::puma_with_chips(chips).with_parallelism(parallelism)
+    } else {
+        model.hw.clone()
+    };
+    let report = Simulator::new(target)
+        .run_artifact(&artifact)
+        .map_err(|e| e.to_string())?;
+    match model.mode {
+        PipelineMode::HighThroughput => println!(
+            "  simulated: {} cycles/inference -> {:.0} inf/s",
+            report.total_cycles, report.throughput_inf_per_s
+        ),
+        PipelineMode::LowLatency => println!(
+            "  simulated: {} cycles latency ({:.1} us)",
+            report.total_cycles, report.latency_us
+        ),
+    }
+    println!(
+        "  energy {:.1} uJ (dyn {:.1} + leak {:.1}), avg local mem {:.1} kB",
+        report.energy.total_pj() / 1e6,
+        report.energy.dynamic_pj() / 1e6,
+        report.energy.leakage_pj / 1e6,
+        report.memory.avg_local_bytes / 1024.0
+    );
+    if let Some(out) = opts.get("report") {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(out, json).map_err(|e| e.to_string())?;
+        println!("  wrote {out}");
+    }
+    Ok(())
+}
+
+fn inspect_artifact(path: &str) -> Result<(), String> {
+    let artifact = CompiledArtifact::load(path).map_err(|e| e.to_string())?;
+    let m = artifact.model();
+    let r = &m.report;
+    println!(
+        "artifact {path} (format v{}, hw fingerprint {:#018x})",
+        artifact.format_version(),
+        artifact.hw_fingerprint()
+    );
+    println!(
+        "model: {} compiled by {} in {} mode",
+        r.model, r.compiler, r.mode
+    );
+    println!(
+        "hardware: {} chips x {} cores, parallelism {}",
+        m.hw.chips, m.hw.cores_per_chip, m.hw.parallelism
+    );
+    println!("stages:");
+    println!(
+        "  partitioning : {:?} ({} MVM nodes)",
+        r.timings.node_partitioning,
+        m.partitioning.len()
+    );
+    print!(
+        "  replicate+map: {:?} ({} active cores, {} crossbars",
+        r.timings.replicating_mapping, r.active_cores, r.crossbars_used
+    );
+    match &r.ga {
+        Some(ga) => println!(
+            "; GA {:.0} -> {:.0} over {} generations)",
+            ga.initial_fitness,
+            ga.final_fitness,
+            ga.history.len()
+        ),
+        None => println!(")"),
+    }
+    println!(
+        "  scheduling   : {:?} ({} schedule, {} policy, peak local {:.1} kB)",
+        r.timings.dataflow_scheduling,
+        match &m.schedule {
+            pimcomp_core::Schedule::HighThroughput(_) => "HT",
+            pimcomp_core::Schedule::LowLatency(_) => "LL",
+        },
+        m.memory.policy.label(),
+        m.memory.peak_bytes as f64 / 1024.0
+    );
+    println!("replication: {:?}", r.replication);
+    println!("estimated fitness: {:.0} cycles", r.estimated_fitness);
     Ok(())
 }
 
 fn cmd_inspect(opts: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(path) = opts.get("artifact") {
+        return inspect_artifact(path);
+    }
     let graph = load_model(opts)?;
     let stats = GraphStats::of(&graph);
     println!("model: {} ({} nodes)", stats.model, stats.nodes);

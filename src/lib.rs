@@ -7,10 +7,14 @@
 //! * [`ir`] — DNN graph IR, shape inference, model zoo ([`pimcomp_ir`]).
 //! * [`onnx`] — minimal ONNX interchange ([`pimcomp_onnx`]).
 //! * [`arch`] — abstract accelerator architecture ([`pimcomp_arch`]).
-//! * [`compiler`] — the four compilation stages ([`pimcomp_core`]).
+//! * [`compiler`] — the staged compilation pipeline ([`pimcomp_core`]).
 //! * [`sim`] — the cycle-accurate simulator ([`pimcomp_sim`]).
 //!
-//! # Quickstart
+//! # Quickstart: staged compilation sessions
+//!
+//! The compiler is a four-stage pipeline (paper Fig. 3). A
+//! [`CompileSession`](prelude::CompileSession) walks it one typed,
+//! inspectable artifact at a time:
 //!
 //! ```
 //! use pimcomp::prelude::*;
@@ -22,16 +26,29 @@
 //! // 2. A hardware target (scaled-down PUMA-like preset).
 //! let hw = HardwareConfig::small_test();
 //!
-//! // 3. Compile in high-throughput mode.
+//! // 3. Compile stage by stage in high-throughput mode.
 //! let opts = CompileOptions::new(PipelineMode::HighThroughput).with_fast_ga(7);
-//! let compiled = PimCompiler::new(hw.clone()).compile(&graph, &opts)?;
+//! let scheduled = CompileSession::new(hw.clone(), &graph, opts)?
+//!     .partition()? // §IV-B: node partitioning
+//!     .optimize()?  // §IV-C: GA replication + mapping
+//!     .schedule()?; // §IV-D: dataflow schedule + memory plan
+//! let compiled = scheduled.finish();
 //!
-//! // 4. Simulate the result cycle-accurately.
-//! let report = Simulator::new(hw).run(&compiled)?;
+//! // 4. Persist as a versioned artifact, reload, and simulate — the
+//! //    compile-once/serve-many flow.
+//! let artifact = CompiledArtifact::new(compiled);
+//! let artifact = CompiledArtifact::from_json(&artifact.to_json()?)?;
+//! let report = Simulator::new(hw).run_artifact(&artifact)?;
 //! assert!(report.total_cycles > 0);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The one-call [`PimCompiler::compile`](prelude::PimCompiler) wrapper
+//! still exists and produces identical results for identical inputs.
+//! Live progress (stage boundaries, per-generation GA fitness) streams
+//! through a [`CompileObserver`](prelude::CompileObserver) passed to
+//! the `_observed` stage variants.
 
 pub use pimcomp_arch as arch;
 pub use pimcomp_core as compiler;
@@ -42,7 +59,11 @@ pub use pimcomp_sim as sim;
 /// The most commonly used items, importable with one `use`.
 pub mod prelude {
     pub use pimcomp_arch::{HardwareConfig, PipelineMode};
-    pub use pimcomp_core::{CompileOptions, CompiledModel, PimCompiler};
+    pub use pimcomp_core::{
+        ArtifactError, CompileError, CompileObserver, CompileOptions, CompileSession, CompileStage,
+        CompiledArtifact, CompiledModel, GaGeneration, GaParams, Optimized, Partitioned,
+        PimCompiler, ReusePolicy, Scheduled,
+    };
     pub use pimcomp_ir::{Graph, GraphBuilder};
     pub use pimcomp_sim::{SimReport, Simulator};
 }

@@ -116,7 +116,9 @@ fn simulated_mvm_work_is_independent_of_mapping() {
     let graph = models::tiny_cnn();
     let opts = CompileOptions::new(PipelineMode::LowLatency).with_fast_ga(7);
     let ours = PimCompiler::new(hw.clone()).compile(&graph, &opts).unwrap();
-    let base = PumaCompiler::new(hw.clone()).compile(&graph, &opts).unwrap();
+    let base = PumaCompiler::new(hw.clone())
+        .compile(&graph, &opts)
+        .unwrap();
     let sim = Simulator::new(hw);
     let r_ours = sim.run(&ours).unwrap();
     let r_base = sim.run(&base).unwrap();
@@ -154,13 +156,11 @@ fn squeezenet_compiles_on_the_paper_target() {
     // (minimal GA keeps this fast enough for a debug test run).
     let graph = pimcomp_ir::transform::normalize(&models::squeezenet());
     let hw = HardwareConfig::puma();
-    let opts = CompileOptions::new(PipelineMode::HighThroughput).with_ga(
-        pimcomp_core::GaParams {
-            population: 6,
-            iterations: 4,
-            ..pimcomp_core::GaParams::fast(1)
-        },
-    );
+    let opts = CompileOptions::new(PipelineMode::HighThroughput).with_ga(pimcomp_core::GaParams {
+        population: 6,
+        iterations: 4,
+        ..pimcomp_core::GaParams::fast(1)
+    });
     let compiled = PimCompiler::new(hw.clone()).compile(&graph, &opts).unwrap();
     assert!(compiled.report.crossbars_used <= hw.total_crossbars());
     let report = Simulator::new(hw).run(&compiled).unwrap();

@@ -15,12 +15,21 @@ fn onnx_round_trip_compiles_identically() {
     let native = models::tiny_cnn();
     let imported = import_bytes(&export_graph(&native).encode()).unwrap();
 
-    let a = PimCompiler::new(hw.clone()).compile(&native, &opts).unwrap();
-    let b = PimCompiler::new(hw.clone()).compile(&imported, &opts).unwrap();
+    let a = PimCompiler::new(hw.clone())
+        .compile(&native, &opts)
+        .unwrap();
+    let b = PimCompiler::new(hw.clone())
+        .compile(&imported, &opts)
+        .unwrap();
 
     // Same partitioning structure...
     assert_eq!(a.partitioning.len(), b.partitioning.len());
-    for (x, y) in a.partitioning.entries().iter().zip(b.partitioning.entries()) {
+    for (x, y) in a
+        .partitioning
+        .entries()
+        .iter()
+        .zip(b.partitioning.entries())
+    {
         assert_eq!(x.weight_height, y.weight_height);
         assert_eq!(x.weight_width, y.weight_width);
         assert_eq!(x.windows, y.windows);
@@ -48,8 +57,7 @@ fn all_zoo_models_survive_the_onnx_round_trip() {
         models::inception_v3(),
     ] {
         let bytes = export_graph(&graph).encode();
-        let back = import_bytes(&bytes)
-            .unwrap_or_else(|e| panic!("{}: {e}", graph.name()));
+        let back = import_bytes(&bytes).unwrap_or_else(|e| panic!("{}: {e}", graph.name()));
         assert_eq!(back.node_count(), graph.node_count(), "{}", graph.name());
         let a = pimcomp_ir::GraphStats::of(&graph);
         let b = pimcomp_ir::GraphStats::of(&back);

@@ -10,9 +10,9 @@ use proptest::prelude::*;
 /// A random straight-line CNN: input + alternating conv/relu stages.
 fn arb_chain_graph() -> impl Strategy<Value = Graph> {
     (
-        2usize..32,          // input channels
-        8usize..40,          // input extent
-        1usize..5,           // conv stages
+        2usize..32, // input channels
+        8usize..40, // input extent
+        1usize..5,  // conv stages
         proptest::collection::vec((1usize..32, 1usize..4), 1..5),
     )
         .prop_map(|(cin, extent, _stages, convs)| {

@@ -10,12 +10,12 @@ use proptest::prelude::*;
 /// concat, optional pool, classifier head.
 fn arb_model() -> impl Strategy<Value = Graph> {
     (
-        2usize..16,   // input channels
-        10usize..33,  // extent
-        4usize..32,   // stem channels
-        any::<bool>(),    // branch?
-        any::<bool>(),    // pool?
-        1usize..64,   // head features
+        2usize..16,    // input channels
+        10usize..33,   // extent
+        4usize..32,    // stem channels
+        any::<bool>(), // branch?
+        any::<bool>(), // pool?
+        1usize..64,    // head features
     )
         .prop_map(|(cin, extent, stem_ch, branch, pool, classes)| {
             let mut b = GraphBuilder::new("prop_onnx");

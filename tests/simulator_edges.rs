@@ -101,7 +101,10 @@ fn deep_chain_streams_in_ll_mode() {
     let graph = models::linear_chain(12);
     let hw = HardwareConfig::small_test();
     let compiled = PimCompiler::new(hw.clone())
-        .compile(&graph, &CompileOptions::new(PipelineMode::LowLatency).with_fast_ga(3))
+        .compile(
+            &graph,
+            &CompileOptions::new(PipelineMode::LowLatency).with_fast_ga(3),
+        )
         .unwrap();
     let r = Simulator::new(hw.clone()).run(&compiled).unwrap();
     // Upper bound: fully serial layer-by-layer execution at one window

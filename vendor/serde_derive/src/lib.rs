@@ -1,0 +1,559 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros
+//! for the vendored serde stub (no `syn`/`quote` available offline).
+//!
+//! Supported shapes — the subset the PIMCOMP workspace uses:
+//!
+//! * structs with named fields (with `#[serde(skip)]` on fields),
+//! * newtype and tuple structs,
+//! * enums with unit, tuple, and struct variants (externally tagged),
+//! * container attribute `#[serde(from = "T", into = "T")]`,
+//! * lifetime/type generics (type params get a `Serialize` bound).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Payload {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Kind {
+    Struct(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    generics_decl: String,
+    generics_use: String,
+    type_params: Vec<String>,
+    kind: Kind,
+    from_ty: Option<String>,
+    into_ty: Option<String>,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing helpers
+// ---------------------------------------------------------------------------
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(tt: &TokenTree, s: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Splits a token list on commas that sit outside `<...>` nesting.
+/// Groups are atomic token trees, so only angle brackets need tracking.
+fn split_top_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for tt in tokens {
+        if is_punct(tt, '<') {
+            angle += 1;
+        } else if is_punct(tt, '>') {
+            angle -= 1;
+        } else if is_punct(tt, ',') && angle == 0 {
+            out.push(std::mem::take(&mut cur));
+            continue;
+        }
+        cur.push(tt.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Strips leading attributes (`#[...]` pairs) from a token slice,
+/// returning the remainder and whether a `#[serde(skip)]` was present.
+fn strip_attrs(tokens: &[TokenTree]) -> (&[TokenTree], bool) {
+    let mut rest = tokens;
+    let mut skip = false;
+    while rest.len() >= 2 && is_punct(&rest[0], '#') {
+        if let TokenTree::Group(g) = &rest[1] {
+            if attr_is_serde_skip(&g.stream()) {
+                skip = true;
+            }
+            rest = &rest[2..];
+        } else {
+            break;
+        }
+    }
+    (rest, skip)
+}
+
+fn attr_is_serde_skip(stream: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if tokens.len() == 2 && is_ident(&tokens[0], "serde") {
+        if let TokenTree::Group(inner) = &tokens[1] {
+            return inner.stream().into_iter().any(|tt| is_ident(&tt, "skip"));
+        }
+    }
+    false
+}
+
+/// Extracts `from`/`into` type names from a `#[serde(from = "T", into = "T")]`
+/// attribute stream, if present.
+fn parse_serde_container_attr(
+    stream: &TokenStream,
+    from: &mut Option<String>,
+    into: &mut Option<String>,
+) {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if tokens.len() != 2 || !is_ident(&tokens[0], "serde") {
+        return;
+    }
+    let TokenTree::Group(inner) = &tokens[1] else {
+        return;
+    };
+    let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+    for chunk in split_top_commas(&inner) {
+        if chunk.len() == 3 && is_punct(&chunk[1], '=') {
+            if let (TokenTree::Ident(key), TokenTree::Literal(lit)) = (&chunk[0], &chunk[2]) {
+                let ty = lit.to_string().trim_matches('"').to_string();
+                match key.to_string().as_str() {
+                    "from" => *from = Some(ty),
+                    "into" => *into = Some(ty),
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Parses named fields from the tokens inside a brace group.
+fn parse_named_fields(stream: &TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    for chunk in split_top_commas(&tokens) {
+        let (rest, skip) = strip_attrs(&chunk);
+        // Skip visibility: `pub` possibly followed by `(crate)` etc.
+        let mut i = 0;
+        if i < rest.len() && is_ident(&rest[i], "pub") {
+            i += 1;
+            if i < rest.len() {
+                if let TokenTree::Group(g) = &rest[i] {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        if i + 1 < rest.len() && is_punct(&rest[i + 1], ':') {
+            if let TokenTree::Ident(name) = &rest[i] {
+                fields.push(Field {
+                    name: name.to_string(),
+                    skip,
+                });
+            }
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant payload.
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    split_top_commas(&tokens)
+        .into_iter()
+        .filter(|c| !c.is_empty())
+        .count()
+}
+
+fn parse_variants(stream: &TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    for chunk in split_top_commas(&tokens) {
+        let (rest, _) = strip_attrs(&chunk);
+        let Some(TokenTree::Ident(name)) = rest.first() else {
+            continue;
+        };
+        let payload = match rest.get(1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Payload::Tuple(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Payload::Struct(parse_named_fields(&g.stream()))
+            }
+            _ => Payload::Unit,
+        };
+        variants.push(Variant {
+            name: name.to_string(),
+            payload,
+        });
+    }
+    variants
+}
+
+/// Splits generic parameter tokens into (decl, use, type-param names).
+fn parse_generics(tokens: &[TokenTree]) -> (String, String, Vec<String>) {
+    // TokenStream's Display keeps lifetimes (`'a`) intact, unlike a naive
+    // space-join of individual tokens.
+    let decl = TokenStream::from_iter(tokens.iter().cloned()).to_string();
+    let mut uses = Vec::new();
+    let mut type_params = Vec::new();
+    for chunk in split_top_commas(tokens) {
+        if chunk.is_empty() {
+            continue;
+        }
+        if is_punct(&chunk[0], '\'') {
+            // Lifetime: quote punct + ident.
+            if let Some(TokenTree::Ident(i)) = chunk.get(1) {
+                uses.push(format!("'{i}"));
+            }
+        } else if is_ident(&chunk[0], "const") {
+            if let Some(TokenTree::Ident(i)) = chunk.get(1) {
+                uses.push(i.to_string());
+            }
+        } else if let TokenTree::Ident(i) = &chunk[0] {
+            uses.push(i.to_string());
+            type_params.push(i.to_string());
+        }
+    }
+    (decl, uses.join(", "), type_params)
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut from_ty = None;
+    let mut into_ty = None;
+    let mut i = 0;
+
+    // Leading attributes (doc comments, #[serde(...)], #[non_exhaustive], ...).
+    while i + 1 < tokens.len() && is_punct(&tokens[i], '#') {
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            parse_serde_container_attr(&g.stream(), &mut from_ty, &mut into_ty);
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    // Visibility.
+    if i < tokens.len() && is_ident(&tokens[i], "pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    let is_enum = match tokens.get(i) {
+        Some(tt) if is_ident(tt, "struct") => false,
+        Some(tt) if is_ident(tt, "enum") => true,
+        other => panic!("serde derive: expected struct or enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+
+    // Generics.
+    let mut generic_tokens = Vec::new();
+    if tokens.get(i).is_some_and(|tt| is_punct(tt, '<')) {
+        i += 1;
+        let mut depth = 1i32;
+        while i < tokens.len() {
+            if is_punct(&tokens[i], '<') {
+                depth += 1;
+            } else if is_punct(&tokens[i], '>') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            generic_tokens.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    let (generics_decl, generics_use, type_params) = parse_generics(&generic_tokens);
+
+    // Body.
+    let kind = if is_enum {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(&g.stream()))
+            }
+            other => panic!("serde derive: expected enum body, found {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(&g.stream()))
+            }
+            Some(tt) if is_punct(tt, ';') => Kind::Unit,
+            Some(tt) if is_ident(tt, "where") => {
+                panic!("serde derive stub does not support where clauses")
+            }
+            other => panic!("serde derive: expected struct body, found {other:?}"),
+        }
+    };
+
+    Item {
+        name,
+        generics_decl,
+        generics_use,
+        type_params,
+        kind,
+        from_ty,
+        into_ty,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    let decl = if item.generics_decl.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generics_decl)
+    };
+    let use_ = if item.generics_use.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generics_use)
+    };
+    let mut bounds = String::new();
+    if !item.type_params.is_empty() {
+        let clauses: Vec<String> = item
+            .type_params
+            .iter()
+            .map(|p| format!("{p}: ::serde::{trait_name}"))
+            .collect();
+        bounds = format!(" where {}", clauses.join(", "));
+    }
+    format!(
+        "impl{decl} ::serde::{trait_name} for {}{use_}{bounds}",
+        item.name
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = if let Some(into_ty) = &item.into_ty {
+        format!(
+            "let __proxy: {into_ty} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&__proxy)"
+        )
+    } else {
+        match &item.kind {
+            Kind::Struct(fields) => {
+                let mut s = String::from(
+                    "let mut __entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                );
+                for f in fields.iter().filter(|f| !f.skip) {
+                    s.push_str(&format!(
+                        "__entries.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+                        f.name
+                    ));
+                }
+                s.push_str("::serde::Value::Map(__entries)");
+                s
+            }
+            Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Kind::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+            }
+            Kind::Unit => "::serde::Value::Null".to_string(),
+            Kind::Enum(variants) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.payload {
+                        Payload::Unit => arms.push_str(&format!(
+                            "Self::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                        )),
+                        Payload::Tuple(1) => arms.push_str(&format!(
+                            "Self::{vn}(__f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(__f0))]),\n"
+                        )),
+                        Payload::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let vals: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            arms.push_str(&format!(
+                                "Self::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Seq(vec![{}]))]),\n",
+                                binds.join(", "),
+                                vals.join(", ")
+                            ));
+                        }
+                        Payload::Struct(fields) => {
+                            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                            let mut binds: Vec<String> =
+                                live.iter().map(|f| f.name.clone()).collect();
+                            if live.len() != fields.len() {
+                                binds.push("..".to_string());
+                            }
+                            let vals: Vec<String> = live
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            arms.push_str(&format!(
+                                "Self::{vn} {{ {} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Map(vec![{}]))]),\n",
+                                binds.join(", "),
+                                vals.join(", ")
+                            ));
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}\n}}")
+            }
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n{} {{\n fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}",
+        impl_header(&item, "Serialize")
+    );
+    out.parse().expect("serde derive: generated invalid Rust")
+}
+
+fn named_fields_from_value(ty_desc: &str, fields: &[Field], accessor: &str) -> String {
+    let mut inits = Vec::new();
+    for f in fields {
+        if f.skip {
+            inits.push(format!("{}: ::core::default::Default::default()", f.name));
+        } else {
+            inits.push(format!(
+                "{0}: ::serde::Deserialize::from_value({accessor}.get(\"{0}\").ok_or_else(|| ::serde::DeError::new(\"missing field `{0}` in {ty_desc}\"))?)?",
+                f.name
+            ));
+        }
+    }
+    inits.join(",\n")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = if let Some(from_ty) = &item.from_ty {
+        format!(
+            "let __proxy: {from_ty} = ::serde::Deserialize::from_value(__v)?;\n\
+             ::core::result::Result::Ok(::core::convert::Into::into(__proxy))"
+        )
+    } else {
+        match &item.kind {
+            Kind::Struct(fields) => format!(
+                "::core::result::Result::Ok(Self {{\n{}\n}})",
+                named_fields_from_value(name, fields, "__v")
+            ),
+            Kind::Tuple(1) => {
+                "::core::result::Result::Ok(Self(::serde::Deserialize::from_value(__v)?))"
+                    .to_string()
+            }
+            Kind::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "let ::serde::Value::Seq(__items) = __v else {{\n\
+                         return ::core::result::Result::Err(::serde::DeError::new(\"expected sequence for {name}\"));\n\
+                     }};\n\
+                     if __items.len() != {n} {{\n\
+                         return ::core::result::Result::Err(::serde::DeError::new(\"wrong arity for {name}\"));\n\
+                     }}\n\
+                     ::core::result::Result::Ok(Self({}))",
+                    inits.join(", ")
+                )
+            }
+            Kind::Unit => "::core::result::Result::Ok(Self)".to_string(),
+            Kind::Enum(variants) => {
+                let mut unit_arms = String::new();
+                let mut payload_arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.payload {
+                        Payload::Unit => unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::core::result::Result::Ok(Self::{vn}),\n"
+                        )),
+                        Payload::Tuple(1) => payload_arms.push_str(&format!(
+                            "\"{vn}\" => ::core::result::Result::Ok(Self::{vn}(::serde::Deserialize::from_value(__payload)?)),\n"
+                        )),
+                        Payload::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            payload_arms.push_str(&format!(
+                                "\"{vn}\" => {{\n\
+                                     let ::serde::Value::Seq(__items) = __payload else {{\n\
+                                         return ::core::result::Result::Err(::serde::DeError::new(\"expected sequence payload for {name}::{vn}\"));\n\
+                                     }};\n\
+                                     if __items.len() != {n} {{\n\
+                                         return ::core::result::Result::Err(::serde::DeError::new(\"wrong arity for {name}::{vn}\"));\n\
+                                     }}\n\
+                                     ::core::result::Result::Ok(Self::{vn}({}))\n\
+                                 }},\n",
+                                inits.join(", ")
+                            ));
+                        }
+                        Payload::Struct(fields) => {
+                            let desc = format!("{name}::{vn}");
+                            payload_arms.push_str(&format!(
+                                "\"{vn}\" => ::core::result::Result::Ok(Self::{vn} {{\n{}\n}}),\n",
+                                named_fields_from_value(&desc, fields, "__payload")
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "match __v {{\n\
+                         ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                             {unit_arms}\
+                             __other => ::core::result::Result::Err(::serde::DeError::new(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }},\n\
+                         ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                             let (__k, __payload) = &__entries[0];\n\
+                             match __k.as_str() {{\n\
+                                 {payload_arms}\
+                                 __other => ::core::result::Result::Err(::serde::DeError::new(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                             }}\n\
+                         }},\n\
+                         __other => ::core::result::Result::Err(::serde::DeError::new(format!(\"expected enum {name}, found {{}}\", __other.kind()))),\n\
+                     }}"
+                )
+            }
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n{} {{\n fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}",
+        impl_header(&item, "Deserialize")
+    );
+    out.parse().expect("serde derive: generated invalid Rust")
+}
