@@ -37,6 +37,24 @@ fn bench_ga(c: &mut Criterion) {
                 .unwrap()
             });
         });
+        // The same search through the parallel evaluation engine
+        // (bit-identical result; only wall-clock may differ).
+        for threads in [2usize, 4] {
+            group.bench_function(format!("resnet18/{mode}/20x30/{threads}-threads"), |b| {
+                b.iter(|| {
+                    optimize(
+                        &ctx,
+                        &GaParams {
+                            population: 20,
+                            iterations: 30,
+                            parallelism: std::num::NonZeroUsize::new(threads),
+                            ..GaParams::fast(1)
+                        },
+                    )
+                    .unwrap()
+                });
+            });
+        }
         // Ablation: no mutations — random initialization only.
         group.bench_function(format!("resnet18/{mode}/random-init-only"), |b| {
             b.iter(|| {

@@ -8,6 +8,9 @@
 //! * `fig9`   — energy breakdown at parallelism 20.
 //! * `fig10`  — local-memory usage and global accesses per reuse policy.
 //! * `table2` — per-stage compile times.
+//! * `ga_throughput` — GA evaluations/sec across a worker-thread sweep
+//!   (serial vs parallel engine), verifying bit-identical results while
+//!   measuring.
 //!
 //! Each binary prints the paper-style rows and, with `--json PATH`,
 //! writes machine-readable results. `--fast` shrinks the GA and the
@@ -42,6 +45,14 @@ pub struct HarnessOptions {
     pub json_path: Option<String>,
     /// Restrict to one benchmark network.
     pub only: Option<String>,
+    /// Worker-thread sweep (`--threads 1,2,4,8`), used by the
+    /// `ga_throughput` binary.
+    pub threads: Option<Vec<usize>>,
+    /// Fail (exit non-zero) unless every measured configuration reaches
+    /// this speedup over its serial baseline (`--min-speedup 2.0`),
+    /// used by the `ga_throughput` binary to gate on multi-core
+    /// runners.
+    pub min_speedup: Option<f64>,
 }
 
 impl HarnessOptions {
@@ -51,6 +62,8 @@ impl HarnessOptions {
             fast: false,
             json_path: None,
             only: None,
+            threads: None,
+            min_speedup: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -58,6 +71,36 @@ impl HarnessOptions {
                 "--fast" => opts.fast = true,
                 "--json" => opts.json_path = args.next(),
                 "--only" => opts.only = args.next(),
+                "--threads" => {
+                    let raw = args.next().unwrap_or_default();
+                    let parsed: Result<Vec<usize>, String> = raw
+                        .split(',')
+                        .map(|s| {
+                            s.trim()
+                                .parse::<usize>()
+                                .ok()
+                                .filter(|&n| n >= 1)
+                                .ok_or_else(|| s.trim().to_string())
+                        })
+                        .collect();
+                    match parsed {
+                        Ok(list) if !list.is_empty() => opts.threads = Some(list),
+                        _ => {
+                            eprintln!(
+                                "error: --threads expects a comma-separated list of \
+                                 positive integers, got `{raw}`"
+                            );
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                "--min-speedup" => match args.next().and_then(|s| s.parse().ok()) {
+                    Some(v) => opts.min_speedup = Some(v),
+                    None => {
+                        eprintln!("error: --min-speedup expects a number, e.g. 2.0");
+                        std::process::exit(2);
+                    }
+                },
                 other => eprintln!("ignoring unknown argument `{other}`"),
             }
         }

@@ -98,7 +98,11 @@ impl CompiledArtifact {
     /// The artifact format this build writes (and the only one it
     /// reads). Bump on any breaking change to the serialized shape of
     /// [`CompiledModel`] or its components.
-    pub const FORMAT_VERSION: u32 = 1;
+    ///
+    /// v2: [`GaStats`](crate::GaStats) gained the evaluation-engine
+    /// counters (`full_evals`, `incremental_evals`, `cache_hits`,
+    /// `evals_per_generation`).
+    pub const FORMAT_VERSION: u32 = 2;
 
     /// Packages a compiled model, fingerprinting its hardware target.
     #[must_use]
@@ -290,7 +294,7 @@ mod tests {
     fn version_mismatch_fails_before_decoding() {
         let artifact = CompiledArtifact::new(model());
         let json = artifact.to_json().unwrap().replacen(
-            "\"format_version\":1",
+            &format!("\"format_version\":{}", CompiledArtifact::FORMAT_VERSION),
             "\"format_version\":999",
             1,
         );

@@ -114,6 +114,14 @@ impl CompileOptions {
         self
     }
 
+    /// Sets the GA worker-thread count. `None` (the default) runs the
+    /// search serially; any setting produces bit-identical results —
+    /// see [`GaParams::parallelism`] for the determinism contract.
+    pub fn with_parallelism(mut self, threads: Option<std::num::NonZeroUsize>) -> Self {
+        self.ga.parallelism = threads;
+        self
+    }
+
     /// Sets the memory policy.
     pub fn with_policy(mut self, policy: ReusePolicy) -> Self {
         self.memory_policy = policy;

@@ -1,13 +1,40 @@
 //! GA fitness functions for both compilation modes (paper Section
 //! IV-C.2, Figs. 5 and 6). Lower is better for both.
+//!
+//! Besides the from-scratch estimators this module hosts the
+//! *evaluation engine* the GA runs on:
+//!
+//! * [`EvalBasis`] — the mode-specific intermediate data an evaluation
+//!   leaves behind (per-core busy times in HT mode, the chain estimate
+//!   in LL mode) from which a mutated offspring can be re-evaluated
+//!   incrementally: `F_HT` is a max over cores, so only cores touched
+//!   by a mutation need recomputation, and the LL chain estimate
+//!   depends only on replication counts, so placement-only mutations
+//!   reuse it verbatim.
+//! * [`FitnessMemo`] — a fitness cache keyed by the chromosome
+//!   [fingerprint](crate::Chromosome::fingerprint), so re-visiting a
+//!   chromosome evaluated in an *earlier* generation (grow-then-shrink
+//!   walks, re-derived offspring) skips evaluation entirely. Within
+//!   one generation the cache is frozen — the GA looks entries up
+//!   against the state at batch start and records new results at the
+//!   index-ordered reduction — so duplicate offspring of the same
+//!   batch are each computed; that is what keeps the result
+//!   independent of worker scheduling.
+//!
+//! Both paths are *exact*: an incremental or memoized evaluation
+//! returns the bit-identical `f64` the from-scratch estimator would,
+//! which the property tests in `tests/properties.rs` assert.
 
+use crate::ga::GaContext;
 use crate::mapping::Chromosome;
 use crate::partition::Partitioning;
 use crate::replication::ReplicationPlan;
 use crate::waiting::DepInfo;
-use pimcomp_arch::HardwareConfig;
+use crate::CompileError;
+use pimcomp_arch::{HardwareConfig, PipelineMode};
 use pimcomp_ir::{Graph, NodeId, Op};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Estimated busy time of one core in HT mode (paper Fig. 5).
 ///
@@ -18,11 +45,15 @@ use std::collections::HashMap;
 /// `f(n) = max(n·T_interval, T_MVM)`. As nodes complete, `n` drops —
 /// the piecewise rearrangement of Fig. 5(b)/(c).
 pub fn ht_core_time(hw: &HardwareConfig, items: &[(usize, usize)]) -> u64 {
-    let mut items: Vec<(usize, usize)> = items
-        .iter()
-        .copied()
-        .filter(|&(a, c)| a > 0 && c > 0)
-        .collect();
+    let mut items: Vec<(usize, usize)> = items.to_vec();
+    ht_core_time_in_place(hw, &mut items)
+}
+
+/// [`ht_core_time`] over a caller-owned buffer (filtered and sorted in
+/// place), so the GA's hottest loop can reuse one scratch allocation
+/// across cores.
+fn ht_core_time_in_place(hw: &HardwareConfig, items: &mut Vec<(usize, usize)>) -> u64 {
+    items.retain(|&(a, c)| a > 0 && c > 0);
     if items.is_empty() {
         return 0;
     }
@@ -30,7 +61,7 @@ pub fn ht_core_time(hw: &HardwareConfig, items: &[(usize, usize)]) -> u64 {
     let mut live: usize = items.iter().map(|&(a, _)| a).sum();
     let mut done_cycles = 0usize;
     let mut time = 0u64;
-    for &(ags, cycles) in &items {
+    for &(ags, cycles) in items.iter() {
         let span = (cycles - done_cycles) as u64;
         if span > 0 {
             time += span * hw.operation_cycle_cost(live);
@@ -50,6 +81,44 @@ pub fn ht_core_time(hw: &HardwareConfig, items: &[(usize, usize)]) -> u64 {
 /// different maxima wins, but gives the GA a gradient across plateaus.
 pub const HT_TIE_BREAK: f64 = 1e-3;
 
+/// HT busy time of one chromosome core under a replication plan
+/// (the per-core term of `F_HT`). `scratch` is a reusable buffer so
+/// per-core evaluation in the GA's hottest loop does not allocate.
+pub(crate) fn ht_core_time_of(
+    hw: &HardwareConfig,
+    partitioning: &Partitioning,
+    chromosome: &Chromosome,
+    replication: &ReplicationPlan,
+    core: usize,
+    scratch: &mut Vec<(usize, usize)>,
+) -> u64 {
+    scratch.clear();
+    scratch.extend(chromosome.genes_of_core(core).map(|(_, gene)| {
+        (
+            gene.ag_count,
+            replication.windows_per_replica(partitioning, gene.mvm),
+        )
+    }));
+    ht_core_time_in_place(hw, scratch)
+}
+
+/// Folds per-core busy times into the HT fitness scalar
+/// (`max + tie-break`). Pure and order-insensitive (integer max/sum),
+/// so incremental and from-scratch evaluations combine bit-identically.
+pub(crate) fn ht_combine(core_times: &[u64]) -> f64 {
+    let mut worst = 0u64;
+    let mut sum = 0u64;
+    let mut active = 0u64;
+    for &t in core_times {
+        worst = worst.max(t);
+        if t > 0 {
+            sum += t;
+            active += 1;
+        }
+    }
+    worst as f64 + HT_TIE_BREAK * sum as f64 / active.max(1) as f64
+}
+
 /// HT fitness `F_HT = max_i time_i` over all cores (paper Fig. 5),
 /// plus the [`HT_TIE_BREAK`] mean-load term.
 pub fn ht_fitness(
@@ -58,24 +127,20 @@ pub fn ht_fitness(
     chromosome: &Chromosome,
     replication: &ReplicationPlan,
 ) -> f64 {
-    let mut worst = 0u64;
-    let mut sum = 0u64;
-    let mut active = 0u64;
-    let mut items: Vec<(usize, usize)> = Vec::new();
-    for core in 0..chromosome.cores() {
-        items.clear();
-        for (_, gene) in chromosome.genes_of_core(core) {
-            let cycles = replication.windows_per_replica(partitioning, gene.mvm);
-            items.push((gene.ag_count, cycles));
-        }
-        let t = ht_core_time(hw, &items);
-        worst = worst.max(t);
-        if t > 0 {
-            sum += t;
-            active += 1;
-        }
-    }
-    worst as f64 + HT_TIE_BREAK * sum as f64 / active.max(1) as f64
+    let mut scratch = Vec::new();
+    let core_times: Vec<u64> = (0..chromosome.cores())
+        .map(|core| {
+            ht_core_time_of(
+                hw,
+                partitioning,
+                chromosome,
+                replication,
+                core,
+                &mut scratch,
+            )
+        })
+        .collect();
+    ht_combine(&core_times)
 }
 
 /// HT fitness computed from a materialized [`CoreMapping`] instead of a
@@ -157,6 +222,20 @@ pub fn ll_fitness_with_issue_floor(
     replication: &ReplicationPlan,
 ) -> f64 {
     let chain = ll_chain_estimate(hw, graph, partitioning, dep, replication);
+    chain.max(ll_issue_floor(hw, partitioning, chromosome, replication))
+}
+
+/// The per-core issue-capacity floor of
+/// [`ll_fitness_with_issue_floor`]: `max_core Σ windows-per-AG` scaled
+/// by the issue interval. The only placement-dependent part of the LL
+/// fitness, recomputed on every evaluation (the chain term is
+/// replication-only and can be reused incrementally).
+pub(crate) fn ll_issue_floor(
+    hw: &HardwareConfig,
+    partitioning: &Partitioning,
+    chromosome: &Chromosome,
+    replication: &ReplicationPlan,
+) -> f64 {
     let mut worst: u64 = 0;
     let mut loads = vec![0u64; chromosome.cores()];
     for (slot, gene) in chromosome.genes() {
@@ -165,7 +244,7 @@ pub fn ll_fitness_with_issue_floor(
         loads[core] += gene.ag_count as u64 * wpr;
         worst = worst.max(loads[core]);
     }
-    chain.max(worst as f64 * hw.issue_interval() as f64)
+    worst as f64 * hw.issue_interval() as f64
 }
 
 /// The Fig. 6 topological chain estimate.
@@ -256,6 +335,374 @@ pub(crate) fn effective_pred_replication(
         .map(|idx| replication.count(idx))
         .max()
         .unwrap_or(1)
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation engine: incremental bases + fitness memoization
+// ---------------------------------------------------------------------------
+
+/// Mode-specific intermediate data an evaluation leaves behind, from
+/// which a mutated offspring can be re-evaluated incrementally.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct EvalBasis {
+    /// Replica counts per node the evaluation was computed under,
+    /// cached so reuse checks compare against the child's freshly
+    /// derived plan instead of re-walking either chromosome's slots.
+    counts: Vec<usize>,
+    detail: EvalDetail,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum EvalDetail {
+    /// HT mode: the busy time of every core. `F_HT` is a max over
+    /// cores, so a child only recomputes the cores its mutation dirtied.
+    Ht {
+        /// Per-core busy times in core order.
+        core_times: Vec<u64>,
+    },
+    /// LL mode: the Fig. 6 chain estimate. It depends only on the
+    /// replication counts, so placement-only mutations reuse it and
+    /// just recompute the per-core issue floor.
+    Ll {
+        /// The topological chain estimate.
+        chain: f64,
+    },
+}
+
+/// How a fitness value was obtained (for the `GaStats` counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EvalKind {
+    /// Every core (HT) or the full chain (LL) was computed.
+    Full,
+    /// A parent basis was reused; only dirtied state was recomputed.
+    Incremental,
+}
+
+/// Evaluates a chromosome's fitness, incrementally when a parent basis
+/// is supplied.
+///
+/// The returned `f64` is bit-identical to the from-scratch estimators
+/// ([`ht_fitness`] / [`ll_fitness_with_issue_floor`]) regardless of the
+/// path taken: HT recombines exact per-core integers, and the LL chain
+/// is a pure function of the replication counts that are checked for
+/// equality before reuse.
+pub(crate) fn compute_fitness(
+    ctx: &GaContext<'_>,
+    chromosome: &Chromosome,
+    parent: Option<(&Chromosome, &EvalBasis)>,
+) -> Result<(f64, EvalBasis, EvalKind), CompileError> {
+    let plan = chromosome.replication(ctx.partitioning)?;
+    match ctx.mode {
+        PipelineMode::HighThroughput => {
+            let mut scratch = Vec::new();
+            if let Some((pc, basis)) = parent {
+                if let EvalDetail::Ht { core_times } = &basis.detail {
+                    if same_grid(pc, chromosome) {
+                        let dirty = dirty_cores(pc, chromosome, &basis.counts, plan.counts());
+                        let mut times = core_times.clone();
+                        for (core, time) in times.iter_mut().enumerate() {
+                            if dirty[core] {
+                                *time = ht_core_time_of(
+                                    ctx.hw,
+                                    ctx.partitioning,
+                                    chromosome,
+                                    &plan,
+                                    core,
+                                    &mut scratch,
+                                );
+                            }
+                        }
+                        let fitness = ht_combine(&times);
+                        return Ok((
+                            fitness,
+                            EvalBasis {
+                                counts: plan.counts().to_vec(),
+                                detail: EvalDetail::Ht { core_times: times },
+                            },
+                            EvalKind::Incremental,
+                        ));
+                    }
+                }
+            }
+            let core_times: Vec<u64> = (0..chromosome.cores())
+                .map(|core| {
+                    ht_core_time_of(
+                        ctx.hw,
+                        ctx.partitioning,
+                        chromosome,
+                        &plan,
+                        core,
+                        &mut scratch,
+                    )
+                })
+                .collect();
+            let fitness = ht_combine(&core_times);
+            Ok((
+                fitness,
+                EvalBasis {
+                    counts: plan.counts().to_vec(),
+                    detail: EvalDetail::Ht { core_times },
+                },
+                EvalKind::Full,
+            ))
+        }
+        PipelineMode::LowLatency => {
+            let reused = parent.and_then(|(pc, basis)| match &basis.detail {
+                EvalDetail::Ll { chain }
+                    if same_grid(pc, chromosome) && basis.counts.as_slice() == plan.counts() =>
+                {
+                    Some(*chain)
+                }
+                _ => None,
+            });
+            let (chain, kind) = match reused {
+                Some(chain) => (chain, EvalKind::Incremental),
+                None => (
+                    ll_chain_estimate(ctx.hw, ctx.graph, ctx.partitioning, ctx.dep, &plan),
+                    EvalKind::Full,
+                ),
+            };
+            let fitness = chain.max(ll_issue_floor(ctx.hw, ctx.partitioning, chromosome, &plan));
+            Ok((
+                fitness,
+                EvalBasis {
+                    counts: plan.counts().to_vec(),
+                    detail: EvalDetail::Ll { chain },
+                },
+                kind,
+            ))
+        }
+    }
+}
+
+/// Whether two chromosomes share the same slot grid (a precondition for
+/// reusing per-core state between them).
+fn same_grid(a: &Chromosome, b: &Chromosome) -> bool {
+    a.cores() == b.cores() && a.max_nodes_per_core() == b.max_nodes_per_core()
+}
+
+/// Cores whose HT busy time may differ between `parent` and `child`:
+/// cores whose slots changed, plus every core hosting a node whose
+/// replication count changed (its windows-per-replica shifted on *all*
+/// of its cores, not only where AGs moved). Counts come from the
+/// already-derived plans, so no extra slot walk is needed unless a
+/// count actually changed.
+fn dirty_cores(
+    parent: &Chromosome,
+    child: &Chromosome,
+    parent_counts: &[usize],
+    child_counts: &[usize],
+) -> Vec<bool> {
+    let mut dirty = vec![false; child.cores()];
+    for slot in 0..child.len() {
+        if parent.gene(slot) != child.gene(slot) {
+            dirty[child.core_of_slot(slot)] = true;
+        }
+    }
+    if parent_counts != child_counts {
+        let changed: Vec<bool> = parent_counts
+            .iter()
+            .zip(child_counts)
+            .map(|(p, c)| p != c)
+            .collect();
+        for (slot, gene) in parent.genes().chain(child.genes()) {
+            if *changed.get(gene.mvm).unwrap_or(&false) {
+                dirty[child.core_of_slot(slot)] = true;
+            }
+        }
+    }
+    dirty
+}
+
+/// Entries the memo keeps per unique chromosome.
+#[derive(Debug, Clone)]
+pub(crate) struct MemoEntry {
+    /// The memoized fitness.
+    pub fitness: f64,
+    /// The evaluation basis, shared so descendants can re-evaluate
+    /// incrementally without recomputing it.
+    pub basis: Arc<EvalBasis>,
+}
+
+/// Default cap on memoized chromosomes; beyond it, new results are
+/// still returned but no longer recorded (deterministic: the insertion
+/// order is the GA's deterministic evaluation order).
+const MEMO_CAPACITY: usize = 1 << 16;
+
+/// A fitness memoization cache over chromosome fingerprints, exact by
+/// construction (see the module docs).
+///
+/// The GA consults it before every offspring evaluation; it is also a
+/// public building block so external search drivers (and the property
+/// tests) can reuse the incremental engine:
+///
+/// ```
+/// use pimcomp_arch::{HardwareConfig, PipelineMode};
+/// use pimcomp_core::{DepInfo, FitnessMemo, GaContext, Partitioning};
+/// use pimcomp_ir::transform::normalize;
+///
+/// let graph = normalize(&pimcomp_ir::models::tiny_cnn());
+/// let hw = HardwareConfig::small_test();
+/// let partitioning = Partitioning::new(&graph, &hw).unwrap();
+/// let dep = DepInfo::analyze(&graph);
+/// let ctx = GaContext {
+///     hw: &hw,
+///     graph: &graph,
+///     partitioning: &partitioning,
+///     dep: &dep,
+///     mode: PipelineMode::HighThroughput,
+/// };
+/// let mut memo = FitnessMemo::new(&ctx);
+/// # let cores = hw.total_cores();
+/// # let capacity = hw.crossbar_capacity_per_core();
+/// # let mut chromosome = pimcomp_core::Chromosome::empty(cores, partitioning.len());
+/// # let mut used = vec![0usize; cores];
+/// # for idx in 0..partitioning.len() {
+/// #     let entry = partitioning.entry(idx);
+/// #     for _ in 0..entry.ags_per_replica {
+/// #         let core = (0..cores)
+/// #             .find(|&c| used[c] + entry.crossbars_per_ag <= capacity)
+/// #             .expect("one replica per node fits the test target");
+/// #         used[core] += entry.crossbars_per_ag;
+/// #         let slot = chromosome
+/// #             .slot_of_node_on_core(core, idx)
+/// #             .or_else(|| chromosome.free_slot_of_core(core))
+/// #             .expect("free slot");
+/// #         let cur = chromosome.gene(slot).map_or(0, |g| g.ag_count);
+/// #         chromosome.set_gene(slot, Some(pimcomp_core::Gene { mvm: idx, ag_count: cur + 1 }));
+/// #     }
+/// # }
+/// let first = memo.evaluate(&chromosome).unwrap();
+/// let again = memo.evaluate(&chromosome).unwrap(); // cache hit
+/// assert_eq!(first.to_bits(), again.to_bits());
+/// assert_eq!(memo.cache_hits(), 1);
+/// ```
+pub struct FitnessMemo<'a> {
+    ctx: &'a GaContext<'a>,
+    entries: HashMap<u128, MemoEntry>,
+    hits: usize,
+    full: usize,
+    incremental: usize,
+}
+
+impl<'a> FitnessMemo<'a> {
+    /// An empty memo for the given evaluation context.
+    pub fn new(ctx: &'a GaContext<'a>) -> Self {
+        FitnessMemo {
+            ctx,
+            entries: HashMap::new(),
+            hits: 0,
+            full: 0,
+            incremental: 0,
+        }
+    }
+
+    /// The evaluation context.
+    pub fn context(&self) -> &GaContext<'a> {
+        self.ctx
+    }
+
+    /// Evaluates a chromosome, returning the memoized value when its
+    /// fingerprint was seen before.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invariant violations from replication derivation.
+    pub fn evaluate(&mut self, chromosome: &Chromosome) -> Result<f64, CompileError> {
+        self.evaluate_with(chromosome, None)
+    }
+
+    /// Evaluates `child` incrementally against a previously evaluated
+    /// `parent` (falling back to a full evaluation when the parent was
+    /// never seen), returning the memoized value on a fingerprint hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invariant violations from replication derivation.
+    pub fn evaluate_mutated(
+        &mut self,
+        parent: &Chromosome,
+        child: &Chromosome,
+    ) -> Result<f64, CompileError> {
+        self.evaluate_with(child, Some(parent))
+    }
+
+    fn evaluate_with(
+        &mut self,
+        chromosome: &Chromosome,
+        parent: Option<&Chromosome>,
+    ) -> Result<f64, CompileError> {
+        let fingerprint = chromosome.fingerprint();
+        if let Some(entry) = self.lookup(fingerprint) {
+            let fitness = entry.fitness;
+            self.hits += 1;
+            return Ok(fitness);
+        }
+        let parent_entry = parent.and_then(|p| {
+            let basis = self.entries.get(&p.fingerprint())?.basis.clone();
+            Some((p, basis))
+        });
+        let basis_ref = parent_entry.as_ref().map(|(p, b)| (*p, b.as_ref()));
+        let (fitness, basis, kind) = compute_fitness(self.ctx, chromosome, basis_ref)?;
+        self.observe(kind);
+        self.record(fingerprint, fitness, Arc::new(basis));
+        Ok(fitness)
+    }
+
+    /// Cached entry for a fingerprint, if present.
+    pub(crate) fn lookup(&self, fingerprint: u128) -> Option<&MemoEntry> {
+        self.entries.get(&fingerprint)
+    }
+
+    /// Records an evaluation result (no-op once the cap is reached, and
+    /// first-write-wins for duplicate fingerprints — both deterministic
+    /// because callers insert in evaluation order).
+    pub(crate) fn record(&mut self, fingerprint: u128, fitness: f64, basis: Arc<EvalBasis>) {
+        if self.entries.len() < MEMO_CAPACITY {
+            self.entries
+                .entry(fingerprint)
+                .or_insert(MemoEntry { fitness, basis });
+        }
+    }
+
+    /// Bumps the hit counter (used by the GA engine, which looks up
+    /// entries from worker threads and tallies at the merge point).
+    pub(crate) fn observe_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Bumps the evaluation counter matching `kind`.
+    pub(crate) fn observe(&mut self, kind: EvalKind) {
+        match kind {
+            EvalKind::Full => self.full += 1,
+            EvalKind::Incremental => self.incremental += 1,
+        }
+    }
+
+    /// Unique chromosomes currently memoized.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Evaluations answered from the cache.
+    pub fn cache_hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Evaluations computed from scratch.
+    pub fn full_evals(&self) -> usize {
+        self.full
+    }
+
+    /// Evaluations computed incrementally from a parent basis.
+    pub fn incremental_evals(&self) -> usize {
+        self.incremental
+    }
 }
 
 #[cfg(test)]

@@ -16,9 +16,37 @@
 //!
 //! All operators preserve feasibility (crossbar capacity and per-core
 //! node limits), so no penalty terms are needed.
+//!
+//! # The evaluation engine
+//!
+//! Fitness evaluation dominates compile time, so the engine is built
+//! for parallel, incremental, memoized evaluation while staying
+//! **deterministic to the bit** for a given [`GaParams::seed`]:
+//!
+//! * **Seed-stream splitting** — every initial individual and every
+//!   offspring slot of every generation owns a private [`StdRng`]
+//!   seeded by SplitMix64-mixing the master seed with the (generation,
+//!   slot) pair. No RNG is ever shared, so the random choices a slot
+//!   makes cannot depend on scheduling.
+//! * **Batched offspring** — each generation derives its full offspring
+//!   batch (selection + mutation) up front against the immutable parent
+//!   population, then evaluates the batch across a scoped worker pool
+//!   ([`GaParams::parallelism`]) with an index-ordered reduction.
+//!   Serial and parallel runs share one code path, so any thread count
+//!   (including 1) produces bit-identical populations and
+//!   [`GaStats`].
+//! * **Memoization + incrementality** — results are cached by
+//!   [chromosome fingerprint](Chromosome::fingerprint)
+//!   ([`FitnessMemo`](crate::FitnessMemo)), and offspring that differ
+//!   from their parent in a few genes are re-evaluated incrementally
+//!   (per-core recomputation in HT mode, chain-estimate reuse in LL
+//!   mode) — exactly, not approximately.
 
-use crate::fitness::{ht_fitness, ll_fitness_with_issue_floor};
+use crate::fitness::{
+    compute_fitness, ht_fitness, ll_fitness_with_issue_floor, EvalBasis, EvalKind, FitnessMemo,
+};
 use crate::mapping::{Chromosome, Gene};
+use crate::parallel::run_indexed;
 use crate::partition::{MvmIdx, Partitioning};
 use crate::waiting::DepInfo;
 use crate::CompileError;
@@ -28,6 +56,8 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::num::NonZeroUsize;
+use std::sync::Arc;
 
 /// Genetic-algorithm hyper-parameters.
 ///
@@ -51,6 +81,27 @@ pub struct GaParams {
     /// Per-core distinct-node limit (`max_node_num_in_core`); `None`
     /// selects a heuristic based on node and core counts.
     pub max_nodes_per_core: Option<usize>,
+    /// Worker threads for offspring construction and fitness
+    /// evaluation. `None` (the default) runs serially on the calling
+    /// thread.
+    ///
+    /// **Determinism contract (seed-stream splitting).** The result is
+    /// bit-identical for every setting: each initial individual and
+    /// each offspring slot of each generation draws from its own
+    /// [`StdRng`] stream whose seed is derived from [`GaParams::seed`]
+    /// and the (generation, slot) pair by a SplitMix64-style mix —
+    /// never from a shared generator — fitness evaluation is a pure
+    /// function of the chromosome, and batch results are reduced in
+    /// slot order. Parallelism therefore changes wall-clock time only,
+    /// never the compiled mapping or the [`GaStats`] trace.
+    ///
+    /// When this field is `None`, the `PIMCOMP_GA_THREADS` environment
+    /// variable (a positive integer) supplies the default instead — CI
+    /// uses it to run the whole test suite through both the serial and
+    /// the parallel path. An explicit `Some(n)` always wins, so tests
+    /// and benchmarks that compare thread counts stay meaningful under
+    /// the override.
+    pub parallelism: Option<NonZeroUsize>,
 }
 
 impl Default for GaParams {
@@ -63,6 +114,7 @@ impl Default for GaParams {
             tournament: 3,
             max_mutations_per_child: 3,
             max_nodes_per_core: None,
+            parallelism: None,
         }
     }
 }
@@ -78,6 +130,43 @@ impl GaParams {
             ..Self::default()
         }
     }
+
+    /// Sets the worker-thread count (see [`GaParams::parallelism`]).
+    #[must_use]
+    pub fn with_parallelism(mut self, threads: Option<NonZeroUsize>) -> Self {
+        self.parallelism = threads;
+        self
+    }
+}
+
+/// The worker-thread count a run will actually use:
+/// [`GaParams::parallelism`] when explicitly set, else the
+/// `PIMCOMP_GA_THREADS` environment default (a positive integer),
+/// else 1.
+pub fn effective_parallelism(params: &GaParams) -> usize {
+    if let Some(n) = params.parallelism {
+        return n.get();
+    }
+    if let Ok(raw) = std::env::var("PIMCOMP_GA_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    1
+}
+
+/// Derives the seed of one private RNG stream from the master seed
+/// (SplitMix64-style avalanche over the `(stage, index)` pair; stage 0
+/// is population initialization, stage `g + 1` is generation `g`).
+fn stream_seed(master: u64, stage: u64, index: u64) -> u64 {
+    let mut z = master
+        ^ stage.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ index.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Optimization trace returned alongside the best chromosome.
@@ -89,8 +178,22 @@ pub struct GaStats {
     pub final_fitness: f64,
     /// Best fitness at each generation.
     pub history: Vec<f64>,
-    /// Total fitness evaluations performed.
+    /// Total fitness evaluations computed (full + incremental;
+    /// memo-cache hits are *not* evaluations).
     pub evaluations: usize,
+    /// Evaluations computed from scratch (initial population, and
+    /// offspring whose parent basis could not be reused).
+    pub full_evals: usize,
+    /// Evaluations computed incrementally from the parent's basis
+    /// (dirty-core recomputation in HT mode, chain reuse in LL mode).
+    pub incremental_evals: usize,
+    /// Offspring answered from the fitness memo cache without any
+    /// computation.
+    pub cache_hits: usize,
+    /// Fitness evaluations computed in each generation (the initial
+    /// population is excluded; it accounts for
+    /// `evaluations - evals_per_generation.sum()`).
+    pub evals_per_generation: Vec<usize>,
 }
 
 /// One generation's progress snapshot, delivered to
@@ -106,6 +209,8 @@ pub struct GaGeneration {
     pub best_fitness: f64,
     /// Cumulative fitness evaluations so far.
     pub evaluations: usize,
+    /// Cumulative fitness-memo cache hits so far.
+    pub cache_hits: usize,
 }
 
 /// Everything the fitness functions need, bundled for reuse.
@@ -123,7 +228,10 @@ pub struct GaContext<'a> {
 }
 
 impl GaContext<'_> {
-    /// Evaluates the mode's fitness for a chromosome (lower is better).
+    /// Evaluates the mode's fitness for a chromosome from scratch
+    /// (lower is better). This is the reference implementation the
+    /// memoized/incremental engine ([`FitnessMemo`](crate::FitnessMemo))
+    /// must match bit-for-bit.
     ///
     /// # Errors
     ///
@@ -146,12 +254,40 @@ impl GaContext<'_> {
     }
 }
 
-/// A chromosome plus cached bookkeeping.
+/// The mutable state the mutation operators work on: a chromosome plus
+/// the per-core crossbar occupancy they keep in sync.
 #[derive(Debug, Clone)]
-struct Individual {
+struct Draft {
     chromosome: Chromosome,
     used_crossbars: Vec<usize>,
+}
+
+/// A population member: a draft plus its evaluation result.
+#[derive(Debug, Clone)]
+struct Individual {
+    draft: Draft,
     fitness: f64,
+    fingerprint: u128,
+    basis: Arc<EvalBasis>,
+}
+
+/// How an offspring obtained its fitness (tallied into [`GaStats`]).
+enum OffspringSource {
+    /// No mutation applied; the parent's result carries over.
+    Unchanged,
+    /// Answered by the fitness memo.
+    CacheHit,
+    /// Computed (fully or incrementally).
+    Evaluated(EvalKind),
+}
+
+/// One derived-and-evaluated offspring, produced by a worker.
+struct Offspring {
+    draft: Draft,
+    fitness: f64,
+    fingerprint: u128,
+    basis: Arc<EvalBasis>,
+    source: OffspringSource,
 }
 
 /// Heuristic `max_node_num_in_core` when the user does not pin one.
@@ -184,7 +320,6 @@ pub fn optimize_observed(
     params: &GaParams,
     on_generation: &mut dyn FnMut(GaGeneration),
 ) -> Result<(Chromosome, GaStats), CompileError> {
-    let mut rng = StdRng::seed_from_u64(params.seed);
     let cores = ctx.hw.total_cores();
     let capacity = ctx.hw.crossbar_capacity_per_core();
     let max_nodes = params
@@ -200,52 +335,123 @@ pub fn optimize_observed(
         });
     }
 
+    let threads = effective_parallelism(params);
+    let mut memo = FitnessMemo::new(ctx);
+    let pop_n = params.population.max(1);
+
     // Initial population: random replication numbers per node (the
     // paper's initialization), placed big-AGs-first so fragmentation
     // cannot strand them. Individual 0 stays at the minimum plan as a
-    // safe anchor.
-    let mut population = Vec::with_capacity(params.population);
-    let mut evaluations = 0usize;
-    for i in 0..params.population.max(1) {
-        let randomize = i > 0;
-        let mut ind = initial_individual(ctx, cores, max_nodes, capacity, randomize, &mut rng)?;
-        ind.fitness = ctx.fitness(&ind.chromosome)?;
-        evaluations += 1;
-        population.push(ind);
+    // safe anchor. Every individual derives from its own seed stream
+    // and is evaluated from scratch across the worker pool.
+    let built = run_indexed(threads, pop_n, |i| {
+        let mut rng = StdRng::seed_from_u64(stream_seed(params.seed, 0, i as u64));
+        let draft = initial_draft(ctx, cores, max_nodes, capacity, i > 0, &mut rng)?;
+        let (fitness, basis, _) = compute_fitness(ctx, &draft.chromosome, None)?;
+        Ok::<_, CompileError>((draft, fitness, basis))
+    });
+    let mut population: Vec<Individual> = Vec::with_capacity(pop_n);
+    for result in built {
+        let (draft, fitness, basis) = result?;
+        let fingerprint = draft.chromosome.fingerprint();
+        let basis = Arc::new(basis);
+        memo.observe(EvalKind::Full);
+        memo.record(fingerprint, fitness, basis.clone());
+        population.push(Individual {
+            draft,
+            fitness,
+            fingerprint,
+            basis,
+        });
     }
 
     population.sort_by(|a, b| a.fitness.total_cmp(&b.fitness));
     let initial_fitness = population[0].fitness;
     let mut history = Vec::with_capacity(params.iterations);
+    let mut evals_per_generation = Vec::with_capacity(params.iterations);
 
-    let elite = ((params.population as f64 * params.elite_fraction).ceil() as usize)
-        .clamp(1, params.population);
+    let elite =
+        ((params.population as f64 * params.elite_fraction).ceil() as usize).clamp(1, pop_n);
 
     for gen in 0..params.iterations {
-        let mut next: Vec<Individual> = population[..elite].to_vec();
-        while next.len() < params.population {
+        let offspring_n = pop_n - elite;
+        let evals_before = memo.full_evals() + memo.incremental_evals();
+
+        // Derive and evaluate the whole offspring batch against the
+        // immutable parent population; each slot owns its RNG stream.
+        let results = run_indexed(threads, offspring_n, |slot| {
+            let mut rng =
+                StdRng::seed_from_u64(stream_seed(params.seed, gen as u64 + 1, slot as u64));
             let parent = tournament(&population, params.tournament, &mut rng);
-            let mut child = parent.clone();
+            let mut draft = parent.draft.clone();
             let n_mut = rng.gen_range(1..=params.max_mutations_per_child);
             let mut changed = false;
             for _ in 0..n_mut {
-                changed |= mutate(&mut child, ctx, capacity, &mut rng);
+                changed |= mutate(&mut draft, ctx, capacity, &mut rng);
             }
-            if changed {
-                child.fitness = ctx.fitness(&child.chromosome)?;
-                evaluations += 1;
+            if !changed {
+                return Ok(Offspring {
+                    draft,
+                    fitness: parent.fitness,
+                    fingerprint: parent.fingerprint,
+                    basis: parent.basis.clone(),
+                    source: OffspringSource::Unchanged,
+                });
             }
-            next.push(child);
+            let fingerprint = draft.chromosome.fingerprint();
+            if let Some(entry) = memo.lookup(fingerprint) {
+                return Ok(Offspring {
+                    draft,
+                    fitness: entry.fitness,
+                    fingerprint,
+                    basis: entry.basis.clone(),
+                    source: OffspringSource::CacheHit,
+                });
+            }
+            let (fitness, basis, kind) = compute_fitness(
+                ctx,
+                &draft.chromosome,
+                Some((&parent.draft.chromosome, &parent.basis)),
+            )?;
+            Ok::<_, CompileError>(Offspring {
+                draft,
+                fitness,
+                fingerprint,
+                basis: Arc::new(basis),
+                source: OffspringSource::Evaluated(kind),
+            })
+        });
+
+        // Index-ordered reduction: tally stats and fill the memo in
+        // slot order, so the outcome is independent of thread count.
+        let mut next: Vec<Individual> = population[..elite].to_vec();
+        for result in results {
+            let off = result?;
+            match off.source {
+                OffspringSource::Unchanged => {}
+                OffspringSource::CacheHit => memo.observe_hit(),
+                OffspringSource::Evaluated(kind) => {
+                    memo.observe(kind);
+                    memo.record(off.fingerprint, off.fitness, off.basis.clone());
+                }
+            }
+            next.push(Individual {
+                draft: off.draft,
+                fitness: off.fitness,
+                fingerprint: off.fingerprint,
+                basis: off.basis,
+            });
         }
         next.sort_by(|a, b| a.fitness.total_cmp(&b.fitness));
-        next.truncate(params.population);
         population = next;
         history.push(population[0].fitness);
+        evals_per_generation.push(memo.full_evals() + memo.incremental_evals() - evals_before);
         on_generation(GaGeneration {
             generation: gen,
             total_generations: params.iterations,
             best_fitness: population[0].fitness,
-            evaluations,
+            evaluations: memo.full_evals() + memo.incremental_evals(),
+            cache_hits: memo.cache_hits(),
         });
     }
 
@@ -254,26 +460,29 @@ pub fn optimize_observed(
         initial_fitness,
         final_fitness: best.fitness,
         history,
-        evaluations,
+        evaluations: memo.full_evals() + memo.incremental_evals(),
+        full_evals: memo.full_evals(),
+        incremental_evals: memo.incremental_evals(),
+        cache_hits: memo.cache_hits(),
+        evals_per_generation,
     };
-    Ok((best.chromosome, stats))
+    Ok((best.draft.chromosome, stats))
 }
 
-/// Builds a feasible individual. With `randomize` set, each node draws
+/// Builds a feasible draft. With `randomize` set, each node draws
 /// a random power-of-two replication number (halved until it fits);
 /// otherwise every node gets exactly one replica.
-fn initial_individual(
+fn initial_draft(
     ctx: &GaContext<'_>,
     cores: usize,
     max_nodes: usize,
     capacity: usize,
     randomize: bool,
     rng: &mut StdRng,
-) -> Result<Individual, CompileError> {
-    let mut ind = Individual {
+) -> Result<Draft, CompileError> {
+    let mut ind = Draft {
         chromosome: Chromosome::empty(cores, max_nodes),
         used_crossbars: vec![0; cores],
-        fitness: f64::INFINITY,
     };
     // Pass 1: the mandatory replica of every node, wide-AG nodes first
     // so fragmentation cannot strand them.
@@ -381,7 +590,7 @@ fn tournament<'a>(population: &'a [Individual], k: usize, rng: &mut StdRng) -> &
 /// selection (the paper's wording) needs far more generations to walk
 /// the `max`-objective plateau; the bias changes which node is drawn,
 /// not what the operators do.
-fn mutate(ind: &mut Individual, ctx: &GaContext<'_>, capacity: usize, rng: &mut StdRng) -> bool {
+fn mutate(ind: &mut Draft, ctx: &GaContext<'_>, capacity: usize, rng: &mut StdRng) -> bool {
     let n = ctx.partitioning.len();
     match rng.gen_range(0..4u8) {
         0 => {
@@ -407,7 +616,7 @@ fn mutate(ind: &mut Individual, ctx: &GaContext<'_>, capacity: usize, rng: &mut 
 
 /// A node with AGs on the bottleneck core (largest estimated HT time),
 /// preferring the gene with the largest cycle count there.
-fn critical_node(ind: &Individual, ctx: &GaContext<'_>) -> Option<MvmIdx> {
+fn critical_node(ind: &Draft, ctx: &GaContext<'_>) -> Option<MvmIdx> {
     let plan = ind.chromosome.replication(ctx.partitioning).ok()?;
     let mut worst: Option<(u64, usize)> = None;
     let mut items: Vec<(usize, usize)> = Vec::new();
@@ -433,7 +642,7 @@ fn critical_node(ind: &Individual, ctx: &GaContext<'_>) -> Option<MvmIdx> {
 
 /// The replicated node with the smallest windows-per-replica (the most
 /// over-replicated one; shrinking it frees the most useful capacity).
-fn over_replicated_node(ind: &Individual, ctx: &GaContext<'_>) -> Option<MvmIdx> {
+fn over_replicated_node(ind: &Draft, ctx: &GaContext<'_>) -> Option<MvmIdx> {
     let plan = ind.chromosome.replication(ctx.partitioning).ok()?;
     (0..ctx.partitioning.len())
         .filter(|&i| plan.count(i) > 1)
@@ -445,7 +654,7 @@ fn over_replicated_node(ind: &Individual, ctx: &GaContext<'_>) -> Option<MvmIdx>
 /// doubling the current count) so large targets are reachable in few
 /// generations; falls back to +1, rolls back entirely on failure.
 fn mutate_grow(
-    ind: &mut Individual,
+    ind: &mut Draft,
     ctx: &GaContext<'_>,
     node: MvmIdx,
     capacity: usize,
@@ -485,12 +694,7 @@ fn mutate_grow(
 
 /// Operator II: decrease `node`'s replication (geometric step, at least
 /// one replica remains), recovering the crossbars from its genes.
-fn mutate_shrink(
-    ind: &mut Individual,
-    ctx: &GaContext<'_>,
-    node: MvmIdx,
-    rng: &mut StdRng,
-) -> bool {
+fn mutate_shrink(ind: &mut Draft, ctx: &GaContext<'_>, node: MvmIdx, rng: &mut StdRng) -> bool {
     let entry = ctx.partitioning.entry(node);
     let a = entry.ags_per_replica;
     let total = ind.chromosome.ag_total(node);
@@ -534,12 +738,7 @@ fn mutate_shrink(
 }
 
 /// Operator III: spread part of a random gene's AGs to another core.
-fn mutate_spread(
-    ind: &mut Individual,
-    ctx: &GaContext<'_>,
-    capacity: usize,
-    rng: &mut StdRng,
-) -> bool {
+fn mutate_spread(ind: &mut Draft, ctx: &GaContext<'_>, capacity: usize, rng: &mut StdRng) -> bool {
     let genes: Vec<(usize, Gene)> = ind
         .chromosome
         .genes()
@@ -590,12 +789,7 @@ fn mutate_spread(
 
 /// Operator IV: merge a whole gene into a gene of the same node on
 /// another core.
-fn mutate_merge(
-    ind: &mut Individual,
-    ctx: &GaContext<'_>,
-    capacity: usize,
-    rng: &mut StdRng,
-) -> bool {
+fn mutate_merge(ind: &mut Draft, ctx: &GaContext<'_>, capacity: usize, rng: &mut StdRng) -> bool {
     let genes: Vec<(usize, Gene)> = ind.chromosome.genes().collect();
     let Some(&(slot, gene)) = genes.choose(rng) else {
         return false;
@@ -636,7 +830,7 @@ fn mutate_merge(
 /// preferred (they need no fresh slot), which keeps slot pressure low.
 /// All-or-nothing: rolls back on failure.
 fn place_ags(
-    ind: &mut Individual,
+    ind: &mut Draft,
     ctx: &GaContext<'_>,
     node: MvmIdx,
     count: usize,
@@ -650,7 +844,7 @@ fn place_ags(
 
 /// Deterministic variant of [`place_ags`] scanning from `start`.
 fn place_ags_from(
-    ind: &mut Individual,
+    ind: &mut Draft,
     ctx: &GaContext<'_>,
     node: MvmIdx,
     count: usize,
@@ -734,6 +928,14 @@ mod tests {
     }
 
     fn run(mode: PipelineMode, seed: u64) -> (Chromosome, GaStats, Partitioning) {
+        run_with(mode, seed, None)
+    }
+
+    fn run_with(
+        mode: PipelineMode,
+        seed: u64,
+        parallelism: Option<NonZeroUsize>,
+    ) -> (Chromosome, GaStats, Partitioning) {
         let (g, hw) = setup(mode);
         let p = Partitioning::new(&g, &hw).unwrap();
         let dep = DepInfo::analyze(&g);
@@ -744,7 +946,8 @@ mod tests {
             dep: &dep,
             mode,
         };
-        let (best, stats) = optimize(&ctx, &GaParams::fast(seed)).unwrap();
+        let params = GaParams::fast(seed).with_parallelism(parallelism);
+        let (best, stats) = optimize(&ctx, &params).unwrap();
         (best, stats, p)
     }
 
@@ -767,6 +970,31 @@ mod tests {
         let (a, _, _) = run(PipelineMode::HighThroughput, 42);
         let (b, _, _) = run(PipelineMode::HighThroughput, 42);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_bit_for_bit() {
+        for mode in [PipelineMode::HighThroughput, PipelineMode::LowLatency] {
+            let (serial_best, serial_stats, _) = run_with(mode, 11, None);
+            let (par_best, par_stats, _) = run_with(mode, 11, NonZeroUsize::new(4));
+            assert_eq!(serial_best, par_best, "{mode}: chromosomes diverged");
+            assert_eq!(serial_stats, par_stats, "{mode}: stats diverged");
+        }
+    }
+
+    #[test]
+    fn eval_stats_are_consistent() {
+        let (_, stats, _) = run(PipelineMode::HighThroughput, 9);
+        assert_eq!(
+            stats.evaluations,
+            stats.full_evals + stats.incremental_evals
+        );
+        let per_gen: usize = stats.evals_per_generation.iter().sum();
+        // Initial population accounts for the remainder.
+        assert_eq!(stats.evaluations - per_gen, GaParams::fast(9).population);
+        // Single-gene mutations dominate, so the incremental path must
+        // actually be exercised.
+        assert!(stats.incremental_evals > 0, "{stats:?}");
     }
 
     #[test]
@@ -811,5 +1039,15 @@ mod tests {
             optimize(&ctx, &GaParams::fast(1)),
             Err(CompileError::InsufficientCapacity { .. })
         ));
+    }
+
+    #[test]
+    fn stream_seeds_do_not_collide_trivially() {
+        let mut seen = std::collections::HashSet::new();
+        for stage in 0..64u64 {
+            for index in 0..64u64 {
+                assert!(seen.insert(stream_seed(42, stage, index)));
+            }
+        }
     }
 }

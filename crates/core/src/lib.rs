@@ -58,6 +58,7 @@ mod ga;
 mod lower;
 mod mapping;
 mod memory;
+mod parallel;
 mod partition;
 mod replication;
 mod schedule;
@@ -70,11 +71,11 @@ pub use compiler::{CompileOptions, CompileReport, CompiledModel, PimCompiler, St
 pub use error::CompileError;
 pub use fitness::{
     ht_core_time, ht_fitness, ht_fitness_from_mapping, ll_fitness, ll_fitness_with_issue_floor,
-    HT_TIE_BREAK,
+    FitnessMemo, HT_TIE_BREAK,
 };
 pub use ga::{
-    default_max_nodes_per_core, optimize, optimize_observed, GaContext, GaGeneration, GaParams,
-    GaStats,
+    default_max_nodes_per_core, effective_parallelism, optimize, optimize_observed, GaContext,
+    GaGeneration, GaParams, GaStats,
 };
 pub use lower::{lower_to_ops, CoreOp, OpStream};
 pub use mapping::{AgInstance, Chromosome, CoreMapping, Gene, GENE_RADIX};

@@ -217,6 +217,40 @@ impl Chromosome {
             .collect()
     }
 
+    /// A 128-bit FNV-1a fingerprint over the grid dimensions and every
+    /// slot code — the key of the GA's fitness memoization cache.
+    ///
+    /// Equal chromosomes always produce equal fingerprints; at 128 bits
+    /// the collision probability over a GA run's worth of distinct
+    /// chromosomes (≤ 2^16 memo entries) is negligible (< 2^-95).
+    pub fn fingerprint(&self) -> u128 {
+        const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+        const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+        let mut hash = FNV_OFFSET;
+        let mut eat = |word: u64| {
+            for byte in word.to_le_bytes() {
+                hash = (hash ^ u128::from(byte)).wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(self.cores as u64);
+        eat(self.max_nodes_per_core as u64);
+        for slot in &self.slots {
+            // Two fixed-width words per slot (not `Gene::code`, whose
+            // radix caps `ag_count` and panics beyond it).
+            match slot {
+                Some(g) => {
+                    eat(g.mvm as u64);
+                    eat(g.ag_count as u64);
+                }
+                None => {
+                    eat(u64::MAX);
+                    eat(u64::MAX);
+                }
+            }
+        }
+        hash
+    }
+
     /// Rebuilds a chromosome from [`Chromosome::to_codes`] output.
     ///
     /// # Panics

@@ -1,0 +1,80 @@
+//! A deterministic scoped worker pool for embarrassingly parallel,
+//! index-addressed work.
+//!
+//! [`run_indexed`] evaluates a pure task function over `0..count` and
+//! returns the results **in index order**, regardless of how many
+//! worker threads execute them. Work is distributed by static striding
+//! (worker `w` of `t` takes indices `w, w+t, w+2t, …`), each worker
+//! returns `(index, result)` pairs, and the caller-side merge places
+//! them back by index — so the only thing parallelism changes is
+//! wall-clock time, never the result. With one thread (or one task) no
+//! threads are spawned at all; the exact same task function runs
+//! inline, which is what makes the GA's serial and parallel paths
+//! bit-identical by construction rather than by testing luck.
+
+/// Runs `task(0..count)` over at most `threads` workers, returning
+/// results in index order.
+///
+/// `task` must be pure with respect to the index (it may read shared
+/// state, never write it) — the contract that makes the output
+/// independent of the thread count.
+pub(crate) fn run_indexed<T, F>(threads: usize, count: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || count <= 1 {
+        return (0..count).map(task).collect();
+    }
+    let workers = threads.min(count);
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let task = &task;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(count.div_ceil(workers));
+                    let mut index = w;
+                    while index < count {
+                        out.push((index, task(index)));
+                        index += workers;
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (index, value) in handle.join().expect("GA worker thread panicked") {
+                slots[index] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for threads in [1, 2, 3, 8, 64] {
+            let out = run_indexed(threads, 37, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_and_single_task_edge_cases() {
+        assert!(run_indexed(4, 0, |i| i).is_empty());
+        assert_eq!(run_indexed(4, 1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn more_threads_than_tasks_is_fine() {
+        assert_eq!(run_indexed(16, 3, |i| i), vec![0, 1, 2]);
+    }
+}

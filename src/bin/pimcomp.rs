@@ -82,6 +82,9 @@ OPTIONS (compile):
   --policy naive|add|ag   memory-reuse policy (default: ag)
   --ga POPxITERS          GA size (default: 100x200)
   --seed S                GA seed (default: 1)
+  --threads N|auto        GA worker threads (`auto` uses all cores; any
+                          value compiles bit-identically; default: the
+                          PIMCOMP_GA_THREADS env var, else 1)
   --artifact FILE         save the compiled model as a versioned artifact
   --progress              stream stage + GA-generation progress to stderr
   --simulate              run the cycle-accurate simulator on the result
@@ -171,6 +174,16 @@ fn cmd_compile(opts: &HashMap<String, String>) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| "bad --seed"))
         .transpose()?
         .unwrap_or(1);
+    let parallelism = match opts.get("threads").map(String::as_str) {
+        None => None,
+        Some("auto") => std::thread::available_parallelism().ok(),
+        Some(raw) => {
+            let n: usize = raw
+                .parse()
+                .map_err(|_| "--threads expects a positive integer or `auto`")?;
+            Some(std::num::NonZeroUsize::new(n).ok_or("--threads must be at least 1 (or `auto`)")?)
+        }
+    };
     let ga = match opts.get("ga").map(String::as_str) {
         Some(spec) => {
             let (pop, iters) = spec
@@ -180,11 +193,13 @@ fn cmd_compile(opts: &HashMap<String, String>) -> Result<(), String> {
                 population: pop.parse().map_err(|_| "bad GA population")?,
                 iterations: iters.parse().map_err(|_| "bad GA iterations")?,
                 seed,
+                parallelism,
                 ..GaParams::default()
             }
         }
         None => GaParams {
             seed,
+            parallelism,
             ..GaParams::default()
         },
     };
@@ -301,11 +316,12 @@ impl CompileObserver for ProgressPrinter {
         if p.generation >= self.last_reported + step || p.generation + 1 == p.total_generations {
             self.last_reported = p.generation;
             eprintln!(
-                "[ga] generation {}/{}: best fitness {:.0} ({} evaluations)",
+                "[ga] generation {}/{}: best fitness {:.0} ({} evaluations, {} cache hits)",
                 p.generation + 1,
                 p.total_generations,
                 p.best_fitness,
-                p.evaluations
+                p.evaluations,
+                p.cache_hits
             );
         }
     }
@@ -397,10 +413,13 @@ fn inspect_artifact(path: &str) -> Result<(), String> {
     );
     match &r.ga {
         Some(ga) => println!(
-            "; GA {:.0} -> {:.0} over {} generations)",
+            "; GA {:.0} -> {:.0} over {} generations, {} evals ({} incremental), {} cache hits)",
             ga.initial_fitness,
             ga.final_fitness,
-            ga.history.len()
+            ga.history.len(),
+            ga.evaluations,
+            ga.incremental_evals,
+            ga.cache_hits
         ),
         None => println!(")"),
     }

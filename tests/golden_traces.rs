@@ -1,0 +1,235 @@
+//! Golden-trace regression tests: compact JSON summaries of compiled
+//! artifacts (fitness, replication, core-assignment counts, schedule
+//! lengths) for fixed models/seeds/modes, committed under
+//! `tests/golden/`. Any drift in compilation output fails with a
+//! line-level diff against the fixture.
+//!
+//! To bless intentional changes (new GA behavior, schedule changes),
+//! regenerate the fixtures with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_traces
+//! ```
+//!
+//! and commit the rewritten files alongside the change that caused
+//! them.
+
+use pimcomp_arch::{HardwareConfig, PipelineMode};
+use pimcomp_core::{
+    CompileOptions, CompileSession, CompiledModel, GaParams, Partitioning, Schedule,
+};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// The drift-sensitive facts of one compilation, kept deliberately
+/// small and human-readable so a fixture diff tells you *what* moved.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Trace {
+    model: String,
+    mode: String,
+    seed: u64,
+    ga_population: usize,
+    ga_iterations: usize,
+    /// The mode's analytic fitness of the final mapping (cycles).
+    estimated_fitness: f64,
+    /// GA trace endpoints and engine counters.
+    ga_initial_fitness: f64,
+    ga_final_fitness: f64,
+    ga_evaluations: usize,
+    ga_incremental_evals: usize,
+    ga_cache_hits: usize,
+    /// Final replica count per partitioned node.
+    replication: Vec<usize>,
+    /// Cores hosting at least one AG.
+    active_cores: usize,
+    /// Crossbars occupied by weights.
+    crossbars_used: usize,
+    /// AG instances assigned to each core (index = core id).
+    per_core_ag_counts: Vec<usize>,
+    /// Schedule length summary, mode-dependent.
+    schedule: ScheduleTrace,
+    /// Local-memory plan peak, in bytes.
+    memory_peak_bytes: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum ScheduleTrace {
+    /// HT: per-node-per-core programs, vector tasks, total rounds.
+    Ht {
+        programs: usize,
+        vec_tasks: usize,
+        total_rounds: usize,
+    },
+    /// LL: pipeline units and total replica streams.
+    Ll { units: usize, total_replicas: usize },
+}
+
+fn trace_of(model: &CompiledModel, seed: u64, ga: &GaParams) -> Trace {
+    let stats = model.report.ga.as_ref().expect("GA compilation");
+    let schedule = match &model.schedule {
+        Schedule::HighThroughput(ht) => ScheduleTrace::Ht {
+            programs: ht.programs.len(),
+            vec_tasks: ht.vec_tasks.len(),
+            total_rounds: ht.programs.iter().map(|p| p.rounds).sum(),
+        },
+        Schedule::LowLatency(ll) => ScheduleTrace::Ll {
+            units: ll.units.len(),
+            total_replicas: ll.units.iter().map(|u| u.replicas.len()).sum(),
+        },
+    };
+    Trace {
+        model: model.report.model.clone(),
+        mode: model.mode.to_string(),
+        seed,
+        ga_population: ga.population,
+        ga_iterations: ga.iterations,
+        estimated_fitness: model.report.estimated_fitness,
+        ga_initial_fitness: stats.initial_fitness,
+        ga_final_fitness: stats.final_fitness,
+        ga_evaluations: stats.evaluations,
+        ga_incremental_evals: stats.incremental_evals,
+        ga_cache_hits: stats.cache_hits,
+        replication: model.report.replication.clone(),
+        active_cores: model.report.active_cores,
+        crossbars_used: model.report.crossbars_used,
+        per_core_ag_counts: model.mapping.per_core.iter().map(Vec::len).collect(),
+        schedule,
+        memory_peak_bytes: model.memory.peak_bytes,
+    }
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// Renders a readable line diff of fixture vs actual.
+fn diff(expected: &str, actual: &str) -> String {
+    let mut out = String::new();
+    let e: Vec<&str> = expected.lines().collect();
+    let a: Vec<&str> = actual.lines().collect();
+    for i in 0..e.len().max(a.len()) {
+        match (e.get(i), a.get(i)) {
+            (Some(el), Some(al)) if el == al => {}
+            (el, al) => {
+                out.push_str(&format!(
+                    "  line {:>3}: fixture `{}` vs actual `{}`\n",
+                    i + 1,
+                    el.copied().unwrap_or("<missing>"),
+                    al.copied().unwrap_or("<missing>")
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn check(name: &str, model: &CompiledModel, seed: u64, ga: &GaParams) {
+    let trace = trace_of(model, seed, ga);
+    let actual = serde_json::to_string_pretty(&trace).expect("trace serializes");
+    let path = golden_dir().join(format!("{name}.json"));
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, actual + "\n").expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {}: {e}\n\
+             run `UPDATE_GOLDEN=1 cargo test --test golden_traces` to create it",
+            path.display()
+        )
+    });
+    // Round-trip both sides through the Trace type so the comparison is
+    // structural first (field renames fail loudly), textual second.
+    let expected_trace: Trace = serde_json::from_str(expected.trim()).unwrap_or_else(|e| {
+        panic!(
+            "golden fixture {} no longer parses ({e}); regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert!(
+        expected_trace == trace && expected.trim() == actual.trim(),
+        "compilation output drifted from golden fixture {}:\n{}\
+         if the change is intentional, regenerate with \
+         `UPDATE_GOLDEN=1 cargo test --test golden_traces` and commit the fixture",
+        path.display(),
+        diff(expected.trim(), actual.trim())
+    );
+}
+
+fn compile_small(mode: PipelineMode, seed: u64) -> (CompiledModel, GaParams) {
+    let graph = pimcomp_ir::models::tiny_cnn();
+    let hw = HardwareConfig::small_test();
+    let ga = GaParams::fast(seed);
+    let opts = CompileOptions::new(mode).with_ga(ga.clone());
+    let model = CompileSession::new(hw, &graph, opts)
+        .unwrap()
+        .run()
+        .unwrap();
+    (model, ga)
+}
+
+fn compile_resnet(mode: PipelineMode, seed: u64) -> (CompiledModel, GaParams) {
+    let graph = pimcomp_ir::models::resnet18();
+    // Size the target like the CLI default: 2x headroom over the
+    // single-replica demand.
+    let base = HardwareConfig::puma();
+    let normalized = pimcomp_ir::transform::normalize(&graph);
+    let p = Partitioning::new(&normalized, &base).unwrap();
+    let per_chip = base.cores_per_chip * base.crossbars_per_core;
+    let chips = (2 * p.min_crossbars()).div_ceil(per_chip).max(1);
+    let hw = HardwareConfig::puma_with_chips(chips);
+    let ga = GaParams {
+        population: 8,
+        iterations: 6,
+        ..GaParams::fast(seed)
+    };
+    let opts = CompileOptions::new(mode).with_ga(ga.clone());
+    let model = CompileSession::new(hw, &graph, opts)
+        .unwrap()
+        .run()
+        .unwrap();
+    (model, ga)
+}
+
+#[test]
+fn small_ht_trace_matches_golden() {
+    let (model, ga) = compile_small(PipelineMode::HighThroughput, 7);
+    check("small_ht_seed7", &model, 7, &ga);
+}
+
+#[test]
+fn small_ll_trace_matches_golden() {
+    let (model, ga) = compile_small(PipelineMode::LowLatency, 7);
+    check("small_ll_seed7", &model, 7, &ga);
+}
+
+#[test]
+fn resnet_ht_trace_matches_golden() {
+    let (model, ga) = compile_resnet(PipelineMode::HighThroughput, 42);
+    check("resnet_ht_seed42", &model, 42, &ga);
+}
+
+#[test]
+fn resnet_ll_trace_matches_golden() {
+    let (model, ga) = compile_resnet(PipelineMode::LowLatency, 42);
+    check("resnet_ll_seed42", &model, 42, &ga);
+}
+
+#[test]
+fn traces_are_thread_count_invariant() {
+    // The golden fixtures are equally valid under the parallel engine:
+    // recompiling with 4 workers reproduces the identical trace.
+    let (serial, ga) = compile_small(PipelineMode::HighThroughput, 7);
+    let graph = pimcomp_ir::models::tiny_cnn();
+    let opts = CompileOptions::new(PipelineMode::HighThroughput)
+        .with_ga(ga.clone())
+        .with_parallelism(std::num::NonZeroUsize::new(4));
+    let parallel = CompileSession::new(HardwareConfig::small_test(), &graph, opts)
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(trace_of(&serial, 7, &ga), trace_of(&parallel, 7, &ga));
+}

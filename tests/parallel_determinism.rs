@@ -1,0 +1,104 @@
+//! The parallel GA's determinism contract, asserted bit-for-bit:
+//! serial and 2-/4-/8-thread runs must produce identical best
+//! chromosomes and identical [`GaStats`] for every seed and pipeline
+//! mode (see `GaParams::parallelism` for the seed-stream-splitting
+//! design that makes this hold by construction).
+
+use pimcomp_arch::{HardwareConfig, PipelineMode};
+use pimcomp_core::{optimize, Chromosome, DepInfo, GaContext, GaParams, GaStats, Partitioning};
+use pimcomp_ir::transform::normalize;
+use std::num::NonZeroUsize;
+
+fn run(mode: PipelineMode, seed: u64, threads: Option<usize>) -> (Chromosome, GaStats) {
+    let graph = normalize(&pimcomp_ir::models::tiny_cnn());
+    let hw = HardwareConfig::small_test();
+    let partitioning = Partitioning::new(&graph, &hw).unwrap();
+    let dep = DepInfo::analyze(&graph);
+    let ctx = GaContext {
+        hw: &hw,
+        graph: &graph,
+        partitioning: &partitioning,
+        dep: &dep,
+        mode,
+    };
+    let params = GaParams {
+        population: 12,
+        iterations: 10,
+        seed,
+        parallelism: threads.and_then(NonZeroUsize::new),
+        ..GaParams::default()
+    };
+    optimize(&ctx, &params).unwrap()
+}
+
+#[test]
+fn thread_count_never_changes_the_result() {
+    for mode in [PipelineMode::HighThroughput, PipelineMode::LowLatency] {
+        for seed in [1u64, 7, 42] {
+            let (serial_best, serial_stats) = run(mode, seed, None);
+            for threads in [2usize, 4, 8] {
+                let (best, stats) = run(mode, seed, Some(threads));
+                assert_eq!(
+                    serial_best, best,
+                    "{mode}/seed {seed}: {threads}-thread chromosome diverged from serial"
+                );
+                assert_eq!(
+                    serial_stats, stats,
+                    "{mode}/seed {seed}: {threads}-thread GaStats diverged from serial"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fitness_history_is_bitwise_stable_across_threads() {
+    // `history` carries raw f64s; compare their bit patterns explicitly
+    // so a masked `-0.0`/NaN-style divergence cannot hide behind `==`.
+    let (_, serial) = run(PipelineMode::HighThroughput, 7, None);
+    let (_, parallel) = run(PipelineMode::HighThroughput, 7, Some(4));
+    let serial_bits: Vec<u64> = serial.history.iter().map(|f| f.to_bits()).collect();
+    let parallel_bits: Vec<u64> = parallel.history.iter().map(|f| f.to_bits()).collect();
+    assert_eq!(serial_bits, parallel_bits);
+    assert_eq!(
+        serial.final_fitness.to_bits(),
+        parallel.final_fitness.to_bits()
+    );
+}
+
+#[test]
+fn explicit_parallelism_one_equals_default_serial() {
+    let (a_best, a_stats) = run(PipelineMode::LowLatency, 42, None);
+    let (b_best, b_stats) = run(PipelineMode::LowLatency, 42, Some(1));
+    assert_eq!(a_best, b_best);
+    assert_eq!(a_stats, b_stats);
+}
+
+#[test]
+fn full_compilation_is_thread_count_invariant() {
+    // End to end through the session API: the entire compiled artifact
+    // (mapping, schedule, memory plan, report) must match, not just the
+    // GA output.
+    use pimcomp_core::{CompileOptions, CompileSession};
+    let graph = pimcomp_ir::models::tiny_cnn();
+    let hw = HardwareConfig::small_test();
+    let compile = |threads: Option<usize>| {
+        let opts = CompileOptions::new(PipelineMode::HighThroughput)
+            .with_fast_ga(7)
+            .with_parallelism(threads.and_then(NonZeroUsize::new));
+        CompileSession::new(hw.clone(), &graph, opts)
+            .unwrap()
+            .run()
+            .unwrap()
+    };
+    let serial = compile(None);
+    let parallel = compile(Some(4));
+    assert_eq!(serial.mapping, parallel.mapping);
+    assert_eq!(serial.schedule, parallel.schedule);
+    assert_eq!(serial.memory, parallel.memory);
+    assert_eq!(serial.report.ga, parallel.report.ga);
+    assert_eq!(
+        serial.report.estimated_fitness.to_bits(),
+        parallel.report.estimated_fitness.to_bits()
+    );
+}

@@ -1,8 +1,9 @@
 //! Property-based tests over the core data structures and invariants.
 
-use pimcomp_arch::HardwareConfig;
+use pimcomp_arch::{HardwareConfig, PipelineMode};
 use pimcomp_core::{
-    required_windows, Chromosome, CoreMapping, DepRule, Gene, Partitioning, ReplicationPlan,
+    required_windows, Chromosome, CoreMapping, DepInfo, DepRule, FitnessMemo, GaContext, Gene,
+    Partitioning, ReplicationPlan, Schedule,
 };
 use pimcomp_ir::{Graph, GraphBuilder};
 use proptest::prelude::*;
@@ -28,6 +29,148 @@ fn arb_chain_graph() -> impl Strategy<Value = Graph> {
             }
             b.finish().expect("generated graph is valid")
         })
+}
+
+/// A deterministic feasible chromosome: one replica per node, striped
+/// over the cores first-fit (the seed state the edit sequences of
+/// `memoized_and_incremental_fitness_match_scratch` start from).
+fn striped_chromosome(p: &Partitioning, hw: &HardwareConfig) -> Chromosome {
+    let cores = hw.total_cores();
+    let mut c = Chromosome::empty(cores, p.len().max(4));
+    let mut core = 0usize;
+    for idx in 0..p.len() {
+        for _ in 0..p.entry(idx).ags_per_replica {
+            let slot = c
+                .slot_of_node_on_core(core, idx)
+                .or_else(|| c.free_slot_of_core(core))
+                .expect("grid sized to fit");
+            let cur = c.gene(slot).map_or(0, |g| g.ag_count);
+            c.set_gene(
+                slot,
+                Some(Gene {
+                    mvm: idx,
+                    ag_count: cur + 1,
+                }),
+            );
+            core = (core + 1) % cores;
+        }
+    }
+    c
+}
+
+/// Applies one GA-shaped edit (grow / shrink / spread) to a chromosome,
+/// keeping every node's AG total a positive multiple of its
+/// AGs-per-replica (the invariant `Chromosome::replication` enforces).
+/// Returns whether the chromosome changed.
+fn apply_edit(
+    c: &mut Chromosome,
+    p: &Partitioning,
+    (kind, node_sel, core_sel, amount): (u8, usize, usize, usize),
+) -> bool {
+    let node = node_sel % p.len();
+    let a = p.entry(node).ags_per_replica;
+    let cores = c.cores();
+    match kind {
+        // Grow: add `amount` whole replicas, one AG at a time,
+        // first-fit from a chosen start core. All-or-nothing.
+        0 => {
+            let before = c.clone();
+            for i in 0..amount * a {
+                let placed = (0..cores).any(|off| {
+                    let core = (core_sel + i + off) % cores;
+                    let slot = c
+                        .slot_of_node_on_core(core, node)
+                        .or_else(|| c.free_slot_of_core(core));
+                    if let Some(slot) = slot {
+                        let cur = c.gene(slot).map_or(0, |g| g.ag_count);
+                        c.set_gene(
+                            slot,
+                            Some(Gene {
+                                mvm: node,
+                                ag_count: cur + 1,
+                            }),
+                        );
+                        true
+                    } else {
+                        false
+                    }
+                });
+                if !placed {
+                    *c = before;
+                    return false;
+                }
+            }
+            true
+        }
+        // Shrink: remove `amount` whole replicas, keeping at least one.
+        1 => {
+            let total = c.ag_total(node);
+            let removable = (total / a).saturating_sub(1).min(amount);
+            if removable == 0 {
+                return false;
+            }
+            let mut to_remove = removable * a;
+            for slot in 0..c.len() {
+                if to_remove == 0 {
+                    break;
+                }
+                let Some(g) = c.gene(slot) else { continue };
+                if g.mvm != node {
+                    continue;
+                }
+                let take = g.ag_count.min(to_remove);
+                to_remove -= take;
+                c.set_gene(
+                    slot,
+                    (g.ag_count > take).then_some(Gene {
+                        mvm: node,
+                        ag_count: g.ag_count - take,
+                    }),
+                );
+            }
+            assert_eq!(to_remove, 0);
+            true
+        }
+        // Spread: move `amount` AGs of some gene to another core
+        // (replication totals unchanged — the placement-only case that
+        // exercises LL chain reuse and HT two-core dirtiness).
+        _ => {
+            let genes: Vec<(usize, Gene)> = c.genes().filter(|(_, g)| g.ag_count >= 2).collect();
+            if genes.is_empty() {
+                return false;
+            }
+            let (slot, gene) = genes[node_sel % genes.len()];
+            let src_core = c.core_of_slot(slot);
+            let move_n = amount.min(gene.ag_count - 1);
+            for off in 0..cores {
+                let dst = (core_sel + off) % cores;
+                if dst == src_core {
+                    continue;
+                }
+                let dst_slot = c
+                    .slot_of_node_on_core(dst, gene.mvm)
+                    .or_else(|| c.free_slot_of_core(dst));
+                let Some(dst_slot) = dst_slot else { continue };
+                let dst_count = c.gene(dst_slot).map_or(0, |g| g.ag_count);
+                c.set_gene(
+                    dst_slot,
+                    Some(Gene {
+                        mvm: gene.mvm,
+                        ag_count: dst_count + move_n,
+                    }),
+                );
+                c.set_gene(
+                    slot,
+                    Some(Gene {
+                        mvm: gene.mvm,
+                        ag_count: gene.ag_count - move_n,
+                    }),
+                );
+                return true;
+            }
+            false
+        }
+    }
 }
 
 proptest! {
@@ -177,6 +320,56 @@ proptest! {
     }
 
     #[test]
+    fn memoized_and_incremental_fitness_match_scratch(
+        graph in arb_chain_graph(),
+        edits in proptest::collection::vec((0u8..3, 0usize..64, 0usize..64, 1usize..4), 1..12),
+        ht in any::<bool>(),
+    ) {
+        let hw = HardwareConfig::small_test();
+        let p = Partitioning::new(&graph, &hw).unwrap();
+        let dep = DepInfo::analyze(&graph);
+        let ctx = GaContext {
+            hw: &hw,
+            graph: &graph,
+            partitioning: &p,
+            dep: &dep,
+            mode: if ht { PipelineMode::HighThroughput } else { PipelineMode::LowLatency },
+        };
+        let mut memo = FitnessMemo::new(&ctx);
+
+        let mut current = striped_chromosome(&p, &hw);
+        let scratch = ctx.fitness(&current).unwrap();
+        prop_assert_eq!(memo.evaluate(&current).unwrap().to_bits(), scratch.to_bits());
+
+        let mut applied = 0usize;
+        for edit in edits {
+            let mut child = current.clone();
+            if !apply_edit(&mut child, &p, edit) {
+                continue;
+            }
+            applied += 1;
+            // The incremental path (dirty-core recomputation in HT,
+            // chain reuse in LL) must agree with the from-scratch
+            // estimator to the bit, for any mutation sequence.
+            let scratch = ctx.fitness(&child).unwrap();
+            let incremental = memo.evaluate_mutated(&current, &child).unwrap();
+            prop_assert_eq!(
+                incremental.to_bits(),
+                scratch.to_bits(),
+                "incremental {} != scratch {}",
+                incremental,
+                scratch
+            );
+            // And once memoized, a revisit returns the identical value.
+            let memoized = memo.evaluate(&child).unwrap();
+            prop_assert_eq!(memoized.to_bits(), scratch.to_bits());
+            current = child;
+        }
+        // Every applied edit ends with a guaranteed revisit hit.
+        prop_assert!(memo.cache_hits() >= applied);
+    }
+
+    #[test]
     fn ht_core_time_is_monotone_in_load(
         items in proptest::collection::vec((1usize..8, 1usize..500), 1..6),
         extra_ags in 1usize..4,
@@ -192,5 +385,60 @@ proptest! {
         let mut longer = items.clone();
         longer[0].1 += extra_cycles;
         prop_assert!(pimcomp_core::ht_core_time(&hw, &longer) >= base);
+    }
+}
+
+// End-to-end schedule invariants: fewer cases, each compiles a model.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every AG's predecessors are scheduled before its first use: in
+    /// the LL schedule all of a unit's provider units precede it in
+    /// pipeline order; in the HT schedule each core executes its node
+    /// programs in ascending partitioned-node (topological) order.
+    #[test]
+    fn schedules_order_predecessors_before_use(
+        graph in arb_chain_graph(),
+        seed in 0u64..1000,
+        ht in any::<bool>(),
+    ) {
+        use pimcomp_core::{CompileOptions, CompileSession, GaParams};
+        let mode = if ht { PipelineMode::HighThroughput } else { PipelineMode::LowLatency };
+        let opts = CompileOptions::new(mode).with_ga(GaParams {
+            population: 4,
+            iterations: 2,
+            ..GaParams::fast(seed)
+        });
+        let model = CompileSession::new(HardwareConfig::small_test(), &graph, opts)
+            .unwrap()
+            .run()
+            .unwrap();
+        match &model.schedule {
+            Schedule::LowLatency(ll) => {
+                for (uid, unit) in ll.units.iter().enumerate() {
+                    for provider in &unit.providers {
+                        let provider_units = ll.units_of(provider.node);
+                        prop_assert!(!provider_units.is_empty(), "provider without units");
+                        for &pu in provider_units {
+                            prop_assert!(
+                                pu < uid,
+                                "unit {uid} ({}) uses provider unit {pu} scheduled after it",
+                                unit.name
+                            );
+                        }
+                    }
+                }
+            }
+            Schedule::HighThroughput(htds) => {
+                for core_programs in &htds.per_core {
+                    for pair in core_programs.windows(2) {
+                        prop_assert!(
+                            htds.programs[pair[0]].mvm <= htds.programs[pair[1]].mvm,
+                            "core program order violates topological node order"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -420,6 +420,20 @@ impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
     }
 }
 
+impl Serialize for std::num::NonZeroUsize {
+    fn to_value(&self) -> Value {
+        Value::Int(self.get() as i128)
+    }
+}
+
+impl Deserialize for std::num::NonZeroUsize {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let n: usize = Deserialize::from_value(v)?;
+        std::num::NonZeroUsize::new(n)
+            .ok_or_else(|| DeError::new("expected a non-zero integer, found 0"))
+    }
+}
+
 impl Serialize for Duration {
     fn to_value(&self) -> Value {
         Value::Map(vec![
