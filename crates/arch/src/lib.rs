@@ -37,6 +37,7 @@ mod library;
 mod memory_model;
 mod noc;
 mod router;
+mod sweep;
 
 pub use config::{CoreConnection, HardwareConfig, HwError, PipelineMode};
 pub use energy::{EnergyModel, LeakageBreakdown};
@@ -44,3 +45,4 @@ pub use library::{table1, ComponentLibrary, ComponentSpec};
 pub use memory_model::SramModel;
 pub use noc::NocModel;
 pub use router::RouterModel;
+pub use sweep::{preset, preset_names, HardwareGrid};

@@ -1,0 +1,131 @@
+//! Design-space-exploration throughput harness: evaluates a committed
+//! sweep fixture across a worker-thread sweep, reporting points/sec
+//! per thread count while *verifying* the engine's two core
+//! guarantees — byte-identical reports for every thread count, and
+//! full artifact-cache replay on a warm rerun. Exits non-zero if
+//! either guarantee is violated, so CI can run it as a smoke gate.
+//!
+//! ```text
+//! explore_sweep [--fast] [--threads 1,2,4] [--json PATH]
+//! ```
+
+use pimcomp_bench::{HarnessOptions, PAPER_SWEEP_SPEC, SMOKE_SWEEP_SPEC};
+use pimcomp_dse::{ExploreEngine, SweepSpec};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    threads: usize,
+    points: usize,
+    seconds: f64,
+    points_per_s: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let spec_json = if opts.fast {
+        SMOKE_SWEEP_SPEC
+    } else {
+        PAPER_SWEEP_SPEC
+    };
+    let spec = match SweepSpec::from_json(spec_json) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: committed sweep fixture is invalid: {e}");
+            std::process::exit(2);
+        }
+    };
+    let threads = opts.threads.clone().unwrap_or_else(|| vec![1, 2, 4]);
+    let n_points = spec.len();
+    println!("explore_sweep: {n_points} points, thread sweep {threads:?}");
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut reference: Option<String> = None;
+    for &t in &threads {
+        let engine = ExploreEngine::new().with_threads(t);
+        let t0 = Instant::now();
+        let outcome = match engine.run(&spec) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: sweep failed at {t} threads: {e}");
+                std::process::exit(1);
+            }
+        };
+        let seconds = t0.elapsed().as_secs_f64();
+        let json = outcome.report.to_json().expect("report serializes");
+        match &reference {
+            None => reference = Some(json),
+            Some(r) => {
+                if *r != json {
+                    eprintln!(
+                        "error: report at {t} threads differs from the \
+                         {}-thread report — determinism violated",
+                        threads[0]
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        let baseline = rows.first().map_or(seconds, |r: &Row| r.seconds);
+        let row = Row {
+            threads: t,
+            points: n_points,
+            seconds,
+            points_per_s: n_points as f64 / seconds,
+            speedup: baseline / seconds,
+        };
+        println!(
+            "  {:>2} threads: {:>7.2} points/s ({:.2}s, {:.2}x vs {} thread{})",
+            row.threads,
+            row.points_per_s,
+            row.seconds,
+            row.speedup,
+            threads[0],
+            if threads[0] == 1 { "" } else { "s" },
+        );
+        rows.push(row);
+    }
+    println!("  reports byte-identical across all thread counts: ok");
+
+    // Cache verification: a warm rerun must replay every point.
+    let dir = std::env::temp_dir().join(format!("pimcomp-explore-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let engine = ExploreEngine::new()
+        .with_threads(*threads.last().unwrap_or(&1))
+        .with_cache_dir(&dir);
+    let cold = engine.run(&spec).expect("cold cached run");
+    let t0 = Instant::now();
+    let warm = engine.run(&spec).expect("warm cached run");
+    let warm_s = t0.elapsed().as_secs_f64();
+    std::fs::remove_dir_all(&dir).ok();
+    if warm.cache_hits != n_points || cold.cache_hits != 0 {
+        eprintln!(
+            "error: expected {n_points} cache hits on the warm run and 0 on the cold run, \
+             got {} and {}",
+            warm.cache_hits, cold.cache_hits
+        );
+        std::process::exit(1);
+    }
+    if warm.report != cold.report {
+        eprintln!("error: warm (cached) report differs from cold report");
+        std::process::exit(1);
+    }
+    println!(
+        "  cache replay: {}/{} hits, identical report, {:.2}s warm ({:.0} points/s)",
+        warm.cache_hits,
+        n_points,
+        warm_s,
+        n_points as f64 / warm_s
+    );
+
+    if let Some(min) = opts.min_speedup {
+        let best = rows.iter().map(|r| r.speedup).fold(0.0, f64::max);
+        if best < min {
+            eprintln!("error: best speedup {best:.2}x is below the required {min:.2}x");
+            std::process::exit(1);
+        }
+    }
+    opts.write_json(&rows);
+}

@@ -6,7 +6,7 @@
 //! global memory after each AG performs 2 MVM operations (batch = 2).
 
 use pimcomp_arch::PipelineMode;
-use pimcomp_bench::{hardware_for, load_network, HarnessOptions};
+use pimcomp_bench::{hardware_for, load_network_or_exit, HarnessOptions};
 use pimcomp_core::{CompileOptions, PimCompiler, ReusePolicy};
 use serde::Serialize;
 
@@ -33,7 +33,7 @@ fn main() {
             "network", "policy", "avg local", "peak local", "global accesses"
         );
         for net in opts.networks() {
-            let graph = load_network(net);
+            let graph = load_network_or_exit(net);
             let hw = hardware_for(&graph, 20);
             // Compile once; replan memory per policy (the schedule is
             // policy-independent).

@@ -6,7 +6,7 @@
 //! in the paper's plot; the annotation is the PIMCOMP/PUMA ratio.
 
 use pimcomp_arch::PipelineMode;
-use pimcomp_bench::{load_network, ratio, run_pair, HarnessOptions, RunResult};
+use pimcomp_bench::{load_network_or_exit, ratio, run_pair, HarnessOptions, RunResult};
 use pimcomp_core::ReusePolicy;
 use serde::Serialize;
 
@@ -34,7 +34,7 @@ fn main() {
             "network", "par", "PUMA-like", "PIMCOMP", "gain"
         );
         for net in opts.networks() {
-            let graph = load_network(net);
+            let graph = load_network_or_exit(net);
             for par in opts.parallelisms() {
                 let (ours, base) = run_pair(&graph, mode, par, &ga, ReusePolicy::AgReuse);
                 // Throughput/speed are both 1/cycles: the gain is the

@@ -4,7 +4,7 @@
 //! (population 100, 200 iterations).
 
 use pimcomp_arch::PipelineMode;
-use pimcomp_bench::{compile_one, load_network, HarnessOptions};
+use pimcomp_bench::{compile_one, load_network_or_exit, HarnessOptions};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -31,7 +31,7 @@ fn main() {
         "network", "mode", "partitioning", "replicating+mapping", "dataflow scheduling", "total"
     );
     for net in opts.networks() {
-        let graph = load_network(net);
+        let graph = load_network_or_exit(net);
         for mode in [PipelineMode::HighThroughput, PipelineMode::LowLatency] {
             let compiled = compile_one(&graph, mode, &ga, false);
             let t = &compiled.report.timings;

@@ -11,6 +11,9 @@
 //! * `ga_throughput` — GA evaluations/sec across a worker-thread sweep
 //!   (serial vs parallel engine), verifying bit-identical results while
 //!   measuring.
+//! * `explore_sweep` — design-space-exploration points/sec across a
+//!   worker-thread sweep, verifying byte-identical reports and
+//!   artifact-cache replay while measuring.
 //!
 //! Each binary prints the paper-style rows and, with `--json PATH`,
 //! writes machine-readable results. `--fast` shrinks the GA and the
@@ -104,29 +107,35 @@ impl HarnessOptions {
                 other => eprintln!("ignoring unknown argument `{other}`"),
             }
         }
+        if let Some(only) = &opts.only {
+            if !available_networks()
+                .iter()
+                .any(|n| n.eq_ignore_ascii_case(only))
+            {
+                eprintln!("error: {}", UnknownNetwork { name: only.clone() });
+                std::process::exit(2);
+            }
+        }
         opts
     }
 
-    /// The benchmark set under these options (fast mode keeps the two
-    /// cheapest networks).
+    /// The benchmark set under these options. Default: the five paper
+    /// benchmarks (fast mode keeps the two cheapest). `--only` selects
+    /// any loadable network — the full zoo, not just the paper set —
+    /// and is validated against [`available_networks`] at parse time,
+    /// so this never returns an empty set silently.
     pub fn networks(&self) -> Vec<&'static str> {
-        let all = [
-            "vgg16",
-            "resnet18",
-            "googlenet",
-            "inception_v3",
-            "squeezenet",
-        ];
         if let Some(only) = &self.only {
-            return all
-                .into_iter()
+            return available_networks()
+                .iter()
+                .copied()
                 .filter(|n| n.eq_ignore_ascii_case(only))
                 .collect();
         }
         if self.fast {
             vec!["resnet18", "squeezenet"]
         } else {
-            all.to_vec()
+            pimcomp_ir::models::PAPER_BENCHMARKS.to_vec()
         }
     }
 
@@ -173,16 +182,65 @@ impl HarnessOptions {
     }
 }
 
+/// The benchmark names [`load_network`] resolves (the IR zoo).
+pub fn available_networks() -> &'static [&'static str] {
+    &pimcomp_ir::models::ZOO
+}
+
+/// An unknown benchmark name, carrying the full list of valid names so
+/// CLIs can print it instead of making the user guess.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownNetwork {
+    /// The name that did not resolve.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown benchmark `{}`; available networks: {}",
+            self.name,
+            available_networks().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownNetwork {}
+
 /// Loads and normalizes a benchmark network by name.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on unknown names (harness-internal use).
-pub fn load_network(name: &str) -> Graph {
-    let g =
-        pimcomp_ir::models::by_name(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
-    normalize(&g)
+/// [`UnknownNetwork`] (listing every valid name) instead of a panic, so
+/// harness binaries and sweep drivers survive a typo in `--only`.
+pub fn load_network(name: &str) -> Result<Graph, UnknownNetwork> {
+    let g = pimcomp_ir::models::by_name(name).ok_or_else(|| UnknownNetwork {
+        name: name.to_string(),
+    })?;
+    Ok(normalize(&g))
 }
+
+/// [`load_network`] for binaries: prints the error (with the list of
+/// valid names) and exits with status 2 on unknown names.
+pub fn load_network_or_exit(name: &str) -> Graph {
+    load_network(name).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// The committed smoke sweep spec (2 models × 2 hardware configs on
+/// the small test target): the fixture CI's `explore` smoke job and
+/// the `explore_sweep` harness run by default. Lives on disk at
+/// `crates/bench/fixtures/smoke_sweep.json` so the CLI can consume the
+/// identical spec.
+pub const SMOKE_SWEEP_SPEC: &str = include_str!("../fixtures/smoke_sweep.json");
+
+/// The committed paper-style sweep spec (3 models × 2 modes × 6
+/// hardware configs); the `explore_sweep` harness's full-size input,
+/// on disk at `crates/bench/fixtures/paper_sweep.json`.
+pub const PAPER_SWEEP_SPEC: &str = include_str!("../fixtures/paper_sweep.json");
 
 /// Sizes a PUMA-like target for `graph`: enough chips for
 /// [`CHIP_HEADROOM`]× the single-replica crossbar demand.
@@ -310,8 +368,36 @@ mod tests {
     use super::*;
 
     #[test]
+    fn only_selects_any_loadable_network() {
+        // Every name that passes `--only` validation must also select a
+        // non-empty benchmark set (and load), so a validated run can
+        // never silently do nothing.
+        for name in available_networks() {
+            let opts = HarnessOptions {
+                fast: false,
+                json_path: None,
+                only: Some(name.to_string()),
+                threads: None,
+                min_speedup: None,
+            };
+            assert_eq!(opts.networks(), vec![*name]);
+            load_network(name).unwrap();
+        }
+    }
+
+    #[test]
+    fn unknown_network_error_lists_available_names() {
+        let err = load_network("alexnet").unwrap_err();
+        assert_eq!(err.name, "alexnet");
+        let msg = err.to_string();
+        for name in available_networks() {
+            assert!(msg.contains(name), "`{msg}` should list `{name}`");
+        }
+    }
+
+    #[test]
     fn hardware_sizing_gives_headroom() {
-        let g = load_network("squeezenet");
+        let g = load_network("squeezenet").unwrap();
         let hw = hardware_for(&g, 20);
         let p = Partitioning::new(&g, &hw).unwrap();
         assert!(hw.total_crossbars() >= 2 * p.min_crossbars() - hw.crossbars_per_core);
@@ -319,7 +405,7 @@ mod tests {
 
     #[test]
     fn run_pair_produces_consistent_rows() {
-        let g = load_network("squeezenet");
+        let g = load_network("squeezenet").unwrap();
         let ga = GaParams {
             population: 8,
             iterations: 6,
@@ -342,5 +428,13 @@ mod tests {
     fn ratio_formatting() {
         assert_eq!(ratio(240, 100), "2.4x");
         assert_eq!(ratio(100, 0), "inf");
+    }
+
+    #[test]
+    fn committed_sweep_fixtures_parse() {
+        let smoke = pimcomp_dse::SweepSpec::from_json(SMOKE_SWEEP_SPEC).unwrap();
+        assert_eq!(smoke.points().unwrap().len(), 4);
+        let paper = pimcomp_dse::SweepSpec::from_json(PAPER_SWEEP_SPEC).unwrap();
+        assert_eq!(paper.points().unwrap().len(), 3 * 2 * 6);
     }
 }

@@ -233,9 +233,31 @@ impl CompiledArtifact {
 /// and `HashMap` seeds (the config contains none).
 #[must_use]
 pub fn hardware_fingerprint(hw: &HardwareConfig) -> u64 {
-    let json = serde_json::to_string(hw).unwrap_or_default();
+    fnv1a(serde_json::to_string(hw).unwrap_or_default().as_bytes())
+}
+
+/// Stable 64-bit fingerprint of a full set of compile options (GA
+/// parameters included, worker-thread count excluded — parallelism
+/// never changes the compiled result). Combined with
+/// [`hardware_fingerprint`] and a model name this keys compiled-point
+/// caches, e.g. the design-space exploration engine's per-point
+/// artifact cache.
+#[must_use]
+pub fn options_fingerprint(opts: &crate::CompileOptions) -> u64 {
+    let mut canonical = opts.clone();
+    // Thread count is a wall-clock knob, not a result knob; two runs
+    // differing only in parallelism must share cache entries.
+    canonical.ga.parallelism = None;
+    fnv1a(
+        serde_json::to_string(&canonical)
+            .unwrap_or_default()
+            .as_bytes(),
+    )
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in json.as_bytes() {
+    for byte in bytes {
         hash ^= u64::from(*byte);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }

@@ -169,6 +169,19 @@ fn stream_seed(master: u64, stage: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Splits a deterministic child seed from `master` for the stream
+/// addressed by `(stage, index)` — the same SplitMix64-style avalanche
+/// the GA uses internally for its per-offspring RNG streams (see
+/// [`GaParams::parallelism`]).
+///
+/// Exposed for drivers that fan deterministic work out over many
+/// compilations (the design-space exploration engine derives each sweep
+/// point's GA seed this way), so results stay bit-identical for any
+/// thread count or evaluation order.
+pub fn split_stream_seed(master: u64, stage: u64, index: u64) -> u64 {
+    stream_seed(master, stage, index)
+}
+
 /// Optimization trace returned alongside the best chromosome.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GaStats {

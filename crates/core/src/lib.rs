@@ -65,7 +65,7 @@ mod schedule;
 mod session;
 mod waiting;
 
-pub use artifact::{hardware_fingerprint, ArtifactError, CompiledArtifact};
+pub use artifact::{hardware_fingerprint, options_fingerprint, ArtifactError, CompiledArtifact};
 pub use baseline::{puma_mapping, PumaCompiler};
 pub use compiler::{CompileOptions, CompileReport, CompiledModel, PimCompiler, StageTimings};
 pub use error::CompileError;
@@ -74,12 +74,13 @@ pub use fitness::{
     FitnessMemo, HT_TIE_BREAK,
 };
 pub use ga::{
-    default_max_nodes_per_core, effective_parallelism, optimize, optimize_observed, GaContext,
-    GaGeneration, GaParams, GaStats,
+    default_max_nodes_per_core, effective_parallelism, optimize, optimize_observed,
+    split_stream_seed, GaContext, GaGeneration, GaParams, GaStats,
 };
 pub use lower::{lower_to_ops, CoreOp, OpStream};
 pub use mapping::{AgInstance, Chromosome, CoreMapping, Gene, GENE_RADIX};
 pub use memory::{MemoryPlan, ReusePolicy};
+pub use parallel::run_indexed;
 pub use partition::{MvmIdx, NodePartition, Partitioning};
 pub use replication::ReplicationPlan;
 pub use schedule::{

@@ -17,8 +17,11 @@
 ///
 /// `task` must be pure with respect to the index (it may read shared
 /// state, never write it) — the contract that makes the output
-/// independent of the thread count.
-pub(crate) fn run_indexed<T, F>(threads: usize, count: usize, task: F) -> Vec<T>
+/// independent of the thread count. Public so downstream drivers (the
+/// design-space exploration engine, benchmark harnesses) can fan
+/// embarrassingly parallel work over the same deterministic pool the
+/// GA uses.
+pub fn run_indexed<T, F>(threads: usize, count: usize, task: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -44,7 +47,7 @@ where
             })
             .collect();
         for handle in handles {
-            for (index, value) in handle.join().expect("GA worker thread panicked") {
+            for (index, value) in handle.join().expect("worker thread panicked") {
                 slots[index] = Some(value);
             }
         }

@@ -1,0 +1,347 @@
+//! The exploration engine: deterministic fan-out of sweep points over
+//! the core worker pool, with per-point artifact caching.
+
+use crate::report::{PointMetrics, PointRecord, SweepReport};
+use crate::spec::{SweepPoint, SweepSpec};
+use crate::{resolve_model, ExploreError};
+use pimcomp_arch::PipelineMode;
+use pimcomp_core::{
+    hardware_fingerprint, options_fingerprint, run_indexed, CompileOptions, CompileSession,
+    CompiledArtifact, CompiledModel, GaParams,
+};
+use pimcomp_ir::Graph;
+use pimcomp_sim::Simulator;
+use std::num::NonZeroUsize;
+use std::path::{Path, PathBuf};
+
+/// The result of one sweep: the deterministic report plus the run's
+/// cache statistics.
+///
+/// Cache statistics live *outside* [`SweepReport`] on purpose: whether
+/// a point was compiled or replayed from a cached artifact changes
+/// wall-clock time only, never the report bytes, so two runs of the
+/// same spec — cold or warm, 1 thread or 16 — emit identical reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploreOutcome {
+    /// The versioned sweep report.
+    pub report: SweepReport,
+    /// Points replayed from the artifact cache.
+    pub cache_hits: usize,
+    /// Points compiled from scratch this run.
+    pub cache_misses: usize,
+}
+
+/// Runs sweep specs: compile + simulate every point, reduce to a
+/// Pareto frontier.
+///
+/// See the [crate docs](crate) for the determinism contract and an
+/// end-to-end example.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreEngine {
+    threads: usize,
+    cache_dir: Option<PathBuf>,
+}
+
+impl ExploreEngine {
+    /// An engine with one worker thread and no cache.
+    pub fn new() -> Self {
+        ExploreEngine {
+            threads: 1,
+            cache_dir: None,
+        }
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1). Any value
+    /// produces a bit-identical report.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables per-point artifact caching under `dir` (created on
+    /// demand). Re-running the same or a widened sweep replays cached
+    /// points instead of recompiling them.
+    ///
+    /// Entries are keyed by hardware + options fingerprints and the
+    /// artifact format version, which guards against spec changes and
+    /// serialization drift — **not** against compiler-behavior changes
+    /// that keep the artifact shape. After upgrading the compiler,
+    /// clear the directory so warm reruns cannot mix old and new
+    /// results.
+    #[must_use]
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Runs a sweep: expands the spec, evaluates every point
+    /// (compile → simulate, cache-aware), and assembles the report.
+    ///
+    /// Per-point compile/simulation failures are recorded in the
+    /// report, not raised — a 500-point sweep survives one bad point.
+    ///
+    /// # Errors
+    ///
+    /// * [`ExploreError::InvalidSpec`] when the spec expands to no or
+    ///   too many points,
+    /// * [`ExploreError::UnknownModel`] naming the available models,
+    /// * [`ExploreError::Io`] when the cache directory cannot be
+    ///   created.
+    pub fn run(&self, spec: &SweepSpec) -> Result<ExploreOutcome, ExploreError> {
+        // Resolve every model once, up front: an unknown name is a spec
+        // bug and should abort before any compilation starts.
+        let graphs: Vec<Graph> = spec
+            .models
+            .iter()
+            .map(|name| resolve_model(name))
+            .collect::<Result<_, _>>()?;
+        let graph_of = |model: &str| -> &Graph {
+            let idx = spec
+                .models
+                .iter()
+                .position(|m| m == model)
+                .expect("points reference spec models");
+            &graphs[idx]
+        };
+
+        let points = spec.points()?;
+        if let Some(dir) = &self.cache_dir {
+            std::fs::create_dir_all(dir).map_err(|e| ExploreError::Io {
+                detail: format!("creating cache dir {}: {e}", dir.display()),
+            })?;
+        }
+
+        let evaluated = run_indexed(self.threads.min(points.len()), points.len(), |i| {
+            evaluate_point(
+                &points[i],
+                graph_of(&points[i].model),
+                spec,
+                self.cache_dir.as_deref(),
+            )
+        });
+
+        let cache_hits = evaluated.iter().filter(|(_, hit)| *hit).count();
+        let cache_misses = evaluated.len() - cache_hits;
+        let records = evaluated.into_iter().map(|(r, _)| r).collect();
+        Ok(ExploreOutcome {
+            report: SweepReport::assemble(spec.master_seed, records),
+            cache_hits,
+            cache_misses,
+        })
+    }
+}
+
+/// Compile options for one point (GA runs serially inside a point; the
+/// sweep parallelizes across points instead).
+fn point_options(point: &SweepPoint, spec: &SweepSpec) -> CompileOptions {
+    let ga = GaParams {
+        population: spec.ga_population,
+        iterations: spec.ga_iterations,
+        seed: point.seed,
+        parallelism: Some(NonZeroUsize::MIN),
+        ..GaParams::default()
+    };
+    let batch = match point.mode {
+        PipelineMode::HighThroughput => spec.batch,
+        PipelineMode::LowLatency => 1,
+    };
+    CompileOptions::new(point.mode)
+        .with_ga(ga)
+        .with_policy(spec.policy)
+        .with_batch(batch)
+}
+
+/// The cache file for a point: keyed by hardware fingerprint, options
+/// fingerprint (GA seed included, thread count excluded), model name,
+/// and the artifact format version. The version component rejects
+/// entries whose *serialized shape* predates this build; it cannot
+/// detect compiler-behavior changes that keep the shape — clear the
+/// cache directory after upgrading the compiler (see
+/// [`ExploreEngine::with_cache_dir`]).
+fn cache_path(dir: &Path, point: &SweepPoint, opts: &CompileOptions) -> PathBuf {
+    let key = format!(
+        "v{}-{}-{:016x}-{:016x}",
+        CompiledArtifact::FORMAT_VERSION,
+        point.model,
+        hardware_fingerprint(&point.hw),
+        options_fingerprint(opts),
+    );
+    dir.join(format!("{key}.pimc.json"))
+}
+
+fn evaluate_point(
+    point: &SweepPoint,
+    graph: &Graph,
+    spec: &SweepSpec,
+    cache_dir: Option<&Path>,
+) -> (PointRecord, bool) {
+    let opts = point_options(point, spec);
+    let record = |ok, error, metrics| PointRecord {
+        model: point.model.clone(),
+        mode: point.mode.to_string(),
+        hardware: point.hw_label.clone(),
+        seed: point.seed,
+        ok,
+        error,
+        metrics,
+        pareto: false,
+    };
+
+    // Cache probe: a valid artifact for this exact (hardware, options,
+    // model) key replays instead of recompiling. Any load or
+    // fingerprint problem silently falls back to compilation.
+    let path = cache_dir.map(|dir| cache_path(dir, point, &opts));
+    let cached: Option<CompiledModel> = path.as_ref().and_then(|p| {
+        let artifact = CompiledArtifact::load(p).ok()?;
+        artifact.verify_hardware(&point.hw).ok()?;
+        Some(artifact.into_model_unchecked())
+    });
+    let hit = cached.is_some();
+
+    let model = match cached {
+        Some(model) => model,
+        None => {
+            let compiled = CompileSession::new(point.hw.clone(), graph, opts)
+                .and_then(|session| session.run());
+            match compiled {
+                Ok(model) => {
+                    if let Some(p) = &path {
+                        // Best-effort: a failed cache write costs a
+                        // recompile next run, never a wrong result.
+                        let _ = CompiledArtifact::new(model.clone()).save(p);
+                    }
+                    model
+                }
+                Err(e) => return (record(false, Some(format!("compile: {e}")), None), hit),
+            }
+        }
+    };
+
+    let sim = Simulator::new(point.hw.clone());
+    match sim.run(&model) {
+        Ok(r) => {
+            let metrics = PointMetrics {
+                cycles: r.total_cycles,
+                throughput_inf_per_s: r.throughput_inf_per_s,
+                latency_us: r.latency_us,
+                energy_uj: r.energy.total_pj() / 1e6,
+                dynamic_uj: r.energy.dynamic_pj() / 1e6,
+                leakage_uj: r.energy.leakage_pj / 1e6,
+                crossbar_utilization: model.report.crossbars_used as f64
+                    / point.hw.total_crossbars() as f64,
+                core_utilization: r.active_cores as f64 / point.hw.total_cores() as f64,
+                avg_local_kb: r.memory.avg_local_bytes / 1024.0,
+                global_traffic_kb: r.memory.global_traffic_bytes as f64 / 1024.0,
+                active_cores: r.active_cores,
+                crossbars_used: model.report.crossbars_used,
+            };
+            (record(true, None, Some(metrics)), hit)
+        }
+        Err(e) => (record(false, Some(format!("simulate: {e}")), None), hit),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(json_hw: &str) -> SweepSpec {
+        SweepSpec::from_json(&format!(
+            r#"{{"models":["tiny_mlp","tiny_cnn"],"modes":["ht","ll"],
+                 "hardware":{json_hw},
+                 "ga":{{"population":4,"iterations":2}},"master_seed":5}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let spec = tiny_spec(r#"{"base":"small_test","parallelism":[4,8]}"#);
+        let serial = ExploreEngine::new().run(&spec).unwrap();
+        let parallel = ExploreEngine::new().with_threads(4).run(&spec).unwrap();
+        assert_eq!(serial.report, parallel.report);
+        assert_eq!(
+            serial.report.to_json().unwrap(),
+            parallel.report.to_json().unwrap()
+        );
+        assert_eq!(serial.report.points.len(), 8);
+        assert_eq!(serial.report.failures(), 0);
+        assert!(!serial.report.frontier.is_empty());
+    }
+
+    #[test]
+    fn infeasible_points_fail_without_aborting_the_sweep() {
+        // One crossbar per core on one core: tiny_cnn cannot fit, but
+        // the feasible half of the sweep still completes.
+        let spec = SweepSpec::from_json(
+            r#"{"models":["tiny_mlp"],"modes":["ht"],
+                "hardware":{"base":"small_test",
+                             "cores_per_chip":[1,16],"crossbars_per_core":[1,16]},
+                "ga":{"population":4,"iterations":2}}"#,
+        )
+        .unwrap();
+        let outcome = ExploreEngine::new().with_threads(2).run(&spec).unwrap();
+        assert_eq!(outcome.report.points.len(), 4);
+        let failures = outcome.report.failures();
+        assert!(failures > 0, "expected at least one infeasible point");
+        assert!(failures < 4, "expected at least one feasible point");
+        for p in &outcome.report.points {
+            if !p.ok {
+                assert!(p.error.as_deref().unwrap().starts_with("compile:"));
+            }
+        }
+    }
+
+    #[test]
+    fn cache_replays_points_with_an_identical_report() {
+        let dir =
+            std::env::temp_dir().join(format!("pimcomp-dse-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = tiny_spec(r#"{"base":"small_test","parallelism":[4,8]}"#);
+        let engine = ExploreEngine::new().with_cache_dir(&dir);
+        let cold = engine.run(&spec).unwrap();
+        assert_eq!(cold.cache_hits, 0);
+        assert_eq!(cold.cache_misses, 8);
+        let warm = engine.with_threads(3).run(&spec).unwrap();
+        assert_eq!(warm.cache_hits, 8);
+        assert_eq!(warm.cache_misses, 0);
+        assert_eq!(
+            cold.report.to_json().unwrap(),
+            warm.report.to_json().unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn widened_sweep_compiles_only_new_points() {
+        let dir =
+            std::env::temp_dir().join(format!("pimcomp-dse-widen-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let narrow = tiny_spec(r#"{"base":"small_test","parallelism":[4]}"#);
+        let wide = tiny_spec(r#"{"base":"small_test","parallelism":[4,8]}"#);
+        let engine = ExploreEngine::new().with_cache_dir(&dir);
+        engine.run(&narrow).unwrap();
+        let widened = engine.run(&wide).unwrap();
+        assert_eq!(widened.cache_hits, 4);
+        assert_eq!(widened.cache_misses, 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_model_lists_alternatives() {
+        let err =
+            SweepSpec::from_json(r#"{"models":["alexnet"],"hardware":{"base":"small_test"}}"#)
+                .map(|spec| ExploreEngine::new().run(&spec))
+                .unwrap()
+                .unwrap_err();
+        match err {
+            ExploreError::UnknownModel { name, available } => {
+                assert_eq!(name, "alexnet");
+                assert!(available.iter().any(|m| m == "vgg16"));
+                assert!(available.iter().any(|m| m == "tiny_cnn"));
+            }
+            other => panic!("expected UnknownModel, got {other:?}"),
+        }
+    }
+}

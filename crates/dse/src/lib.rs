@@ -1,0 +1,159 @@
+//! Deterministic design-space exploration (DSE) for the PIMCOMP
+//! compiler — the evaluation harness the paper's comparison tables
+//! imply: sweep models × pipeline modes × hardware configurations ×
+//! GA seeds in one declarative run, and reduce the results to a Pareto
+//! frontier over latency, throughput, energy, and resource utilization.
+//!
+//! # Pipeline
+//!
+//! ```text
+//! SweepSpec (JSON) ──► points (models × modes × hardware × seeds)
+//!        │                       │  fan-out over the deterministic
+//!        │                       ▼  worker pool (pimcomp-core)
+//!        │             CompileSession → Simulator  (per point,
+//!        │                       │      artifact-cached on disk)
+//!        ▼                       ▼
+//!   validation          SweepReport: records + Pareto frontier,
+//!                       versioned JSON / CSV, diffable
+//! ```
+//!
+//! # Determinism contract
+//!
+//! A sweep's result is **bit-identical for any worker-thread count**:
+//!
+//! * each point's GA seed is either taken from the spec's explicit
+//!   `seeds` axis or split from `master_seed` with the same
+//!   SplitMix64 discipline the GA uses internally
+//!   ([`pimcomp_core::split_stream_seed`]), so it depends only on the
+//!   point's position in the sweep, never on scheduling;
+//! * points are evaluated over [`pimcomp_core::run_indexed`], which
+//!   reduces results in index order;
+//! * reports carry no wall-clock quantities.
+//!
+//! Re-running a widened sweep with a cache directory recompiles only
+//! the new points: finished points are persisted as versioned
+//! [`CompiledArtifact`](pimcomp_core::CompiledArtifact)s keyed by
+//! (hardware fingerprint, options fingerprint, model), and cache hits
+//! are re-simulated from the artifact, which round-trips bit-for-bit.
+//!
+//! # Example
+//!
+//! ```
+//! use pimcomp_dse::{ExploreEngine, SweepSpec};
+//!
+//! # fn main() -> Result<(), pimcomp_dse::ExploreError> {
+//! let spec = SweepSpec::from_json(
+//!     r#"{
+//!         "models": ["tiny_mlp"],
+//!         "modes": ["ht"],
+//!         "hardware": { "base": "small_test", "parallelism": [4, 8] },
+//!         "ga": { "population": 4, "iterations": 2 }
+//!     }"#,
+//! )?;
+//! let outcome = ExploreEngine::new().with_threads(2).run(&spec)?;
+//! assert_eq!(outcome.report.points.len(), 2);
+//! assert!(!outcome.report.frontier.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod report;
+mod spec;
+
+pub use engine::{ExploreEngine, ExploreOutcome};
+pub use report::{PointMetrics, PointRecord, SweepDiff, SweepReport, SWEEP_FORMAT_VERSION};
+pub use spec::{SweepPoint, SweepSpec, EXAMPLE_SPEC, MAX_SWEEP_POINTS};
+
+use std::fmt;
+
+/// Errors raised by the exploration engine.
+///
+/// Per-point compilation or simulation failures are **not** errors:
+/// a batch sweep must survive one bad point, so those are recorded in
+/// the report ([`PointRecord::error`]) and the sweep continues.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExploreError {
+    /// The sweep spec is malformed (unknown field, bad type, empty
+    /// axis, invalid hardware value, too many points, …).
+    InvalidSpec {
+        /// What is wrong with the spec.
+        detail: String,
+    },
+    /// A spec references a model name the zoo does not know.
+    UnknownModel {
+        /// The unresolvable name.
+        name: String,
+        /// Every name that would have resolved.
+        available: Vec<String>,
+    },
+    /// Filesystem I/O failed (spec file, cache directory, report).
+    Io {
+        /// Underlying description.
+        detail: String,
+    },
+    /// A report could not be (de)serialized.
+    Serialization {
+        /// Underlying description.
+        detail: String,
+    },
+    /// A report was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version found in the report.
+        found: u32,
+        /// Version this build reads and writes.
+        supported: u32,
+    },
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::InvalidSpec { detail } => write!(f, "invalid sweep spec: {detail}"),
+            ExploreError::UnknownModel { name, available } => write!(
+                f,
+                "unknown model `{name}`; available models: {}",
+                available.join(", ")
+            ),
+            ExploreError::Io { detail } => write!(f, "sweep I/O failed: {detail}"),
+            ExploreError::Serialization { detail } => {
+                write!(f, "sweep report serialization failed: {detail}")
+            }
+            ExploreError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "sweep report format version {found} is not supported \
+                 (this build reads v{supported})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+/// Every model name a sweep spec may reference: the zoo networks plus
+/// the small synthetic test models.
+pub fn available_models() -> Vec<String> {
+    pimcomp_ir::models::ZOO
+        .iter()
+        .chain(pimcomp_ir::models::TEST_MODELS.iter())
+        .map(|s| s.to_string())
+        .collect()
+}
+
+/// Resolves a model name against the zoo and the test models.
+///
+/// # Errors
+///
+/// [`ExploreError::UnknownModel`] listing [`available_models`].
+pub fn resolve_model(name: &str) -> Result<pimcomp_ir::Graph, ExploreError> {
+    pimcomp_ir::models::test_model(name)
+        .or_else(|| pimcomp_ir::models::by_name(name))
+        .ok_or_else(|| ExploreError::UnknownModel {
+            name: name.to_string(),
+            available: available_models(),
+        })
+}

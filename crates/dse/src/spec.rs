@@ -1,0 +1,605 @@
+//! Declarative sweep specifications: the JSON the `pimcomp explore`
+//! subcommand consumes, parsed with structured errors (never panics on
+//! malformed input) and expanded into a deterministic point list.
+
+use crate::ExploreError;
+use pimcomp_arch::{HardwareConfig, HardwareGrid, PipelineMode};
+use pimcomp_core::{split_stream_seed, ReusePolicy};
+use serde::Value;
+
+/// Hard cap on the number of points one sweep may expand to, so a typo
+/// in a grid axis fails fast instead of queueing years of compilation.
+pub const MAX_SWEEP_POINTS: usize = 10_000;
+
+/// Seed-split stage tag for the seed axis (`split_stream_seed(master,
+/// SEED_STAGE, i)`); distinct from every GA-internal stage by
+/// construction because the GA mixes its own master seed, not ours.
+const SEED_STAGE: u64 = 0;
+
+/// A worked sweep spec, kept in sync with README and the test suite.
+///
+/// Axes: 2 models × 2 modes × (2 chips × 2 parallelism = 4 hardware
+/// configurations) × 1 seed = 16 points.
+pub const EXAMPLE_SPEC: &str = r#"{
+  "master_seed": 42,
+  "models": ["tiny_cnn", "tiny_mlp"],
+  "modes": ["ht", "ll"],
+  "hardware": {
+    "base": "small_test",
+    "chips": [1, 2],
+    "parallelism": [4, 8]
+  },
+  "seeds": [1],
+  "ga": { "population": 8, "iterations": 6 }
+}"#;
+
+/// A validated, fully resolved sweep specification.
+///
+/// Build one with [`SweepSpec::from_json`] (the CLI path) or construct
+/// the fields directly (the programmatic path); [`SweepSpec::points`]
+/// expands the cross-product.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Master seed; per-point GA seeds derive from it when `seeds` is
+    /// not given explicitly.
+    pub master_seed: u64,
+    /// Model names (zoo or test models), one sweep axis.
+    pub models: Vec<String>,
+    /// Pipeline modes, one sweep axis.
+    pub modes: Vec<PipelineMode>,
+    /// Labelled hardware configurations, one sweep axis (already
+    /// validated, typically expanded from a [`HardwareGrid`]).
+    pub hardware: Vec<(String, HardwareConfig)>,
+    /// GA seeds, one sweep axis.
+    pub seeds: Vec<u64>,
+    /// GA population per point.
+    pub ga_population: usize,
+    /// GA generation count per point.
+    pub ga_iterations: usize,
+    /// Memory-reuse policy for every point.
+    pub policy: ReusePolicy,
+    /// HT transfer batch (low-latency points always use 1).
+    pub batch: usize,
+}
+
+/// One point of the expanded sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Model name.
+    pub model: String,
+    /// Pipeline mode.
+    pub mode: PipelineMode,
+    /// Label of the hardware configuration (from the grid expansion).
+    pub hw_label: String,
+    /// The hardware configuration itself.
+    pub hw: HardwareConfig,
+    /// GA seed for this point.
+    pub seed: u64,
+}
+
+impl SweepPoint {
+    /// Stable identity of the point inside a report
+    /// (`model/mode/hardware/seed`), the key sweep diffs join on.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/{}/seed{}",
+            self.model, self.mode, self.hw_label, self.seed
+        )
+    }
+}
+
+impl SweepSpec {
+    /// Parses and validates a spec from JSON text.
+    ///
+    /// Recognized fields (unknown fields are rejected so typos fail
+    /// loudly):
+    ///
+    /// * `models` — required, non-empty array of model names.
+    /// * `hardware` — required: one grid object or an array of grid
+    ///   objects. A grid has an optional `base` preset name
+    ///   (`puma`, `small_test`) and per-knob axes (`chips`,
+    ///   `cores_per_chip`, `crossbars_per_core`, `crossbar_size`,
+    ///   `parallelism`, `local_memory_kb`, `mvm_latency`,
+    ///   `noc_link_bw`), each a scalar or an array.
+    /// * `modes` — optional array of `"ht"` / `"ll"` (default
+    ///   `["ht"]`).
+    /// * `master_seed` — optional integer (default 1).
+    /// * `seeds` — optional array of GA seeds; when omitted,
+    ///   `num_seeds` (default 1) seeds are split from `master_seed`.
+    /// * `ga` — optional `{ "population": P, "iterations": I }`
+    ///   (default 16×24, the fast test configuration).
+    /// * `policy` — optional `"naive"` / `"add"` / `"ag"` (default
+    ///   `"ag"`).
+    /// * `batch` — optional HT transfer batch (default 2).
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::InvalidSpec`] describing the offending field.
+    pub fn from_json(json: &str) -> Result<Self, ExploreError> {
+        let value = serde_json::parse_value(json).map_err(|e| ExploreError::InvalidSpec {
+            detail: format!("not valid JSON: {e}"),
+        })?;
+        Self::from_value(&value)
+    }
+
+    fn from_value(value: &Value) -> Result<Self, ExploreError> {
+        let entries = as_object(value, "sweep spec")?;
+        const KNOWN: [&str; 9] = [
+            "master_seed",
+            "models",
+            "modes",
+            "hardware",
+            "seeds",
+            "num_seeds",
+            "ga",
+            "policy",
+            "batch",
+        ];
+        for (key, _) in entries {
+            if !KNOWN.contains(&key.as_str()) {
+                return Err(invalid(format!(
+                    "unknown field `{key}` (known fields: {})",
+                    KNOWN.join(", ")
+                )));
+            }
+        }
+
+        let master_seed = match value.get("master_seed") {
+            Some(v) => as_u64(v, "master_seed")?,
+            None => 1,
+        };
+
+        let models = match value.get("models") {
+            Some(Value::Seq(items)) if !items.is_empty() => items
+                .iter()
+                .map(|v| as_string(v, "models entry"))
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) | None => {
+                return Err(invalid("`models` must be a non-empty array of model names"))
+            }
+        };
+        reject_duplicates(&models, "models")?;
+
+        let modes = match value.get("modes") {
+            None => vec![PipelineMode::HighThroughput],
+            Some(Value::Seq(items)) if !items.is_empty() => items
+                .iter()
+                .map(|v| parse_mode(&as_string(v, "modes entry")?))
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => {
+                return Err(invalid(
+                    "`modes` must be a non-empty array of \"ht\"/\"ll\"",
+                ))
+            }
+        };
+        let mode_names: Vec<String> = modes.iter().map(|m| m.to_string()).collect();
+        reject_duplicates(&mode_names, "modes")?;
+
+        let hardware = match value.get("hardware") {
+            Some(Value::Seq(grids)) if !grids.is_empty() => {
+                let mut out = Vec::new();
+                for g in grids {
+                    out.extend(parse_grid(g)?);
+                }
+                out
+            }
+            Some(v @ Value::Map(_)) => parse_grid(v)?,
+            Some(_) | None => {
+                return Err(invalid(
+                    "`hardware` must be a grid object or a non-empty array of grid objects",
+                ))
+            }
+        };
+        let hw_labels: Vec<String> = hardware.iter().map(|(l, _)| l.clone()).collect();
+        reject_duplicates(&hw_labels, "hardware grid points")?;
+
+        let seeds = match (value.get("seeds"), value.get("num_seeds")) {
+            (Some(_), Some(_)) => {
+                return Err(invalid("give either `seeds` or `num_seeds`, not both"))
+            }
+            (Some(Value::Seq(items)), None) if !items.is_empty() => items
+                .iter()
+                .map(|v| as_u64(v, "seeds entry"))
+                .collect::<Result<Vec<_>, _>>()?,
+            (Some(_), None) => {
+                return Err(invalid("`seeds` must be a non-empty array of integers"))
+            }
+            (None, num) => {
+                let n = match num {
+                    Some(v) => match as_u64(v, "num_seeds")? {
+                        0 => return Err(invalid("`num_seeds` must be at least 1")),
+                        n => n as usize,
+                    },
+                    None => 1,
+                };
+                (0..n as u64)
+                    .map(|i| split_stream_seed(master_seed, SEED_STAGE, i))
+                    .collect()
+            }
+        };
+        let seed_names: Vec<String> = seeds.iter().map(u64::to_string).collect();
+        reject_duplicates(&seed_names, "seeds")?;
+
+        let (ga_population, ga_iterations) = match value.get("ga") {
+            None => (16, 24),
+            Some(v) => {
+                let entries = as_object(v, "`ga`")?;
+                for (key, _) in entries {
+                    if key != "population" && key != "iterations" {
+                        return Err(invalid(format!(
+                            "unknown `ga` field `{key}` (known: population, iterations)"
+                        )));
+                    }
+                }
+                let pop = match v.get("population") {
+                    Some(p) => as_u64(p, "ga.population")? as usize,
+                    None => 16,
+                };
+                let iters = match v.get("iterations") {
+                    Some(i) => as_u64(i, "ga.iterations")? as usize,
+                    None => 24,
+                };
+                if pop == 0 || iters == 0 {
+                    return Err(invalid(
+                        "`ga.population` and `ga.iterations` must be positive",
+                    ));
+                }
+                (pop, iters)
+            }
+        };
+
+        let policy = match value.get("policy") {
+            None => ReusePolicy::AgReuse,
+            Some(v) => match as_string(v, "policy")?.as_str() {
+                "naive" => ReusePolicy::Naive,
+                "add" => ReusePolicy::AddReuse,
+                "ag" => ReusePolicy::AgReuse,
+                other => {
+                    return Err(invalid(format!(
+                        "unknown policy `{other}` (naive | add | ag)"
+                    )))
+                }
+            },
+        };
+
+        let batch = match value.get("batch") {
+            Some(v) => {
+                let b = as_u64(v, "batch")? as usize;
+                if b == 0 {
+                    return Err(invalid("`batch` must be at least 1"));
+                }
+                b
+            }
+            None => 2,
+        };
+
+        let spec = SweepSpec {
+            master_seed,
+            models,
+            modes,
+            hardware,
+            seeds,
+            ga_population,
+            ga_iterations,
+            policy,
+            batch,
+        };
+        // Expand once so oversized sweeps are rejected at parse time.
+        spec.points()?;
+        Ok(spec)
+    }
+
+    /// Number of points the sweep expands to.
+    pub fn len(&self) -> usize {
+        self.models.len() * self.modes.len() * self.hardware.len() * self.seeds.len()
+    }
+
+    /// `true` when any axis is empty (the sweep has no points).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the cross-product into points, in the fixed axis order
+    /// models → modes → hardware → seeds. The order is part of the
+    /// determinism contract: point index, and hence any master-seed
+    /// derived quantity, depends only on the spec.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::InvalidSpec`] when an axis is empty or the
+    /// expansion exceeds [`MAX_SWEEP_POINTS`].
+    pub fn points(&self) -> Result<Vec<SweepPoint>, ExploreError> {
+        if self.is_empty() {
+            return Err(invalid("sweep has no points (an axis is empty)"));
+        }
+        if self.len() > MAX_SWEEP_POINTS {
+            return Err(invalid(format!(
+                "sweep expands to {} points, more than the {MAX_SWEEP_POINTS} cap",
+                self.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(self.len());
+        for model in &self.models {
+            for &mode in &self.modes {
+                for (label, hw) in &self.hardware {
+                    for &seed in &self.seeds {
+                        out.push(SweepPoint {
+                            model: model.clone(),
+                            mode,
+                            hw_label: label.clone(),
+                            hw: hw.clone(),
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn invalid(detail: impl Into<String>) -> ExploreError {
+    ExploreError::InvalidSpec {
+        detail: detail.into(),
+    }
+}
+
+fn as_object<'a>(v: &'a Value, ctx: &str) -> Result<&'a [(String, Value)], ExploreError> {
+    match v {
+        Value::Map(entries) => Ok(entries),
+        other => Err(invalid(format!(
+            "{ctx} must be an object, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn as_string(v: &Value, ctx: &str) -> Result<String, ExploreError> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        other => Err(invalid(format!(
+            "{ctx} must be a string, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn as_u64(v: &Value, ctx: &str) -> Result<u64, ExploreError> {
+    match v {
+        Value::Int(i) => u64::try_from(*i)
+            .map_err(|_| invalid(format!("{ctx} must be a non-negative 64-bit integer"))),
+        other => Err(invalid(format!(
+            "{ctx} must be an integer, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn as_f64(v: &Value, ctx: &str) -> Result<f64, ExploreError> {
+    match v {
+        Value::Float(f) => Ok(*f),
+        Value::Int(i) => Ok(*i as f64),
+        other => Err(invalid(format!(
+            "{ctx} must be a number, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Accepts a scalar or an array for a grid axis.
+fn usize_axis(v: &Value, ctx: &str) -> Result<Vec<usize>, ExploreError> {
+    match v {
+        Value::Seq(items) => items
+            .iter()
+            .map(|i| as_u64(i, ctx).map(|n| n as usize))
+            .collect(),
+        scalar => Ok(vec![as_u64(scalar, ctx)? as usize]),
+    }
+}
+
+fn u64_axis(v: &Value, ctx: &str) -> Result<Vec<u64>, ExploreError> {
+    match v {
+        Value::Seq(items) => items.iter().map(|i| as_u64(i, ctx)).collect(),
+        scalar => Ok(vec![as_u64(scalar, ctx)?]),
+    }
+}
+
+fn f64_axis(v: &Value, ctx: &str) -> Result<Vec<f64>, ExploreError> {
+    match v {
+        Value::Seq(items) => items.iter().map(|i| as_f64(i, ctx)).collect(),
+        scalar => Ok(vec![as_f64(scalar, ctx)?]),
+    }
+}
+
+fn parse_mode(s: &str) -> Result<PipelineMode, ExploreError> {
+    match s.to_ascii_lowercase().as_str() {
+        "ht" | "high_throughput" => Ok(PipelineMode::HighThroughput),
+        "ll" | "low_latency" => Ok(PipelineMode::LowLatency),
+        other => Err(invalid(format!(
+            "unknown pipeline mode `{other}` (ht | ll)"
+        ))),
+    }
+}
+
+fn parse_grid(v: &Value) -> Result<Vec<(String, HardwareConfig)>, ExploreError> {
+    let entries = as_object(v, "hardware grid")?;
+    const KNOWN: [&str; 9] = [
+        "base",
+        "chips",
+        "cores_per_chip",
+        "crossbars_per_core",
+        "crossbar_size",
+        "parallelism",
+        "local_memory_kb",
+        "mvm_latency",
+        "noc_link_bw",
+    ];
+    for (key, _) in entries {
+        if !KNOWN.contains(&key.as_str()) {
+            return Err(invalid(format!(
+                "unknown hardware field `{key}` (known fields: {})",
+                KNOWN.join(", ")
+            )));
+        }
+    }
+    let base = match v.get("base") {
+        Some(b) => as_string(b, "hardware.base")?,
+        None => "puma".to_string(),
+    };
+    let mut grid =
+        HardwareGrid::over_preset(&base).map_err(|e| invalid(format!("hardware.base: {e}")))?;
+    if let Some(axis) = v.get("chips") {
+        grid.chips = usize_axis(axis, "hardware.chips")?;
+    }
+    if let Some(axis) = v.get("cores_per_chip") {
+        grid.cores_per_chip = usize_axis(axis, "hardware.cores_per_chip")?;
+    }
+    if let Some(axis) = v.get("crossbars_per_core") {
+        grid.crossbars_per_core = usize_axis(axis, "hardware.crossbars_per_core")?;
+    }
+    if let Some(axis) = v.get("crossbar_size") {
+        grid.crossbar_size = usize_axis(axis, "hardware.crossbar_size")?;
+    }
+    if let Some(axis) = v.get("parallelism") {
+        grid.parallelism = usize_axis(axis, "hardware.parallelism")?;
+    }
+    if let Some(axis) = v.get("local_memory_kb") {
+        grid.local_memory_kb = usize_axis(axis, "hardware.local_memory_kb")?;
+    }
+    if let Some(axis) = v.get("mvm_latency") {
+        grid.mvm_latency = u64_axis(axis, "hardware.mvm_latency")?;
+    }
+    if let Some(axis) = v.get("noc_link_bw") {
+        grid.noc_link_bw = f64_axis(axis, "hardware.noc_link_bw")?;
+    }
+    grid.enumerate()
+        .map_err(|e| invalid(format!("hardware grid: {e}")))
+}
+
+fn reject_duplicates(items: &[String], what: &str) -> Result<(), ExploreError> {
+    let mut seen = std::collections::HashSet::new();
+    for item in items {
+        if !seen.insert(item.as_str()) {
+            return Err(invalid(format!("duplicate entry `{item}` in {what}")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_spec_parses_to_sixteen_points() {
+        let spec = SweepSpec::from_json(EXAMPLE_SPEC).unwrap();
+        assert_eq!(spec.models.len(), 2);
+        assert_eq!(spec.modes.len(), 2);
+        assert_eq!(spec.hardware.len(), 4);
+        assert_eq!(spec.seeds, vec![1]);
+        let points = spec.points().unwrap();
+        assert_eq!(points.len(), 16);
+        assert_eq!(points[0].key(), "tiny_cnn/HT/small_test+chips1+par4/seed1");
+    }
+
+    #[test]
+    fn derived_seeds_split_from_master() {
+        let spec = SweepSpec::from_json(
+            r#"{"models":["tiny_mlp"],"hardware":{"base":"small_test"},
+                "master_seed":9,"num_seeds":3}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.seeds.len(), 3);
+        let rederived: Vec<u64> = (0..3).map(|i| split_stream_seed(9, 0, i)).collect();
+        assert_eq!(spec.seeds, rederived);
+        // Seeds depend on the master, so two sweeps never collide.
+        let other = SweepSpec::from_json(
+            r#"{"models":["tiny_mlp"],"hardware":{"base":"small_test"},
+                "master_seed":10,"num_seeds":3}"#,
+        )
+        .unwrap();
+        assert_ne!(spec.seeds, other.seeds);
+    }
+
+    #[test]
+    fn malformed_specs_are_structured_errors() {
+        for (json, needle) in [
+            ("[]", "must be an object"),
+            ("{", "not valid JSON"),
+            (r#"{"models":[],"hardware":{}}"#, "non-empty array"),
+            (r#"{"models":["tiny_mlp"]}"#, "`hardware`"),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{"base":"tpu"}}"#,
+                "unknown hardware preset",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{"chips":[0]}}"#,
+                "hardware grid",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},"modes":["fast"]}"#,
+                "unknown pipeline mode",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},"typo_field":1}"#,
+                "unknown field `typo_field`",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},"seeds":[1],"num_seeds":2}"#,
+                "not both",
+            ),
+            (
+                r#"{"models":["tiny_mlp","tiny_mlp"],"hardware":{}}"#,
+                "duplicate entry",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},"ga":{"population":0}}"#,
+                "must be positive",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},"batch":0}"#,
+                "`batch`",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},"num_seeds":0}"#,
+                "`num_seeds` must be at least 1",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{"chips":-1}}"#,
+                "non-negative",
+            ),
+        ] {
+            let err = SweepSpec::from_json(json).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains(needle),
+                "spec {json} gave `{msg}`, expected to contain `{needle}`"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_sweeps_are_capped() {
+        let json = format!(
+            r#"{{"models":["tiny_mlp"],"hardware":{{"base":"small_test"}},"num_seeds":{}}}"#,
+            MAX_SWEEP_POINTS + 1
+        );
+        assert!(matches!(
+            SweepSpec::from_json(&json),
+            Err(ExploreError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn hardware_accepts_scalar_axes_and_grid_arrays() {
+        let spec = SweepSpec::from_json(
+            r#"{"models":["tiny_mlp"],
+                "hardware":[{"base":"small_test","chips":1},
+                            {"base":"small_test","chips":2,"parallelism":[4,8]}]}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.hardware.len(), 3);
+        assert_eq!(spec.hardware[0].0, "small_test+chips1");
+        assert_eq!(spec.hardware[2].1.parallelism, 8);
+    }
+}

@@ -53,8 +53,30 @@ impl GraphBuilder {
     }
 
     /// Output shape of an already-added node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` does not belong to this builder. Fallible
+    /// callers should use [`GraphBuilder::try_shape`] instead.
     pub fn shape(&self, id: NodeId) -> &Shape {
         &self.nodes[id.index()].output_shape
+    }
+
+    /// Output shape of an already-added node, or
+    /// [`IrError::UnknownNode`] when `id` does not belong to this
+    /// builder (e.g. a `NodeId` obtained from a different
+    /// `GraphBuilder`). The shape-inferring helpers (`conv2d`,
+    /// `linear`) go through this check, so a stale or foreign id
+    /// surfaces as the builder's error type instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`IrError::UnknownNode`] for an out-of-range id.
+    pub fn try_shape(&self, id: NodeId) -> Result<&Shape, IrError> {
+        self.nodes
+            .get(id.index())
+            .map(|n| &n.output_shape)
+            .ok_or(IrError::UnknownNode { id: id.index() })
     }
 
     /// Adds a graph input with shape `[C, H, W]` (or `[F]` via
@@ -119,8 +141,8 @@ impl GraphBuilder {
     ///
     /// # Errors
     ///
-    /// Fails if the producer is not a `CxHxW` feature map or the kernel
-    /// does not fit.
+    /// Fails if the producer is not a `CxHxW` feature map, the kernel
+    /// does not fit, or `input` does not belong to this builder.
     pub fn conv2d(
         &mut self,
         name: impl Into<String>,
@@ -130,7 +152,7 @@ impl GraphBuilder {
         stride: (usize, usize),
         padding: (usize, usize),
     ) -> Result<NodeId, IrError> {
-        let in_channels = self.shape(input).channels();
+        let in_channels = self.try_shape(input)?.channels();
         self.add(
             name,
             Op::Conv2d(Conv2d {
@@ -150,15 +172,16 @@ impl GraphBuilder {
     ///
     /// # Errors
     ///
-    /// Fails on duplicate names (the feature count always matches because
-    /// it is inferred).
+    /// Fails on duplicate names or when `input` does not belong to this
+    /// builder (the feature count always matches because it is
+    /// inferred).
     pub fn linear(
         &mut self,
         name: impl Into<String>,
         input: NodeId,
         out_features: usize,
     ) -> Result<NodeId, IrError> {
-        let in_features = self.shape(input).numel();
+        let in_features = self.try_shape(input)?.numel();
         self.add(
             name,
             Op::Linear(Linear {
@@ -429,6 +452,37 @@ mod tests {
         let x = b.input("x", [3, 4, 4]);
         let err = b.conv2d("c", x, 8, (7, 7), (1, 1), (0, 0)).unwrap_err();
         assert!(matches!(err, IrError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn foreign_node_ids_error_instead_of_panicking() {
+        // Ids minted by one builder are meaningless in another; the
+        // shape-inferring helpers must surface that as the builder's
+        // error type, not an index panic reaching library callers.
+        let mut big = GraphBuilder::new("big");
+        let x = big.input("x", [3, 8, 8]);
+        let r = big.relu("r", x).unwrap();
+        let foreign = big.relu("r2", r).unwrap();
+
+        let mut small = GraphBuilder::new("small");
+        let _ = small.input("x", [3, 8, 8]);
+        assert!(matches!(
+            small.conv2d("c", foreign, 8, (3, 3), (1, 1), (1, 1)),
+            Err(IrError::UnknownNode { id: 2 })
+        ));
+        assert!(matches!(
+            small.linear("fc", foreign, 10),
+            Err(IrError::UnknownNode { id: 2 })
+        ));
+        assert!(matches!(
+            small.try_shape(foreign),
+            Err(IrError::UnknownNode { id: 2 })
+        ));
+        // `add` already validated ids; it must keep doing so.
+        assert!(matches!(
+            small.relu("r", foreign),
+            Err(IrError::UnknownNode { id: 2 })
+        ));
     }
 
     #[test]

@@ -35,6 +35,35 @@ pub const PAPER_BENCHMARKS: [&str; 5] = [
     "squeezenet",
 ];
 
+/// Every canonical name [`by_name`] resolves: the paper benchmarks plus
+/// the extra ResNet depths. Drivers that accept model names (the CLI,
+/// the sweep engine, the benchmark harness) list this on bad input so
+/// users never have to guess the spelling.
+pub const ZOO: [&str; 7] = [
+    "vgg16",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "googlenet",
+    "inception_v3",
+    "squeezenet",
+];
+
+/// The small synthetic test networks, resolvable by [`test_model`].
+pub const TEST_MODELS: [&str; 4] = ["tiny_cnn", "tiny_mlp", "two_branch", "linear_chain"];
+
+/// Builds a synthetic test network by name (see [`TEST_MODELS`]).
+/// Returns `None` for unknown names.
+pub fn test_model(name: &str) -> Option<Graph> {
+    match name {
+        "tiny_cnn" => Some(tiny_cnn()),
+        "tiny_mlp" => Some(tiny_mlp()),
+        "two_branch" => Some(two_branch()),
+        "linear_chain" => Some(linear_chain(4)),
+        _ => None,
+    }
+}
+
 /// Builds a paper benchmark by name.
 ///
 /// Accepted names are the entries of [`PAPER_BENCHMARKS`] (aliases with
@@ -77,6 +106,18 @@ mod tests {
     fn by_name_accepts_aliases() {
         assert!(by_name("inception-v3").is_some());
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn every_listed_name_resolves() {
+        for name in ZOO {
+            assert!(by_name(name).is_some(), "zoo name `{name}` must resolve");
+        }
+        for name in TEST_MODELS {
+            let g = test_model(name).unwrap_or_else(|| panic!("test model `{name}`"));
+            g.validate().unwrap();
+        }
+        assert!(test_model("vgg16").is_none());
     }
 
     #[test]

@@ -20,6 +20,8 @@ use std::collections::HashMap;
 ///   DNN-inference subset.
 /// * [`OnnxError::Import`] — structural problems (unknown value names,
 ///   unsupported attribute combinations, shape conflicts).
+/// * [`OnnxError::InvalidGraph`] — the converted graph failed final
+///   validation (no input, cycle, …).
 pub fn import_model(model: &ModelProto) -> Result<Graph, OnnxError> {
     let graph = model.graph.as_ref().ok_or(OnnxError::MissingGraph)?;
     import_graph(graph)
@@ -93,7 +95,7 @@ fn import_graph(g: &GraphProto) -> Result<Graph, OnnxError> {
         }
     }
 
-    b.finish().map_err(|e| OnnxError::Import {
+    b.finish().map_err(|e| OnnxError::InvalidGraph {
         detail: e.to_string(),
     })
 }
@@ -332,6 +334,31 @@ mod tests {
         assert!(matches!(
             import_model(&model),
             Err(OnnxError::UnsupportedOp { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_graph_is_an_error_not_a_panic() {
+        // A deliberately malformed model: it decodes fine and every
+        // node converts, but the assembled graph has no input node, so
+        // final validation must reject it with a structured error.
+        let g = GraphProto {
+            name: "no_inputs".into(),
+            ..Default::default()
+        };
+        let model = ModelProto {
+            graph: Some(g),
+            ..Default::default()
+        };
+        let err = import_model(&model).unwrap_err();
+        assert!(matches!(err, OnnxError::InvalidGraph { .. }), "{err}");
+        assert!(err.to_string().contains("validation"));
+
+        // The same property holds end to end through the wire format.
+        let bytes = model.encode();
+        assert!(matches!(
+            import_bytes(&bytes),
+            Err(OnnxError::InvalidGraph { .. })
         ));
     }
 

@@ -59,6 +59,14 @@ pub enum OnnxError {
         /// What went wrong.
         detail: String,
     },
+    /// Every node converted, but the assembled graph failed structural
+    /// validation (cycle, missing input, dangling reference, …).
+    /// Returned — never panicked — so batch importers survive one bad
+    /// model.
+    InvalidGraph {
+        /// The underlying validation failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for OnnxError {
@@ -68,6 +76,9 @@ impl fmt::Display for OnnxError {
             OnnxError::MissingGraph => write!(f, "model contains no graph"),
             OnnxError::UnsupportedOp { op } => write!(f, "unsupported operator `{op}`"),
             OnnxError::Import { detail } => write!(f, "import failed: {detail}"),
+            OnnxError::InvalidGraph { detail } => {
+                write!(f, "imported graph failed validation: {detail}")
+            }
         }
     }
 }

@@ -3,57 +3,64 @@
 //! energy and resource usage respond — the kind of study the abstract
 //! architecture (paper Section III) exists to enable.
 //!
+//! Since the `pimcomp-dse` subsystem landed this is a one-spec job:
+//! declare the grid, run the engine, read the Pareto frontier. The
+//! same spec drives `pimcomp explore <spec.json>` from the command
+//! line.
+//!
 //! ```sh
 //! cargo run --release --example design_space
 //! ```
 
-use pimcomp::prelude::*;
-use pimcomp_arch::PipelineMode;
+use pimcomp::dse::{ExploreEngine, SweepSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let graph = pimcomp::ir::models::tiny_cnn();
-    println!("workload: {}", graph.name());
+    // Crossbar size × parallelism over the small test target. A grid
+    // cannot couple two axes, so the size/latency relationship (bigger
+    // arrays integrate longer bit-lines) is expressed as a union of two
+    // grids, each pinning crossbar_size and mvm_latency together; the
+    // engine validates every point before compiling any of them.
+    let spec = SweepSpec::from_json(
+        r#"{
+            "master_seed": 17,
+            "models": ["tiny_cnn"],
+            "modes": ["ht"],
+            "hardware": [
+                { "base": "small_test", "chips": [1, 2], "parallelism": [1, 8, 64],
+                  "crossbar_size": 32, "mvm_latency": 32 },
+                { "base": "small_test", "chips": [1, 2], "parallelism": [1, 8, 64],
+                  "crossbar_size": 64, "mvm_latency": 64 }
+            ],
+            "ga": { "population": 16, "iterations": 24 }
+        }"#,
+    )?;
+    println!("workload: {} ({} sweep points)", spec.models[0], spec.len());
+
+    // Any thread count produces a byte-identical report.
+    let outcome = ExploreEngine::new().with_threads(4).run(&spec)?;
+    let report = &outcome.report;
+
     println!(
-        "\n{:>8} {:>6} {:>12} {:>14} {:>12} {:>12}",
-        "xbar", "par", "crossbars", "interval(cyc)", "energy(uJ)", "avg mem(kB)"
+        "\n{:<28} {:>12} {:>14} {:>12} {:>12}  pareto",
+        "hardware", "crossbars", "interval(cyc)", "energy(uJ)", "mem(kB)"
     );
-
-    for xbar in [32usize, 64, 128] {
-        for par in [1usize, 8, 64] {
-            let mut hw = HardwareConfig::small_test();
-            hw.crossbar_rows = xbar;
-            hw.crossbar_cols = xbar;
-            hw.parallelism = par;
-            // Keep MVM latency proportional to the array size (bigger
-            // arrays integrate longer bit-lines).
-            hw.mvm_latency = xbar as u64;
-            hw.validate()?;
-
-            let opts = CompileOptions::new(PipelineMode::HighThroughput).with_fast_ga(17);
-            // Partition first: infeasible points are detected from the
-            // stage-1 artifact alone, before paying for the GA.
-            let partitioned = CompileSession::new(hw.clone(), &graph, opts)?.partition()?;
-            if partitioned.partitioning().min_crossbars() > hw.total_crossbars() {
-                println!("{xbar:>8} {par:>6} {:>12} (does not fit)", "-");
-                continue;
-            }
-            let compiled = match partitioned.optimize().and_then(|o| o.schedule()) {
-                Ok(s) => s.finish(),
-                Err(e) => {
-                    println!("{xbar:>8} {par:>6} {:>12} (does not fit: {e})", "-");
-                    continue;
-                }
-            };
-            let report = Simulator::new(hw).run(&compiled)?;
-            println!(
-                "{:>8} {:>6} {:>12} {:>14} {:>12.2} {:>12.1}",
-                xbar,
-                par,
-                compiled.report.crossbars_used,
-                report.total_cycles,
-                report.energy.total_pj() / 1e6,
-                report.memory.avg_local_bytes / 1024.0
-            );
+    for p in &report.points {
+        match &p.metrics {
+            Some(m) => println!(
+                "{:<28} {:>12} {:>14} {:>12.2} {:>12.1}  {}",
+                p.hardware,
+                m.crossbars_used,
+                m.cycles,
+                m.energy_uj,
+                m.avg_local_kb,
+                if p.pareto { "*" } else { "" }
+            ),
+            None => println!(
+                "{:<28} {:>12} (does not fit: {})",
+                p.hardware,
+                "-",
+                p.error.as_deref().unwrap_or("unknown")
+            ),
         }
     }
 
@@ -61,6 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("- larger crossbars store more weights per array (fewer crossbars used),");
     println!("  but each MVM integrates longer;");
     println!("- higher parallelism shortens the pipeline interval until T_MVM dominates");
-    println!("  (the paper's Fig. 8 saturation effect).");
+    println!("  (the paper's Fig. 8 saturation effect);");
+    println!("- `*` marks the (latency, energy, throughput, utilization) Pareto frontier.");
     Ok(())
 }

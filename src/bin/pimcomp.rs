@@ -10,6 +10,8 @@
 //! pimcomp inspect  --artifact model.pimc.json   # compiled-stage summary
 //! pimcomp export   --model vgg16 --out vgg16.onnx
 //! pimcomp models                                # list the zoo
+//! pimcomp explore  sweep.json [--threads N] [--out report.json]
+//! pimcomp explore  --diff old.json --against new.json
 //! ```
 //!
 //! `--model` accepts either a zoo name (`vgg16`, `resnet18`,
@@ -37,6 +39,17 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // `explore` takes a positional spec path; handle it before the
+    // flag-only parser.
+    if cmd == "explore" {
+        return match cmd_explore(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match parse_flags(rest) {
         Ok(o) => o,
         Err(e) => {
@@ -74,6 +87,9 @@ USAGE:
   pimcomp inspect  --artifact <FILE.pimc.json>         summarize a saved artifact's stages
   pimcomp export   --model <NAME> --out <FILE.onnx>    export a zoo model as ONNX
   pimcomp models                                       list zoo models
+  pimcomp explore  <SPEC.json> [options]               run a design-space sweep
+  pimcomp explore  --diff <OLD.json> --against <NEW.json>
+                                                       diff two sweep reports
 
 OPTIONS (compile):
   --mode ht|ll            pipeline mode (default: ht)
@@ -96,7 +112,17 @@ OPTIONS (simulate):
                           pin the serving target; the artifact's hardware
                           fingerprint is checked against it (default: the
                           artifact's own embedded hardware)
-  --report FILE.json      write the simulation report as JSON";
+  --report FILE.json      write the simulation report as JSON
+
+OPTIONS (explore):
+  --threads N|auto        sweep worker threads (default: auto; any value
+                          produces a byte-identical report)
+  --out FILE.json         write the versioned sweep report as JSON
+  --csv FILE.csv          write the sweep report as CSV
+  --cache DIR|off         per-point artifact cache; reruns replay cached
+                          points (default: .pimcomp-cache)
+  --diff OLD --against NEW
+                          compare two sweep reports instead of running";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
@@ -126,13 +152,19 @@ fn load_model(opts: &HashMap<String, String>) -> Result<Graph, String> {
         let bytes = std::fs::read(spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
         return pimcomp_onnx::import_bytes(&bytes).map_err(|e| e.to_string());
     }
-    match spec.as_str() {
-        "tiny_cnn" => Ok(pimcomp::ir::models::tiny_cnn()),
-        "tiny_mlp" => Ok(pimcomp::ir::models::tiny_mlp()),
-        "two_branch" => Ok(pimcomp::ir::models::two_branch()),
-        name => pimcomp::ir::models::by_name(name)
-            .ok_or_else(|| format!("unknown model `{name}` (try `pimcomp models`)")),
-    }
+    pimcomp::ir::models::test_model(spec)
+        .or_else(|| pimcomp::ir::models::by_name(spec))
+        .ok_or_else(|| {
+            format!(
+                "unknown model `{spec}`; available models: {}",
+                pimcomp::ir::models::ZOO
+                    .iter()
+                    .chain(pimcomp::ir::models::TEST_MODELS.iter())
+                    .copied()
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })
 }
 
 fn hardware(opts: &HashMap<String, String>, graph: &Graph) -> Result<HardwareConfig, String> {
@@ -476,6 +508,120 @@ fn cmd_export(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_explore(args: &[String]) -> Result<(), String> {
+    use pimcomp::dse::{ExploreEngine, SweepReport, SweepSpec};
+
+    // One positional (the spec path) plus --key value flags.
+    let mut spec_path: Option<String> = None;
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            flags.insert(key.to_string(), v.clone());
+        } else if spec_path.is_none() {
+            spec_path = Some(a.clone());
+        } else {
+            return Err(format!("unexpected argument `{a}`"));
+        }
+    }
+
+    // Diff mode: compare two saved reports instead of running.
+    if let Some(old) = flags.get("diff") {
+        let new = flags
+            .get("against")
+            .ok_or("`--diff OLD` needs `--against NEW`")?;
+        let old_report = SweepReport::load(old).map_err(|e| e.to_string())?;
+        let new_report = SweepReport::load(new).map_err(|e| e.to_string())?;
+        print!("{}", old_report.diff(&new_report));
+        return Ok(());
+    }
+
+    let spec_path = spec_path
+        .or_else(|| flags.get("spec").cloned())
+        .ok_or("`pimcomp explore` needs a sweep spec path (JSON)")?;
+    let json =
+        std::fs::read_to_string(&spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let spec = SweepSpec::from_json(&json).map_err(|e| e.to_string())?;
+
+    let threads = match flags.get("threads").map(String::as_str) {
+        None | Some("auto") => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        Some(raw) => raw
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or("--threads expects a positive integer or `auto`")?,
+    };
+    let mut engine = ExploreEngine::new().with_threads(threads);
+    match flags.get("cache").map(String::as_str) {
+        Some("off") => {}
+        Some(dir) => engine = engine.with_cache_dir(dir),
+        None => engine = engine.with_cache_dir(".pimcomp-cache"),
+    }
+
+    println!(
+        "exploring {} points ({} models x {} modes x {} hardware configs x {} seeds, \
+         {threads} threads)...",
+        spec.len(),
+        spec.models.len(),
+        spec.modes.len(),
+        spec.hardware.len(),
+        spec.seeds.len()
+    );
+    let outcome = engine.run(&spec).map_err(|e| e.to_string())?;
+    let report = &outcome.report;
+    println!(
+        "  evaluated {} points: {} ok, {} failed, {} cache hits / {} compiled",
+        report.points.len(),
+        report.points.len() - report.failures(),
+        report.failures(),
+        outcome.cache_hits,
+        outcome.cache_misses
+    );
+
+    println!(
+        "\nPareto frontier ({} of {} points, per model x mode):",
+        report.frontier.len(),
+        report.points.len()
+    );
+    println!(
+        "  {:<10} {:<4} {:<28} {:>20} {:>12} {:>12} {:>11} {:>6}",
+        "model", "mode", "hardware", "seed", "cycles", "energy(uJ)", "inf/s", "xbar%"
+    );
+    for p in report.frontier_records() {
+        let m = p.metrics.as_ref().expect("frontier points succeeded");
+        println!(
+            "  {:<10} {:<4} {:<28} {:>20} {:>12} {:>12.2} {:>11.0} {:>5.1}%",
+            p.model,
+            p.mode,
+            p.hardware,
+            p.seed,
+            m.cycles,
+            m.energy_uj,
+            m.throughput_inf_per_s,
+            m.crossbar_utilization * 100.0
+        );
+    }
+    for p in report.points.iter().filter(|p| !p.ok) {
+        eprintln!(
+            "  failed: {} ({})",
+            p.key(),
+            p.error.as_deref().unwrap_or("unknown")
+        );
+    }
+
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, report.to_json().map_err(|e| e.to_string())? + "\n")
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("\nwrote {path} (report format v{})", report.format_version);
+    }
+    if let Some(path) = flags.get("csv") {
+        std::fs::write(path, report.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
 fn cmd_models() -> Result<(), String> {
     println!("paper benchmarks:");
     for m in pimcomp::ir::models::PAPER_BENCHMARKS {
@@ -489,6 +635,9 @@ fn cmd_models() -> Result<(), String> {
             s.macs as f64 / 1e9
         );
     }
-    println!("test models: tiny_cnn, tiny_mlp, two_branch");
+    println!(
+        "test models: {}",
+        pimcomp::ir::models::TEST_MODELS.join(", ")
+    );
     Ok(())
 }

@@ -9,6 +9,8 @@
 //! * [`arch`] — abstract accelerator architecture ([`pimcomp_arch`]).
 //! * [`compiler`] — the staged compilation pipeline ([`pimcomp_core`]).
 //! * [`sim`] — the cycle-accurate simulator ([`pimcomp_sim`]).
+//! * [`dse`] — deterministic design-space exploration over compiler +
+//!   simulator ([`pimcomp_dse`]).
 //!
 //! # Quickstart: staged compilation sessions
 //!
@@ -52,6 +54,7 @@
 
 pub use pimcomp_arch as arch;
 pub use pimcomp_core as compiler;
+pub use pimcomp_dse as dse;
 pub use pimcomp_ir as ir;
 pub use pimcomp_onnx as onnx;
 pub use pimcomp_sim as sim;
@@ -64,6 +67,7 @@ pub mod prelude {
         CompiledArtifact, CompiledModel, GaGeneration, GaParams, Optimized, Partitioned,
         PimCompiler, ReusePolicy, Scheduled,
     };
+    pub use pimcomp_dse::{ExploreEngine, ExploreError, SweepReport, SweepSpec};
     pub use pimcomp_ir::{Graph, GraphBuilder};
     pub use pimcomp_sim::{SimReport, Simulator};
 }

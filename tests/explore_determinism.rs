@@ -1,0 +1,190 @@
+//! Design-space exploration determinism guarantees, end to end:
+//!
+//! * the same sweep spec produces **byte-identical** report JSON at 1
+//!   and 4 worker threads,
+//! * a cache-hit rerun replays every point and reproduces the identical
+//!   frontier,
+//! * the report of a fixed tiny sweep matches a committed golden
+//!   fixture (`tests/golden/explore_tiny_sweep.json`; regenerate with
+//!   `UPDATE_GOLDEN=1 cargo test --test explore_determinism`),
+//! * the `pimcomp explore` CLI exhibits the same guarantees.
+
+use pimcomp::dse::{ExploreEngine, SweepReport, SweepSpec};
+use std::path::PathBuf;
+
+/// The acceptance-grade sweep: 2 models × 2 modes × 3 hardware configs
+/// × 1 seed = 12 points.
+const SPEC: &str = r#"{
+  "master_seed": 11,
+  "models": ["tiny_cnn", "tiny_mlp"],
+  "modes": ["ht", "ll"],
+  "hardware": { "base": "small_test", "parallelism": [2, 4, 8] },
+  "ga": { "population": 6, "iterations": 4 }
+}"#;
+
+fn spec() -> SweepSpec {
+    SweepSpec::from_json(SPEC).unwrap()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pimcomp-explore-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn report_json_is_byte_identical_across_thread_counts() {
+    let spec = spec();
+    let one = ExploreEngine::new().with_threads(1).run(&spec).unwrap();
+    let four = ExploreEngine::new().with_threads(4).run(&spec).unwrap();
+    assert_eq!(
+        one.report.to_json().unwrap(),
+        four.report.to_json().unwrap(),
+        "1-thread and 4-thread sweeps must emit identical bytes"
+    );
+    assert_eq!(one.report.points.len(), 12);
+    assert_eq!(one.report.failures(), 0);
+    assert!(!one.report.frontier.is_empty());
+}
+
+#[test]
+fn cache_hit_rerun_reproduces_the_identical_frontier() {
+    let dir = temp_dir("cache");
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = spec();
+    let engine = ExploreEngine::new().with_threads(2).with_cache_dir(&dir);
+    let cold = engine.run(&spec).unwrap();
+    assert_eq!(cold.cache_hits, 0);
+    assert_eq!(cold.cache_misses, 12);
+    let warm = engine.run(&spec).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(warm.cache_hits > 0, "rerun must reuse cached artifacts");
+    assert_eq!(warm.cache_hits, 12);
+    assert_eq!(warm.report.frontier, cold.report.frontier);
+    assert_eq!(
+        warm.report.to_json().unwrap(),
+        cold.report.to_json().unwrap(),
+        "cache replay must not change a single report byte"
+    );
+}
+
+#[test]
+fn tiny_sweep_matches_golden_fixture() {
+    let outcome = ExploreEngine::new().with_threads(2).run(&spec()).unwrap();
+    let actual = outcome.report.to_json().unwrap() + "\n";
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("explore_tiny_sweep.json");
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, actual).expect("write golden fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {}: {e}\nrun `UPDATE_GOLDEN=1 cargo test \
+             --test explore_determinism` to create it",
+            path.display()
+        )
+    });
+    // Structural check first so version/shape drift fails loudly, then
+    // exact bytes.
+    let expected_report = SweepReport::from_json(expected.trim()).unwrap_or_else(|e| {
+        panic!(
+            "golden fixture {} no longer parses ({e}); regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(expected_report, outcome.report);
+    assert_eq!(
+        expected.trim(),
+        actual.trim(),
+        "sweep report drifted from the golden fixture; regenerate with \
+         `UPDATE_GOLDEN=1 cargo test --test explore_determinism` if intentional"
+    );
+}
+
+#[test]
+fn cli_explore_is_thread_invariant_and_cache_aware() {
+    let bin = env!("CARGO_BIN_EXE_pimcomp");
+    let dir = temp_dir("cli");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("sweep.json");
+    std::fs::write(&spec_path, SPEC).unwrap();
+    let cache = dir.join("cache");
+
+    let run = |threads: &str, out: &str| {
+        let out_path = dir.join(out);
+        let status = std::process::Command::new(bin)
+            .args([
+                "explore",
+                spec_path.to_str().unwrap(),
+                "--threads",
+                threads,
+                "--cache",
+                cache.to_str().unwrap(),
+                "--out",
+                out_path.to_str().unwrap(),
+            ])
+            .stdout(std::process::Stdio::piped())
+            .output()
+            .expect("spawn pimcomp explore");
+        assert!(
+            status.status.success(),
+            "pimcomp explore failed:\n{}",
+            String::from_utf8_lossy(&status.stderr)
+        );
+        (
+            std::fs::read_to_string(&out_path).unwrap(),
+            String::from_utf8_lossy(&status.stdout).to_string(),
+        )
+    };
+
+    let (report1, stdout1) = run("1", "report1.json");
+    let (report4, stdout4) = run("4", "report4.json");
+    assert_eq!(
+        report1, report4,
+        "CLI reports must be byte-identical across --threads 1 and --threads 4"
+    );
+    assert!(stdout1.contains("0 cache hits"), "cold run: {stdout1}");
+    assert!(stdout4.contains("12 cache hits"), "warm run: {stdout4}");
+
+    // The written report loads and diffs clean against itself.
+    let report = SweepReport::from_json(report1.trim()).unwrap();
+    assert!(report.diff(&report).is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn invalid_specs_and_unknown_models_are_structured_cli_errors() {
+    let bin = env!("CARGO_BIN_EXE_pimcomp");
+    let dir = temp_dir("badspec");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let cases = [
+        ("not json at all", "not valid JSON"),
+        (
+            r#"{"models":["resnet999"],"hardware":{}}"#,
+            "available models",
+        ),
+        (
+            r#"{"models":["tiny_mlp"],"hardware":{"base":"tpu"}}"#,
+            "unknown hardware preset",
+        ),
+    ];
+    for (i, (spec, needle)) in cases.iter().enumerate() {
+        let path = dir.join(format!("bad{i}.json"));
+        std::fs::write(&path, spec).unwrap();
+        let out = std::process::Command::new(bin)
+            .args(["explore", path.to_str().unwrap(), "--cache", "off"])
+            .output()
+            .expect("spawn pimcomp explore");
+        assert!(!out.status.success(), "bad spec {i} should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(needle),
+            "bad spec {i}: stderr `{stderr}` should contain `{needle}`"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

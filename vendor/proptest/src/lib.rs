@@ -13,7 +13,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Strategy composition and the [`Strategy`] trait.
+/// Strategy composition and the [`Strategy`](strategy::Strategy) trait.
 pub mod strategy {
     use super::TestRng;
     use rand::Rng;
