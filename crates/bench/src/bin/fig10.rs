@@ -6,7 +6,7 @@
 //! global memory after each AG performs 2 MVM operations (batch = 2).
 
 use pimcomp_arch::PipelineMode;
-use pimcomp_bench::{hardware_for, load_network_or_exit, HarnessOptions};
+use pimcomp_bench::{hardware_for, load_network_or_exit, run_or_exit, HarnessOptions};
 use pimcomp_core::{CompileOptions, PimCompiler, ReusePolicy};
 use serde::Serialize;
 
@@ -34,7 +34,7 @@ fn main() {
         );
         for net in opts.networks() {
             let graph = load_network_or_exit(net);
-            let hw = hardware_for(&graph, 20);
+            let hw = run_or_exit(hardware_for(&graph, 20), net);
             // Compile once; replan memory per policy (the schedule is
             // policy-independent).
             let compiled = PimCompiler::new(hw)

@@ -6,7 +6,9 @@
 //! in the paper's plot; the annotation is the PIMCOMP/PUMA ratio.
 
 use pimcomp_arch::PipelineMode;
-use pimcomp_bench::{load_network_or_exit, ratio, run_pair, HarnessOptions, RunResult};
+use pimcomp_bench::{
+    load_network_or_exit, ratio, run_or_exit, run_pair, HarnessOptions, RunResult,
+};
 use pimcomp_core::ReusePolicy;
 use serde::Serialize;
 
@@ -36,7 +38,8 @@ fn main() {
         for net in opts.networks() {
             let graph = load_network_or_exit(net);
             for par in opts.parallelisms() {
-                let (ours, base) = run_pair(&graph, mode, par, &ga, ReusePolicy::AgReuse);
+                let (ours, base) =
+                    run_or_exit(run_pair(&graph, mode, par, &ga, ReusePolicy::AgReuse), net);
                 // Throughput/speed are both 1/cycles: the gain is the
                 // cycle ratio baseline/ours.
                 let gain = base.cycles as f64 / ours.cycles as f64;

@@ -3,7 +3,7 @@
 //! the PUMA-like baseline.
 
 use pimcomp_arch::PipelineMode;
-use pimcomp_bench::{load_network_or_exit, run_pair, HarnessOptions, RunResult};
+use pimcomp_bench::{load_network_or_exit, run_or_exit, run_pair, HarnessOptions, RunResult};
 use pimcomp_core::ReusePolicy;
 use serde::Serialize;
 
@@ -28,7 +28,8 @@ fn main() {
         );
         for net in opts.networks() {
             let graph = load_network_or_exit(net);
-            let (ours, base) = run_pair(&graph, mode, 20, &ga, ReusePolicy::AgReuse);
+            let (ours, base) =
+                run_or_exit(run_pair(&graph, mode, 20, &ga, ReusePolicy::AgReuse), net);
             let base_total = base.dynamic_uj + base.leakage_uj;
             let ours_total = ours.dynamic_uj + ours.leakage_uj;
             let norm = ours_total / base_total;

@@ -1,0 +1,184 @@
+//! Guided-vs-exhaustive search harness: runs the committed paper sweep
+//! under both strategies and reports frontier quality, evaluation
+//! budget, and wall-clock — while *verifying* the guided engine's
+//! guarantees. Exits non-zero when any gate fails, so CI can run it as
+//! a smoke job:
+//!
+//! * the halving report is byte-identical across worker-thread counts,
+//! * a warm (cached) halving rerun replays every evaluation and emits
+//!   identical bytes,
+//! * halving performs strictly fewer full-budget GA evaluations than
+//!   the exhaustive sweep,
+//! * every point on the halving frontier is also on the exhaustive
+//!   frontier (guided search must not invent frontier points). This is
+//!   a deterministic *quality bound on the committed fixtures*, not an
+//!   algorithmic invariant: a break after a GA or fixture change means
+//!   the fixture's halving parameters no longer preserve its frontier
+//!   and should be retuned — not that the run was flaky.
+//!
+//! ```text
+//! search_compare [--fast] [--json PATH]
+//! ```
+
+use pimcomp_bench::{
+    HarnessOptions, PAPER_SWEEP_HALVING_SPEC, PAPER_SWEEP_SPEC, SMOKE_SWEEP_HALVING_SPEC,
+    SMOKE_SWEEP_SPEC,
+};
+use pimcomp_dse::{ExploreEngine, ExploreOutcome, SweepSpec};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct Comparison {
+    points: usize,
+    exhaustive_seconds: f64,
+    halving_seconds: f64,
+    exhaustive_frontier: usize,
+    halving_frontier: usize,
+    frontier_points_shared: usize,
+    full_budget_evaluations: usize,
+    full_budget_evaluations_saved: usize,
+    generations_spent: u64,
+    exhaustive_generations: u64,
+}
+
+fn parse(label: &str, json: &str) -> SweepSpec {
+    SweepSpec::from_json(json).unwrap_or_else(|e| {
+        eprintln!("error: committed {label} fixture is invalid: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn run(engine: &ExploreEngine, spec: &SweepSpec, label: &str) -> (ExploreOutcome, f64) {
+    let t0 = Instant::now();
+    let outcome = engine.run(spec).unwrap_or_else(|e| {
+        eprintln!("error: {label} sweep failed: {e}");
+        std::process::exit(1);
+    });
+    (outcome, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let (exhaustive_json, halving_json) = if opts.fast {
+        (SMOKE_SWEEP_SPEC, SMOKE_SWEEP_HALVING_SPEC)
+    } else {
+        (PAPER_SWEEP_SPEC, PAPER_SWEEP_HALVING_SPEC)
+    };
+    let exhaustive_spec = parse("exhaustive sweep", exhaustive_json);
+    let halving_spec = parse("halving sweep", halving_json);
+    let n = exhaustive_spec.len();
+    println!("search_compare: {n} points, exhaustive vs successive halving");
+
+    let (exhaustive, exhaustive_s) = run(
+        &ExploreEngine::new().with_threads(2),
+        &exhaustive_spec,
+        "exhaustive",
+    );
+    let (halving, halving_s) = run(
+        &ExploreEngine::new().with_threads(2),
+        &halving_spec,
+        "halving",
+    );
+
+    // Gate 1: guided reports are thread-count invariant.
+    let (serial, _) = run(&ExploreEngine::new(), &halving_spec, "halving (1 thread)");
+    if serial.report.to_json() != halving.report.to_json() {
+        eprintln!("error: halving report differs between 1 and 2 threads — determinism violated");
+        std::process::exit(1);
+    }
+    println!("  halving report byte-identical across thread counts: ok");
+
+    // Gate 2: a warm cached rerun replays every (point, rung)
+    // evaluation and reproduces the identical report.
+    let dir = std::env::temp_dir().join(format!("pimcomp-search-compare-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cached = ExploreEngine::new().with_threads(2).with_cache_dir(&dir);
+    let (cold, _) = run(&cached, &halving_spec, "halving (cold cache)");
+    let (warm, warm_s) = run(&cached, &halving_spec, "halving (warm cache)");
+    std::fs::remove_dir_all(&dir).ok();
+    if warm.cache_misses != 0 || warm.cache_hits != cold.cache_misses {
+        eprintln!(
+            "error: warm halving rerun expected {} cache hits / 0 misses, got {} / {}",
+            cold.cache_misses, warm.cache_hits, warm.cache_misses
+        );
+        std::process::exit(1);
+    }
+    if warm.report != cold.report || cold.report != halving.report {
+        eprintln!("error: cached halving reports differ from the uncached run");
+        std::process::exit(1);
+    }
+    println!(
+        "  cache replay: {}/{} hits, identical report ({warm_s:.2}s warm)",
+        warm.cache_hits, cold.cache_misses
+    );
+
+    // Gate 3: halving must spend strictly fewer full-budget
+    // evaluations than the exhaustive sweep runs on the same
+    // (compilable) points.
+    let budget = &halving.budget;
+    if budget.full_budget_evaluations >= budget.compilable_points {
+        eprintln!(
+            "error: halving performed {} full-budget evaluations on {} compilable points — \
+             no better than exhaustive",
+            budget.full_budget_evaluations, budget.compilable_points
+        );
+        std::process::exit(1);
+    }
+
+    // Gate 4: frontier quality — guided search may *miss* exhaustive
+    // frontier points (that is the budget trade-off) but must never
+    // claim a frontier point the exhaustive sweep refutes. Empirical on
+    // these fixtures (see the module docs), stable by determinism.
+    let exhaustive_frontier: Vec<String> = exhaustive
+        .report
+        .frontier_records()
+        .map(|p| p.key())
+        .collect();
+    let halving_frontier: Vec<String> =
+        halving.report.frontier_records().map(|p| p.key()).collect();
+    let shared = halving_frontier
+        .iter()
+        .filter(|k| exhaustive_frontier.contains(k))
+        .count();
+    if shared != halving_frontier.len() {
+        eprintln!(
+            "error: {} halving frontier point(s) are not on the exhaustive frontier",
+            halving_frontier.len() - shared
+        );
+        for k in halving_frontier
+            .iter()
+            .filter(|k| !exhaustive_frontier.contains(k))
+        {
+            eprintln!("    {k}");
+        }
+        std::process::exit(1);
+    }
+
+    println!("\n{}", budget);
+    println!(
+        "frontier: exhaustive {} points, halving {} points ({} shared, {:.0}% of \
+         exhaustive frontier recovered)",
+        exhaustive_frontier.len(),
+        halving_frontier.len(),
+        shared,
+        shared as f64 / exhaustive_frontier.len().max(1) as f64 * 100.0
+    );
+    println!(
+        "wall-clock: exhaustive {exhaustive_s:.2}s, halving {halving_s:.2}s ({:.2}x)",
+        exhaustive_s / halving_s.max(1e-9)
+    );
+
+    opts.write_json(&Comparison {
+        points: n,
+        exhaustive_seconds: exhaustive_s,
+        halving_seconds: halving_s,
+        exhaustive_frontier: exhaustive_frontier.len(),
+        halving_frontier: halving_frontier.len(),
+        frontier_points_shared: shared,
+        full_budget_evaluations: budget.full_budget_evaluations,
+        full_budget_evaluations_saved: budget.full_budget_evaluations_saved(),
+        generations_spent: budget.generations_spent,
+        exhaustive_generations: budget.exhaustive_generations,
+    });
+}

@@ -4,7 +4,7 @@
 //! (population 100, 200 iterations).
 
 use pimcomp_arch::PipelineMode;
-use pimcomp_bench::{compile_one, load_network_or_exit, HarnessOptions};
+use pimcomp_bench::{compile_one, load_network_or_exit, run_or_exit, HarnessOptions};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -33,7 +33,7 @@ fn main() {
     for net in opts.networks() {
         let graph = load_network_or_exit(net);
         for mode in [PipelineMode::HighThroughput, PipelineMode::LowLatency] {
-            let compiled = compile_one(&graph, mode, &ga, false);
+            let compiled = run_or_exit(compile_one(&graph, mode, &ga, false), net);
             let t = &compiled.report.timings;
             let row = Table2Row {
                 network: net.to_string(),

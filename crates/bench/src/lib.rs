@@ -14,6 +14,10 @@
 //! * `explore_sweep` — design-space-exploration points/sec across a
 //!   worker-thread sweep, verifying byte-identical reports and
 //!   artifact-cache replay while measuring.
+//! * `search_compare` — guided (successive-halving) vs exhaustive
+//!   exploration on the committed paper sweep: frontier quality,
+//!   budget savings, wall-clock; gates on determinism, cache replay,
+//!   and the guided frontier being a subset of the exhaustive one.
 //!
 //! Each binary prints the paper-style rows and, with `--json PATH`,
 //! writes machine-readable results. `--fast` shrinks the GA and the
@@ -24,11 +28,12 @@
 
 use pimcomp_arch::{HardwareConfig, PipelineMode};
 use pimcomp_core::{
-    CompileOptions, CompiledModel, GaParams, Partitioning, PimCompiler, PumaCompiler, ReusePolicy,
+    CompileError, CompileOptions, CompiledModel, GaParams, Partitioning, PimCompiler, PumaCompiler,
+    ReusePolicy,
 };
 use pimcomp_ir::transform::normalize;
 use pimcomp_ir::Graph;
-use pimcomp_sim::{SimReport, Simulator};
+use pimcomp_sim::{SimError, SimReport, Simulator};
 use serde::Serialize;
 
 /// The parallelism degrees of the Fig. 8 sweep.
@@ -242,15 +247,87 @@ pub const SMOKE_SWEEP_SPEC: &str = include_str!("../fixtures/smoke_sweep.json");
 /// on disk at `crates/bench/fixtures/paper_sweep.json`.
 pub const PAPER_SWEEP_SPEC: &str = include_str!("../fixtures/paper_sweep.json");
 
+/// The smoke sweep under guided (successive-halving) search — same
+/// axes as [`SMOKE_SWEEP_SPEC`] so point keys line up for report
+/// diffs; CI runs it and diffs its frontier against the exhaustive
+/// golden. On disk at `crates/bench/fixtures/smoke_sweep_halving.json`.
+pub const SMOKE_SWEEP_HALVING_SPEC: &str = include_str!("../fixtures/smoke_sweep_halving.json");
+
+/// The paper-style sweep under guided search — same axes as
+/// [`PAPER_SWEEP_SPEC`]; the `search_compare` harness's full-size
+/// input, on disk at `crates/bench/fixtures/paper_sweep_halving.json`.
+pub const PAPER_SWEEP_HALVING_SPEC: &str = include_str!("../fixtures/paper_sweep_halving.json");
+
+/// A harness step failure: which half of the compile → simulate pair
+/// went wrong. The five committed paper benchmarks always succeed, but
+/// the harness also runs user-supplied graphs (`--only` over the zoo,
+/// imported ONNX models in sweep drivers), so per the standing
+/// panic-free policy the library surfaces errors and lets binaries
+/// decide how to die.
+#[derive(Debug)]
+pub enum HarnessError {
+    /// Compilation (or hardware sizing, which partitions the graph)
+    /// failed.
+    Compile(CompileError),
+    /// Simulation of a compiled model failed.
+    Simulate(SimError),
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::Compile(e) => write!(f, "compile: {e}"),
+            HarnessError::Simulate(e) => write!(f, "simulate: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HarnessError::Compile(e) => Some(e),
+            HarnessError::Simulate(e) => Some(e),
+        }
+    }
+}
+
+impl From<CompileError> for HarnessError {
+    fn from(e: CompileError) -> Self {
+        HarnessError::Compile(e)
+    }
+}
+
+impl From<SimError> for HarnessError {
+    fn from(e: SimError) -> Self {
+        HarnessError::Simulate(e)
+    }
+}
+
+/// Unwraps a harness result for binaries: prints the error with its
+/// context and exits with status 1. Keeps the library panic-free while
+/// letting the fig/table binaries keep their crash-on-failure contract.
+pub fn run_or_exit<T, E: std::fmt::Display>(result: Result<T, E>, context: &str) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("error: {context}: {e}");
+        std::process::exit(1);
+    })
+}
+
 /// Sizes a PUMA-like target for `graph`: enough chips for
 /// [`CHIP_HEADROOM`]× the single-replica crossbar demand.
-pub fn hardware_for(graph: &Graph, parallelism: usize) -> HardwareConfig {
+///
+/// # Errors
+///
+/// Propagates partitioning failures ([`CompileError`]) instead of
+/// panicking — a user graph (e.g. an imported ONNX model) that does not
+/// partition must not bring a sweep down.
+pub fn hardware_for(graph: &Graph, parallelism: usize) -> Result<HardwareConfig, CompileError> {
     let base = HardwareConfig::puma();
-    let p = Partitioning::new(graph, &base).expect("benchmarks partition cleanly");
+    let p = Partitioning::new(graph, &base)?;
     let per_chip = base.cores_per_chip * base.crossbars_per_core;
     let need = (p.min_crossbars() as f64 * CHIP_HEADROOM).ceil() as usize;
     let chips = need.div_ceil(per_chip).max(1);
-    HardwareConfig::puma_with_chips(chips).with_parallelism(parallelism)
+    Ok(HardwareConfig::puma_with_chips(chips).with_parallelism(parallelism))
 }
 
 /// One compiled-and-simulated data point.
@@ -300,59 +377,52 @@ impl RunResult {
 ///
 /// Returns `(pimcomp, puma_like)`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if compilation or simulation fails — the harness treats that
-/// as a reproduction bug worth crashing on.
+/// [`HarnessError`] naming the failed stage; binaries typically wrap
+/// calls in [`run_or_exit`] to keep their crash-on-failure contract.
 pub fn run_pair(
     graph: &Graph,
     mode: PipelineMode,
     parallelism: usize,
     ga: &GaParams,
     policy: ReusePolicy,
-) -> (RunResult, RunResult) {
-    let hw = hardware_for(graph, parallelism);
+) -> Result<(RunResult, RunResult), HarnessError> {
+    let hw = hardware_for(graph, parallelism)?;
     let opts = CompileOptions::new(mode)
         .with_ga(ga.clone())
         .with_policy(policy);
-    let ours = PimCompiler::new(hw.clone())
-        .compile(graph, &opts)
-        .expect("PIMCOMP compiles the benchmark");
-    let base = PumaCompiler::new(hw.clone())
-        .compile(graph, &opts)
-        .expect("baseline compiles the benchmark");
+    let ours = PimCompiler::new(hw.clone()).compile(graph, &opts)?;
+    let base = PumaCompiler::new(hw.clone()).compile(graph, &opts)?;
     let sim = Simulator::new(hw);
-    let r_ours = sim.run(&ours).expect("PIMCOMP schedule simulates");
-    let r_base = sim.run(&base).expect("baseline schedule simulates");
-    (
+    let r_ours = sim.run(&ours)?;
+    let r_base = sim.run(&base)?;
+    Ok((
         RunResult::from_sim(&r_ours, parallelism),
         RunResult::from_sim(&r_base, parallelism),
-    )
+    ))
 }
 
 /// Compiles one network with one compiler (no simulation); used by
 /// `table2` and the criterion benches.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if compilation fails.
+/// [`HarnessError::Compile`] when hardware sizing or compilation fails.
 pub fn compile_one(
     graph: &Graph,
     mode: PipelineMode,
     ga: &GaParams,
     baseline: bool,
-) -> CompiledModel {
-    let hw = hardware_for(graph, 20);
+) -> Result<CompiledModel, HarnessError> {
+    let hw = hardware_for(graph, 20)?;
     let opts = CompileOptions::new(mode).with_ga(ga.clone());
-    if baseline {
-        PumaCompiler::new(hw)
-            .compile(graph, &opts)
-            .expect("compiles")
+    let compiled = if baseline {
+        PumaCompiler::new(hw).compile(graph, &opts)?
     } else {
-        PimCompiler::new(hw)
-            .compile(graph, &opts)
-            .expect("compiles")
-    }
+        PimCompiler::new(hw).compile(graph, &opts)?
+    };
+    Ok(compiled)
 }
 
 /// Formats a ratio like the paper's plot annotations (`2.4x`).
@@ -398,9 +468,22 @@ mod tests {
     #[test]
     fn hardware_sizing_gives_headroom() {
         let g = load_network("squeezenet").unwrap();
-        let hw = hardware_for(&g, 20);
+        let hw = hardware_for(&g, 20).unwrap();
         let p = Partitioning::new(&g, &hw).unwrap();
         assert!(hw.total_crossbars() >= 2 * p.min_crossbars() - hw.crossbars_per_core);
+    }
+
+    #[test]
+    fn hardware_sizing_surfaces_partition_failures() {
+        // An input-only graph has nothing to map onto crossbars; the
+        // sizing heuristic must report that, not panic.
+        let mut b = pimcomp_ir::GraphBuilder::new("degenerate");
+        let _ = b.input_flat("x", 8);
+        let g = b.finish().unwrap();
+        assert!(matches!(
+            hardware_for(&g, 20),
+            Err(CompileError::NoMvmNodes)
+        ));
     }
 
     #[test]
@@ -417,7 +500,8 @@ mod tests {
             20,
             &ga,
             ReusePolicy::AgReuse,
-        );
+        )
+        .unwrap();
         assert_eq!(ours.network, "squeezenet");
         assert_eq!(ours.compiler, "PIMCOMP");
         assert_eq!(base.compiler, "PUMA-like");
@@ -436,5 +520,28 @@ mod tests {
         assert_eq!(smoke.points().unwrap().len(), 4);
         let paper = pimcomp_dse::SweepSpec::from_json(PAPER_SWEEP_SPEC).unwrap();
         assert_eq!(paper.points().unwrap().len(), 3 * 2 * 6);
+    }
+
+    #[test]
+    fn halving_fixtures_mirror_their_exhaustive_twins() {
+        // The guided fixtures must share axes (hence point keys) with
+        // their exhaustive twins so `explore --diff` joins every point,
+        // differing only in the search section.
+        for (exhaustive, halving) in [
+            (SMOKE_SWEEP_SPEC, SMOKE_SWEEP_HALVING_SPEC),
+            (PAPER_SWEEP_SPEC, PAPER_SWEEP_HALVING_SPEC),
+        ] {
+            let e = pimcomp_dse::SweepSpec::from_json(exhaustive).unwrap();
+            let h = pimcomp_dse::SweepSpec::from_json(halving).unwrap();
+            assert!(matches!(h.search, pimcomp_dse::SearchStrategy::Halving(_)));
+            assert_eq!(e.models, h.models);
+            assert_eq!(e.modes, h.modes);
+            assert_eq!(e.hardware, h.hardware);
+            assert_eq!(e.seeds, h.seeds);
+            assert_eq!(
+                (e.ga_population, e.ga_iterations),
+                (h.ga_population, h.ga_iterations)
+            );
+        }
     }
 }

@@ -102,7 +102,11 @@ impl CompiledArtifact {
     /// v2: [`GaStats`](crate::GaStats) gained the evaluation-engine
     /// counters (`full_evals`, `incremental_evals`, `cache_hits`,
     /// `evals_per_generation`).
-    pub const FORMAT_VERSION: u32 = 2;
+    ///
+    /// v3: [`GaStats`](crate::GaStats) gained the mutation-operator
+    /// tallies (`grow_successes`, `grow_failures`), replacing the old
+    /// `GA_DEBUG` stderr diagnostics.
+    pub const FORMAT_VERSION: u32 = 3;
 
     /// Packages a compiled model, fingerprinting its hardware target.
     #[must_use]

@@ -114,6 +114,22 @@ impl CompileOptions {
         self
     }
 
+    /// Overrides only the GA generation budget, keeping every other
+    /// parameter (seed included) untouched.
+    ///
+    /// Because the GA's per-offspring RNG streams are keyed by
+    /// `(seed, generation, slot)` — never by the total generation count
+    /// — a run at a smaller budget evaluates exactly the first
+    /// `iterations` generations of a longer run with the same seed.
+    /// Budgeted-search drivers (successive halving over a sweep) rely
+    /// on this: re-running a survivor at a larger budget continues the
+    /// same deterministic trajectory instead of exploring a different
+    /// one.
+    pub fn with_ga_budget(mut self, iterations: usize) -> Self {
+        self.ga.iterations = iterations;
+        self
+    }
+
     /// Sets the GA worker-thread count. `None` (the default) runs the
     /// search serially; any setting produces bit-identical results —
     /// see [`GaParams::parallelism`] for the determinism contract.

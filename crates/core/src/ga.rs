@@ -207,6 +207,13 @@ pub struct GaStats {
     /// population is excluded; it accounts for
     /// `evaluations - evals_per_generation.sum()`).
     pub evals_per_generation: Vec<usize>,
+    /// Grow mutations that placed at least one additional replica.
+    pub grow_successes: usize,
+    /// Grow mutations that found headroom but could not place anything
+    /// (capacity or per-core slot exhaustion). A high ratio of failures
+    /// to successes means the population is wedged against the crossbar
+    /// budget — the diagnostic `GA_DEBUG` stderr prints used to carry.
+    pub grow_failures: usize,
 }
 
 /// One generation's progress snapshot, delivered to
@@ -224,6 +231,12 @@ pub struct GaGeneration {
     pub evaluations: usize,
     /// Cumulative fitness-memo cache hits so far.
     pub cache_hits: usize,
+    /// Cumulative grow mutations that succeeded so far (see
+    /// [`GaStats::grow_successes`]).
+    pub grow_successes: usize,
+    /// Cumulative grow mutations that failed so far (see
+    /// [`GaStats::grow_failures`]).
+    pub grow_failures: usize,
 }
 
 /// Everything the fitness functions need, bundled for reuse.
@@ -294,6 +307,18 @@ enum OffspringSource {
     Evaluated(EvalKind),
 }
 
+/// Per-offspring mutation-operator diagnostics, carried back from the
+/// worker and reduced in slot order so the tallies are deterministic
+/// for any thread count. This replaces the old `GA_DEBUG` stderr
+/// prints, which read `std::env::var` inside the hot mutation loop and
+/// wrote diagnostics from a library crate; the tallies now flow through
+/// [`GaStats`] and the [`GaGeneration`] observer snapshot instead.
+#[derive(Debug, Clone, Copy, Default)]
+struct MutationTally {
+    grow_ok: usize,
+    grow_failed: usize,
+}
+
 /// One derived-and-evaluated offspring, produced by a worker.
 struct Offspring {
     draft: Draft,
@@ -301,6 +326,7 @@ struct Offspring {
     fingerprint: u128,
     basis: Arc<EvalBasis>,
     source: OffspringSource,
+    tally: MutationTally,
 }
 
 /// Heuristic `max_node_num_in_core` when the user does not pin one.
@@ -382,6 +408,8 @@ pub fn optimize_observed(
     let initial_fitness = population[0].fitness;
     let mut history = Vec::with_capacity(params.iterations);
     let mut evals_per_generation = Vec::with_capacity(params.iterations);
+    let mut grow_successes = 0usize;
+    let mut grow_failures = 0usize;
 
     let elite =
         ((params.population as f64 * params.elite_fraction).ceil() as usize).clamp(1, pop_n);
@@ -399,8 +427,9 @@ pub fn optimize_observed(
             let mut draft = parent.draft.clone();
             let n_mut = rng.gen_range(1..=params.max_mutations_per_child);
             let mut changed = false;
+            let mut tally = MutationTally::default();
             for _ in 0..n_mut {
-                changed |= mutate(&mut draft, ctx, capacity, &mut rng);
+                changed |= mutate(&mut draft, ctx, capacity, &mut rng, &mut tally);
             }
             if !changed {
                 return Ok(Offspring {
@@ -409,6 +438,7 @@ pub fn optimize_observed(
                     fingerprint: parent.fingerprint,
                     basis: parent.basis.clone(),
                     source: OffspringSource::Unchanged,
+                    tally,
                 });
             }
             let fingerprint = draft.chromosome.fingerprint();
@@ -419,6 +449,7 @@ pub fn optimize_observed(
                     fingerprint,
                     basis: entry.basis.clone(),
                     source: OffspringSource::CacheHit,
+                    tally,
                 });
             }
             let (fitness, basis, kind) = compute_fitness(
@@ -432,6 +463,7 @@ pub fn optimize_observed(
                 fingerprint,
                 basis: Arc::new(basis),
                 source: OffspringSource::Evaluated(kind),
+                tally,
             })
         });
 
@@ -440,6 +472,8 @@ pub fn optimize_observed(
         let mut next: Vec<Individual> = population[..elite].to_vec();
         for result in results {
             let off = result?;
+            grow_successes += off.tally.grow_ok;
+            grow_failures += off.tally.grow_failed;
             match off.source {
                 OffspringSource::Unchanged => {}
                 OffspringSource::CacheHit => memo.observe_hit(),
@@ -465,6 +499,8 @@ pub fn optimize_observed(
             best_fitness: population[0].fitness,
             evaluations: memo.full_evals() + memo.incremental_evals(),
             cache_hits: memo.cache_hits(),
+            grow_successes,
+            grow_failures,
         });
     }
 
@@ -478,6 +514,8 @@ pub fn optimize_observed(
         incremental_evals: memo.incremental_evals(),
         cache_hits: memo.cache_hits(),
         evals_per_generation,
+        grow_successes,
+        grow_failures,
     };
     Ok((best.draft.chromosome, stats))
 }
@@ -603,7 +641,13 @@ fn tournament<'a>(population: &'a [Individual], k: usize, rng: &mut StdRng) -> &
 /// selection (the paper's wording) needs far more generations to walk
 /// the `max`-objective plateau; the bias changes which node is drawn,
 /// not what the operators do.
-fn mutate(ind: &mut Draft, ctx: &GaContext<'_>, capacity: usize, rng: &mut StdRng) -> bool {
+fn mutate(
+    ind: &mut Draft,
+    ctx: &GaContext<'_>,
+    capacity: usize,
+    rng: &mut StdRng,
+    tally: &mut MutationTally,
+) -> bool {
     let n = ctx.partitioning.len();
     match rng.gen_range(0..4u8) {
         0 => {
@@ -612,7 +656,7 @@ fn mutate(ind: &mut Draft, ctx: &GaContext<'_>, capacity: usize, rng: &mut StdRn
             } else {
                 rng.gen_range(0..n)
             };
-            mutate_grow(ind, ctx, node, capacity, rng)
+            mutate_grow(ind, ctx, node, capacity, rng, tally)
         }
         1 => {
             let node = if rng.gen_bool(0.5) {
@@ -672,6 +716,7 @@ fn mutate_grow(
     node: MvmIdx,
     capacity: usize,
     rng: &mut StdRng,
+    tally: &mut MutationTally,
 ) -> bool {
     let entry = ctx.partitioning.entry(node);
     let a = entry.ags_per_replica;
@@ -684,24 +729,12 @@ fn mutate_grow(
     let mut amount = rng.gen_range(1..=cur.max(1)).min(headroom);
     while amount > 0 {
         if place_ags(ind, ctx, node, amount * a, capacity, rng) {
-            if std::env::var("GA_DEBUG").is_ok() {
-                eprintln!("grow ok node={node} amount={amount}");
-            }
+            tally.grow_ok += 1;
             return true;
         }
         amount /= 2;
     }
-    if std::env::var("GA_DEBUG").is_ok() {
-        let free_caps = ind
-            .used_crossbars
-            .iter()
-            .filter(|&&u| u + entry.crossbars_per_ag <= capacity)
-            .count();
-        let free_slots = (0..ind.chromosome.cores())
-            .filter(|&c| ind.chromosome.free_slot_of_core(c).is_some())
-            .count();
-        eprintln!("grow FAIL node={node} cur={cur} headroom={headroom} xb={} a={} cores_with_cap={free_caps} cores_with_slot={free_slots}", entry.crossbars_per_ag, entry.ags_per_replica);
-    }
+    tally.grow_failed += 1;
     false
 }
 
@@ -1052,6 +1085,52 @@ mod tests {
             optimize(&ctx, &GaParams::fast(1)),
             Err(CompileError::InsufficientCapacity { .. })
         ));
+    }
+
+    #[test]
+    fn grow_tallies_are_populated_and_thread_invariant() {
+        let (_, serial, _) = run_with(PipelineMode::HighThroughput, 5, None);
+        let (_, parallel, _) = run_with(PipelineMode::HighThroughput, 5, NonZeroUsize::new(4));
+        assert_eq!(serial.grow_successes, parallel.grow_successes);
+        assert_eq!(serial.grow_failures, parallel.grow_failures);
+        assert!(
+            serial.grow_successes > 0,
+            "a fast GA run on tiny_cnn should grow at least once: {serial:?}"
+        );
+    }
+
+    #[test]
+    fn budgeted_run_is_a_prefix_of_the_full_run() {
+        // Seed streams are keyed by (seed, generation, slot), so a
+        // k-generation run draws exactly the streams of the first k
+        // generations of a longer run — the property successive-halving
+        // drivers rely on when re-running survivors at a larger budget.
+        let (g, hw) = setup(PipelineMode::HighThroughput);
+        let p = Partitioning::new(&g, &hw).unwrap();
+        let dep = DepInfo::analyze(&g);
+        let ctx = GaContext {
+            hw: &hw,
+            graph: &g,
+            partitioning: &p,
+            dep: &dep,
+            mode: PipelineMode::HighThroughput,
+        };
+        let full = GaParams {
+            iterations: 12,
+            ..GaParams::fast(21)
+        };
+        let short = GaParams {
+            iterations: 4,
+            ..full.clone()
+        };
+        let (_, full_stats) = optimize(&ctx, &full).unwrap();
+        let (_, short_stats) = optimize(&ctx, &short).unwrap();
+        assert_eq!(short_stats.history[..], full_stats.history[..4]);
+        assert_eq!(
+            short_stats.evals_per_generation[..],
+            full_stats.evals_per_generation[..4]
+        );
+        assert_eq!(short_stats.initial_fitness, full_stats.initial_fitness);
     }
 
     #[test]

@@ -312,6 +312,26 @@ impl Partitioned {
         self.optimize_observed(&mut NullObserver)
     }
 
+    /// [`Partitioned::optimize`] at an overridden GA generation budget,
+    /// leaving every other option (seed included) untouched.
+    ///
+    /// Seed-stream discipline is preserved: RNG streams are keyed by
+    /// `(seed, generation, slot)`, so a run at a smaller budget
+    /// evaluates exactly the first `iterations` generations of a
+    /// full-budget run — see [`CompileOptions::with_ga_budget`].
+    /// Budgeted-search drivers (the design-space exploration engine's
+    /// successive-halving rungs) use this to cheaply triage points
+    /// before spending the full budget on survivors.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Partitioned::optimize`], plus
+    /// [`CompileError::InvalidOptions`] for a zero budget.
+    pub fn optimize_with_budget(self, iterations: usize) -> Result<Optimized, CompileError> {
+        let opts = self.session.opts.clone().with_ga_budget(iterations);
+        self.with_options(opts)?.optimize()
+    }
+
     /// [`Partitioned::optimize`] with progress callbacks (stage events
     /// plus one [`GaGeneration`] per GA generation).
     ///
@@ -744,6 +764,31 @@ mod tests {
         assert_eq!(s.schedule(), &schedule_before);
         assert_eq!(s.memory().policy, ReusePolicy::Naive);
         assert_eq!(s.finish().memory.policy, ReusePolicy::Naive);
+    }
+
+    #[test]
+    fn optimize_with_budget_runs_a_prefix_and_rejects_zero() {
+        // GaParams::fast runs 24 generations; a 5-generation budget
+        // must walk exactly the first 5 generations of that trajectory.
+        let full = session(PipelineMode::HighThroughput)
+            .partition()
+            .unwrap()
+            .optimize()
+            .unwrap();
+        let short = session(PipelineMode::HighThroughput)
+            .partition()
+            .unwrap()
+            .optimize_with_budget(5)
+            .unwrap();
+        assert_eq!(short.ga_stats().history.len(), 5);
+        assert_eq!(short.ga_stats().history[..], full.ga_stats().history[..5]);
+        assert!(matches!(
+            session(PipelineMode::HighThroughput)
+                .partition()
+                .unwrap()
+                .optimize_with_budget(0),
+            Err(CompileError::InvalidOptions { .. })
+        ));
     }
 
     #[test]

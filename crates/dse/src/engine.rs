@@ -1,8 +1,9 @@
 //! The exploration engine: deterministic fan-out of sweep points over
-//! the core worker pool, with per-point artifact caching.
+//! the core worker pool, with per-point artifact caching and an
+//! optional guided (successive-halving) search mode.
 
 use crate::report::{PointMetrics, PointRecord, SweepReport};
-use crate::spec::{SweepPoint, SweepSpec};
+use crate::spec::{HalvingSpec, SearchStrategy, SweepPoint, SweepSpec};
 use crate::{resolve_model, ExploreError};
 use pimcomp_arch::PipelineMode;
 use pimcomp_core::{
@@ -11,16 +12,21 @@ use pimcomp_core::{
 };
 use pimcomp_ir::Graph;
 use pimcomp_sim::Simulator;
+use std::collections::BTreeMap;
+use std::fmt;
 use std::num::NonZeroUsize;
 use std::path::{Path, PathBuf};
 
 /// The result of one sweep: the deterministic report plus the run's
-/// cache statistics.
+/// cache statistics and budget accounting.
 ///
 /// Cache statistics live *outside* [`SweepReport`] on purpose: whether
 /// a point was compiled or replayed from a cached artifact changes
 /// wall-clock time only, never the report bytes, so two runs of the
 /// same spec — cold or warm, 1 thread or 16 — emit identical reports.
+/// The [`BudgetSummary`] is deterministic (it counts evaluations, not
+/// wall-clock) but stays outside the report as well so the report shape
+/// depends only on per-point outcomes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExploreOutcome {
     /// The versioned sweep report.
@@ -29,10 +35,113 @@ pub struct ExploreOutcome {
     pub cache_hits: usize,
     /// Points compiled from scratch this run.
     pub cache_misses: usize,
+    /// Evaluation accounting: what the search strategy spent versus
+    /// what an exhaustive sweep would have.
+    pub budget: BudgetSummary,
 }
 
-/// Runs sweep specs: compile + simulate every point, reduce to a
-/// Pareto frontier.
+/// What one search rung evaluated and dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RungSummary {
+    /// GA generation budget of this rung.
+    pub budget: usize,
+    /// Points evaluated at this rung.
+    pub evaluated: usize,
+    /// Points that failed to compile or simulate at this rung (they do
+    /// not advance).
+    pub failed: usize,
+    /// Points dropped by dominance pruning after this rung.
+    pub pruned: usize,
+    /// Points dropped by the keep-fraction cut after this rung.
+    pub halved: usize,
+}
+
+/// Deterministic evaluation accounting for a sweep: how many GA
+/// generations the strategy spent and how many full-budget evaluations
+/// it performed, against the exhaustive baseline on the same spec.
+/// Printed by `pimcomp explore --budget-summary`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetSummary {
+    /// The strategy that produced this sweep (`exhaustive` /
+    /// `halving`).
+    pub strategy: String,
+    /// Points in the expanded sweep.
+    pub points: usize,
+    /// Per-rung accounting, in rung order.
+    pub rungs: Vec<RungSummary>,
+    /// Points that compiled at the first rung. Compile failures depend
+    /// only on (model, hardware) — never on the GA budget — so this is
+    /// exactly the number of full-budget GA runs an exhaustive sweep of
+    /// the same spec performs, and the baseline
+    /// [`BudgetSummary::full_budget_evaluations_saved`] measures
+    /// against.
+    pub compilable_points: usize,
+    /// Points whose GA actually ran at the full budget (the final
+    /// rung); compile failures never run their GA and are not counted,
+    /// keeping this consistent with [`BudgetSummary::generations_spent`].
+    /// Exhaustive sweeps run every compilable point at full budget;
+    /// halving runs strictly fewer whenever anything was halved or
+    /// pruned.
+    pub full_budget_evaluations: usize,
+    /// GA generations spent across every (point, rung) evaluation.
+    pub generations_spent: u64,
+    /// GA generations an exhaustive sweep of the same spec spends
+    /// (`compilable_points × ga.iterations` — compile failures skip
+    /// their GA under every strategy).
+    pub exhaustive_generations: u64,
+}
+
+impl BudgetSummary {
+    /// Full-budget evaluations avoided versus the exhaustive sweep:
+    /// [`BudgetSummary::compilable_points`] (what exhaustive would run
+    /// at full budget) minus what this run actually ran. Zero for
+    /// exhaustive sweeps by construction — compile failures are not
+    /// savings.
+    pub fn full_budget_evaluations_saved(&self) -> usize {
+        self.compilable_points
+            .saturating_sub(self.full_budget_evaluations)
+    }
+
+    /// Net GA generations saved versus the exhaustive sweep. Negative
+    /// when the cheap rungs cost more than the halving recovered
+    /// (e.g. `keep_fraction` 1.0 with no pruning).
+    pub fn generations_saved(&self) -> i64 {
+        self.exhaustive_generations as i64 - self.generations_spent as i64
+    }
+}
+
+impl fmt::Display for BudgetSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "search strategy: {}", self.strategy)?;
+        for (i, r) in self.rungs.iter().enumerate() {
+            writeln!(
+                f,
+                "  rung {i}: {} evaluated at budget {} ({} failed, {} pruned, {} halved)",
+                r.evaluated, r.budget, r.failed, r.pruned, r.halved
+            )?;
+        }
+        writeln!(
+            f,
+            "full-budget evaluations: {} of {} compilable points ({} saved vs exhaustive)",
+            self.full_budget_evaluations,
+            self.compilable_points,
+            self.full_budget_evaluations_saved()
+        )?;
+        let pct = if self.exhaustive_generations > 0 {
+            self.generations_saved() as f64 / self.exhaustive_generations as f64 * 100.0
+        } else {
+            0.0
+        };
+        writeln!(
+            f,
+            "GA generations: {} spent vs {} exhaustive ({pct:+.1}% saved)",
+            self.generations_spent, self.exhaustive_generations
+        )
+    }
+}
+
+/// Runs sweep specs: compile + simulate every point under the spec's
+/// search strategy, reduce to a Pareto frontier.
 ///
 /// See the [crate docs](crate) for the determinism contract and an
 /// end-to-end example.
@@ -61,7 +170,10 @@ impl ExploreEngine {
 
     /// Enables per-point artifact caching under `dir` (created on
     /// demand). Re-running the same or a widened sweep replays cached
-    /// points instead of recompiling them.
+    /// points instead of recompiling them; under successive halving,
+    /// every (point, rung budget) pair gets its own entry, so a guided
+    /// rerun — or the final full-budget rung of a sweep whose
+    /// exhaustive twin already ran — replays from cache too.
     ///
     /// Entries are keyed by hardware + options fingerprints and the
     /// artifact format version, which guards against spec changes and
@@ -75,8 +187,17 @@ impl ExploreEngine {
         self
     }
 
-    /// Runs a sweep: expands the spec, evaluates every point
-    /// (compile → simulate, cache-aware), and assembles the report.
+    /// Runs a sweep: expands the spec, evaluates points under the
+    /// spec's search strategy (compile → simulate, cache-aware), and
+    /// assembles the report.
+    ///
+    /// Exhaustive sweeps evaluate every point once at the full GA
+    /// budget. Successive halving evaluates every point at the first
+    /// rung's cheap budget, drops dominated and low-ranked points per
+    /// (model, mode) group between rungs, and re-evaluates survivors at
+    /// each next budget; only final-rung survivors carry full-budget
+    /// metrics and compete for the Pareto frontier. Either way the
+    /// report is byte-identical for any thread count and cache state.
     ///
     /// Per-point compile/simulation failures are recorded in the
     /// report, not raised — a 500-point sweep survives one bad point.
@@ -96,45 +217,374 @@ impl ExploreEngine {
             .iter()
             .map(|name| resolve_model(name))
             .collect::<Result<_, _>>()?;
-        let graph_of = |model: &str| -> &Graph {
-            let idx = spec
-                .models
-                .iter()
-                .position(|m| m == model)
-                .expect("points reference spec models");
-            &graphs[idx]
-        };
 
         let points = spec.points()?;
+        // Pre-resolve each point's graph index so workers never index
+        // blindly; a point naming a model outside the spec cannot come
+        // out of `points()`, but surface a structured error rather than
+        // panicking if that invariant ever breaks.
+        let graph_idx: Vec<usize> = points
+            .iter()
+            .map(|pt| {
+                spec.models
+                    .iter()
+                    .position(|m| m == &pt.model)
+                    .ok_or_else(|| ExploreError::InvalidSpec {
+                        detail: format!(
+                            "point `{}` references a model absent from the spec",
+                            pt.key()
+                        ),
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+
         if let Some(dir) = &self.cache_dir {
             std::fs::create_dir_all(dir).map_err(|e| ExploreError::Io {
                 detail: format!("creating cache dir {}: {e}", dir.display()),
             })?;
         }
 
-        let evaluated = run_indexed(self.threads.min(points.len()), points.len(), |i| {
-            evaluate_point(
-                &points[i],
-                graph_of(&points[i].model),
-                spec,
-                self.cache_dir.as_deref(),
-            )
-        });
+        let default_halving = HalvingSpec {
+            rungs: vec![spec.ga_iterations],
+            keep_fraction: 1.0,
+            prune_margin: 0.0,
+        };
+        let halving = match &spec.search {
+            SearchStrategy::Exhaustive => &default_halving,
+            SearchStrategy::Halving(h) => h,
+        };
+        self.run_rungs(spec, &points, &graphs, &graph_idx, halving)
+    }
 
-        let cache_hits = evaluated.iter().filter(|(_, hit)| *hit).count();
-        let cache_misses = evaluated.len() - cache_hits;
-        let records = evaluated.into_iter().map(|(r, _)| r).collect();
+    /// The multi-round core: evaluates `points` over the rung ladder,
+    /// halving between rungs. An exhaustive sweep is the degenerate
+    /// one-rung ladder at full budget with `keep_fraction` 1.0.
+    fn run_rungs(
+        &self,
+        spec: &SweepSpec,
+        points: &[SweepPoint],
+        graphs: &[Graph],
+        graph_idx: &[usize],
+        halving: &HalvingSpec,
+    ) -> Result<ExploreOutcome, ExploreError> {
+        let n = points.len();
+        let mut latest: Vec<Option<PointRecord>> = (0..n).map(|_| None).collect();
+        let mut rung_of = vec![0u32; n];
+        let mut budget_of = vec![0u64; n];
+        let mut pruned_at: Vec<Option<u32>> = vec![None; n];
+        let mut active: Vec<usize> = (0..n).collect();
+
+        let mut cache_hits = 0;
+        let mut cache_misses = 0;
+        let mut rungs = Vec::with_capacity(halving.rungs.len());
+        let mut generations_spent = 0u64;
+        let mut compilable_points = 0;
+        let mut full_budget_evaluations = 0;
+
+        for (r, &iters) in halving.rungs.iter().enumerate() {
+            if active.is_empty() {
+                break;
+            }
+            let evaluated = run_indexed(self.threads.min(active.len()), active.len(), |i| {
+                let idx = active[i];
+                evaluate_point(
+                    &points[idx],
+                    &graphs[graph_idx[idx]],
+                    spec,
+                    iters,
+                    self.cache_dir.as_deref(),
+                )
+            });
+
+            // Index-ordered reduction: store results and tally in the
+            // active list's (ascending) order, independent of threads.
+            let mut failed = 0;
+            let mut ga_runs = 0;
+            for (i, (record, hit, compiled)) in evaluated.into_iter().enumerate() {
+                let idx = active[i];
+                if hit {
+                    cache_hits += 1;
+                } else {
+                    cache_misses += 1;
+                }
+                if !record.ok {
+                    failed += 1;
+                }
+                rung_of[idx] = r as u32;
+                // GA generations are only charged when a model was
+                // obtained: a point that fails to compile never ran its
+                // GA, so neither its provenance row nor the summary may
+                // claim the rung's budget. (Cache replays still charge —
+                // the ledger is deterministic across cache states.)
+                if compiled {
+                    budget_of[idx] += iters as u64;
+                    generations_spent += iters as u64;
+                    ga_runs += 1;
+                    // Rung 0 sees every point, and compilability does
+                    // not depend on the GA budget, so this is also the
+                    // exhaustive baseline's full-budget run count.
+                    if r == 0 {
+                        compilable_points += 1;
+                    }
+                }
+                latest[idx] = Some(record);
+            }
+
+            if r + 1 == halving.rungs.len() {
+                full_budget_evaluations = ga_runs;
+                rungs.push(RungSummary {
+                    budget: iters,
+                    evaluated: active.len(),
+                    failed,
+                    pruned: 0,
+                    halved: 0,
+                });
+                break;
+            }
+
+            let before = active.len();
+            let (survivors, pruned) =
+                select_survivors(&latest, &active, halving, r as u32, &mut pruned_at);
+            rungs.push(RungSummary {
+                budget: iters,
+                evaluated: before,
+                failed,
+                pruned,
+                halved: before - failed - pruned - survivors.len(),
+            });
+            active = survivors;
+        }
+
+        let records: Vec<PointRecord> = latest
+            .into_iter()
+            .enumerate()
+            .map(|(idx, record)| {
+                // Every point is evaluated at rung 0 (the active set
+                // starts full), so this fallback is unreachable; keep a
+                // structured record rather than an unwrap regardless.
+                let mut record = record.unwrap_or_else(|| PointRecord {
+                    model: points[idx].model.clone(),
+                    mode: points[idx].mode.to_string(),
+                    hardware: points[idx].hw_label.clone(),
+                    seed: points[idx].seed,
+                    rung: 0,
+                    budget: 0,
+                    pruned_at: None,
+                    ok: false,
+                    error: Some("internal: point was never evaluated".to_string()),
+                    metrics: None,
+                    pareto: false,
+                });
+                record.rung = rung_of[idx];
+                record.budget = budget_of[idx];
+                record.pruned_at = pruned_at[idx];
+                record
+            })
+            .collect();
+
         Ok(ExploreOutcome {
             report: SweepReport::assemble(spec.master_seed, records),
             cache_hits,
             cache_misses,
+            budget: BudgetSummary {
+                strategy: spec.search.name().to_string(),
+                points: n,
+                rungs,
+                compilable_points,
+                full_budget_evaluations,
+                generations_spent,
+                exhaustive_generations: compilable_points as u64 * spec.ga_iterations as u64,
+            },
         })
     }
 }
 
-/// Compile options for one point (GA runs serially inside a point; the
-/// sweep parallelizes across points instead).
-fn point_options(point: &SweepPoint, spec: &SweepSpec) -> CompileOptions {
+/// Applies the between-rung filters to the active set: per
+/// (model, mode) group, failed points are dropped, margin-dominated
+/// points are pruned (recorded in `pruned_at`), and the best
+/// `keep_fraction` of the rest — ranked by Pareto rank, then crowding
+/// distance, then index — survives to the next rung. Returns the
+/// ascending survivor list and the pruned count. Fully deterministic:
+/// everything runs over the index-ordered reduction state.
+///
+/// Any rung failure drops the point, including simulation failures —
+/// which, unlike compile failures, depend on the rung's chromosome and
+/// could in principle clear up at a larger budget. Treating a
+/// cheap-budget failure as refutation is the standard
+/// successive-halving trade (a configuration that breaks at any budget
+/// is a poor bet for more budget); like a halved point, such a point
+/// keeps its failure record with rung provenance, and the possibility
+/// of losing it from the frontier is part of the guided-search
+/// trade-off the frontier-subset quality gates bound on the committed
+/// fixtures.
+fn select_survivors(
+    latest: &[Option<PointRecord>],
+    active: &[usize],
+    halving: &HalvingSpec,
+    rung: u32,
+    pruned_at: &mut [Option<u32>],
+) -> (Vec<usize>, usize) {
+    let mut groups: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    for &idx in active {
+        let Some(record) = &latest[idx] else { continue };
+        if record.ok && record.metrics.is_some() {
+            groups
+                .entry((record.model.as_str(), record.mode.as_str()))
+                .or_default()
+                .push(idx);
+        }
+    }
+    let metrics_of = |idx: usize| -> Option<&PointMetrics> {
+        latest[idx].as_ref().and_then(|r| r.metrics.as_ref())
+    };
+
+    let mut survivors = Vec::new();
+    let mut pruned_total = 0;
+    for members in groups.values() {
+        // One objective vector per member, computed once — the pairwise
+        // pruning scan below must not rebuild them per probe.
+        let member_objectives: Vec<[f64; 4]> = members
+            .iter()
+            .map(|&i| {
+                metrics_of(i)
+                    .map(|m| m.objectives())
+                    .unwrap_or([f64::INFINITY; 4])
+            })
+            .collect();
+        // Dominance pruning: drop points decisively dominated inside
+        // their group at this rung's (cheap) budget.
+        let mut candidates = Vec::with_capacity(members.len());
+        let mut candidate_objectives = Vec::with_capacity(members.len());
+        for (k, &i) in members.iter().enumerate() {
+            let dominated = (0..members.len()).any(|j| {
+                j != k
+                    && crate::report::margin_dominates(
+                        &member_objectives[j],
+                        &member_objectives[k],
+                        halving.prune_margin,
+                    )
+            });
+            if dominated {
+                pruned_at[i] = Some(rung);
+                pruned_total += 1;
+            } else {
+                candidates.push(i);
+                candidate_objectives.push(member_objectives[k]);
+            }
+        }
+        if candidates.is_empty() {
+            continue;
+        }
+        // Successive halving: keep the top fraction by Pareto rank +
+        // crowding, at least one point per group.
+        let keep = ((candidates.len() as f64 * halving.keep_fraction).ceil() as usize)
+            .clamp(1, candidates.len());
+        let order = rank_and_crowding_order(&candidate_objectives);
+        survivors.extend(order.into_iter().take(keep).map(|pos| candidates[pos]));
+    }
+    survivors.sort_unstable();
+    (survivors, pruned_total)
+}
+
+/// NSGA-II-style ordering of objective vectors: positions sorted by
+/// non-dominated rank (ascending), then crowding distance (descending),
+/// then position — so a keep-fraction cut retains frontier coverage
+/// instead of clustering on one objective. Deterministic: all ties
+/// break on position.
+fn rank_and_crowding_order(objectives: &[[f64; 4]]) -> Vec<usize> {
+    let n = objectives.len();
+    // Plain Pareto dominance is margin dominance at zero slack; one
+    // predicate, one objective-encoding convention.
+    let dominates = |a: &[f64; 4], b: &[f64; 4]| crate::report::margin_dominates(a, b, 0.0);
+
+    // Fast non-dominated sort: one O(g²) pass records who dominates
+    // whom, then peeling runs on domination counts — a near-totally-
+    // ordered 10k-point group must not degenerate into an O(g³) scan
+    // (that is the blow-up class the grouped `pareto_frontier` fix
+    // removed from the report side).
+    let mut dominator_count = vec![0usize; n];
+    let mut dominated: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in i + 1..n {
+            if dominates(&objectives[i], &objectives[j]) {
+                dominated[i].push(j);
+                dominator_count[j] += 1;
+            } else if dominates(&objectives[j], &objectives[i]) {
+                dominated[j].push(i);
+                dominator_count[i] += 1;
+            }
+        }
+    }
+    let mut rank = vec![usize::MAX; n];
+    let mut current = 0;
+    let mut front: Vec<usize> = (0..n).filter(|&i| dominator_count[i] == 0).collect();
+    while !front.is_empty() {
+        let mut next = Vec::new();
+        for &i in &front {
+            rank[i] = current;
+        }
+        for &i in &front {
+            for &j in &dominated[i] {
+                dominator_count[j] -= 1;
+                if dominator_count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        next.sort_unstable();
+        front = next;
+        current += 1;
+    }
+
+    // Crowding distance within each rank.
+    let mut crowding = vec![0.0f64; n];
+    for level in 0..current {
+        let members: Vec<usize> = (0..n).filter(|&i| rank[i] == level).collect();
+        if members.len() <= 2 {
+            for &i in &members {
+                crowding[i] = f64::INFINITY;
+            }
+            continue;
+        }
+        // `dim` addresses one objective across *several* vectors, so an
+        // iterator over `objectives` cannot replace the index here.
+        #[allow(clippy::needless_range_loop)]
+        for dim in 0..4 {
+            let mut by_dim = members.clone();
+            by_dim.sort_by(|&a, &b| {
+                objectives[a][dim]
+                    .total_cmp(&objectives[b][dim])
+                    .then(a.cmp(&b))
+            });
+            let lo = objectives[by_dim[0]][dim];
+            let hi = objectives[by_dim[by_dim.len() - 1]][dim];
+            crowding[by_dim[0]] = f64::INFINITY;
+            crowding[by_dim[by_dim.len() - 1]] = f64::INFINITY;
+            if hi > lo && hi.is_finite() && lo.is_finite() {
+                for w in 1..by_dim.len() - 1 {
+                    crowding[by_dim[w]] += (objectives[by_dim[w + 1]][dim]
+                        - objectives[by_dim[w - 1]][dim])
+                        / (hi - lo);
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        rank[a]
+            .cmp(&rank[b])
+            .then(crowding[b].total_cmp(&crowding[a]))
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// Compile options for one point at the given GA generation budget (GA
+/// runs serially inside a point; the sweep parallelizes across points
+/// instead). Budgeted runs keep the point's seed-stream discipline —
+/// see [`CompileOptions::with_ga_budget`].
+fn point_options(point: &SweepPoint, spec: &SweepSpec, iterations: usize) -> CompileOptions {
     let ga = GaParams {
         population: spec.ga_population,
         iterations: spec.ga_iterations,
@@ -150,14 +600,18 @@ fn point_options(point: &SweepPoint, spec: &SweepSpec) -> CompileOptions {
         .with_ga(ga)
         .with_policy(spec.policy)
         .with_batch(batch)
+        // The rung budget overrides the spec's full budget through the
+        // same public API any budgeted driver would use.
+        .with_ga_budget(iterations)
 }
 
 /// The cache file for a point: keyed by hardware fingerprint, options
-/// fingerprint (GA seed included, thread count excluded), model name,
-/// and the artifact format version. The version component rejects
-/// entries whose *serialized shape* predates this build; it cannot
-/// detect compiler-behavior changes that keep the shape — clear the
-/// cache directory after upgrading the compiler (see
+/// fingerprint (GA seed and iteration budget included, thread count
+/// excluded), model name, and the artifact format version. Distinct
+/// rung budgets therefore key distinct entries. The version component
+/// rejects entries whose *serialized shape* predates this build; it
+/// cannot detect compiler-behavior changes that keep the shape — clear
+/// the cache directory after upgrading the compiler (see
 /// [`ExploreEngine::with_cache_dir`]).
 fn cache_path(dir: &Path, point: &SweepPoint, opts: &CompileOptions) -> PathBuf {
     let key = format!(
@@ -170,18 +624,26 @@ fn cache_path(dir: &Path, point: &SweepPoint, opts: &CompileOptions) -> PathBuf 
     dir.join(format!("{key}.pimc.json"))
 }
 
+/// Evaluates one point at one rung budget. Returns the record, whether
+/// the artifact cache answered, and whether a compiled model was
+/// obtained at all (compile failures never ran the GA, so their rung
+/// budget must not be charged).
 fn evaluate_point(
     point: &SweepPoint,
     graph: &Graph,
     spec: &SweepSpec,
+    iterations: usize,
     cache_dir: Option<&Path>,
-) -> (PointRecord, bool) {
-    let opts = point_options(point, spec);
+) -> (PointRecord, bool, bool) {
+    let opts = point_options(point, spec, iterations);
     let record = |ok, error, metrics| PointRecord {
         model: point.model.clone(),
         mode: point.mode.to_string(),
         hardware: point.hw_label.clone(),
         seed: point.seed,
+        rung: 0,
+        budget: 0,
+        pruned_at: None,
         ok,
         error,
         metrics,
@@ -213,7 +675,13 @@ fn evaluate_point(
                     }
                     model
                 }
-                Err(e) => return (record(false, Some(format!("compile: {e}")), None), hit),
+                Err(e) => {
+                    return (
+                        record(false, Some(format!("compile: {e}")), None),
+                        hit,
+                        false,
+                    )
+                }
             }
         }
     };
@@ -236,9 +704,13 @@ fn evaluate_point(
                 active_cores: r.active_cores,
                 crossbars_used: model.report.crossbars_used,
             };
-            (record(true, None, Some(metrics)), hit)
+            (record(true, None, Some(metrics)), hit, true)
         }
-        Err(e) => (record(false, Some(format!("simulate: {e}")), None), hit),
+        Err(e) => (
+            record(false, Some(format!("simulate: {e}")), None),
+            hit,
+            true,
+        ),
     }
 }
 
@@ -251,6 +723,17 @@ mod tests {
             r#"{{"models":["tiny_mlp","tiny_cnn"],"modes":["ht","ll"],
                  "hardware":{json_hw},
                  "ga":{{"population":4,"iterations":2}},"master_seed":5}}"#
+        ))
+        .unwrap()
+    }
+
+    fn halving_spec(keep: f64, margin: f64) -> SweepSpec {
+        SweepSpec::from_json(&format!(
+            r#"{{"models":["tiny_mlp","tiny_cnn"],"modes":["ht"],
+                 "hardware":{{"base":"small_test","parallelism":[2,4,8]}},
+                 "ga":{{"population":4,"iterations":4}},"master_seed":5,
+                 "search":{{"strategy":"halving","rungs":[1,4],
+                            "keep_fraction":{keep},"prune_margin":{margin}}}}}"#
         ))
         .unwrap()
     }
@@ -268,6 +751,141 @@ mod tests {
         assert_eq!(serial.report.points.len(), 8);
         assert_eq!(serial.report.failures(), 0);
         assert!(!serial.report.frontier.is_empty());
+        // Exhaustive budget accounting: everything at full budget.
+        assert_eq!(serial.budget.strategy, "exhaustive");
+        assert_eq!(serial.budget.full_budget_evaluations, 8);
+        assert_eq!(serial.budget.full_budget_evaluations_saved(), 0);
+        assert_eq!(serial.budget.generations_spent, 8 * 2);
+        assert_eq!(serial.budget.generations_saved(), 0);
+        assert!(serial
+            .report
+            .points
+            .iter()
+            .all(|p| p.rung == 0 && p.budget == 2 && p.pruned_at.is_none()));
+    }
+
+    #[test]
+    fn halving_saves_full_budget_evaluations_and_is_thread_invariant() {
+        let spec = halving_spec(0.5, 0.0);
+        let serial = ExploreEngine::new().run(&spec).unwrap();
+        let parallel = ExploreEngine::new().with_threads(4).run(&spec).unwrap();
+        assert_eq!(
+            serial.report.to_json().unwrap(),
+            parallel.report.to_json().unwrap()
+        );
+        assert_eq!(serial.budget, parallel.budget);
+        // 6 points in 2 (model, mode) groups of 3: rung 0 evaluates all
+        // 6 cheaply, the final rung strictly fewer.
+        assert_eq!(serial.budget.strategy, "halving");
+        assert_eq!(serial.budget.points, 6);
+        assert_eq!(serial.budget.rungs.len(), 2);
+        assert_eq!(serial.budget.rungs[0].evaluated, 6);
+        assert!(serial.budget.full_budget_evaluations < 6);
+        assert!(serial.budget.full_budget_evaluations >= 2);
+        assert!(serial.budget.full_budget_evaluations_saved() > 0);
+        // Provenance: survivors reached rung 1 with budget 1 + 4;
+        // dropped points stopped at rung 0 with budget 1.
+        for p in &serial.report.points {
+            if p.rung == 1 {
+                assert_eq!(p.budget, 5);
+                assert_eq!(p.pruned_at, None);
+            } else {
+                assert_eq!(p.budget, 1);
+            }
+        }
+        // Frontier members are always final-rung survivors.
+        for p in serial.report.frontier_records() {
+            assert_eq!(p.rung, 1);
+        }
+    }
+
+    #[test]
+    fn aggressive_pruning_records_pruned_at() {
+        // Margin 0.0 prunes every dominated point at the cheap rung;
+        // with keep_fraction 1.0 the only drops are prunes, so any
+        // saved evaluation must carry a pruned_at marker.
+        let spec = halving_spec(1.0, 0.0);
+        let outcome = ExploreEngine::new().with_threads(2).run(&spec).unwrap();
+        let pruned: Vec<_> = outcome
+            .report
+            .points
+            .iter()
+            .filter(|p| p.pruned_at.is_some())
+            .collect();
+        let halved: usize = outcome.budget.rungs.iter().map(|r| r.halved).sum();
+        assert_eq!(halved, 0, "keep_fraction 1.0 must not halve anything");
+        assert_eq!(
+            pruned.len(),
+            outcome.budget.compilable_points - outcome.budget.full_budget_evaluations
+        );
+        for p in pruned {
+            assert_eq!(p.pruned_at, Some(0));
+            assert_eq!(p.rung, 0);
+            assert!(!p.pareto);
+        }
+    }
+
+    #[test]
+    fn halving_replays_from_cache_byte_identically() {
+        let dir =
+            std::env::temp_dir().join(format!("pimcomp-dse-halving-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = halving_spec(0.5, 0.25);
+        let engine = ExploreEngine::new().with_cache_dir(&dir);
+        let cold = engine.run(&spec).unwrap();
+        assert_eq!(cold.cache_hits, 0);
+        let warm = engine.with_threads(3).run(&spec).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        // Every (point, rung) evaluation replays on the warm run.
+        assert_eq!(warm.cache_misses, 0);
+        assert_eq!(warm.cache_hits, cold.cache_misses);
+        assert_eq!(
+            cold.report.to_json().unwrap(),
+            warm.report.to_json().unwrap()
+        );
+        assert_eq!(cold.budget, warm.budget);
+    }
+
+    #[test]
+    fn halving_final_rung_frontier_is_a_subset_of_exhaustive() {
+        // keep 0.5 on groups of 3 keeps 2: the cut is real, so the
+        // subset property is actually exercised.
+        let guided = halving_spec(0.5, 0.25);
+        let mut exhaustive = guided.clone();
+        exhaustive.search = SearchStrategy::Exhaustive;
+        let g = ExploreEngine::new().with_threads(2).run(&guided).unwrap();
+        let e = ExploreEngine::new()
+            .with_threads(2)
+            .run(&exhaustive)
+            .unwrap();
+        let exhaustive_frontier: Vec<String> =
+            e.report.frontier_records().map(|p| p.key()).collect();
+        for p in g.report.frontier_records() {
+            assert!(
+                exhaustive_frontier.contains(&p.key()),
+                "halving frontier point {} is not on the exhaustive frontier {:?}",
+                p.key(),
+                exhaustive_frontier
+            );
+        }
+    }
+
+    #[test]
+    fn rank_and_crowding_prefers_low_rank_then_spread() {
+        // Two fronts: {0, 1, 2} (incomparable) and {3} (dominated).
+        let objectives = vec![
+            [1.0, 9.0, 0.0, 0.0],
+            [5.0, 5.0, 0.0, 0.0],
+            [9.0, 1.0, 0.0, 0.0],
+            [10.0, 10.0, 0.0, 0.0],
+        ];
+        let order = rank_and_crowding_order(&objectives);
+        // Boundary points of the first front outrank the crowded
+        // middle; the dominated point comes last.
+        assert_eq!(order[3], 3);
+        assert!(order[..2].contains(&0));
+        assert!(order[..2].contains(&2));
+        assert_eq!(order[2], 1);
     }
 
     #[test]
@@ -289,8 +907,20 @@ mod tests {
         for p in &outcome.report.points {
             if !p.ok {
                 assert!(p.error.as_deref().unwrap().starts_with("compile:"));
+                assert_eq!(p.budget, 0, "compile failures never ran the GA");
+            } else {
+                assert_eq!(p.budget, 2);
             }
         }
+        // Compile failures are not "savings": an exhaustive sweep with
+        // failing points still reports zero saved.
+        assert_eq!(outcome.budget.compilable_points, 4 - failures);
+        assert_eq!(outcome.budget.full_budget_evaluations, 4 - failures);
+        assert_eq!(outcome.budget.full_budget_evaluations_saved(), 0);
+        assert_eq!(
+            outcome.budget.generations_spent,
+            outcome.budget.exhaustive_generations
+        );
     }
 
     #[test]

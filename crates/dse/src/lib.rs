@@ -36,6 +36,27 @@
 //! (hardware fingerprint, options fingerprint, model), and cache hits
 //! are re-simulated from the artifact, which round-trips bit-for-bit.
 //!
+//! # Guided search
+//!
+//! A spec may opt into **successive halving** with a `search` section
+//! ([`SearchStrategy`] / [`HalvingSpec`]): every point is first
+//! evaluated at a cheap GA generation budget, then each (model, mode)
+//! group is filtered — points Pareto-dominated by a configurable margin
+//! are pruned, and only the best `keep_fraction` (by Pareto rank, then
+//! crowding distance) re-runs at the next, larger budget — until the
+//! final rung runs at the spec's full `ga.iterations`. Because the GA's
+//! RNG streams are keyed by `(seed, generation, slot)`, a cheap-budget
+//! run is a strict prefix of the full-budget run on the same point
+//! ([`pimcomp_core::CompileOptions::with_ga_budget`]), so the rungs
+//! triage the *same* trajectory they later finish. Only final-rung
+//! survivors compete for the Pareto frontier; every dropped point keeps
+//! its cheap-rung record in the report with provenance
+//! ([`PointRecord::rung`], [`PointRecord::budget`],
+//! [`PointRecord::pruned_at`]). The determinism contract is unchanged:
+//! guided reports are byte-identical for any thread count and cache
+//! state, and [`ExploreOutcome::budget`] accounts for the evaluations
+//! saved versus the exhaustive sweep.
+//!
 //! # Example
 //!
 //! ```
@@ -64,9 +85,11 @@ mod engine;
 mod report;
 mod spec;
 
-pub use engine::{ExploreEngine, ExploreOutcome};
+pub use engine::{BudgetSummary, ExploreEngine, ExploreOutcome, RungSummary};
 pub use report::{PointMetrics, PointRecord, SweepDiff, SweepReport, SWEEP_FORMAT_VERSION};
-pub use spec::{SweepPoint, SweepSpec, EXAMPLE_SPEC, MAX_SWEEP_POINTS};
+pub use spec::{
+    HalvingSpec, SearchStrategy, SweepPoint, SweepSpec, EXAMPLE_SPEC, MAX_SWEEP_POINTS,
+};
 
 use std::fmt;
 

@@ -7,7 +7,10 @@ use std::fmt;
 
 /// The report format this build writes (and the only one it reads).
 /// Bump on any breaking change to [`SweepReport`]'s serialized shape.
-pub const SWEEP_FORMAT_VERSION: u32 = 1;
+///
+/// v2: [`PointRecord`] gained the guided-search provenance fields
+/// (`rung`, `budget`, `pruned_at`).
+pub const SWEEP_FORMAT_VERSION: u32 = 2;
 
 /// Deterministic metrics of one successfully compiled and simulated
 /// sweep point. Everything here is a pure function of (model, mode,
@@ -47,7 +50,7 @@ impl PointMetrics {
     /// latency (cycles), energy, negated throughput, negated crossbar
     /// utilization. Non-finite components are pushed to `+inf` so a
     /// degenerate point can never dominate a healthy one.
-    fn objectives(&self) -> [f64; 4] {
+    pub(crate) fn objectives(&self) -> [f64; 4] {
         let clean = |v: f64| if v.is_finite() { v } else { f64::INFINITY };
         [
             clean(self.cycles as f64),
@@ -64,6 +67,30 @@ impl PointMetrics {
         let b = other.objectives();
         a.iter().zip(&b).all(|(x, y)| x <= y) && a.iter().zip(&b).any(|(x, y)| x < y)
     }
+
+    /// `true` when `self` dominates `other` *decisively*: on every
+    /// objective, `self` is better by at least `margin` relative to
+    /// `other`'s magnitude (and [`PointMetrics::dominates`] holds).
+    ///
+    /// The guided-search engine prunes with this rather than plain
+    /// dominance because cheap-rung metrics are noisy proxies for the
+    /// full-budget result — a borderline-dominated point may still win
+    /// at the full budget, but one dominated with slack rarely does.
+    /// `margin = 0.0` degenerates to [`PointMetrics::dominates`].
+    pub fn dominates_with_margin(&self, other: &PointMetrics, margin: f64) -> bool {
+        margin_dominates(&self.objectives(), &other.objectives(), margin)
+    }
+}
+
+/// [`PointMetrics::dominates_with_margin`] on pre-computed objective
+/// vectors, for hot loops (the engine's per-rung pruning scan computes
+/// each point's objectives once instead of per pairwise probe).
+pub(crate) fn margin_dominates(a: &[f64; 4], b: &[f64; 4], margin: f64) -> bool {
+    if !margin.is_finite() || margin < 0.0 {
+        return false;
+    }
+    let dominates = a.iter().zip(b).all(|(x, y)| x <= y) && a.iter().zip(b).any(|(x, y)| x < y);
+    dominates && a.iter().zip(b).all(|(x, y)| x + margin * y.abs() <= *y)
 }
 
 /// One evaluated sweep point: identity, outcome, metrics, and whether
@@ -78,6 +105,20 @@ pub struct PointRecord {
     pub hardware: String,
     /// GA seed of this point.
     pub seed: u64,
+    /// Highest search rung this point was evaluated at (0-based).
+    /// Exhaustive sweeps have a single rung, so this is always 0 there;
+    /// under successive halving a value below the final rung means the
+    /// point was halved or pruned early and `metrics` holds its
+    /// cheap-budget result.
+    pub rung: u32,
+    /// Total GA generations spent on this point across all rungs it was
+    /// evaluated at. Points that fail before the GA runs (compile
+    /// errors) are not charged their rung's budget.
+    pub budget: u64,
+    /// The rung after which dominance pruning dropped this point
+    /// (its cheap-rung metrics were Pareto-dominated by the configured
+    /// margin); `None` for points that were halved or survived.
+    pub pruned_at: Option<u32>,
     /// `true` when the point compiled and simulated.
     pub ok: bool,
     /// The structured failure, when `ok` is false. A failed point never
@@ -200,17 +241,21 @@ impl SweepReport {
     /// Deterministic like [`SweepReport::to_json`].
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "model,mode,hardware,seed,ok,pareto,cycles,throughput_inf_per_s,latency_us,\
-             energy_uj,dynamic_uj,leakage_uj,crossbar_utilization,core_utilization,\
-             avg_local_kb,global_traffic_kb,active_cores,crossbars_used,error\n",
+            "model,mode,hardware,seed,rung,budget,pruned_at,ok,pareto,cycles,\
+             throughput_inf_per_s,latency_us,energy_uj,dynamic_uj,leakage_uj,\
+             crossbar_utilization,core_utilization,avg_local_kb,global_traffic_kb,\
+             active_cores,crossbars_used,error\n",
         );
         for p in &self.points {
             out.push_str(&format!(
-                "{},{},{},{},{},{},",
+                "{},{},{},{},{},{},{},{},{},",
                 csv_field(&p.model),
                 csv_field(&p.mode),
                 csv_field(&p.hardware),
                 p.seed,
+                p.rung,
+                p.budget,
+                p.pruned_at.map(|r| r.to_string()).unwrap_or_default(),
                 p.ok,
                 p.pareto
             ));
@@ -386,21 +431,44 @@ impl fmt::Display for SweepDiff {
 /// Indices of the points on their (model, mode) group's Pareto
 /// frontier, ascending. Failed points never make the frontier; points
 /// are only compared within their group (comparing latency across
-/// different workloads or objectives across modes is meaningless).
+/// different workloads or objectives across modes is meaningless), and
+/// only points evaluated at the final search rung compete — under
+/// successive halving, a point halted at a cheap rung carries
+/// cheap-budget metrics that must not be ranked against full-budget
+/// survivors. (Exhaustive sweeps have a single rung, so every point is
+/// eligible there.)
+///
+/// Points are grouped *before* the pairwise dominance scan, so the cost
+/// is quadratic in the largest group, not in the whole report — a
+/// 10k-point sweep over a handful of (model, mode) groups stays in the
+/// millions of comparisons instead of ~10⁸.
 pub(crate) fn pareto_frontier(points: &[PointRecord]) -> Vec<usize> {
-    let mut frontier = Vec::new();
+    let final_rung = points.iter().map(|p| p.rung).max().unwrap_or(0);
+    let mut groups: std::collections::BTreeMap<(&str, &str), Vec<usize>> =
+        std::collections::BTreeMap::new();
     for (i, p) in points.iter().enumerate() {
-        let Some(m) = &p.metrics else { continue };
-        let dominated = points.iter().enumerate().any(|(j, q)| {
-            i != j
-                && q.model == p.model
-                && q.mode == p.mode
-                && q.metrics.as_ref().is_some_and(|n| n.dominates(m))
-        });
-        if !dominated {
-            frontier.push(i);
+        if p.metrics.is_some() && p.rung == final_rung {
+            groups
+                .entry((p.model.as_str(), p.mode.as_str()))
+                .or_default()
+                .push(i);
         }
     }
+    let mut frontier = Vec::new();
+    for members in groups.values() {
+        for &i in members {
+            let Some(m) = &points[i].metrics else {
+                continue;
+            };
+            let dominated = members
+                .iter()
+                .any(|&j| i != j && points[j].metrics.as_ref().is_some_and(|n| n.dominates(m)));
+            if !dominated {
+                frontier.push(i);
+            }
+        }
+    }
+    frontier.sort_unstable();
     frontier
 }
 
@@ -440,6 +508,9 @@ mod tests {
             mode: mode.into(),
             hardware: hw.into(),
             seed: 1,
+            rung: 0,
+            budget: 4,
+            pruned_at: None,
             ok: m.is_some(),
             error: if m.is_some() {
                 None
@@ -473,6 +544,83 @@ mod tests {
             record("m1", "HT", "c", None),                          // failed
         ];
         assert_eq!(pareto_frontier(&points), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn margin_dominance_needs_slack_on_every_objective() {
+        let a = metrics(100, 1.0, 0.5);
+        let b = metrics(200, 2.0, 0.25);
+        assert!(a.dominates_with_margin(&b, 0.0));
+        // cycles 100 vs 200 is 50% slack, but utilization 0.5 vs 0.25
+        // (objective -0.5 vs -0.25) is exactly 100% — margin 0.4 passes
+        // on every axis, margin 2.0 fails the cycles axis.
+        assert!(a.dominates_with_margin(&b, 0.4));
+        assert!(!a.dominates_with_margin(&b, 2.0));
+        // Margin-dominance implies dominance.
+        assert!(!b.dominates_with_margin(&a, 0.0));
+        // Degenerate margins never prune.
+        assert!(!a.dominates_with_margin(&b, -1.0));
+        assert!(!a.dominates_with_margin(&b, f64::NAN));
+    }
+
+    #[test]
+    fn grouped_frontier_matches_the_naive_quadratic_scan() {
+        // Regression for the O(n²)-over-all-points frontier: the
+        // grouped implementation must select exactly the indices the
+        // original one-pass quadratic reference selects.
+        fn naive_frontier(points: &[PointRecord]) -> Vec<usize> {
+            let mut frontier = Vec::new();
+            for (i, p) in points.iter().enumerate() {
+                let Some(m) = &p.metrics else { continue };
+                let dominated = points.iter().enumerate().any(|(j, q)| {
+                    i != j
+                        && q.model == p.model
+                        && q.mode == p.mode
+                        && q.metrics.as_ref().is_some_and(|n| n.dominates(m))
+                });
+                if !dominated {
+                    frontier.push(i);
+                }
+            }
+            frontier
+        }
+        // A deterministic pseudo-random population over 3 models × 2
+        // modes, with some failures sprinkled in.
+        let mut points = Vec::new();
+        let mut state = 0x9E37_79B9u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for model in ["m1", "m2", "m3"] {
+            for mode in ["HT", "LL"] {
+                for k in 0..40 {
+                    let m = (next() % 7 != 0).then(|| {
+                        metrics(
+                            100 + next() % 400,
+                            (next() % 50) as f64 / 10.0,
+                            0.1 + (next() % 80) as f64 / 100.0,
+                        )
+                    });
+                    points.push(record(model, mode, &format!("hw{k}"), m));
+                }
+            }
+        }
+        assert_eq!(pareto_frontier(&points), naive_frontier(&points));
+    }
+
+    #[test]
+    fn frontier_only_ranks_final_rung_points() {
+        // A halved point with spectacular cheap-budget metrics must not
+        // outrank full-budget survivors.
+        let mut cheap = record("m", "HT", "halved", Some(metrics(10, 0.1, 0.9)));
+        cheap.rung = 0;
+        let mut survivor = record("m", "HT", "kept", Some(metrics(200, 2.0, 0.3)));
+        survivor.rung = 1;
+        let points = vec![cheap, survivor];
+        assert_eq!(pareto_frontier(&points), vec![1]);
     }
 
     #[test]
@@ -521,8 +669,9 @@ mod tests {
         let csv = report.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert!(lines[0].starts_with("model,mode,hardware,seed,ok,pareto,cycles"));
-        assert!(lines[1].contains("true,true,100"));
+        assert!(lines[0].starts_with("model,mode,hardware,seed,rung,budget,pruned_at,ok,pareto"));
+        // seed 1, rung 0, budget 4, empty pruned_at, ok, pareto, cycles.
+        assert!(lines[1].contains("1,0,4,,true,true,100"));
         assert!(lines[2].contains("\"bad, \"\"quoted\"\"\""));
     }
 

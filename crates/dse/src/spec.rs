@@ -33,6 +33,80 @@ pub const EXAMPLE_SPEC: &str = r#"{
   "ga": { "population": 8, "iterations": 6 }
 }"#;
 
+/// How the engine walks the expanded point grid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchStrategy {
+    /// Evaluate every point once at the full GA budget (the PR 3
+    /// behavior, and the default when the spec has no `search` section).
+    Exhaustive,
+    /// Successive halving: evaluate everything at a cheap GA budget,
+    /// keep only the most promising fraction of each (model, mode)
+    /// group, and re-evaluate survivors at the next budget until the
+    /// final rung runs at the full budget. See [`HalvingSpec`].
+    Halving(HalvingSpec),
+}
+
+impl SearchStrategy {
+    /// The strategy's spec-file name (`exhaustive` / `halving`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SearchStrategy::Exhaustive => "exhaustive",
+            SearchStrategy::Halving(_) => "halving",
+        }
+    }
+}
+
+/// Parameters of the successive-halving strategy (PIMSYN/COMPASS-style
+/// budgeted search over the sweep grid).
+///
+/// Between rungs two filters run per (model, mode) group:
+///
+/// 1. **Dominance pruning** drops every point whose metrics are
+///    Pareto-dominated by another point in its group with at least
+///    [`HalvingSpec::prune_margin`] relative slack on every objective —
+///    cheap-rung metrics are noisy proxies, so only clearly dominated
+///    points are discarded.
+/// 2. **Halving** keeps the best `keep_fraction` of what remains
+///    (at least one point), ranked by Pareto rank then crowding
+///    distance (NSGA-II style), so survivors cover the frontier rather
+///    than cluster on one objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HalvingSpec {
+    /// Per-rung GA generation budgets, strictly increasing; the last
+    /// rung must equal the spec's `ga.iterations` (the full budget).
+    pub rungs: Vec<usize>,
+    /// Fraction of each (model, mode) group kept per non-final rung,
+    /// in `(0, 1]`.
+    pub keep_fraction: f64,
+    /// Relative dominance margin for pruning, `>= 0`. `0.0` prunes
+    /// every dominated point; larger values prune only points that are
+    /// decisively dominated on all objectives.
+    pub prune_margin: f64,
+}
+
+impl HalvingSpec {
+    /// Default keep fraction (top half of each group survives a rung).
+    pub const DEFAULT_KEEP_FRACTION: f64 = 0.5;
+    /// Default prune margin (points must be dominated with 25% slack on
+    /// every objective before the cheap rung is trusted to drop them).
+    pub const DEFAULT_PRUNE_MARGIN: f64 = 0.25;
+
+    /// The default rung ladder for a full budget of `iterations`
+    /// generations: divide by 3 until the budget bottoms out at 1, e.g.
+    /// 24 → `[2, 8, 24]`, 6 → `[2, 6]`, 1 → `[1]`.
+    pub fn default_rungs(iterations: usize) -> Vec<usize> {
+        let mut rungs = vec![iterations.max(1)];
+        let mut budget = iterations / 3;
+        while budget >= 1 {
+            rungs.push(budget);
+            budget /= 3;
+        }
+        rungs.reverse();
+        rungs.dedup();
+        rungs
+    }
+}
+
 /// A validated, fully resolved sweep specification.
 ///
 /// Build one with [`SweepSpec::from_json`] (the CLI path) or construct
@@ -60,6 +134,8 @@ pub struct SweepSpec {
     pub policy: ReusePolicy,
     /// HT transfer batch (low-latency points always use 1).
     pub batch: usize,
+    /// How the engine walks the grid (default: exhaustive).
+    pub search: SearchStrategy,
 }
 
 /// One point of the expanded sweep.
@@ -111,6 +187,13 @@ impl SweepSpec {
     /// * `policy` — optional `"naive"` / `"add"` / `"ag"` (default
     ///   `"ag"`).
     /// * `batch` — optional HT transfer batch (default 2).
+    /// * `search` — optional strategy object (default exhaustive):
+    ///   `{ "strategy": "exhaustive" }` or `{ "strategy": "halving",
+    ///   "rungs": [2, 8, 24], "keep_fraction": 0.5,
+    ///   "prune_margin": 0.25 }`. Halving rungs must be strictly
+    ///   increasing GA generation budgets ending at `ga.iterations`;
+    ///   when omitted they default to a divide-by-3 ladder
+    ///   ([`HalvingSpec::default_rungs`]).
     ///
     /// # Errors
     ///
@@ -124,7 +207,7 @@ impl SweepSpec {
 
     fn from_value(value: &Value) -> Result<Self, ExploreError> {
         let entries = as_object(value, "sweep spec")?;
-        const KNOWN: [&str; 9] = [
+        const KNOWN: [&str; 10] = [
             "master_seed",
             "models",
             "modes",
@@ -134,6 +217,7 @@ impl SweepSpec {
             "ga",
             "policy",
             "batch",
+            "search",
         ];
         for (key, _) in entries {
             if !KNOWN.contains(&key.as_str()) {
@@ -273,6 +357,11 @@ impl SweepSpec {
             None => 2,
         };
 
+        let search = match value.get("search") {
+            None => SearchStrategy::Exhaustive,
+            Some(v) => parse_search(v, ga_iterations)?,
+        };
+
         let spec = SweepSpec {
             master_seed,
             models,
@@ -283,6 +372,7 @@ impl SweepSpec {
             ga_iterations,
             policy,
             batch,
+            search,
         };
         // Expand once so oversized sweeps are rejected at parse time.
         spec.points()?;
@@ -476,6 +566,90 @@ fn parse_grid(v: &Value) -> Result<Vec<(String, HardwareConfig)>, ExploreError> 
         .map_err(|e| invalid(format!("hardware grid: {e}")))
 }
 
+fn parse_search(v: &Value, ga_iterations: usize) -> Result<SearchStrategy, ExploreError> {
+    let entries = as_object(v, "`search`")?;
+    const KNOWN: [&str; 4] = ["strategy", "rungs", "keep_fraction", "prune_margin"];
+    for (key, _) in entries {
+        if !KNOWN.contains(&key.as_str()) {
+            return Err(invalid(format!(
+                "unknown `search` field `{key}` (known fields: {})",
+                KNOWN.join(", ")
+            )));
+        }
+    }
+    let strategy = match v.get("strategy") {
+        Some(s) => as_string(s, "search.strategy")?,
+        None => {
+            return Err(invalid(
+                "`search` needs a `strategy` (exhaustive | halving)",
+            ))
+        }
+    };
+    match strategy.as_str() {
+        "exhaustive" => {
+            for key in ["rungs", "keep_fraction", "prune_margin"] {
+                if v.get(key).is_some() {
+                    return Err(invalid(format!(
+                        "`search.{key}` only applies to the halving strategy"
+                    )));
+                }
+            }
+            Ok(SearchStrategy::Exhaustive)
+        }
+        "halving" => {
+            let rungs = match v.get("rungs") {
+                None => HalvingSpec::default_rungs(ga_iterations),
+                Some(axis) => {
+                    let rungs: Vec<usize> = u64_axis(axis, "search.rungs")?
+                        .into_iter()
+                        .map(|b| b as usize)
+                        .collect();
+                    if rungs.is_empty() || rungs[0] == 0 {
+                        return Err(invalid(
+                            "`search.rungs` must be a non-empty array of positive \
+                             GA generation budgets",
+                        ));
+                    }
+                    if !rungs.windows(2).all(|w| w[0] < w[1]) {
+                        return Err(invalid("`search.rungs` must be strictly increasing"));
+                    }
+                    if rungs.last() != Some(&ga_iterations) {
+                        return Err(invalid(format!(
+                            "the final `search.rungs` entry must equal `ga.iterations` \
+                             ({ga_iterations}) so survivors get the full budget"
+                        )));
+                    }
+                    rungs
+                }
+            };
+            let keep_fraction = match v.get("keep_fraction") {
+                None => HalvingSpec::DEFAULT_KEEP_FRACTION,
+                Some(f) => as_f64(f, "search.keep_fraction")?,
+            };
+            if !keep_fraction.is_finite() || keep_fraction <= 0.0 || keep_fraction > 1.0 {
+                return Err(invalid("`search.keep_fraction` must be within (0, 1]"));
+            }
+            let prune_margin = match v.get("prune_margin") {
+                None => HalvingSpec::DEFAULT_PRUNE_MARGIN,
+                Some(f) => as_f64(f, "search.prune_margin")?,
+            };
+            if !prune_margin.is_finite() || prune_margin < 0.0 {
+                return Err(invalid(
+                    "`search.prune_margin` must be a non-negative number",
+                ));
+            }
+            Ok(SearchStrategy::Halving(HalvingSpec {
+                rungs,
+                keep_fraction,
+                prune_margin,
+            }))
+        }
+        other => Err(invalid(format!(
+            "unknown search strategy `{other}` (exhaustive | halving)"
+        ))),
+    }
+}
+
 fn reject_duplicates(items: &[String], what: &str) -> Result<(), ExploreError> {
     let mut seen = std::collections::HashSet::new();
     for item in items {
@@ -588,6 +762,122 @@ mod tests {
             SweepSpec::from_json(&json),
             Err(ExploreError::InvalidSpec { .. })
         ));
+    }
+
+    #[test]
+    fn search_section_parses_with_defaults_and_overrides() {
+        let spec = SweepSpec::from_json(
+            r#"{"models":["tiny_mlp"],"hardware":{"base":"small_test"},
+                "ga":{"population":4,"iterations":24},
+                "search":{"strategy":"halving"}}"#,
+        )
+        .unwrap();
+        match &spec.search {
+            SearchStrategy::Halving(h) => {
+                assert_eq!(h.rungs, vec![2, 8, 24]);
+                assert_eq!(h.keep_fraction, HalvingSpec::DEFAULT_KEEP_FRACTION);
+                assert_eq!(h.prune_margin, HalvingSpec::DEFAULT_PRUNE_MARGIN);
+            }
+            other => panic!("expected halving, got {other:?}"),
+        }
+        let spec = SweepSpec::from_json(
+            r#"{"models":["tiny_mlp"],"hardware":{"base":"small_test"},
+                "ga":{"population":4,"iterations":6},
+                "search":{"strategy":"halving","rungs":[1,6],
+                          "keep_fraction":0.4,"prune_margin":0.0}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            spec.search,
+            SearchStrategy::Halving(HalvingSpec {
+                rungs: vec![1, 6],
+                keep_fraction: 0.4,
+                prune_margin: 0.0,
+            })
+        );
+        // Default and explicit exhaustive are the same strategy.
+        let default =
+            SweepSpec::from_json(r#"{"models":["tiny_mlp"],"hardware":{"base":"small_test"}}"#)
+                .unwrap();
+        let explicit = SweepSpec::from_json(
+            r#"{"models":["tiny_mlp"],"hardware":{"base":"small_test"},
+                "search":{"strategy":"exhaustive"}}"#,
+        )
+        .unwrap();
+        assert_eq!(default.search, SearchStrategy::Exhaustive);
+        assert_eq!(explicit.search, SearchStrategy::Exhaustive);
+    }
+
+    #[test]
+    fn default_rung_ladders_end_at_the_full_budget() {
+        assert_eq!(HalvingSpec::default_rungs(24), vec![2, 8, 24]);
+        assert_eq!(HalvingSpec::default_rungs(200), vec![2, 7, 22, 66, 200]);
+        assert_eq!(HalvingSpec::default_rungs(6), vec![2, 6]);
+        assert_eq!(HalvingSpec::default_rungs(2), vec![2]);
+        assert_eq!(HalvingSpec::default_rungs(1), vec![1]);
+        assert_eq!(HalvingSpec::default_rungs(0), vec![1]);
+        for i in 1..=64 {
+            let rungs = HalvingSpec::default_rungs(i);
+            assert!(rungs.windows(2).all(|w| w[0] < w[1]), "ladder for {i}");
+            assert_eq!(rungs.last(), Some(&i));
+        }
+    }
+
+    #[test]
+    fn malformed_search_sections_are_structured_errors() {
+        let base = |search: &str| {
+            format!(
+                r#"{{"models":["tiny_mlp"],"hardware":{{"base":"small_test"}},
+                    "ga":{{"population":4,"iterations":6}},"search":{search}}}"#
+            )
+        };
+        for (search, needle) in [
+            (r#"{}"#, "needs a `strategy`"),
+            (r#"{"strategy":"random"}"#, "unknown search strategy"),
+            (
+                r#"{"strategy":"halving","typo":1}"#,
+                "unknown `search` field",
+            ),
+            (
+                r#"{"strategy":"exhaustive","rungs":[1,6]}"#,
+                "only applies to the halving strategy",
+            ),
+            (
+                r#"{"strategy":"halving","rungs":[]}"#,
+                "non-empty array of positive",
+            ),
+            (
+                r#"{"strategy":"halving","rungs":[0,6]}"#,
+                "non-empty array of positive",
+            ),
+            (
+                r#"{"strategy":"halving","rungs":[4,2,6]}"#,
+                "strictly increasing",
+            ),
+            (
+                r#"{"strategy":"halving","rungs":[1,2]}"#,
+                "must equal `ga.iterations` (6)",
+            ),
+            (
+                r#"{"strategy":"halving","keep_fraction":0}"#,
+                "within (0, 1]",
+            ),
+            (
+                r#"{"strategy":"halving","keep_fraction":1.5}"#,
+                "within (0, 1]",
+            ),
+            (
+                r#"{"strategy":"halving","prune_margin":-0.5}"#,
+                "non-negative",
+            ),
+        ] {
+            let err = SweepSpec::from_json(&base(search)).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains(needle),
+                "search {search} gave `{msg}`, expected to contain `{needle}`"
+            );
+        }
     }
 
     #[test]

@@ -121,6 +121,9 @@ OPTIONS (explore):
   --csv FILE.csv          write the sweep report as CSV
   --cache DIR|off         per-point artifact cache; reruns replay cached
                           points (default: .pimcomp-cache)
+  --budget-summary        print per-rung evaluation accounting and the
+                          evaluations saved vs an exhaustive sweep (the
+                          spec's `search` section selects the strategy)
   --diff OLD --against NEW
                           compare two sweep reports instead of running";
 
@@ -333,6 +336,15 @@ struct ProgressPrinter {
     last_reported: usize,
 }
 
+/// Whether `GA_DEBUG` is set, read **once** per process. The mutation
+/// diagnostics it unlocks flow through the [`GaGeneration`] observer
+/// snapshot (the library tallies them into `GaStats` instead of
+/// printing to stderr from the hot mutation loop).
+fn ga_debug() -> bool {
+    static GA_DEBUG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *GA_DEBUG.get_or_init(|| std::env::var_os("GA_DEBUG").is_some())
+}
+
 impl CompileObserver for ProgressPrinter {
     fn on_stage_start(&mut self, stage: CompileStage) {
         eprintln!("[stage] {} ...", stage.label());
@@ -355,6 +367,13 @@ impl CompileObserver for ProgressPrinter {
                 p.evaluations,
                 p.cache_hits
             );
+            if ga_debug() {
+                eprintln!(
+                    "[ga]   grow mutations so far: {} placed, {} failed (wedged \
+                     against capacity when failures dominate)",
+                    p.grow_successes, p.grow_failures
+                );
+            }
         }
     }
 }
@@ -517,6 +536,10 @@ fn cmd_explore(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
+            if key == "budget-summary" {
+                flags.insert(key.to_string(), "true".to_string());
+                continue;
+            }
             let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
             flags.insert(key.to_string(), v.clone());
         } else if spec_path.is_none() {
@@ -561,12 +584,13 @@ fn cmd_explore(args: &[String]) -> Result<(), String> {
 
     println!(
         "exploring {} points ({} models x {} modes x {} hardware configs x {} seeds, \
-         {threads} threads)...",
+         {} search, {threads} threads)...",
         spec.len(),
         spec.models.len(),
         spec.modes.len(),
         spec.hardware.len(),
-        spec.seeds.len()
+        spec.seeds.len(),
+        spec.search.name()
     );
     let outcome = engine.run(&spec).map_err(|e| e.to_string())?;
     let report = &outcome.report;
@@ -578,6 +602,10 @@ fn cmd_explore(args: &[String]) -> Result<(), String> {
         outcome.cache_hits,
         outcome.cache_misses
     );
+    if flags.contains_key("budget-summary") {
+        println!();
+        print!("{}", outcome.budget);
+    }
 
     println!(
         "\nPareto frontier ({} of {} points, per model x mode):",
