@@ -3,13 +3,19 @@
 //! cross-product of validated [`HardwareConfig`] variants.
 //!
 //! This is the architecture-side half of the design-space exploration
-//! subsystem (`pimcomp-core`'s `explore` module): the grid knows which
-//! knobs are sweepable, generates one labelled configuration per grid
-//! point, and validates every point before it is handed to the
+//! subsystem (the `pimcomp-dse` crate's sweep engine): the grid knows
+//! which knobs are sweepable, generates one labelled configuration per
+//! grid point, and validates every point before it is handed to the
 //! compiler — so a sweep over hundreds of configurations fails fast on
-//! the one malformed axis value instead of mid-run.
+//! the one malformed axis value instead of mid-run. The same
+//! enumeration also backs the engine's `hardware: "auto"` option:
+//! per-model sized chip counts are fed through a one-point grid so
+//! their labels (`auto-puma+chips3+par4`) and validation match
+//! explicit grids exactly.
 //!
-//! # Example
+//! # Examples
+//!
+//! A two-axis grid over a preset (only swept axes enter the label):
 //!
 //! ```
 //! use pimcomp_arch::HardwareGrid;
@@ -21,6 +27,31 @@
 //! let points = grid.enumerate().unwrap();
 //! assert_eq!(points.len(), 4);
 //! assert_eq!(points[0].0, "small_test+chips1+par8");
+//! ```
+//!
+//! Every sweepable knob has a builder; values are validated as part of
+//! enumeration, so a bad axis value surfaces before any compilation:
+//!
+//! ```
+//! use pimcomp_arch::{HardwareConfig, HardwareGrid};
+//!
+//! let grid = HardwareGrid::new("custom", HardwareConfig::small_test())
+//!     .with_cores_per_chip(vec![8])
+//!     .with_crossbars_per_core(vec![8, 16])
+//!     .with_crossbar_size(vec![64])
+//!     .with_local_memory_kb(vec![64])
+//!     .with_mvm_latency(vec![20])
+//!     .with_noc_link_bw(vec![16.0]);
+//! let points = grid.enumerate().unwrap();
+//! assert_eq!(points.len(), 2);
+//! assert_eq!(points[1].0, "custom+cores8+xbars16+xbar64+mem64k+mvm20+noc16");
+//! assert_eq!(points[1].1.crossbars_per_core, 16);
+//!
+//! // Zero chips can never reach the compiler.
+//! let bad = HardwareGrid::over_preset("small_test")
+//!     .unwrap()
+//!     .with_chips(vec![0]);
+//! assert!(bad.enumerate().is_err());
 //! ```
 
 use crate::config::{HardwareConfig, HwError};
@@ -116,6 +147,20 @@ impl HardwareGrid {
         self
     }
 
+    /// Sets the cores-per-chip axis.
+    #[must_use]
+    pub fn with_cores_per_chip(mut self, values: Vec<usize>) -> Self {
+        self.cores_per_chip = values;
+        self
+    }
+
+    /// Sets the crossbars-per-core axis.
+    #[must_use]
+    pub fn with_crossbars_per_core(mut self, values: Vec<usize>) -> Self {
+        self.crossbars_per_core = values;
+        self
+    }
+
     /// Sets the parallelism-degree axis.
     #[must_use]
     pub fn with_parallelism(mut self, values: Vec<usize>) -> Self {
@@ -127,6 +172,27 @@ impl HardwareGrid {
     #[must_use]
     pub fn with_crossbar_size(mut self, values: Vec<usize>) -> Self {
         self.crossbar_size = values;
+        self
+    }
+
+    /// Sets the local-scratchpad-capacity axis, in kilobytes.
+    #[must_use]
+    pub fn with_local_memory_kb(mut self, values: Vec<usize>) -> Self {
+        self.local_memory_kb = values;
+        self
+    }
+
+    /// Sets the MVM-latency axis, in cycles.
+    #[must_use]
+    pub fn with_mvm_latency(mut self, values: Vec<u64>) -> Self {
+        self.mvm_latency = values;
+        self
+    }
+
+    /// Sets the NoC-link-bandwidth axis, in bytes/cycle.
+    #[must_use]
+    pub fn with_noc_link_bw(mut self, values: Vec<f64>) -> Self {
+        self.noc_link_bw = values;
         self
     }
 

@@ -28,8 +28,7 @@
 
 use pimcomp_arch::{HardwareConfig, PipelineMode};
 use pimcomp_core::{
-    CompileError, CompileOptions, CompiledModel, GaParams, Partitioning, PimCompiler, PumaCompiler,
-    ReusePolicy,
+    CompileError, CompileOptions, CompiledModel, GaParams, PimCompiler, PumaCompiler, ReusePolicy,
 };
 use pimcomp_ir::transform::normalize;
 use pimcomp_ir::Graph;
@@ -258,6 +257,14 @@ pub const SMOKE_SWEEP_HALVING_SPEC: &str = include_str!("../fixtures/smoke_sweep
 /// input, on disk at `crates/bench/fixtures/paper_sweep_halving.json`.
 pub const PAPER_SWEEP_HALVING_SPEC: &str = include_str!("../fixtures/paper_sweep_halving.json");
 
+/// The committed new-axes smoke sweep: memory policies × HT batches ×
+/// auto-sized hardware × one `.onnx` model (the committed
+/// `tiny_mlp.onnx` export) alongside a zoo name. CI's explore-smoke
+/// job runs it from the repository root — the spec's `.onnx` path is
+/// root-relative — and checks thread-count and cold/warm byte
+/// identity. On disk at `crates/bench/fixtures/smoke_sweep_axes.json`.
+pub const SMOKE_SWEEP_AXES_SPEC: &str = include_str!("../fixtures/smoke_sweep_axes.json");
+
 /// A harness step failure: which half of the compile → simulate pair
 /// went wrong. The five committed paper benchmarks always succeed, but
 /// the harness also runs user-supplied graphs (`--only` over the zoo,
@@ -314,7 +321,10 @@ pub fn run_or_exit<T, E: std::fmt::Display>(result: Result<T, E>, context: &str)
 }
 
 /// Sizes a PUMA-like target for `graph`: enough chips for
-/// [`CHIP_HEADROOM`]× the single-replica crossbar demand.
+/// [`CHIP_HEADROOM`]× the single-replica crossbar demand. The
+/// heuristic itself lives in core ([`pimcomp_core::sized_chips`]) so
+/// the sweep engine's `hardware: "auto"` option and this harness size
+/// targets identically.
 ///
 /// # Errors
 ///
@@ -323,10 +333,7 @@ pub fn run_or_exit<T, E: std::fmt::Display>(result: Result<T, E>, context: &str)
 /// partition must not bring a sweep down.
 pub fn hardware_for(graph: &Graph, parallelism: usize) -> Result<HardwareConfig, CompileError> {
     let base = HardwareConfig::puma();
-    let p = Partitioning::new(graph, &base)?;
-    let per_chip = base.cores_per_chip * base.crossbars_per_core;
-    let need = (p.min_crossbars() as f64 * CHIP_HEADROOM).ceil() as usize;
-    let chips = need.div_ceil(per_chip).max(1);
+    let chips = pimcomp_core::sized_chips(graph, &base, CHIP_HEADROOM)?;
     Ok(HardwareConfig::puma_with_chips(chips).with_parallelism(parallelism))
 }
 
@@ -436,6 +443,7 @@ pub fn ratio(baseline: u64, ours: u64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pimcomp_core::Partitioning;
 
     #[test]
     fn only_selects_any_loadable_network() {
@@ -520,6 +528,17 @@ mod tests {
         assert_eq!(smoke.points().unwrap().len(), 4);
         let paper = pimcomp_dse::SweepSpec::from_json(PAPER_SWEEP_SPEC).unwrap();
         assert_eq!(paper.points().unwrap().len(), 3 * 2 * 6);
+        // The new-axes spec parses and counts without touching the
+        // filesystem (its .onnx path is relative to the repo root, not
+        // this crate, so only `len` is checked here — CI runs it end
+        // to end).
+        let axes = pimcomp_dse::SweepSpec::from_json(SMOKE_SWEEP_AXES_SPEC).unwrap();
+        assert!(axes.hardware.is_auto());
+        assert_eq!(axes.policies.len(), 2);
+        assert_eq!(axes.batches, vec![1, 2]);
+        // 2 models x 2 auto parallelism x 2 policies x (HT: 2 batches
+        // + LL: 1) x 1 seed.
+        assert_eq!(axes.len(), 2 * 2 * 2 * 3);
     }
 
     #[test]

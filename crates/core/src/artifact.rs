@@ -240,12 +240,23 @@ pub fn hardware_fingerprint(hw: &HardwareConfig) -> u64 {
     fnv1a(serde_json::to_string(hw).unwrap_or_default().as_bytes())
 }
 
+/// Stable 64-bit fingerprint of a model graph: FNV-1a over its
+/// canonical JSON serialization, like [`hardware_fingerprint`].
+/// Combined with the hardware and options fingerprints this keys
+/// compiled-point caches — an input graph that changed (e.g. an
+/// `.onnx` file edited in place) can then never replay a stale
+/// artifact.
+#[must_use]
+pub fn graph_fingerprint(graph: &pimcomp_ir::Graph) -> u64 {
+    fnv1a(serde_json::to_string(graph).unwrap_or_default().as_bytes())
+}
+
 /// Stable 64-bit fingerprint of a full set of compile options (GA
 /// parameters included, worker-thread count excluded — parallelism
 /// never changes the compiled result). Combined with
-/// [`hardware_fingerprint`] and a model name this keys compiled-point
-/// caches, e.g. the design-space exploration engine's per-point
-/// artifact cache.
+/// [`hardware_fingerprint`], [`graph_fingerprint`], and a model name
+/// this keys compiled-point caches, e.g. the design-space exploration
+/// engine's per-point artifact cache.
 #[must_use]
 pub fn options_fingerprint(opts: &crate::CompileOptions) -> u64 {
     let mut canonical = opts.clone();

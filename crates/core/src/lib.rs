@@ -65,7 +65,9 @@ mod schedule;
 mod session;
 mod waiting;
 
-pub use artifact::{hardware_fingerprint, options_fingerprint, ArtifactError, CompiledArtifact};
+pub use artifact::{
+    graph_fingerprint, hardware_fingerprint, options_fingerprint, ArtifactError, CompiledArtifact,
+};
 pub use baseline::{puma_mapping, PumaCompiler};
 pub use compiler::{CompileOptions, CompileReport, CompiledModel, PimCompiler, StageTimings};
 pub use error::CompileError;
@@ -81,7 +83,7 @@ pub use lower::{lower_to_ops, CoreOp, OpStream};
 pub use mapping::{AgInstance, Chromosome, CoreMapping, Gene, GENE_RADIX};
 pub use memory::{MemoryPlan, ReusePolicy};
 pub use parallel::run_indexed;
-pub use partition::{MvmIdx, NodePartition, Partitioning};
+pub use partition::{sized_chips, MvmIdx, NodePartition, Partitioning};
 pub use replication::ReplicationPlan;
 pub use schedule::{
     HtNodeProgram, HtSchedule, HtSend, HtVecTask, LlProviderRef, LlReplica, LlSchedule, LlUnit,

@@ -192,6 +192,28 @@ impl Partitioning {
     }
 }
 
+/// Sizes a chip count for `graph` on the `base` target: enough chips
+/// for `headroom ×` the single-replica crossbar demand, leaving room
+/// for weight replication. This is the headroom heuristic the bench
+/// harness (`hardware_for`) and the sweep engine's `hardware: "auto"`
+/// option share; `headroom` 2.0 is the harness default.
+///
+/// # Errors
+///
+/// Propagates partitioning failures ([`CompileError`]) — a graph with
+/// no MVM nodes, or one whose Array Groups exceed a single core, cannot
+/// be sized.
+pub fn sized_chips(
+    graph: &Graph,
+    base: &HardwareConfig,
+    headroom: f64,
+) -> Result<usize, CompileError> {
+    let p = Partitioning::new(graph, base)?;
+    let per_chip = base.cores_per_chip * base.crossbars_per_core;
+    let need = (p.min_crossbars() as f64 * headroom).ceil() as usize;
+    Ok(need.div_ceil(per_chip).max(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,8 +7,8 @@ use crate::spec::{HalvingSpec, SearchStrategy, SweepPoint, SweepSpec};
 use crate::{resolve_model, ExploreError};
 use pimcomp_arch::PipelineMode;
 use pimcomp_core::{
-    hardware_fingerprint, options_fingerprint, run_indexed, CompileOptions, CompileSession,
-    CompiledArtifact, CompiledModel, GaParams,
+    graph_fingerprint, hardware_fingerprint, options_fingerprint, run_indexed, CompileOptions,
+    CompileSession, CompiledArtifact, CompiledModel, GaParams,
 };
 use pimcomp_ir::Graph;
 use pimcomp_sim::Simulator;
@@ -175,12 +175,12 @@ impl ExploreEngine {
     /// rerun — or the final full-budget rung of a sweep whose
     /// exhaustive twin already ran — replays from cache too.
     ///
-    /// Entries are keyed by hardware + options fingerprints and the
-    /// artifact format version, which guards against spec changes and
-    /// serialization drift — **not** against compiler-behavior changes
-    /// that keep the artifact shape. After upgrading the compiler,
-    /// clear the directory so warm reruns cannot mix old and new
-    /// results.
+    /// Entries are keyed by graph + hardware + options fingerprints and
+    /// the artifact format version, which guards against spec changes,
+    /// edited `.onnx` model files, and serialization drift — **not**
+    /// against compiler-behavior changes that keep the artifact shape.
+    /// After upgrading the compiler, clear the directory so warm reruns
+    /// cannot mix old and new results.
     #[must_use]
     pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.cache_dir = Some(dir.into());
@@ -205,20 +205,27 @@ impl ExploreEngine {
     /// # Errors
     ///
     /// * [`ExploreError::InvalidSpec`] when the spec expands to no or
-    ///   too many points,
+    ///   too many points, or auto hardware sizing fails,
     /// * [`ExploreError::UnknownModel`] naming the available models,
+    /// * [`ExploreError::Io`] / [`ExploreError::Onnx`] when an `.onnx`
+    ///   sweep model cannot be read or imported,
     /// * [`ExploreError::Io`] when the cache directory cannot be
     ///   created.
     pub fn run(&self, spec: &SweepSpec) -> Result<ExploreOutcome, ExploreError> {
-        // Resolve every model once, up front: an unknown name is a spec
-        // bug and should abort before any compilation starts.
+        // Resolve every model once, up front: an unknown name or an
+        // unreadable .onnx file is a spec bug and should abort before
+        // any compilation starts. The resolved graphs also feed auto
+        // hardware sizing and the per-model cache fingerprint, so an
+        // .onnx file is read exactly once per sweep — its content
+        // cannot drift between sizing and evaluation.
         let graphs: Vec<Graph> = spec
             .models
             .iter()
             .map(|name| resolve_model(name))
             .collect::<Result<_, _>>()?;
+        let graph_fps: Vec<u64> = graphs.iter().map(graph_fingerprint).collect();
 
-        let points = spec.points()?;
+        let points = spec.points_for(&graphs)?;
         // Pre-resolve each point's graph index so workers never index
         // blindly; a point naming a model outside the spec cannot come
         // out of `points()`, but surface a structured error rather than
@@ -253,7 +260,7 @@ impl ExploreEngine {
             SearchStrategy::Exhaustive => &default_halving,
             SearchStrategy::Halving(h) => h,
         };
-        self.run_rungs(spec, &points, &graphs, &graph_idx, halving)
+        self.run_rungs(spec, &points, &graphs, &graph_fps, &graph_idx, halving)
     }
 
     /// The multi-round core: evaluates `points` over the rung ladder,
@@ -264,6 +271,7 @@ impl ExploreEngine {
         spec: &SweepSpec,
         points: &[SweepPoint],
         graphs: &[Graph],
+        graph_fps: &[u64],
         graph_idx: &[usize],
         halving: &HalvingSpec,
     ) -> Result<ExploreOutcome, ExploreError> {
@@ -290,6 +298,7 @@ impl ExploreEngine {
                 evaluate_point(
                     &points[idx],
                     &graphs[graph_idx[idx]],
+                    graph_fps[graph_idx[idx]],
                     spec,
                     iters,
                     self.cache_dir.as_deref(),
@@ -366,6 +375,8 @@ impl ExploreEngine {
                     model: points[idx].model.clone(),
                     mode: points[idx].mode.to_string(),
                     hardware: points[idx].hw_label.clone(),
+                    policy: crate::policy_spec_name(points[idx].policy).to_string(),
+                    batch: points[idx].batch as u64,
                     seed: points[idx].seed,
                     rung: 0,
                     budget: 0,
@@ -592,32 +603,47 @@ fn point_options(point: &SweepPoint, spec: &SweepSpec, iterations: usize) -> Com
         parallelism: Some(NonZeroUsize::MIN),
         ..GaParams::default()
     };
-    let batch = match point.mode {
-        PipelineMode::HighThroughput => spec.batch,
-        PipelineMode::LowLatency => 1,
-    };
+    // Point expansion already collapsed the batch axis for LL points
+    // (batch 1), so the options always pass CompileOptions::validate.
+    debug_assert!(point.mode == PipelineMode::HighThroughput || point.batch == 1);
     CompileOptions::new(point.mode)
         .with_ga(ga)
-        .with_policy(spec.policy)
-        .with_batch(batch)
+        .with_policy(point.policy)
+        .with_batch(point.batch)
         // The rung budget overrides the spec's full budget through the
         // same public API any budgeted driver would use.
         .with_ga_budget(iterations)
 }
 
-/// The cache file for a point: keyed by hardware fingerprint, options
-/// fingerprint (GA seed and iteration budget included, thread count
-/// excluded), model name, and the artifact format version. Distinct
-/// rung budgets therefore key distinct entries. The version component
-/// rejects entries whose *serialized shape* predates this build; it
-/// cannot detect compiler-behavior changes that keep the shape — clear
-/// the cache directory after upgrading the compiler (see
+/// The cache file for a point: keyed by graph fingerprint, hardware
+/// fingerprint, options fingerprint (GA seed, iteration budget, memory
+/// policy, and HT batch included; thread count excluded), a sanitized
+/// model tag, and the artifact format version. Distinct rung budgets,
+/// policies, and batches therefore key distinct entries. The version
+/// component rejects entries whose *serialized shape* predates this
+/// build; it cannot detect compiler-behavior changes that keep the
+/// shape — clear the cache directory after upgrading the compiler (see
 /// [`ExploreEngine::with_cache_dir`]).
-fn cache_path(dir: &Path, point: &SweepPoint, opts: &CompileOptions) -> PathBuf {
+fn cache_path(dir: &Path, point: &SweepPoint, opts: &CompileOptions, graph_fp: u64) -> PathBuf {
+    // Model names may be .onnx paths; keep a short human-readable tag
+    // in the filename (the fingerprints disambiguate collisions).
+    let tag: String = point
+        .model
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .take(48)
+        .collect();
     let key = format!(
-        "v{}-{}-{:016x}-{:016x}",
+        "v{}-{}-{:016x}-{:016x}-{:016x}",
         CompiledArtifact::FORMAT_VERSION,
-        point.model,
+        tag,
+        graph_fp,
         hardware_fingerprint(&point.hw),
         options_fingerprint(opts),
     );
@@ -631,6 +657,7 @@ fn cache_path(dir: &Path, point: &SweepPoint, opts: &CompileOptions) -> PathBuf 
 fn evaluate_point(
     point: &SweepPoint,
     graph: &Graph,
+    graph_fp: u64,
     spec: &SweepSpec,
     iterations: usize,
     cache_dir: Option<&Path>,
@@ -640,6 +667,8 @@ fn evaluate_point(
         model: point.model.clone(),
         mode: point.mode.to_string(),
         hardware: point.hw_label.clone(),
+        policy: crate::policy_spec_name(point.policy).to_string(),
+        batch: point.batch as u64,
         seed: point.seed,
         rung: 0,
         budget: 0,
@@ -653,7 +682,7 @@ fn evaluate_point(
     // Cache probe: a valid artifact for this exact (hardware, options,
     // model) key replays instead of recompiling. Any load or
     // fingerprint problem silently falls back to compilation.
-    let path = cache_dir.map(|dir| cache_path(dir, point, &opts));
+    let path = cache_dir.map(|dir| cache_path(dir, point, &opts, graph_fp));
     let cached: Option<CompiledModel> = path.as_ref().and_then(|p| {
         let artifact = CompiledArtifact::load(p).ok()?;
         artifact.verify_hardware(&point.hw).ok()?;
@@ -960,11 +989,14 @@ mod tests {
 
     #[test]
     fn unknown_model_lists_alternatives() {
-        let err =
-            SweepSpec::from_json(r#"{"models":["alexnet"],"hardware":{"base":"small_test"}}"#)
-                .map(|spec| ExploreEngine::new().run(&spec))
-                .unwrap()
-                .unwrap_err();
+        // Zoo typos are now rejected at parse time; the engine keeps
+        // the same structured error for hand-built specs that bypass
+        // `from_json`.
+        let mut spec =
+            SweepSpec::from_json(r#"{"models":["tiny_mlp"],"hardware":{"base":"small_test"}}"#)
+                .unwrap();
+        spec.models = vec!["alexnet".to_string()];
+        let err = ExploreEngine::new().run(&spec).unwrap_err();
         match err {
             ExploreError::UnknownModel { name, available } => {
                 assert_eq!(name, "alexnet");
@@ -973,5 +1005,72 @@ mod tests {
             }
             other => panic!("expected UnknownModel, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn policy_and_batch_axes_are_thread_invariant_and_distinct() {
+        let spec = SweepSpec::from_json(
+            r#"{"models":["tiny_mlp"],"modes":["ht","ll"],
+                "hardware":{"base":"small_test"},
+                "memory_policies":["naive","ag"],"ht_batches":[1,2],
+                "ga":{"population":4,"iterations":2},"master_seed":5}"#,
+        )
+        .unwrap();
+        let serial = ExploreEngine::new().run(&spec).unwrap();
+        let parallel = ExploreEngine::new().with_threads(4).run(&spec).unwrap();
+        assert_eq!(
+            serial.report.to_json().unwrap(),
+            parallel.report.to_json().unwrap()
+        );
+        // HT: 2 policies x 2 batches; LL collapses the batch axis.
+        assert_eq!(serial.report.points.len(), 4 + 2);
+        assert_eq!(serial.report.failures(), 0);
+        // The knobs land in the records and the key.
+        let p = &serial.report.points[0];
+        assert_eq!((p.policy.as_str(), p.batch), ("naive", 1));
+        assert!(p.key().contains("/naive/b1/"), "{}", p.key());
+        // The naive and AG policies must actually produce different
+        // memory behavior somewhere in the sweep (the axis is live).
+        let traffic: Vec<f64> = serial
+            .report
+            .points
+            .iter()
+            .filter_map(|p| p.metrics.as_ref().map(|m| m.avg_local_kb))
+            .collect();
+        assert!(
+            traffic.iter().any(|&t| (t - traffic[0]).abs() > 1e-9),
+            "policy/batch axes produced identical memory metrics: {traffic:?}"
+        );
+    }
+
+    #[test]
+    fn auto_hardware_sweeps_compile_and_replay_from_cache() {
+        let dir =
+            std::env::temp_dir().join(format!("pimcomp-dse-auto-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = SweepSpec::from_json(
+            r#"{"models":["tiny_mlp","tiny_cnn"],
+                "hardware":{"auto":true,"base":"small_test","parallelism":[2,4]},
+                "ga":{"population":4,"iterations":2}}"#,
+        )
+        .unwrap();
+        let engine = ExploreEngine::new().with_cache_dir(&dir);
+        let cold = engine.run(&spec).unwrap();
+        assert_eq!(cold.cache_misses, 4);
+        assert_eq!(cold.report.failures(), 0);
+        for p in &cold.report.points {
+            assert!(
+                p.hardware.starts_with("auto-small_test+chips"),
+                "{}",
+                p.hardware
+            );
+        }
+        let warm = engine.with_threads(3).run(&spec).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(warm.cache_hits, 4);
+        assert_eq!(
+            cold.report.to_json().unwrap(),
+            warm.report.to_json().unwrap()
+        );
     }
 }

@@ -1,13 +1,15 @@
 //! Deterministic design-space exploration (DSE) for the PIMCOMP
 //! compiler — the evaluation harness the paper's comparison tables
 //! imply: sweep models × pipeline modes × hardware configurations ×
-//! GA seeds in one declarative run, and reduce the results to a Pareto
-//! frontier over latency, throughput, energy, and resource utilization.
+//! memory policies × HT batches × GA seeds in one declarative run, and
+//! reduce the results to a Pareto frontier over latency, throughput,
+//! energy, and resource utilization.
 //!
 //! # Pipeline
 //!
 //! ```text
-//! SweepSpec (JSON) ──► points (models × modes × hardware × seeds)
+//! SweepSpec (JSON) ──► points (models × modes × hardware
+//!        │                      × policies × batches × seeds)
 //!        │                       │  fan-out over the deterministic
 //!        │                       ▼  worker pool (pimcomp-core)
 //!        │             CompileSession → Simulator  (per point,
@@ -16,6 +18,27 @@
 //!   validation          SweepReport: records + Pareto frontier,
 //!                       versioned JSON / CSV, diffable
 //! ```
+//!
+//! # Sweep axes
+//!
+//! * **models** — zoo names, synthetic test models, or paths to
+//!   `.onnx` files (imported with [`pimcomp_onnx`], so any exporter's
+//!   models sweep exactly like the built-ins);
+//! * **modes** — high-throughput / low-latency;
+//! * **hardware** — explicit [`HardwareGrid`](pimcomp_arch::HardwareGrid)
+//!   cross-products, or `"auto"` per-model sizing via the shared
+//!   headroom heuristic ([`pimcomp_core::sized_chips`]) with a
+//!   sweepable parallelism list ([`AutoHardware`]);
+//! * **memory_policies** — the paper's reuse-policy ablation
+//!   (naive / ADD-reuse / AG-reuse) as a first-class axis;
+//! * **ht_batches** — the HT transfer batch (Fig. 10's protocol
+//!   value); low-latency points always run batch 1, so the axis
+//!   collapses for LL modes instead of duplicating points;
+//! * **seeds** — explicit GA seeds or `num_seeds` split from the
+//!   master seed.
+//!
+//! `docs/SWEEP_SPEC.md` in the repository documents every spec field,
+//! default, and validation rule.
 //!
 //! # Determinism contract
 //!
@@ -33,8 +56,11 @@
 //! Re-running a widened sweep with a cache directory recompiles only
 //! the new points: finished points are persisted as versioned
 //! [`CompiledArtifact`](pimcomp_core::CompiledArtifact)s keyed by
-//! (hardware fingerprint, options fingerprint, model), and cache hits
-//! are re-simulated from the artifact, which round-trips bit-for-bit.
+//! (graph fingerprint, hardware fingerprint, options fingerprint —
+//! memory policy and HT batch included), and cache hits are
+//! re-simulated from the artifact, which round-trips bit-for-bit. The
+//! graph fingerprint means an `.onnx` sweep model edited in place can
+//! never replay a stale artifact.
 //!
 //! # Guided search
 //!
@@ -68,12 +94,19 @@
 //!         "models": ["tiny_mlp"],
 //!         "modes": ["ht"],
 //!         "hardware": { "base": "small_test", "parallelism": [4, 8] },
+//!         "memory_policies": ["naive", "ag"],
+//!         "ht_batches": [2],
+//!         "seeds": [1],
 //!         "ga": { "population": 4, "iterations": 2 }
 //!     }"#,
 //! )?;
+//! // 1 model x 1 mode x 2 hardware x 2 policies x 1 batch x 1 seed.
 //! let outcome = ExploreEngine::new().with_threads(2).run(&spec)?;
-//! assert_eq!(outcome.report.points.len(), 2);
+//! assert_eq!(outcome.report.points.len(), 4);
 //! assert!(!outcome.report.frontier.is_empty());
+//! // Every record carries its compiler knobs and a stable key.
+//! let p = &outcome.report.points[0];
+//! assert_eq!(p.key(), "tiny_mlp/HT/small_test+par4/naive/b2/seed1");
 //! # Ok(())
 //! # }
 //! ```
@@ -88,7 +121,8 @@ mod spec;
 pub use engine::{BudgetSummary, ExploreEngine, ExploreOutcome, RungSummary};
 pub use report::{PointMetrics, PointRecord, SweepDiff, SweepReport, SWEEP_FORMAT_VERSION};
 pub use spec::{
-    HalvingSpec, SearchStrategy, SweepPoint, SweepSpec, EXAMPLE_SPEC, MAX_SWEEP_POINTS,
+    policy_names, policy_spec_name, AutoHardware, HalvingSpec, HardwareAxis, SearchStrategy,
+    SweepPoint, SweepSpec, EXAMPLE_SPEC, MAX_SWEEP_POINTS,
 };
 
 use std::fmt;
@@ -107,12 +141,20 @@ pub enum ExploreError {
         /// What is wrong with the spec.
         detail: String,
     },
-    /// A spec references a model name the zoo does not know.
+    /// A spec references a model name the zoo does not know (and that
+    /// is not an `.onnx` path).
     UnknownModel {
         /// The unresolvable name.
         name: String,
         /// Every name that would have resolved.
         available: Vec<String>,
+    },
+    /// An `.onnx` sweep model failed to import.
+    Onnx {
+        /// The model path from the spec.
+        path: String,
+        /// The underlying [`pimcomp_onnx::OnnxError`].
+        detail: String,
     },
     /// Filesystem I/O failed (spec file, cache directory, report).
     Io {
@@ -139,9 +181,13 @@ impl fmt::Display for ExploreError {
             ExploreError::InvalidSpec { detail } => write!(f, "invalid sweep spec: {detail}"),
             ExploreError::UnknownModel { name, available } => write!(
                 f,
-                "unknown model `{name}`; available models: {}",
+                "unknown model `{name}`; available models: {} \
+                 (or a path ending in .onnx)",
                 available.join(", ")
             ),
+            ExploreError::Onnx { path, detail } => {
+                write!(f, "ONNX model `{path}` failed to import: {detail}")
+            }
             ExploreError::Io { detail } => write!(f, "sweep I/O failed: {detail}"),
             ExploreError::Serialization { detail } => {
                 write!(f, "sweep report serialization failed: {detail}")
@@ -157,8 +203,10 @@ impl fmt::Display for ExploreError {
 
 impl std::error::Error for ExploreError {}
 
-/// Every model name a sweep spec may reference: the zoo networks plus
-/// the small synthetic test models.
+/// Every model name a sweep spec may reference by name: the zoo
+/// networks plus the small synthetic test models. Paths ending in
+/// `.onnx` are additionally accepted and resolved through the ONNX
+/// importer.
 pub fn available_models() -> Vec<String> {
     pimcomp_ir::models::ZOO
         .iter()
@@ -167,12 +215,26 @@ pub fn available_models() -> Vec<String> {
         .collect()
 }
 
-/// Resolves a model name against the zoo and the test models.
+/// Resolves a sweep model: names ending in `.onnx` are read from disk
+/// and imported ([`pimcomp_onnx::import_bytes`]); anything else is
+/// looked up in the zoo and the test models.
 ///
 /// # Errors
 ///
-/// [`ExploreError::UnknownModel`] listing [`available_models`].
+/// * [`ExploreError::UnknownModel`] listing [`available_models`] for an
+///   unresolvable name,
+/// * [`ExploreError::Io`] when an `.onnx` path cannot be read,
+/// * [`ExploreError::Onnx`] when the file is not a loadable ONNX model.
 pub fn resolve_model(name: &str) -> Result<pimcomp_ir::Graph, ExploreError> {
+    if name.ends_with(".onnx") {
+        let bytes = std::fs::read(name).map_err(|e| ExploreError::Io {
+            detail: format!("reading ONNX model `{name}`: {e}"),
+        })?;
+        return pimcomp_onnx::import_bytes(&bytes).map_err(|e| ExploreError::Onnx {
+            path: name.to_string(),
+            detail: e.to_string(),
+        });
+    }
     pimcomp_ir::models::test_model(name)
         .or_else(|| pimcomp_ir::models::by_name(name))
         .ok_or_else(|| ExploreError::UnknownModel {

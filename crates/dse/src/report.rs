@@ -10,7 +10,10 @@ use std::fmt;
 ///
 /// v2: [`PointRecord`] gained the guided-search provenance fields
 /// (`rung`, `budget`, `pruned_at`).
-pub const SWEEP_FORMAT_VERSION: u32 = 2;
+///
+/// v3: [`PointRecord`] gained the compiler-knob axes (`policy`,
+/// `batch`), which also entered the point key and the CSV columns.
+pub const SWEEP_FORMAT_VERSION: u32 = 3;
 
 /// Deterministic metrics of one successfully compiled and simulated
 /// sweep point. Everything here is a pure function of (model, mode,
@@ -101,8 +104,13 @@ pub struct PointRecord {
     pub model: String,
     /// Pipeline mode (`HT` / `LL`).
     pub mode: String,
-    /// Hardware configuration label (from the grid expansion).
+    /// Hardware configuration label (from the grid expansion or the
+    /// auto sizing).
     pub hardware: String,
+    /// Memory-reuse policy, by spec name (`naive` / `add` / `ag`).
+    pub policy: String,
+    /// HT transfer batch (always 1 for LL points).
+    pub batch: u64,
     /// GA seed of this point.
     pub seed: u64,
     /// Highest search rung this point was evaluated at (0-based).
@@ -132,12 +140,12 @@ pub struct PointRecord {
 }
 
 impl PointRecord {
-    /// Stable identity (`model/mode/hardware/seed`), the key diffs join
-    /// on.
+    /// Stable identity (`model/mode/hardware/policy/bBATCH/seedSEED`),
+    /// the key diffs join on.
     pub fn key(&self) -> String {
         format!(
-            "{}/{}/{}/seed{}",
-            self.model, self.mode, self.hardware, self.seed
+            "{}/{}/{}/{}/b{}/seed{}",
+            self.model, self.mode, self.hardware, self.policy, self.batch, self.seed
         )
     }
 }
@@ -241,17 +249,19 @@ impl SweepReport {
     /// Deterministic like [`SweepReport::to_json`].
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "model,mode,hardware,seed,rung,budget,pruned_at,ok,pareto,cycles,\
+            "model,mode,hardware,policy,batch,seed,rung,budget,pruned_at,ok,pareto,cycles,\
              throughput_inf_per_s,latency_us,energy_uj,dynamic_uj,leakage_uj,\
              crossbar_utilization,core_utilization,avg_local_kb,global_traffic_kb,\
              active_cores,crossbars_used,error\n",
         );
         for p in &self.points {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},",
+                "{},{},{},{},{},{},{},{},{},{},{},",
                 csv_field(&p.model),
                 csv_field(&p.mode),
                 csv_field(&p.hardware),
+                csv_field(&p.policy),
+                p.batch,
                 p.seed,
                 p.rung,
                 p.budget,
@@ -507,6 +517,8 @@ mod tests {
             model: model.into(),
             mode: mode.into(),
             hardware: hw.into(),
+            policy: "ag".into(),
+            batch: 2,
             seed: 1,
             rung: 0,
             budget: 4,
@@ -669,9 +681,11 @@ mod tests {
         let csv = report.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert!(lines[0].starts_with("model,mode,hardware,seed,rung,budget,pruned_at,ok,pareto"));
-        // seed 1, rung 0, budget 4, empty pruned_at, ok, pareto, cycles.
-        assert!(lines[1].contains("1,0,4,,true,true,100"));
+        assert!(lines[0]
+            .starts_with("model,mode,hardware,policy,batch,seed,rung,budget,pruned_at,ok,pareto"));
+        // policy ag, batch 2, seed 1, rung 0, budget 4, empty
+        // pruned_at, ok, pareto, cycles.
+        assert!(lines[1].contains("ag,2,1,0,4,,true,true,100"));
         assert!(lines[2].contains("\"bad, \"\"quoted\"\"\""));
     }
 
@@ -696,15 +710,15 @@ mod tests {
             ],
         );
         let diff = old.diff(&new);
-        assert_eq!(diff.added, vec!["m/HT/fresh/seed1"]);
-        assert_eq!(diff.removed, vec!["m/HT/gone/seed1"]);
-        assert_eq!(diff.now_failing, vec!["m/HT/b/seed1"]);
-        assert_eq!(diff.now_passing, vec!["m/HT/flaky/seed1"]);
+        assert_eq!(diff.added, vec!["m/HT/fresh/ag/b2/seed1"]);
+        assert_eq!(diff.removed, vec!["m/HT/gone/ag/b2/seed1"]);
+        assert_eq!(diff.now_failing, vec!["m/HT/b/ag/b2/seed1"]);
+        assert_eq!(diff.now_passing, vec!["m/HT/flaky/ag/b2/seed1"]);
         assert_eq!(diff.changed.len(), 1);
-        assert_eq!(diff.changed[0].key, "m/HT/a/seed1");
+        assert_eq!(diff.changed[0].key, "m/HT/a/ag/b2/seed1");
         assert!(!diff.is_empty());
         let rendered = diff.to_string();
-        assert!(rendered.contains("m/HT/fresh/seed1"));
+        assert!(rendered.contains("m/HT/fresh/ag/b2/seed1"));
         assert!(rendered.contains("changed metrics"));
         assert!(old.diff(&old).is_empty());
     }

@@ -1,10 +1,15 @@
 //! Declarative sweep specifications: the JSON the `pimcomp explore`
 //! subcommand consumes, parsed with structured errors (never panics on
 //! malformed input) and expanded into a deterministic point list.
+//!
+//! The complete field-by-field schema reference (every default,
+//! validation rule, and the exact error each malformed shape produces)
+//! lives in `docs/SWEEP_SPEC.md` at the repository root.
 
 use crate::ExploreError;
-use pimcomp_arch::{HardwareConfig, HardwareGrid, PipelineMode};
+use pimcomp_arch::{preset, preset_names, HardwareConfig, HardwareGrid, PipelineMode};
 use pimcomp_core::{split_stream_seed, ReusePolicy};
+use pimcomp_ir::Graph;
 use serde::Value;
 
 /// Hard cap on the number of points one sweep may expand to, so a typo
@@ -19,7 +24,7 @@ const SEED_STAGE: u64 = 0;
 /// A worked sweep spec, kept in sync with README and the test suite.
 ///
 /// Axes: 2 models × 2 modes × (2 chips × 2 parallelism = 4 hardware
-/// configurations) × 1 seed = 16 points.
+/// configurations) × 1 policy × 1 HT batch × 1 seed = 16 points.
 pub const EXAMPLE_SPEC: &str = r#"{
   "master_seed": 42,
   "models": ["tiny_cnn", "tiny_mlp"],
@@ -29,9 +34,30 @@ pub const EXAMPLE_SPEC: &str = r#"{
     "chips": [1, 2],
     "parallelism": [4, 8]
   },
+  "memory_policies": ["ag"],
+  "ht_batches": [2],
   "seeds": [1],
   "ga": { "population": 8, "iterations": 6 }
 }"#;
+
+/// The spec-file name of a memory-reuse policy (`naive` / `add` /
+/// `ag`): the spelling `memory_policies` accepts and the one point
+/// keys, reports, and CSVs carry.
+pub fn policy_spec_name(policy: ReusePolicy) -> &'static str {
+    match policy {
+        ReusePolicy::Naive => "naive",
+        ReusePolicy::AddReuse => "add",
+        ReusePolicy::AgReuse => "ag",
+    }
+}
+
+/// The policy names a sweep spec accepts, in [`ReusePolicy::ALL`] order.
+pub fn policy_names() -> Vec<&'static str> {
+    ReusePolicy::ALL
+        .iter()
+        .map(|&p| policy_spec_name(p))
+        .collect()
+}
 
 /// How the engine walks the expanded point grid.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,6 +133,76 @@ impl HalvingSpec {
     }
 }
 
+/// Automatic per-model hardware sizing: the bench harness's headroom
+/// heuristic ([`pimcomp_core::sized_chips`]) applied to each sweep
+/// model, crossed with a sweepable parallelism list.
+///
+/// Spelled `"hardware": "auto"` (all defaults) or
+/// `"hardware": { "auto": true, "base": "puma", "parallelism": [4, 8],
+/// "headroom": 2.0 }` in a spec. Each model gets its own labelled
+/// configurations (`auto-puma+chips3+par4`), so the chip count in the
+/// label documents what the heuristic chose.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoHardware {
+    /// Base preset the sizing starts from (`puma` / `small_test`).
+    pub base: String,
+    /// Parallelism degrees to sweep at the sized chip count.
+    pub parallelism: Vec<usize>,
+    /// Capacity headroom over the single-replica crossbar demand
+    /// (`>= 1`; the bench harness default is 2.0, leaving room for
+    /// weight replication).
+    pub headroom: f64,
+}
+
+impl AutoHardware {
+    /// Default headroom, matching the bench harness (`CHIP_HEADROOM`).
+    pub const DEFAULT_HEADROOM: f64 = 2.0;
+    /// Default parallelism list (the paper's default degree).
+    pub const DEFAULT_PARALLELISM: usize = 20;
+}
+
+impl Default for AutoHardware {
+    fn default() -> Self {
+        AutoHardware {
+            base: "puma".to_string(),
+            parallelism: vec![Self::DEFAULT_PARALLELISM],
+            headroom: Self::DEFAULT_HEADROOM,
+        }
+    }
+}
+
+/// The hardware axis of a sweep: either explicit labelled
+/// configurations (expanded from one or more [`HardwareGrid`]s) or
+/// per-model automatic sizing ([`AutoHardware`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum HardwareAxis {
+    /// Labelled configurations shared by every model.
+    Explicit(Vec<(String, HardwareConfig)>),
+    /// Per-model sized configurations (`"hardware": "auto"`).
+    Auto(AutoHardware),
+}
+
+impl HardwareAxis {
+    /// Number of hardware configurations each model is swept over.
+    pub fn len(&self) -> usize {
+        match self {
+            HardwareAxis::Explicit(list) => list.len(),
+            HardwareAxis::Auto(auto) => auto.parallelism.len(),
+        }
+    }
+
+    /// `true` when the axis holds no configurations (never for a
+    /// parsed spec — parsing rejects empty axes).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` for the per-model automatic sizing variant.
+    pub fn is_auto(&self) -> bool {
+        matches!(self, HardwareAxis::Auto(_))
+    }
+}
+
 /// A validated, fully resolved sweep specification.
 ///
 /// Build one with [`SweepSpec::from_json`] (the CLI path) or construct
@@ -117,23 +213,28 @@ pub struct SweepSpec {
     /// Master seed; per-point GA seeds derive from it when `seeds` is
     /// not given explicitly.
     pub master_seed: u64,
-    /// Model names (zoo or test models), one sweep axis.
+    /// Model names (zoo names, test models, or `.onnx` file paths),
+    /// one sweep axis.
     pub models: Vec<String>,
     /// Pipeline modes, one sweep axis.
     pub modes: Vec<PipelineMode>,
-    /// Labelled hardware configurations, one sweep axis (already
-    /// validated, typically expanded from a [`HardwareGrid`]).
-    pub hardware: Vec<(String, HardwareConfig)>,
+    /// The hardware axis: explicit labelled configurations or
+    /// per-model automatic sizing.
+    pub hardware: HardwareAxis,
     /// GA seeds, one sweep axis.
     pub seeds: Vec<u64>,
     /// GA population per point.
     pub ga_population: usize,
     /// GA generation count per point.
     pub ga_iterations: usize,
-    /// Memory-reuse policy for every point.
-    pub policy: ReusePolicy,
-    /// HT transfer batch (low-latency points always use 1).
-    pub batch: usize,
+    /// Memory-reuse policies, one sweep axis (the paper's AG-reuse
+    /// ablation).
+    pub policies: Vec<ReusePolicy>,
+    /// HT transfer batches, one sweep axis (the paper's Fig. 10
+    /// protocol knob). Low-latency points always run batch 1 — the axis
+    /// collapses for LL modes per
+    /// [`CompileOptions::validate`](pimcomp_core::CompileOptions::validate).
+    pub batches: Vec<usize>,
     /// How the engine walks the grid (default: exhaustive).
     pub search: SearchStrategy,
 }
@@ -141,25 +242,36 @@ pub struct SweepSpec {
 /// One point of the expanded sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepPoint {
-    /// Model name.
+    /// Model name (zoo name or `.onnx` path).
     pub model: String,
     /// Pipeline mode.
     pub mode: PipelineMode,
-    /// Label of the hardware configuration (from the grid expansion).
+    /// Label of the hardware configuration (from the grid expansion or
+    /// the auto sizing).
     pub hw_label: String,
     /// The hardware configuration itself.
     pub hw: HardwareConfig,
+    /// Memory-reuse policy for this point.
+    pub policy: ReusePolicy,
+    /// HT transfer batch for this point (always 1 in LL mode).
+    pub batch: usize,
     /// GA seed for this point.
     pub seed: u64,
 }
 
 impl SweepPoint {
     /// Stable identity of the point inside a report
-    /// (`model/mode/hardware/seed`), the key sweep diffs join on.
+    /// (`model/mode/hardware/policy/bBATCH/seedSEED`), the key sweep
+    /// diffs join on.
     pub fn key(&self) -> String {
         format!(
-            "{}/{}/{}/seed{}",
-            self.model, self.mode, self.hw_label, self.seed
+            "{}/{}/{}/{}/b{}/seed{}",
+            self.model,
+            self.mode,
+            self.hw_label,
+            policy_spec_name(self.policy),
+            self.batch,
+            self.seed
         )
     }
 }
@@ -170,13 +282,20 @@ impl SweepSpec {
     /// Recognized fields (unknown fields are rejected so typos fail
     /// loudly):
     ///
-    /// * `models` — required, non-empty array of model names.
-    /// * `hardware` — required: one grid object or an array of grid
-    ///   objects. A grid has an optional `base` preset name
-    ///   (`puma`, `small_test`) and per-knob axes (`chips`,
-    ///   `cores_per_chip`, `crossbars_per_core`, `crossbar_size`,
-    ///   `parallelism`, `local_memory_kb`, `mvm_latency`,
-    ///   `noc_link_bw`), each a scalar or an array.
+    /// * `models` — required, non-empty array of model names: zoo
+    ///   networks, test models, or paths ending in `.onnx` (routed
+    ///   through the ONNX importer when the sweep runs). Non-path names
+    ///   are validated against the zoo at parse time.
+    /// * `hardware` — required: one grid object, an array of grid
+    ///   objects, or the automatic per-model sizing. A grid has an
+    ///   optional `base` preset name (`puma`, `small_test`) and
+    ///   per-knob axes (`chips`, `cores_per_chip`,
+    ///   `crossbars_per_core`, `crossbar_size`, `parallelism`,
+    ///   `local_memory_kb`, `mvm_latency`, `noc_link_bw`), each a
+    ///   scalar or an array. Automatic sizing is the string `"auto"`
+    ///   or `{ "auto": true, "base": "puma", "parallelism": [4, 8],
+    ///   "headroom": 2.0 }` — each model's chip count comes from the
+    ///   bench headroom heuristic ([`pimcomp_core::sized_chips`]).
     /// * `modes` — optional array of `"ht"` / `"ll"` (default
     ///   `["ht"]`).
     /// * `master_seed` — optional integer (default 1).
@@ -184,9 +303,16 @@ impl SweepSpec {
     ///   `num_seeds` (default 1) seeds are split from `master_seed`.
     /// * `ga` — optional `{ "population": P, "iterations": I }`
     ///   (default 16×24, the fast test configuration).
-    /// * `policy` — optional `"naive"` / `"add"` / `"ag"` (default
-    ///   `"ag"`).
-    /// * `batch` — optional HT transfer batch (default 2).
+    /// * `memory_policies` — optional non-empty array of
+    ///   `"naive"` / `"add"` / `"ag"`, one sweep axis (default
+    ///   `["ag"]`). The scalar `policy` form is still accepted but
+    ///   cannot be combined with the axis.
+    /// * `ht_batches` — optional non-empty array of positive HT
+    ///   transfer batches, one sweep axis (default `[2]`). Requires an
+    ///   `"ht"` entry in `modes`; low-latency points always run
+    ///   batch 1, so for LL modes the axis collapses to a single
+    ///   point. The scalar `batch` form is still accepted but cannot
+    ///   be combined with the axis.
     /// * `search` — optional strategy object (default exhaustive):
     ///   `{ "strategy": "exhaustive" }` or `{ "strategy": "halving",
     ///   "rungs": [2, 8, 24], "keep_fraction": 0.5,
@@ -197,7 +323,8 @@ impl SweepSpec {
     ///
     /// # Errors
     ///
-    /// [`ExploreError::InvalidSpec`] describing the offending field.
+    /// [`ExploreError::InvalidSpec`] describing the offending field,
+    /// or [`ExploreError::UnknownModel`] listing the valid model names.
     pub fn from_json(json: &str) -> Result<Self, ExploreError> {
         let value = serde_json::parse_value(json).map_err(|e| ExploreError::InvalidSpec {
             detail: format!("not valid JSON: {e}"),
@@ -207,7 +334,7 @@ impl SweepSpec {
 
     fn from_value(value: &Value) -> Result<Self, ExploreError> {
         let entries = as_object(value, "sweep spec")?;
-        const KNOWN: [&str; 10] = [
+        const KNOWN: [&str; 12] = [
             "master_seed",
             "models",
             "modes",
@@ -216,7 +343,9 @@ impl SweepSpec {
             "num_seeds",
             "ga",
             "policy",
+            "memory_policies",
             "batch",
+            "ht_batches",
             "search",
         ];
         for (key, _) in entries {
@@ -239,10 +368,25 @@ impl SweepSpec {
                 .map(|v| as_string(v, "models entry"))
                 .collect::<Result<Vec<_>, _>>()?,
             Some(_) | None => {
-                return Err(invalid("`models` must be a non-empty array of model names"))
+                return Err(invalid(
+                    "`models` must be a non-empty array of model names or .onnx paths",
+                ))
             }
         };
         reject_duplicates(&models, "models")?;
+        // Zoo names are validated at parse time so a typo fails with
+        // the full list of alternatives; `.onnx` paths are only read
+        // when the sweep runs, resolved against the process working
+        // directory (not the spec file's location — see
+        // docs/SWEEP_SPEC.md).
+        for model in &models {
+            if !model.ends_with(".onnx") && !crate::available_models().iter().any(|m| m == model) {
+                return Err(ExploreError::UnknownModel {
+                    name: model.clone(),
+                    available: crate::available_models(),
+                });
+            }
+        }
 
         let modes = match value.get("modes") {
             None => vec![PipelineMode::HighThroughput],
@@ -260,22 +404,35 @@ impl SweepSpec {
         reject_duplicates(&mode_names, "modes")?;
 
         let hardware = match value.get("hardware") {
+            Some(Value::Str(s)) if s == "auto" => HardwareAxis::Auto(AutoHardware::default()),
+            Some(Value::Str(other)) => {
+                return Err(invalid(format!(
+                    "`hardware` as a string must be \"auto\" (found `{other}`); \
+                     use a grid object for explicit configurations"
+                )))
+            }
+            Some(v @ Value::Map(_)) if v.get("auto").is_some() => {
+                HardwareAxis::Auto(parse_auto(v)?)
+            }
             Some(Value::Seq(grids)) if !grids.is_empty() => {
                 let mut out = Vec::new();
                 for g in grids {
                     out.extend(parse_grid(g)?);
                 }
-                out
+                HardwareAxis::Explicit(out)
             }
-            Some(v @ Value::Map(_)) => parse_grid(v)?,
+            Some(v @ Value::Map(_)) => HardwareAxis::Explicit(parse_grid(v)?),
             Some(_) | None => {
                 return Err(invalid(
-                    "`hardware` must be a grid object or a non-empty array of grid objects",
+                    "`hardware` must be a grid object, a non-empty array of grid \
+                     objects, or \"auto\"",
                 ))
             }
         };
-        let hw_labels: Vec<String> = hardware.iter().map(|(l, _)| l.clone()).collect();
-        reject_duplicates(&hw_labels, "hardware grid points")?;
+        if let HardwareAxis::Explicit(list) = &hardware {
+            let hw_labels: Vec<String> = list.iter().map(|(l, _)| l.clone()).collect();
+            reject_duplicates(&hw_labels, "hardware grid points")?;
+        }
 
         let seeds = match (value.get("seeds"), value.get("num_seeds")) {
             (Some(_), Some(_)) => {
@@ -332,30 +489,75 @@ impl SweepSpec {
             }
         };
 
-        let policy = match value.get("policy") {
-            None => ReusePolicy::AgReuse,
-            Some(v) => match as_string(v, "policy")?.as_str() {
-                "naive" => ReusePolicy::Naive,
-                "add" => ReusePolicy::AddReuse,
-                "ag" => ReusePolicy::AgReuse,
-                other => {
-                    return Err(invalid(format!(
-                        "unknown policy `{other}` (naive | add | ag)"
-                    )))
-                }
-            },
+        let policies = match (value.get("policy"), value.get("memory_policies")) {
+            (Some(_), Some(_)) => {
+                return Err(invalid(
+                    "give either `policy` or `memory_policies`, not both",
+                ))
+            }
+            (Some(v), None) => vec![parse_policy(&as_string(v, "policy")?)?],
+            (None, Some(Value::Seq(items))) if !items.is_empty() => items
+                .iter()
+                .map(|v| parse_policy(&as_string(v, "memory_policies entry")?))
+                .collect::<Result<Vec<_>, _>>()?,
+            (None, Some(_)) => {
+                return Err(invalid(format!(
+                    "`memory_policies` must be a non-empty array of policy names \
+                     ({})",
+                    policy_names().join(" | ")
+                )))
+            }
+            (None, None) => vec![ReusePolicy::AgReuse],
         };
+        let policy_labels: Vec<String> = policies
+            .iter()
+            .map(|&p| policy_spec_name(p).to_string())
+            .collect();
+        reject_duplicates(&policy_labels, "memory_policies")?;
 
-        let batch = match value.get("batch") {
-            Some(v) => {
+        let (batch_field, batches) = match (value.get("batch"), value.get("ht_batches")) {
+            (Some(_), Some(_)) => {
+                return Err(invalid("give either `batch` or `ht_batches`, not both"))
+            }
+            (Some(v), None) => {
                 let b = as_u64(v, "batch")? as usize;
                 if b == 0 {
                     return Err(invalid("`batch` must be at least 1"));
                 }
-                b
+                ("batch", vec![b])
             }
-            None => 2,
+            (None, Some(Value::Seq(items))) if !items.is_empty() => {
+                let batches: Vec<usize> = items
+                    .iter()
+                    .map(|v| as_u64(v, "ht_batches entry").map(|b| b as usize))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if batches.contains(&0) {
+                    return Err(invalid("`ht_batches` entries must be at least 1"));
+                }
+                ("ht_batches", batches)
+            }
+            (None, Some(_)) => {
+                return Err(invalid(
+                    "`ht_batches` must be a non-empty array of positive integers",
+                ))
+            }
+            // The default is never validated against the modes: an
+            // LL-only sweep simply collapses it to batch 1.
+            (None, None) => ("", vec![2]),
         };
+        // Both spellings of the knob validate identically: an explicit
+        // batch above 1 is meaningless without a high-throughput mode.
+        if !batch_field.is_empty()
+            && batches.iter().any(|&b| b > 1)
+            && !modes.contains(&PipelineMode::HighThroughput)
+        {
+            return Err(invalid(format!(
+                "`{batch_field}` only applies to high-throughput mode, but \
+                 `modes` contains no \"ht\" (low-latency points always run batch 1)"
+            )));
+        }
+        let batch_names: Vec<String> = batches.iter().map(usize::to_string).collect();
+        reject_duplicates(&batch_names, "ht_batches")?;
 
         let search = match value.get("search") {
             None => SearchStrategy::Exhaustive,
@@ -370,18 +572,43 @@ impl SweepSpec {
             seeds,
             ga_population,
             ga_iterations,
-            policy,
-            batch,
+            policies,
+            batches,
             search,
         };
-        // Expand once so oversized sweeps are rejected at parse time.
-        spec.points()?;
+        // Cheap structural checks at parse time: oversized or empty
+        // sweeps are rejected before any model is loaded or sized
+        // (`len` never touches the filesystem, unlike `points` for
+        // `.onnx` models or auto hardware).
+        if spec.is_empty() {
+            return Err(invalid("sweep has no points (an axis is empty)"));
+        }
+        if spec.len() > MAX_SWEEP_POINTS {
+            return Err(invalid(format!(
+                "sweep expands to {} points, more than the {MAX_SWEEP_POINTS} cap",
+                spec.len()
+            )));
+        }
         Ok(spec)
     }
 
-    /// Number of points the sweep expands to.
+    /// Number of points the sweep expands to. Low-latency modes
+    /// contribute one point per (model, hardware, policy, seed)
+    /// regardless of the batch axis — LL always runs batch 1, so the
+    /// axis collapses rather than duplicating identical points.
     pub fn len(&self) -> usize {
-        self.models.len() * self.modes.len() * self.hardware.len() * self.seeds.len()
+        let ht_modes = self
+            .modes
+            .iter()
+            .filter(|&&m| m == PipelineMode::HighThroughput)
+            .count();
+        let ll_modes = self.modes.len() - ht_modes;
+        let mode_batches = ht_modes * self.batches.len() + ll_modes;
+        self.models.len()
+            * self.hardware.len()
+            * self.policies.len()
+            * mode_batches
+            * self.seeds.len()
     }
 
     /// `true` when any axis is empty (the sweep has no points).
@@ -390,15 +617,44 @@ impl SweepSpec {
     }
 
     /// Expands the cross-product into points, in the fixed axis order
-    /// models → modes → hardware → seeds. The order is part of the
-    /// determinism contract: point index, and hence any master-seed
-    /// derived quantity, depends only on the spec.
+    /// models → modes → hardware → policies → batches → seeds. The
+    /// order is part of the determinism contract: point index, and
+    /// hence any master-seed derived quantity, depends only on the
+    /// spec.
+    ///
+    /// With `hardware: "auto"` this resolves every model (loading
+    /// `.onnx` paths from disk) to size its configurations; the engine
+    /// uses [`SweepSpec::points_for`] with its already-resolved graphs
+    /// instead, so each model is read exactly once per sweep.
     ///
     /// # Errors
     ///
-    /// [`ExploreError::InvalidSpec`] when an axis is empty or the
-    /// expansion exceeds [`MAX_SWEEP_POINTS`].
+    /// [`ExploreError::InvalidSpec`] when an axis is empty, the
+    /// expansion exceeds [`MAX_SWEEP_POINTS`], or auto sizing fails;
+    /// [`ExploreError::UnknownModel`] / [`ExploreError::Onnx`] /
+    /// [`ExploreError::Io`] from model resolution under auto hardware.
     pub fn points(&self) -> Result<Vec<SweepPoint>, ExploreError> {
+        match &self.hardware {
+            HardwareAxis::Explicit(_) => self.points_for(&[]),
+            HardwareAxis::Auto(_) => {
+                let graphs: Vec<Graph> = self
+                    .models
+                    .iter()
+                    .map(|name| crate::resolve_model(name))
+                    .collect::<Result<_, _>>()?;
+                self.points_for(&graphs)
+            }
+        }
+    }
+
+    /// [`SweepSpec::points`] over already-resolved model graphs
+    /// (`graphs[i]` corresponds to `models[i]`). Only auto hardware
+    /// consults the graphs — explicit sweeps may pass an empty slice.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::InvalidSpec`] as for [`SweepSpec::points`].
+    pub fn points_for(&self, graphs: &[Graph]) -> Result<Vec<SweepPoint>, ExploreError> {
         if self.is_empty() {
             return Err(invalid("sweep has no points (an axis is empty)"));
         }
@@ -408,24 +664,82 @@ impl SweepSpec {
                 self.len()
             )));
         }
+        if self.hardware.is_auto() && graphs.len() != self.models.len() {
+            return Err(invalid(format!(
+                "auto hardware sizing needs one resolved graph per model \
+                 ({} models, {} graphs)",
+                self.models.len(),
+                graphs.len()
+            )));
+        }
         let mut out = Vec::with_capacity(self.len());
-        for model in &self.models {
+        for (mi, model) in self.models.iter().enumerate() {
+            // Explicit configurations are shared by every model —
+            // borrow them; only auto sizing builds a per-model list.
+            let sized;
+            let hw_list: &[(String, HardwareConfig)] = match &self.hardware {
+                HardwareAxis::Explicit(list) => list,
+                HardwareAxis::Auto(auto) => {
+                    sized = sized_hardware(auto, model, &graphs[mi])?;
+                    &sized
+                }
+            };
             for &mode in &self.modes {
-                for (label, hw) in &self.hardware {
-                    for &seed in &self.seeds {
-                        out.push(SweepPoint {
-                            model: model.clone(),
-                            mode,
-                            hw_label: label.clone(),
-                            hw: hw.clone(),
-                            seed,
-                        });
+                let batches: &[usize] = match mode {
+                    PipelineMode::HighThroughput => &self.batches,
+                    // LL always runs batch 1; the axis collapses so the
+                    // grid never holds two identical LL points.
+                    PipelineMode::LowLatency => &[1],
+                };
+                for (label, hw) in hw_list {
+                    for &policy in &self.policies {
+                        for &batch in batches {
+                            for &seed in &self.seeds {
+                                out.push(SweepPoint {
+                                    model: model.clone(),
+                                    mode,
+                                    hw_label: label.clone(),
+                                    hw: hw.clone(),
+                                    policy,
+                                    batch,
+                                    seed,
+                                });
+                            }
+                        }
                     }
                 }
             }
         }
         Ok(out)
     }
+}
+
+/// Expands an [`AutoHardware`] axis for one model: sizes the chip
+/// count with the shared headroom heuristic, then enumerates the
+/// parallelism list through a [`HardwareGrid`] so labels
+/// (`auto-puma+chips3+par4`) and validation match explicit grids.
+fn sized_hardware(
+    auto: &AutoHardware,
+    model: &str,
+    graph: &Graph,
+) -> Result<Vec<(String, HardwareConfig)>, ExploreError> {
+    let base = preset(&auto.base).ok_or_else(|| {
+        invalid(format!(
+            "hardware.base: unknown hardware preset `{}` (available: {})",
+            auto.base,
+            preset_names().join(", ")
+        ))
+    })?;
+    let chips = pimcomp_core::sized_chips(graph, &base, auto.headroom).map_err(|e| {
+        invalid(format!(
+            "hardware auto-sizing failed for model `{model}`: {e}"
+        ))
+    })?;
+    HardwareGrid::new(format!("auto-{}", auto.base), base)
+        .with_chips(vec![chips])
+        .with_parallelism(auto.parallelism.clone())
+        .enumerate()
+        .map_err(|e| invalid(format!("hardware auto-sizing for model `{model}`: {e}")))
 }
 
 fn invalid(detail: impl Into<String>) -> ExploreError {
@@ -509,6 +823,76 @@ fn parse_mode(s: &str) -> Result<PipelineMode, ExploreError> {
             "unknown pipeline mode `{other}` (ht | ll)"
         ))),
     }
+}
+
+fn parse_policy(s: &str) -> Result<ReusePolicy, ExploreError> {
+    match s {
+        "naive" => Ok(ReusePolicy::Naive),
+        "add" => Ok(ReusePolicy::AddReuse),
+        "ag" => Ok(ReusePolicy::AgReuse),
+        other => Err(invalid(format!(
+            "unknown memory policy `{other}` ({})",
+            policy_names().join(" | ")
+        ))),
+    }
+}
+
+fn parse_auto(v: &Value) -> Result<AutoHardware, ExploreError> {
+    let entries = as_object(v, "hardware")?;
+    const KNOWN: [&str; 4] = ["auto", "base", "parallelism", "headroom"];
+    for (key, _) in entries {
+        if !KNOWN.contains(&key.as_str()) {
+            return Err(invalid(format!(
+                "unknown auto-hardware field `{key}` (known fields: {})",
+                KNOWN.join(", ")
+            )));
+        }
+    }
+    match v.get("auto") {
+        Some(Value::Bool(true)) => {}
+        Some(_) => {
+            return Err(invalid(
+                "`hardware.auto` must be `true` (remove the key for an explicit grid)",
+            ))
+        }
+        None => unreachable!("parse_auto is only called when `auto` is present"),
+    }
+    let base = match v.get("base") {
+        Some(b) => as_string(b, "hardware.base")?,
+        None => "puma".to_string(),
+    };
+    if preset(&base).is_none() {
+        return Err(invalid(format!(
+            "hardware.base: unknown hardware preset `{base}` (available: {})",
+            preset_names().join(", ")
+        )));
+    }
+    let parallelism = match v.get("parallelism") {
+        Some(axis) => {
+            let p = usize_axis(axis, "hardware.parallelism")?;
+            if p.is_empty() || p.contains(&0) {
+                return Err(invalid(
+                    "`hardware.parallelism` must be a non-empty list of positive degrees",
+                ));
+            }
+            let names: Vec<String> = p.iter().map(usize::to_string).collect();
+            reject_duplicates(&names, "hardware.parallelism")?;
+            p
+        }
+        None => vec![AutoHardware::DEFAULT_PARALLELISM],
+    };
+    let headroom = match v.get("headroom") {
+        Some(h) => as_f64(h, "hardware.headroom")?,
+        None => AutoHardware::DEFAULT_HEADROOM,
+    };
+    if !headroom.is_finite() || headroom < 1.0 {
+        return Err(invalid("`hardware.headroom` must be a finite number >= 1"));
+    }
+    Ok(AutoHardware {
+        base,
+        parallelism,
+        headroom,
+    })
 }
 
 fn parse_grid(v: &Value) -> Result<Vec<(String, HardwareConfig)>, ExploreError> {
@@ -670,10 +1054,15 @@ mod tests {
         assert_eq!(spec.models.len(), 2);
         assert_eq!(spec.modes.len(), 2);
         assert_eq!(spec.hardware.len(), 4);
+        assert_eq!(spec.policies, vec![ReusePolicy::AgReuse]);
+        assert_eq!(spec.batches, vec![2]);
         assert_eq!(spec.seeds, vec![1]);
         let points = spec.points().unwrap();
         assert_eq!(points.len(), 16);
-        assert_eq!(points[0].key(), "tiny_cnn/HT/small_test+chips1+par4/seed1");
+        assert_eq!(
+            points[0].key(),
+            "tiny_cnn/HT/small_test+chips1+par4/ag/b2/seed1"
+        );
     }
 
     #[test]
@@ -749,6 +1138,190 @@ mod tests {
                 msg.contains(needle),
                 "spec {json} gave `{msg}`, expected to contain `{needle}`"
             );
+        }
+    }
+
+    #[test]
+    fn malformed_axis_fields_are_structured_errors() {
+        for (json, needle) in [
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},"memory_policies":[]}"#,
+                "`memory_policies` must be a non-empty array",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},"memory_policies":["lru"]}"#,
+                "unknown memory policy `lru` (naive | add | ag)",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},
+                    "memory_policies":["ag","ag"]}"#,
+                "duplicate entry `ag` in memory_policies",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},
+                    "policy":"ag","memory_policies":["naive"]}"#,
+                "either `policy` or `memory_policies`",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},"ht_batches":[]}"#,
+                "`ht_batches` must be a non-empty array",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},"ht_batches":[0]}"#,
+                "`ht_batches` entries must be at least 1",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},"ht_batches":[2,2]}"#,
+                "duplicate entry `2` in ht_batches",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},
+                    "batch":2,"ht_batches":[1,2]}"#,
+                "either `batch` or `ht_batches`",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},"modes":["ll"],
+                    "ht_batches":[1,2]}"#,
+                "`ht_batches` only applies to high-throughput mode",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},"modes":["ll"],
+                    "batch":4}"#,
+                "`batch` only applies to high-throughput mode",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":"automatic"}"#,
+                "must be \"auto\"",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{"auto":false}}"#,
+                "`hardware.auto` must be `true`",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{"auto":true,"chips":[1]}}"#,
+                "unknown auto-hardware field `chips`",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{"auto":true,"base":"tpu"}}"#,
+                "unknown hardware preset `tpu`",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],
+                    "hardware":{"auto":true,"parallelism":[0]}}"#,
+                "`hardware.parallelism` must be a non-empty list of positive",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],
+                    "hardware":{"auto":true,"parallelism":[4,4]}}"#,
+                "duplicate entry `4` in hardware.parallelism",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],
+                    "hardware":{"auto":true,"headroom":0.5}}"#,
+                "`hardware.headroom` must be a finite number >= 1",
+            ),
+        ] {
+            let err = SweepSpec::from_json(json).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains(needle),
+                "spec {json} gave `{msg}`, expected to contain `{needle}`"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_model_names_fail_at_parse_listing_alternatives() {
+        let err =
+            SweepSpec::from_json(r#"{"models":["alexnet"],"hardware":{"base":"small_test"}}"#)
+                .unwrap_err();
+        match &err {
+            ExploreError::UnknownModel { name, available } => {
+                assert_eq!(name, "alexnet");
+                assert!(available.iter().any(|m| m == "vgg16"));
+                assert!(available.iter().any(|m| m == "tiny_cnn"));
+            }
+            other => panic!("expected UnknownModel, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("available models"), "{msg}");
+        assert!(msg.contains(".onnx"), "{msg}");
+        // `.onnx` paths are not resolved against the zoo at parse time.
+        SweepSpec::from_json(r#"{"models":["anything.onnx"],"hardware":{"base":"small_test"}}"#)
+            .unwrap();
+    }
+
+    #[test]
+    fn policy_and_batch_axes_cross_product_with_ll_collapsing() {
+        let spec = SweepSpec::from_json(
+            r#"{"models":["tiny_mlp"],"modes":["ht","ll"],
+                "hardware":{"base":"small_test"},"seeds":[1],
+                "memory_policies":["naive","ag"],"ht_batches":[1,4]}"#,
+        )
+        .unwrap();
+        // HT: 2 policies x 2 batches; LL: 2 policies x 1 (collapsed).
+        assert_eq!(spec.len(), 4 + 2);
+        let points = spec.points().unwrap();
+        assert_eq!(points.len(), 6);
+        let keys: Vec<String> = points.iter().map(|p| p.key()).collect();
+        assert_eq!(
+            keys,
+            [
+                "tiny_mlp/HT/small_test/naive/b1/seed1",
+                "tiny_mlp/HT/small_test/naive/b4/seed1",
+                "tiny_mlp/HT/small_test/ag/b1/seed1",
+                "tiny_mlp/HT/small_test/ag/b4/seed1",
+                "tiny_mlp/LL/small_test/naive/b1/seed1",
+                "tiny_mlp/LL/small_test/ag/b1/seed1",
+            ]
+        );
+        assert!(points
+            .iter()
+            .filter(|p| p.mode == PipelineMode::LowLatency)
+            .all(|p| p.batch == 1));
+        // An explicit batch of 1 is harmless without an HT mode (both
+        // spellings); only values above 1 require one.
+        for json in [
+            r#"{"models":["tiny_mlp"],"hardware":{},"modes":["ll"],"ht_batches":[1]}"#,
+            r#"{"models":["tiny_mlp"],"hardware":{},"modes":["ll"],"batch":1}"#,
+        ] {
+            assert_eq!(SweepSpec::from_json(json).unwrap().batches, vec![1]);
+        }
+    }
+
+    #[test]
+    fn auto_hardware_sizes_per_model_with_labelled_parallelism() {
+        let spec = SweepSpec::from_json(
+            r#"{"models":["tiny_mlp","tiny_cnn"],
+                "hardware":{"auto":true,"base":"small_test",
+                             "parallelism":[2,4]}}"#,
+        )
+        .unwrap();
+        assert!(spec.hardware.is_auto());
+        assert_eq!(spec.hardware.len(), 2);
+        assert_eq!(spec.len(), 2 * 2);
+        let points = spec.points().unwrap();
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            assert!(
+                p.hw_label.starts_with("auto-small_test+chips"),
+                "{}",
+                p.hw_label
+            );
+            assert!(p.hw.chips >= 1);
+            p.hw.validate().unwrap();
+        }
+        assert_eq!(points[0].hw.parallelism, 2);
+        assert_eq!(points[1].hw.parallelism, 4);
+        // The bare string form uses every default.
+        let bare = SweepSpec::from_json(r#"{"models":["tiny_mlp"],"hardware":"auto"}"#).unwrap();
+        match &bare.hardware {
+            HardwareAxis::Auto(a) => {
+                assert_eq!(a.base, "puma");
+                assert_eq!(a.parallelism, vec![AutoHardware::DEFAULT_PARALLELISM]);
+                assert_eq!(a.headroom, AutoHardware::DEFAULT_HEADROOM);
+            }
+            other => panic!("expected auto hardware, got {other:?}"),
         }
     }
 
@@ -888,8 +1461,11 @@ mod tests {
                             {"base":"small_test","chips":2,"parallelism":[4,8]}]}"#,
         )
         .unwrap();
-        assert_eq!(spec.hardware.len(), 3);
-        assert_eq!(spec.hardware[0].0, "small_test+chips1");
-        assert_eq!(spec.hardware[2].1.parallelism, 8);
+        let HardwareAxis::Explicit(hardware) = &spec.hardware else {
+            panic!("expected explicit hardware");
+        };
+        assert_eq!(hardware.len(), 3);
+        assert_eq!(hardware[0].0, "small_test+chips1");
+        assert_eq!(hardware[2].1.parallelism, 8);
     }
 }

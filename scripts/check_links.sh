@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Fails (exit 1) when a relative markdown link in README.md or docs/
+# points at a file that does not exist. External (http/https/mailto)
+# links and pure #fragment links are skipped; targets are resolved
+# relative to the file containing the link, like every markdown
+# renderer does. Run from anywhere; CI's docs job runs it on every
+# push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+for f in README.md docs/*.md; do
+  [ -e "$f" ] || continue
+  dir=$(dirname "$f")
+  # Pull out every inline-link target: the (...) following ](.
+  while IFS= read -r target; do
+    target=${target%%#*} # strip any #fragment
+    [ -z "$target" ] && continue
+    case "$target" in
+    http://* | https://* | mailto:*) continue ;;
+    esac
+    if [ ! -e "$dir/$target" ]; then
+      echo "broken link in $f: $target" >&2
+      status=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "all relative markdown links in README.md and docs/ resolve"
+fi
+exit "$status"

@@ -26,7 +26,7 @@
 
 use pimcomp::prelude::*;
 use pimcomp_arch::PipelineMode;
-use pimcomp_core::{CompileStage, GaParams, Partitioning, ReusePolicy};
+use pimcomp_core::{CompileStage, GaParams, ReusePolicy};
 use pimcomp_ir::transform::normalize;
 use pimcomp_ir::{Graph, GraphStats};
 use std::collections::HashMap;
@@ -115,6 +115,9 @@ OPTIONS (simulate):
   --report FILE.json      write the simulation report as JSON
 
 OPTIONS (explore):
+  (the sweep spec JSON — models incl. .onnx paths, modes, hardware grids
+  or \"auto\" per-model sizing, memory_policies, ht_batches, seeds,
+  search — is documented field by field in docs/SWEEP_SPEC.md)
   --threads N|auto        sweep worker threads (default: auto; any value
                           produces a byte-identical report)
   --out FILE.json         write the versioned sweep report as JSON
@@ -178,12 +181,10 @@ fn hardware(opts: &HashMap<String, String>, graph: &Graph) -> Result<HardwareCon
         .unwrap_or(20);
     let chips = match opts.get("chips") {
         Some(s) => s.parse().map_err(|_| "bad --chips")?,
-        None => {
-            let base = HardwareConfig::puma();
-            let p = Partitioning::new(graph, &base).map_err(|e| e.to_string())?;
-            let per_chip = base.cores_per_chip * base.crossbars_per_core;
-            (2 * p.min_crossbars()).div_ceil(per_chip).max(1)
-        }
+        // The shared headroom heuristic (also behind `hardware: "auto"`
+        // in sweep specs and the bench harness's sizing).
+        None => pimcomp_core::sized_chips(graph, &HardwareConfig::puma(), 2.0)
+            .map_err(|e| e.to_string())?,
     };
     let hw = HardwareConfig::puma_with_chips(chips).with_parallelism(parallelism);
     hw.validate().map_err(|e| e.to_string())?;
@@ -582,16 +583,46 @@ fn cmd_explore(args: &[String]) -> Result<(), String> {
         None => engine = engine.with_cache_dir(".pimcomp-cache"),
     }
 
+    // The mode/batch factor is spelled so the printed product equals
+    // the point count even when LL modes collapse the batch axis.
+    let ht_modes = spec
+        .modes
+        .iter()
+        .filter(|&&m| m == PipelineMode::HighThroughput)
+        .count();
+    let ll_modes = spec.modes.len() - ht_modes;
+    let mode_axis = match (ht_modes, ll_modes) {
+        (_, 0) => format!("{} modes x {} batches", ht_modes, spec.batches.len()),
+        (0, _) => format!("{ll_modes} modes"),
+        _ => format!(
+            "({ht_modes} HT mode{} x {} batches + {ll_modes} LL mode{})",
+            if ht_modes == 1 { "" } else { "s" },
+            spec.batches.len(),
+            if ll_modes == 1 { "" } else { "s" },
+        ),
+    };
     println!(
-        "exploring {} points ({} models x {} modes x {} hardware configs x {} seeds, \
-         {} search, {threads} threads)...",
+        "exploring {} points ({} models x {mode_axis} x {} hardware configs x {} policies \
+         x {} seeds, {} search, {threads} threads)...",
         spec.len(),
         spec.models.len(),
-        spec.modes.len(),
         spec.hardware.len(),
+        spec.policies.len(),
         spec.seeds.len(),
         spec.search.name()
     );
+    if spec.hardware.is_auto() {
+        println!(
+            "  hardware: auto — chip counts sized per model by the headroom heuristic \
+             (labels carry the chosen count)"
+        );
+    }
+    if spec.modes.contains(&PipelineMode::LowLatency) && spec.batches.iter().any(|&b| b > 1) {
+        println!(
+            "  note: `ht_batches` applies to high-throughput points only; \
+             low-latency points always run batch 1"
+        );
+    }
     let outcome = engine.run(&spec).map_err(|e| e.to_string())?;
     let report = &outcome.report;
     println!(
@@ -613,16 +644,27 @@ fn cmd_explore(args: &[String]) -> Result<(), String> {
         report.points.len()
     );
     println!(
-        "  {:<10} {:<4} {:<28} {:>20} {:>12} {:>12} {:>11} {:>6}",
-        "model", "mode", "hardware", "seed", "cycles", "energy(uJ)", "inf/s", "xbar%"
+        "  {:<10} {:<4} {:<28} {:<6} {:>5} {:>20} {:>12} {:>12} {:>11} {:>6}",
+        "model",
+        "mode",
+        "hardware",
+        "policy",
+        "batch",
+        "seed",
+        "cycles",
+        "energy(uJ)",
+        "inf/s",
+        "xbar%"
     );
     for p in report.frontier_records() {
         let m = p.metrics.as_ref().expect("frontier points succeeded");
         println!(
-            "  {:<10} {:<4} {:<28} {:>20} {:>12} {:>12.2} {:>11.0} {:>5.1}%",
+            "  {:<10} {:<4} {:<28} {:<6} {:>5} {:>20} {:>12} {:>12.2} {:>11.0} {:>5.1}%",
             p.model,
             p.mode,
             p.hardware,
+            p.policy,
+            p.batch,
             p.seed,
             m.cycles,
             m.energy_uj,

@@ -37,6 +37,36 @@ fn spec() -> SweepSpec {
     SweepSpec::from_json(SPEC).unwrap()
 }
 
+/// A spec exercising every new axis at once: memory policies, HT
+/// batches, auto-sized hardware, and an `.onnx` model next to a zoo
+/// name. 2 models × 2 auto parallelism × 2 policies × (HT: 2 batches +
+/// LL: 1) × 1 seed = 24 points.
+fn axes_spec(onnx_path: &str) -> String {
+    format!(
+        r#"{{
+  "master_seed": 13,
+  "models": ["tiny_mlp", "{onnx_path}"],
+  "modes": ["ht", "ll"],
+  "hardware": {{ "auto": true, "base": "small_test", "parallelism": [2, 4] }},
+  "memory_policies": ["naive", "ag"],
+  "ht_batches": [1, 2],
+  "seeds": [1],
+  "ga": {{ "population": 4, "iterations": 3 }}
+}}"#
+    )
+}
+
+/// Writes a loadable tiny `.onnx` model under `dir` and returns its
+/// path (the importer consumes exactly what the exporter emits, so no
+/// binary fixture is needed).
+fn write_tiny_onnx(dir: &std::path::Path) -> String {
+    std::fs::create_dir_all(dir).unwrap();
+    let path = dir.join("tiny_mlp.onnx");
+    let bytes = pimcomp::onnx::export_graph(&pimcomp::ir::models::tiny_mlp()).encode();
+    std::fs::write(&path, bytes).unwrap();
+    path.to_str().unwrap().to_string()
+}
+
 fn halving_spec() -> SweepSpec {
     SweepSpec::from_json(HALVING_SPEC).unwrap()
 }
@@ -147,6 +177,122 @@ fn guided_final_rung_frontier_is_a_subset_of_the_exhaustive_frontier() {
     // the GA or this spec changes and the bound breaks, that is a real
     // frontier-quality regression to investigate, not flakiness.
     assert!(matches!(halving_spec().search, SearchStrategy::Halving(_)));
+}
+
+#[test]
+fn new_axes_sweep_is_thread_invariant_and_replays_from_cache() {
+    let dir = temp_dir("axes");
+    let _ = std::fs::remove_dir_all(&dir);
+    let onnx = write_tiny_onnx(&dir);
+    let spec = SweepSpec::from_json(&axes_spec(&onnx)).unwrap();
+    assert_eq!(spec.len(), 24);
+
+    let cache = dir.join("cache");
+    let cold = ExploreEngine::new()
+        .with_threads(1)
+        .with_cache_dir(&cache)
+        .run(&spec)
+        .unwrap();
+    let four = ExploreEngine::new().with_threads(4).run(&spec).unwrap();
+    assert_eq!(
+        cold.report.to_json().unwrap(),
+        four.report.to_json().unwrap(),
+        "new-axes sweep must emit identical bytes at 1 and 4 threads"
+    );
+    // v3 report: the compiler-knob axes are in every record.
+    assert_eq!(cold.report.format_version, 3);
+    assert_eq!(cold.report.points.len(), 24);
+    assert_eq!(cold.report.failures(), 0);
+    assert!(cold
+        .report
+        .points
+        .iter()
+        .all(|p| (p.policy == "naive" || p.policy == "ag") && p.batch >= 1));
+    // LL points always run batch 1; the onnx model got its own
+    // auto-sized hardware labels.
+    for p in &cold.report.points {
+        if p.mode == "LL" {
+            assert_eq!(p.batch, 1, "{}", p.key());
+        }
+        assert!(
+            p.hardware.starts_with("auto-small_test+chips"),
+            "{}",
+            p.hardware
+        );
+    }
+    // Warm rerun replays every (point, budget) evaluation byte-for-byte.
+    let warm = ExploreEngine::new()
+        .with_threads(4)
+        .with_cache_dir(&cache)
+        .run(&spec)
+        .unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(warm.cache_misses, 0, "warm rerun must fully replay");
+    assert_eq!(warm.cache_hits, cold.cache_misses);
+    assert_eq!(
+        cold.report.to_json().unwrap(),
+        warm.report.to_json().unwrap(),
+        "cache replay must not change a single report byte"
+    );
+}
+
+#[test]
+fn onnx_and_zoo_spellings_of_the_same_model_agree() {
+    // tiny_mlp by zoo name and the exported tiny_mlp.onnx are the same
+    // network, so identical points must produce identical metrics.
+    let dir = temp_dir("onnx-agree");
+    let _ = std::fs::remove_dir_all(&dir);
+    let onnx = write_tiny_onnx(&dir);
+    let spec = SweepSpec::from_json(&format!(
+        r#"{{"models":["tiny_mlp","{onnx}"],
+             "hardware":{{"base":"small_test","parallelism":[4]}},
+             "seeds":[1],"ga":{{"population":4,"iterations":2}}}}"#
+    ))
+    .unwrap();
+    let outcome = ExploreEngine::new().with_threads(2).run(&spec).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(outcome.report.points.len(), 2);
+    assert_eq!(outcome.report.failures(), 0);
+    assert_eq!(
+        outcome.report.points[0].metrics, outcome.report.points[1].metrics,
+        "zoo and ONNX spellings of tiny_mlp diverged"
+    );
+}
+
+#[test]
+fn missing_and_malformed_onnx_models_are_structured_errors() {
+    use pimcomp::dse::ExploreError;
+    // Parse succeeds (the file is only read when the sweep runs) …
+    let spec = SweepSpec::from_json(
+        r#"{"models":["/definitely/not/here.onnx"],
+            "hardware":{"base":"small_test"}}"#,
+    )
+    .unwrap();
+    // … and the run surfaces a structured I/O error naming the path.
+    let err = ExploreEngine::new().run(&spec).unwrap_err();
+    match &err {
+        ExploreError::Io { detail } => {
+            assert!(detail.contains("/definitely/not/here.onnx"), "{detail}")
+        }
+        other => panic!("expected Io, got {other:?}"),
+    }
+    // A file that exists but is not ONNX yields the importer's error.
+    let dir = temp_dir("bad-onnx");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("garbage.onnx");
+    std::fs::write(&bad, b"this is not an onnx model").unwrap();
+    let spec = SweepSpec::from_json(&format!(
+        r#"{{"models":["{}"],"hardware":{{"base":"small_test"}}}}"#,
+        bad.to_str().unwrap()
+    ))
+    .unwrap();
+    let err = ExploreEngine::new().run(&spec).unwrap_err();
+    std::fs::remove_dir_all(&dir).ok();
+    match &err {
+        ExploreError::Onnx { path, .. } => assert!(path.ends_with("garbage.onnx"), "{path}"),
+        other => panic!("expected Onnx, got {other:?}"),
+    }
 }
 
 #[test]
@@ -287,6 +433,29 @@ fn invalid_specs_and_unknown_models_are_structured_cli_errors() {
         (
             r#"{"models":["tiny_mlp"],"hardware":{"base":"tpu"}}"#,
             "unknown hardware preset",
+        ),
+        // One case per new axis: zero batch, batch > 1 without an HT
+        // mode, unknown policy (listing the alternatives), missing
+        // ONNX file, and a malformed auto-hardware block.
+        (
+            r#"{"models":["tiny_mlp"],"hardware":{},"ht_batches":[0]}"#,
+            "`ht_batches` entries must be at least 1",
+        ),
+        (
+            r#"{"models":["tiny_mlp"],"hardware":{},"modes":["ll"],"ht_batches":[2]}"#,
+            "only applies to high-throughput mode",
+        ),
+        (
+            r#"{"models":["tiny_mlp"],"hardware":{},"memory_policies":["lru"]}"#,
+            "unknown memory policy `lru` (naive | add | ag)",
+        ),
+        (
+            r#"{"models":["/no/such/model.onnx"],"hardware":{}}"#,
+            "/no/such/model.onnx",
+        ),
+        (
+            r#"{"models":["tiny_mlp"],"hardware":{"auto":true,"headroom":0}}"#,
+            "`hardware.headroom` must be a finite number >= 1",
         ),
     ];
     for (i, (spec, needle)) in cases.iter().enumerate() {
