@@ -106,6 +106,35 @@ pub struct NullObserver;
 
 impl CompileObserver for NullObserver {}
 
+/// Observers forward through mutable references, so a caller can keep
+/// ownership while threading one observer through nested layers (e.g.
+/// a sweep engine handing the same observer to every stage).
+impl<O: CompileObserver + ?Sized> CompileObserver for &mut O {
+    fn on_stage_start(&mut self, stage: CompileStage) {
+        (**self).on_stage_start(stage);
+    }
+    fn on_stage_finish(&mut self, stage: CompileStage, elapsed: Duration) {
+        (**self).on_stage_finish(stage, elapsed);
+    }
+    fn on_ga_generation(&mut self, progress: GaGeneration) {
+        (**self).on_ga_generation(progress);
+    }
+}
+
+/// Boxed observers forward too, so heterogeneous observer pipelines can
+/// be stored and passed around as trait objects.
+impl<O: CompileObserver + ?Sized> CompileObserver for Box<O> {
+    fn on_stage_start(&mut self, stage: CompileStage) {
+        (**self).on_stage_start(stage);
+    }
+    fn on_stage_finish(&mut self, stage: CompileStage, elapsed: Duration) {
+        (**self).on_stage_finish(stage, elapsed);
+    }
+    fn on_ga_generation(&mut self, progress: GaGeneration) {
+        (**self).on_ga_generation(progress);
+    }
+}
+
 /// [`StageTimings`] doubles as an observer that accumulates per-stage
 /// wall-clock durations — the observer-based replacement for threading
 /// timing code through the compiler.

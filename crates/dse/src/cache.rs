@@ -1,0 +1,293 @@
+//! Size-bounded maintenance for the per-point artifact cache.
+//!
+//! The cache directory is a content-addressed store: every entry is a
+//! `*.pimc.json` artifact whose file name encodes the graph, hardware,
+//! and options fingerprints ([`crate::ExploreEngine::with_cache_dir`]),
+//! so distinct sweep points never collide and identical points share
+//! one file — including across concurrent worker processes pointed at
+//! the same directory.
+//!
+//! Left alone, the store grows without bound (every new model, budget,
+//! or hardware point adds a file forever). [`enforce_cache_limit`]
+//! bounds it with LRU eviction: a small JSON index
+//! ([`CACHE_INDEX_FILE`]) records a logical last-used tick per entry —
+//! a monotonic counter bumped once per sweep, deliberately not the
+//! filesystem atime, which `noatime`/`relatime` mounts make useless —
+//! and when the store exceeds the byte budget, the least-recently-used
+//! entries are deleted first.
+//!
+//! Eviction is always safe: an evicted entry costs a recompile on the
+//! next run, never a wrong result, and sweep reports are byte-identical
+//! with or without it. Concurrent writers may race on the index; the
+//! last writer wins, which only perturbs recency metadata.
+
+use crate::ExploreError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// The recency index maintained next to the cached artifacts.
+pub const CACHE_INDEX_FILE: &str = "cache_index.json";
+
+/// Index format version; bump on any breaking change to the schema.
+/// An index written by an *older* version is discarded and rebuilt
+/// (it is recency metadata only), so the constant gates forward drift.
+const INDEX_VERSION: u32 = 1;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct IndexEntry {
+    file: String,
+    last_used: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct IndexFile {
+    version: u32,
+    clock: u64,
+    entries: Vec<IndexEntry>,
+}
+
+/// What one [`enforce_cache_limit`] pass deleted and kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvictionStats {
+    /// Cache entries deleted this pass.
+    pub evicted_files: usize,
+    /// Bytes reclaimed by eviction.
+    pub evicted_bytes: u64,
+    /// Cache entries surviving the pass.
+    pub kept_files: usize,
+    /// Bytes still held by surviving entries.
+    pub kept_bytes: u64,
+}
+
+/// Bounds the artifact cache under `dir` to `max_bytes`, evicting
+/// least-recently-used entries first.
+///
+/// `touched` names the cache files (file names, not paths) this run
+/// read or wrote; they are stamped with the new logical tick before
+/// eviction ranks entries, so the working set of the current sweep is
+/// evicted last. Entries on disk that the index has never seen rank
+/// oldest. Ties break on file name, so a pass over the same state is
+/// deterministic.
+///
+/// # Errors
+///
+/// * [`ExploreError::Serialization`] when the index file exists but is
+///   not valid JSON for the current schema — the file is surfaced, not
+///   silently clobbered, because corruption here may mean the directory
+///   is not actually a cache; delete the file to rebuild it,
+/// * [`ExploreError::Io`] when the directory cannot be scanned or the
+///   index cannot be rewritten.
+pub fn enforce_cache_limit(
+    dir: &Path,
+    max_bytes: u64,
+    touched: &[String],
+) -> Result<EvictionStats, ExploreError> {
+    let index_path = dir.join(CACHE_INDEX_FILE);
+    let mut clock = 0u64;
+    let mut last_used: BTreeMap<String, u64> = BTreeMap::new();
+    match std::fs::read_to_string(&index_path) {
+        Ok(text) => {
+            let parsed: IndexFile =
+                serde_json::from_str(&text).map_err(|e| ExploreError::Serialization {
+                    detail: format!(
+                        "corrupt cache index {}: {e}; delete the file to rebuild it",
+                        index_path.display()
+                    ),
+                })?;
+            // An old-version index is plain recency metadata: discard
+            // and rebuild rather than refusing to run.
+            if parsed.version == INDEX_VERSION {
+                clock = parsed.clock;
+                for entry in parsed.entries {
+                    last_used.insert(entry.file, entry.last_used);
+                }
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => {
+            return Err(ExploreError::Io {
+                detail: format!("reading cache index {}: {e}", index_path.display()),
+            })
+        }
+    }
+
+    clock = clock.saturating_add(1);
+    for name in touched {
+        last_used.insert(name.clone(), clock);
+    }
+
+    // Scan the store: only `*.pimc.json` artifacts participate; the
+    // index itself and any foreign files are left alone.
+    let mut sizes: BTreeMap<String, u64> = BTreeMap::new();
+    let read_dir = std::fs::read_dir(dir).map_err(|e| ExploreError::Io {
+        detail: format!("scanning cache dir {}: {e}", dir.display()),
+    })?;
+    for entry in read_dir {
+        let entry = entry.map_err(|e| ExploreError::Io {
+            detail: format!("scanning cache dir {}: {e}", dir.display()),
+        })?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.ends_with(".pimc.json") {
+            continue;
+        }
+        // A file deleted by a concurrent worker between the scan and
+        // the stat is simply no longer part of the store.
+        if let Ok(meta) = entry.metadata() {
+            if meta.is_file() {
+                sizes.insert(name, meta.len());
+            }
+        }
+    }
+
+    // Forget index rows whose files are gone; files the index has
+    // never seen rank oldest (tick 0) unless touched this run.
+    last_used.retain(|name, _| sizes.contains_key(name));
+    for name in sizes.keys() {
+        last_used.entry(name.clone()).or_insert(0);
+    }
+
+    let mut total: u64 = sizes.values().sum();
+    let mut stats = EvictionStats::default();
+    if total > max_bytes {
+        let mut by_age: Vec<(&String, &u64)> = last_used.iter().collect();
+        by_age.sort_by(|a, b| a.1.cmp(b.1).then(a.0.cmp(b.0)));
+        let victims: Vec<String> = by_age.into_iter().map(|(name, _)| name.clone()).collect();
+        for name in victims {
+            if total <= max_bytes {
+                break;
+            }
+            let size = sizes.remove(&name).unwrap_or(0);
+            last_used.remove(&name);
+            match std::fs::remove_file(dir.join(&name)) {
+                Ok(()) | Err(_) => {
+                    // A remove that failed (e.g. a concurrent worker
+                    // already evicted it) still leaves the file out of
+                    // this pass's accounting; the next pass re-scans.
+                }
+            }
+            total = total.saturating_sub(size);
+            stats.evicted_files += 1;
+            stats.evicted_bytes += size;
+        }
+    }
+    stats.kept_files = sizes.len();
+    stats.kept_bytes = total;
+
+    let index = IndexFile {
+        version: INDEX_VERSION,
+        clock,
+        entries: last_used
+            .iter()
+            .map(|(file, &tick)| IndexEntry {
+                file: file.clone(),
+                last_used: tick,
+            })
+            .collect(),
+    };
+    let text = serde_json::to_string_pretty(&index).map_err(|e| ExploreError::Serialization {
+        detail: format!("encoding cache index: {e}"),
+    })?;
+    // Write-then-rename so a crash mid-write can never leave a corrupt
+    // index behind (a missing index only resets recency).
+    let tmp = dir.join(format!("{CACHE_INDEX_FILE}.tmp"));
+    std::fs::write(&tmp, text).map_err(|e| ExploreError::Io {
+        detail: format!("writing cache index {}: {e}", tmp.display()),
+    })?;
+    std::fs::rename(&tmp, &index_path).map_err(|e| ExploreError::Io {
+        detail: format!("replacing cache index {}: {e}", index_path.display()),
+    })?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pimcomp-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn put(dir: &Path, name: &str, bytes: usize) {
+        std::fs::write(dir.join(name), vec![b'x'; bytes]).unwrap();
+    }
+
+    #[test]
+    fn evicts_oldest_untouched_entries_first() {
+        let dir = temp_dir("lru");
+        put(&dir, "a.pimc.json", 100);
+        put(&dir, "b.pimc.json", 100);
+        put(&dir, "c.pimc.json", 100);
+        // Tick 1: a + b are live; c is never touched.
+        enforce_cache_limit(&dir, 1_000, &["a.pimc.json".into(), "b.pimc.json".into()]).unwrap();
+        // Tick 2: only b is live; budget forces one eviction — c (never
+        // used) goes first.
+        let stats = enforce_cache_limit(&dir, 250, &["b.pimc.json".into()]).unwrap();
+        assert_eq!(stats.evicted_files, 1);
+        assert_eq!(stats.kept_files, 2);
+        assert!(!dir.join("c.pimc.json").exists());
+        assert!(dir.join("a.pimc.json").exists());
+        // Tick 3: a tighter budget now drops a (older tick than b).
+        let stats = enforce_cache_limit(&dir, 150, &[]).unwrap();
+        assert_eq!(stats.evicted_files, 1);
+        assert!(!dir.join("a.pimc.json").exists());
+        assert!(dir.join("b.pimc.json").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn touched_files_survive_even_over_budget_history() {
+        let dir = temp_dir("touch");
+        put(&dir, "old.pimc.json", 400);
+        put(&dir, "hot.pimc.json", 400);
+        enforce_cache_limit(&dir, 10_000, &["old.pimc.json".into()]).unwrap();
+        let stats = enforce_cache_limit(&dir, 500, &["hot.pimc.json".into()]).unwrap();
+        assert_eq!(stats.evicted_files, 1);
+        assert!(dir.join("hot.pimc.json").exists());
+        assert!(!dir.join("old.pimc.json").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_index_is_a_structured_error() {
+        let dir = temp_dir("corrupt");
+        put(&dir, "a.pimc.json", 10);
+        std::fs::write(dir.join(CACHE_INDEX_FILE), "{not json").unwrap();
+        let err = enforce_cache_limit(&dir, 1_000, &[]).unwrap_err();
+        match err {
+            ExploreError::Serialization { detail } => {
+                assert!(detail.contains("corrupt cache index"), "{detail}");
+            }
+            other => panic!("expected Serialization, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_files_are_never_deleted() {
+        let dir = temp_dir("foreign");
+        put(&dir, "a.pimc.json", 500);
+        std::fs::write(dir.join("notes.txt"), "keep me").unwrap();
+        let stats = enforce_cache_limit(&dir, 100, &[]).unwrap();
+        assert_eq!(stats.evicted_files, 1);
+        assert!(dir.join("notes.txt").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn under_budget_store_is_untouched_and_index_round_trips() {
+        let dir = temp_dir("roundtrip");
+        put(&dir, "a.pimc.json", 10);
+        let s1 = enforce_cache_limit(&dir, 1_000, &["a.pimc.json".into()]).unwrap();
+        assert_eq!(s1.evicted_files, 0);
+        assert_eq!(s1.kept_bytes, 10);
+        assert!(dir.join(CACHE_INDEX_FILE).exists());
+        let s2 = enforce_cache_limit(&dir, 1_000, &[]).unwrap();
+        assert_eq!(s2.evicted_files, 0);
+        assert_eq!(s2.kept_files, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -2,13 +2,14 @@
 //! the core worker pool, with per-point artifact caching and an
 //! optional guided (successive-halving) search mode.
 
+use crate::cache::{self, EvictionStats};
 use crate::report::{PointMetrics, PointRecord, SweepReport};
 use crate::spec::{HalvingSpec, SearchStrategy, SweepPoint, SweepSpec};
 use crate::{resolve_model, ExploreError};
 use pimcomp_arch::PipelineMode;
 use pimcomp_core::{
-    graph_fingerprint, hardware_fingerprint, options_fingerprint, run_indexed, CompileOptions,
-    CompileSession, CompiledArtifact, CompiledModel, GaParams,
+    graph_fingerprint, hardware_fingerprint, options_fingerprint, run_indexed, CompileObserver,
+    CompileOptions, CompileSession, CompiledArtifact, CompiledModel, GaParams, NullObserver,
 };
 use pimcomp_ir::Graph;
 use pimcomp_sim::Simulator;
@@ -16,6 +17,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::num::NonZeroUsize;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// The result of one sweep: the deterministic report plus the run's
 /// cache statistics and budget accounting.
@@ -38,6 +40,10 @@ pub struct ExploreOutcome {
     /// Evaluation accounting: what the search strategy spent versus
     /// what an exhaustive sweep would have.
     pub budget: BudgetSummary,
+    /// Cache-eviction accounting when a size limit is configured
+    /// ([`ExploreEngine::with_cache_limit_mb`]); `None` otherwise.
+    /// Like the hit/miss counters this never affects the report bytes.
+    pub eviction: Option<EvictionStats>,
 }
 
 /// What one search rung evaluated and dropped.
@@ -140,78 +146,83 @@ impl fmt::Display for BudgetSummary {
     }
 }
 
-/// Runs sweep specs: compile + simulate every point under the spec's
-/// search strategy, reduce to a Pareto frontier.
+/// One point's per-evaluation completion event, streamed through
+/// [`ExploreEngine::with_progress`] (and over the wire by the
+/// distributed sweep service) as soon as the evaluation finishes.
 ///
-/// See the [crate docs](crate) for the determinism contract and an
-/// end-to-end example.
-#[derive(Debug, Clone, Default)]
-pub struct ExploreEngine {
-    threads: usize,
-    cache_dir: Option<PathBuf>,
+/// Events fire from worker threads in completion order, so their
+/// *sequence* is scheduling-dependent — only the report reduction is
+/// ordered. Consumers must treat them as advisory progress, never as
+/// data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointEvent {
+    /// The point's index in the expanded grid.
+    pub index: usize,
+    /// Points in the expanded grid.
+    pub total: usize,
+    /// The point's stable key ([`PointRecord::key`] shape).
+    pub key: String,
+    /// The rung this evaluation ran at (0 for exhaustive sweeps).
+    pub rung: u32,
+    /// The GA generation budget of this evaluation.
+    pub iterations: usize,
+    /// Whether the point compiled and simulated successfully.
+    pub ok: bool,
+    /// Whether the artifact cache answered.
+    pub cache_hit: bool,
 }
 
-impl ExploreEngine {
-    /// An engine with one worker thread and no cache.
-    pub fn new() -> Self {
-        ExploreEngine {
-            threads: 1,
-            cache_dir: None,
-        }
-    }
+/// A per-point progress callback; invoked from worker threads, so it
+/// must be `Send + Sync`.
+pub type ProgressSink = Arc<dyn Fn(&PointEvent) + Send + Sync>;
 
-    /// Sets the worker-thread count (clamped to at least 1). Any value
-    /// produces a bit-identical report.
-    #[must_use]
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
-        self
-    }
+/// The result of evaluating a single sweep point: the record plus the
+/// cache/bookkeeping facts the engine's counters (and the distributed
+/// coordinator's journal) are built from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointOutcome {
+    /// The point's report record.
+    pub record: PointRecord,
+    /// Whether the artifact cache answered.
+    pub cache_hit: bool,
+    /// Whether a compiled model was obtained at all (compile failures
+    /// never ran their GA, so their budget must not be charged).
+    pub compiled: bool,
+    /// The cache file name (within the cache dir) this evaluation read
+    /// or wrote; `None` when caching is off.
+    pub cache_file: Option<String>,
+}
 
-    /// Enables per-point artifact caching under `dir` (created on
-    /// demand). Re-running the same or a widened sweep replays cached
-    /// points instead of recompiling them; under successive halving,
-    /// every (point, rung budget) pair gets its own entry, so a guided
-    /// rerun — or the final full-budget rung of a sweep whose
-    /// exhaustive twin already ran — replays from cache too.
-    ///
-    /// Entries are keyed by graph + hardware + options fingerprints and
-    /// the artifact format version, which guards against spec changes,
-    /// edited `.onnx` model files, and serialization drift — **not**
-    /// against compiler-behavior changes that keep the artifact shape.
-    /// After upgrading the compiler, clear the directory so warm reruns
-    /// cannot mix old and new results.
-    #[must_use]
-    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
-        self.cache_dir = Some(dir.into());
-        self
-    }
+/// A resolved sweep: the spec plus every model graph, fingerprint, and
+/// expanded point — the unit of work the distributed sweep service
+/// shards across workers.
+///
+/// [`ExploreEngine::run`] builds one of these internally; building it
+/// directly exposes the engine's per-point execution so an external
+/// driver (the `pimcomp-serve` coordinator/worker, a notebook, a
+/// custom scheduler) can evaluate points one at a time and still
+/// reduce to the byte-identical report via [`SweepPlan::reduce`].
+/// Determinism carries over: a point's record depends only on the spec
+/// and the point's index, never on which process evaluated it.
+pub struct SweepPlan {
+    spec: SweepSpec,
+    graphs: Vec<Graph>,
+    graph_fps: Vec<u64>,
+    graph_idx: Vec<usize>,
+    points: Vec<SweepPoint>,
+}
 
-    /// Runs a sweep: expands the spec, evaluates points under the
-    /// spec's search strategy (compile → simulate, cache-aware), and
-    /// assembles the report.
-    ///
-    /// Exhaustive sweeps evaluate every point once at the full GA
-    /// budget. Successive halving evaluates every point at the first
-    /// rung's cheap budget, drops dominated and low-ranked points per
-    /// (model, mode) group between rungs, and re-evaluates survivors at
-    /// each next budget; only final-rung survivors carry full-budget
-    /// metrics and compete for the Pareto frontier. Either way the
-    /// report is byte-identical for any thread count and cache state.
-    ///
-    /// Per-point compile/simulation failures are recorded in the
-    /// report, not raised — a 500-point sweep survives one bad point.
+impl SweepPlan {
+    /// Resolves a spec into an executable plan: models are loaded,
+    /// auto hardware is sized, and the point grid is expanded — all
+    /// exactly once, in spec order.
     ///
     /// # Errors
     ///
-    /// * [`ExploreError::InvalidSpec`] when the spec expands to no or
-    ///   too many points, or auto hardware sizing fails,
-    /// * [`ExploreError::UnknownModel`] naming the available models,
-    /// * [`ExploreError::Io`] / [`ExploreError::Onnx`] when an `.onnx`
-    ///   sweep model cannot be read or imported,
-    /// * [`ExploreError::Io`] when the cache directory cannot be
-    ///   created.
-    pub fn run(&self, spec: &SweepSpec) -> Result<ExploreOutcome, ExploreError> {
+    /// Same as [`ExploreEngine::run`]'s resolution phase:
+    /// [`ExploreError::InvalidSpec`], [`ExploreError::UnknownModel`],
+    /// [`ExploreError::Io`] / [`ExploreError::Onnx`].
+    pub fn new(spec: &SweepSpec) -> Result<Self, ExploreError> {
         // Resolve every model once, up front: an unknown name or an
         // unreadable .onnx file is a spec bug and should abort before
         // any compilation starts. The resolved graphs also feed auto
@@ -245,6 +256,278 @@ impl ExploreEngine {
             })
             .collect::<Result<_, _>>()?;
 
+        Ok(SweepPlan {
+            spec: spec.clone(),
+            graphs,
+            graph_fps,
+            graph_idx,
+            points,
+        })
+    }
+
+    /// The spec this plan was resolved from.
+    pub fn spec(&self) -> &SweepSpec {
+        &self.spec
+    }
+
+    /// The expanded point grid, in canonical spec-expansion order.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// Points in the plan.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the plan has no points (specs reject empty expansions,
+    /// so this is false for any plan built by [`SweepPlan::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Evaluates one point at an explicit GA generation budget,
+    /// optionally replaying from / writing to the artifact cache.
+    ///
+    /// The returned record carries `rung: 0, budget: 0, pruned_at:
+    /// None`; multi-rung drivers stamp provenance themselves (that is
+    /// what [`ExploreEngine`] does). Per-point compile/simulate
+    /// failures are recorded in the record, not raised.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::InvalidSpec`] when `index` is out of range.
+    pub fn evaluate(
+        &self,
+        index: usize,
+        iterations: usize,
+        cache_dir: Option<&Path>,
+    ) -> Result<PointOutcome, ExploreError> {
+        self.evaluate_observed(index, iterations, cache_dir, &mut NullObserver)
+    }
+
+    /// [`SweepPlan::evaluate`] with compile-stage progress callbacks
+    /// (cache hits replay without compiling, so a hit observes
+    /// nothing).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SweepPlan::evaluate`].
+    pub fn evaluate_observed(
+        &self,
+        index: usize,
+        iterations: usize,
+        cache_dir: Option<&Path>,
+        observer: &mut dyn CompileObserver,
+    ) -> Result<PointOutcome, ExploreError> {
+        let point = self
+            .points
+            .get(index)
+            .ok_or_else(|| ExploreError::InvalidSpec {
+                detail: format!(
+                    "point index {index} out of range for a {}-point sweep",
+                    self.points.len()
+                ),
+            })?;
+        Ok(evaluate_point(
+            point,
+            &self.graphs[self.graph_idx[index]],
+            self.graph_fps[self.graph_idx[index]],
+            &self.spec,
+            iterations,
+            cache_dir,
+            observer,
+        ))
+    }
+
+    /// Evaluates one point exactly as a single-process **exhaustive**
+    /// sweep would: full GA budget, provenance stamped (`rung` 0,
+    /// `budget` charged only when the point compiled). Distributed
+    /// workers call this, which is what makes a sharded exhaustive
+    /// sweep reduce to the byte-identical report.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SweepPlan::evaluate`].
+    pub fn evaluate_final(
+        &self,
+        index: usize,
+        cache_dir: Option<&Path>,
+    ) -> Result<PointOutcome, ExploreError> {
+        self.evaluate_final_observed(index, cache_dir, &mut NullObserver)
+    }
+
+    /// [`SweepPlan::evaluate_final`] with compile-stage progress
+    /// callbacks.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SweepPlan::evaluate`].
+    pub fn evaluate_final_observed(
+        &self,
+        index: usize,
+        cache_dir: Option<&Path>,
+        observer: &mut dyn CompileObserver,
+    ) -> Result<PointOutcome, ExploreError> {
+        let iterations = self.spec.ga_iterations;
+        let mut outcome = self.evaluate_observed(index, iterations, cache_dir, observer)?;
+        outcome.record.rung = 0;
+        outcome.record.budget = if outcome.compiled {
+            iterations as u64
+        } else {
+            0
+        };
+        outcome.record.pruned_at = None;
+        Ok(outcome)
+    }
+
+    /// Reduces per-point records — e.g. replayed from a coordinator's
+    /// journal — to the sweep report, in canonical point order. Given
+    /// the records an exhaustive [`ExploreEngine::run`] would produce,
+    /// the report is byte-identical to the engine's, regardless of who
+    /// evaluated which point.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::InvalidSpec`] when the record count does not
+    /// match the plan or a record's key does not match its point — a
+    /// journal/spec mismatch, not a recoverable state.
+    pub fn reduce(&self, records: Vec<PointRecord>) -> Result<SweepReport, ExploreError> {
+        if records.len() != self.points.len() {
+            return Err(ExploreError::InvalidSpec {
+                detail: format!(
+                    "cannot reduce {} records over a {}-point plan",
+                    records.len(),
+                    self.points.len()
+                ),
+            });
+        }
+        for (record, point) in records.iter().zip(&self.points) {
+            if record.key() != point.key() {
+                return Err(ExploreError::InvalidSpec {
+                    detail: format!(
+                        "record key `{}` does not match plan point `{}` — \
+                         journal and spec disagree",
+                        record.key(),
+                        point.key()
+                    ),
+                });
+            }
+        }
+        Ok(SweepReport::assemble(self.spec.master_seed, records))
+    }
+}
+
+/// Runs sweep specs: compile + simulate every point under the spec's
+/// search strategy, reduce to a Pareto frontier.
+///
+/// See the [crate docs](crate) for the determinism contract and an
+/// end-to-end example.
+#[derive(Clone, Default)]
+pub struct ExploreEngine {
+    threads: usize,
+    cache_dir: Option<PathBuf>,
+    cache_max_bytes: Option<u64>,
+    progress: Option<ProgressSink>,
+}
+
+impl fmt::Debug for ExploreEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExploreEngine")
+            .field("threads", &self.threads)
+            .field("cache_dir", &self.cache_dir)
+            .field("cache_max_bytes", &self.cache_max_bytes)
+            .field("progress", &self.progress.as_ref().map(|_| "<sink>"))
+            .finish()
+    }
+}
+
+impl ExploreEngine {
+    /// An engine with one worker thread and no cache.
+    pub fn new() -> Self {
+        ExploreEngine {
+            threads: 1,
+            cache_dir: None,
+            cache_max_bytes: None,
+            progress: None,
+        }
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1). Any value
+    /// produces a bit-identical report.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables per-point artifact caching under `dir` (created on
+    /// demand). Re-running the same or a widened sweep replays cached
+    /// points instead of recompiling them; under successive halving,
+    /// every (point, rung budget) pair gets its own entry, so a guided
+    /// rerun — or the final full-budget rung of a sweep whose
+    /// exhaustive twin already ran — replays from cache too.
+    ///
+    /// Entries are keyed by graph + hardware + options fingerprints and
+    /// the artifact format version, which guards against spec changes,
+    /// edited `.onnx` model files, and serialization drift — **not**
+    /// against compiler-behavior changes that keep the artifact shape.
+    /// After upgrading the compiler, clear the directory so warm reruns
+    /// cannot mix old and new results.
+    #[must_use]
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Bounds the cache directory to `max_mb` megabytes: after each
+    /// run the least-recently-used entries beyond the budget are
+    /// evicted ([`crate::cache::enforce_cache_limit`]). No effect
+    /// without [`ExploreEngine::with_cache_dir`]. Eviction changes
+    /// wall-clock time on later runs only, never report bytes.
+    #[must_use]
+    pub fn with_cache_limit_mb(mut self, max_mb: u64) -> Self {
+        self.cache_max_bytes = Some(max_mb.saturating_mul(1024 * 1024));
+        self
+    }
+
+    /// Streams one [`PointEvent`] per (point, rung) evaluation to
+    /// `sink`, from worker threads, as evaluations complete. Progress
+    /// is advisory: the sink sees completion order, the report keeps
+    /// canonical order.
+    #[must_use]
+    pub fn with_progress(mut self, sink: ProgressSink) -> Self {
+        self.progress = Some(sink);
+        self
+    }
+
+    /// Runs a sweep: expands the spec, evaluates points under the
+    /// spec's search strategy (compile → simulate, cache-aware), and
+    /// assembles the report.
+    ///
+    /// Exhaustive sweeps evaluate every point once at the full GA
+    /// budget. Successive halving evaluates every point at the first
+    /// rung's cheap budget, drops dominated and low-ranked points per
+    /// (model, mode) group between rungs, and re-evaluates survivors at
+    /// each next budget; only final-rung survivors carry full-budget
+    /// metrics and compete for the Pareto frontier. Either way the
+    /// report is byte-identical for any thread count and cache state.
+    ///
+    /// Per-point compile/simulation failures are recorded in the
+    /// report, not raised — a 500-point sweep survives one bad point.
+    ///
+    /// # Errors
+    ///
+    /// * [`ExploreError::InvalidSpec`] when the spec expands to no or
+    ///   too many points, or auto hardware sizing fails,
+    /// * [`ExploreError::UnknownModel`] naming the available models,
+    /// * [`ExploreError::Io`] / [`ExploreError::Onnx`] when an `.onnx`
+    ///   sweep model cannot be read or imported,
+    /// * [`ExploreError::Io`] when the cache directory cannot be
+    ///   created.
+    pub fn run(&self, spec: &SweepSpec) -> Result<ExploreOutcome, ExploreError> {
+        let plan = SweepPlan::new(spec)?;
+
         if let Some(dir) = &self.cache_dir {
             std::fs::create_dir_all(dir).map_err(|e| ExploreError::Io {
                 detail: format!("creating cache dir {}: {e}", dir.display()),
@@ -260,7 +543,18 @@ impl ExploreEngine {
             SearchStrategy::Exhaustive => &default_halving,
             SearchStrategy::Halving(h) => h,
         };
-        self.run_rungs(spec, &points, &graphs, &graph_fps, &graph_idx, halving)
+        let mut touched = Vec::new();
+        let mut outcome = self.run_rungs(&plan, halving, &mut touched)?;
+
+        // Size-bounded store maintenance runs after the sweep, with
+        // this run's working set stamped most-recent, so the files a
+        // warm rerun needs are the last to go.
+        if let (Some(dir), Some(max_bytes)) = (&self.cache_dir, self.cache_max_bytes) {
+            touched.sort_unstable();
+            touched.dedup();
+            outcome.eviction = Some(cache::enforce_cache_limit(dir, max_bytes, &touched)?);
+        }
+        Ok(outcome)
     }
 
     /// The multi-round core: evaluates `points` over the rung ladder,
@@ -268,13 +562,12 @@ impl ExploreEngine {
     /// one-rung ladder at full budget with `keep_fraction` 1.0.
     fn run_rungs(
         &self,
-        spec: &SweepSpec,
-        points: &[SweepPoint],
-        graphs: &[Graph],
-        graph_fps: &[u64],
-        graph_idx: &[usize],
+        plan: &SweepPlan,
         halving: &HalvingSpec,
+        touched: &mut Vec<String>,
     ) -> Result<ExploreOutcome, ExploreError> {
+        let spec = &plan.spec;
+        let points = &plan.points;
         let n = points.len();
         let mut latest: Vec<Option<PointRecord>> = (0..n).map(|_| None).collect();
         let mut rung_of = vec![0u32; n];
@@ -295,22 +588,44 @@ impl ExploreEngine {
             }
             let evaluated = run_indexed(self.threads.min(active.len()), active.len(), |i| {
                 let idx = active[i];
-                evaluate_point(
+                let outcome = evaluate_point(
                     &points[idx],
-                    &graphs[graph_idx[idx]],
-                    graph_fps[graph_idx[idx]],
+                    &plan.graphs[plan.graph_idx[idx]],
+                    plan.graph_fps[plan.graph_idx[idx]],
                     spec,
                     iters,
                     self.cache_dir.as_deref(),
-                )
+                    &mut NullObserver,
+                );
+                if let Some(sink) = &self.progress {
+                    sink(&PointEvent {
+                        index: idx,
+                        total: n,
+                        key: points[idx].key(),
+                        rung: r as u32,
+                        iterations: iters,
+                        ok: outcome.record.ok,
+                        cache_hit: outcome.cache_hit,
+                    });
+                }
+                outcome
             });
 
             // Index-ordered reduction: store results and tally in the
             // active list's (ascending) order, independent of threads.
             let mut failed = 0;
             let mut ga_runs = 0;
-            for (i, (record, hit, compiled)) in evaluated.into_iter().enumerate() {
+            for (i, outcome) in evaluated.into_iter().enumerate() {
+                let PointOutcome {
+                    record,
+                    cache_hit: hit,
+                    compiled,
+                    cache_file,
+                } = outcome;
                 let idx = active[i];
+                if let Some(name) = cache_file {
+                    touched.push(name);
+                }
                 if hit {
                     cache_hits += 1;
                 } else {
@@ -406,6 +721,7 @@ impl ExploreEngine {
                 generations_spent,
                 exhaustive_generations: compilable_points as u64 * spec.ga_iterations as u64,
             },
+            eviction: None,
         })
     }
 }
@@ -650,10 +966,11 @@ fn cache_path(dir: &Path, point: &SweepPoint, opts: &CompileOptions, graph_fp: u
     dir.join(format!("{key}.pimc.json"))
 }
 
-/// Evaluates one point at one rung budget. Returns the record, whether
-/// the artifact cache answered, and whether a compiled model was
-/// obtained at all (compile failures never ran the GA, so their rung
-/// budget must not be charged).
+/// Evaluates one point at one rung budget. Returns the record plus the
+/// cache/compile bookkeeping ([`PointOutcome`]); compile failures never
+/// ran the GA, so their rung budget must not be charged. Stage
+/// callbacks reach `observer` only when the point actually compiles —
+/// cache hits replay silently.
 fn evaluate_point(
     point: &SweepPoint,
     graph: &Graph,
@@ -661,7 +978,8 @@ fn evaluate_point(
     spec: &SweepSpec,
     iterations: usize,
     cache_dir: Option<&Path>,
-) -> (PointRecord, bool, bool) {
+    observer: &mut dyn CompileObserver,
+) -> PointOutcome {
     let opts = point_options(point, spec, iterations);
     let record = |ok, error, metrics| PointRecord {
         model: point.model.clone(),
@@ -681,20 +999,32 @@ fn evaluate_point(
 
     // Cache probe: a valid artifact for this exact (hardware, options,
     // model) key replays instead of recompiling. Any load or
-    // fingerprint problem silently falls back to compilation.
+    // fingerprint problem — including a corrupt or truncated cache
+    // file, which `CompiledArtifact::load` reports as a structured
+    // error, never a panic — silently falls back to compilation.
     let path = cache_dir.map(|dir| cache_path(dir, point, &opts, graph_fp));
+    let cache_file = path
+        .as_ref()
+        .and_then(|p| p.file_name())
+        .map(|name| name.to_string_lossy().into_owned());
     let cached: Option<CompiledModel> = path.as_ref().and_then(|p| {
         let artifact = CompiledArtifact::load(p).ok()?;
         artifact.verify_hardware(&point.hw).ok()?;
         Some(artifact.into_model_unchecked())
     });
     let hit = cached.is_some();
+    let outcome = |record, compiled| PointOutcome {
+        record,
+        cache_hit: hit,
+        compiled,
+        cache_file: cache_file.clone(),
+    };
 
     let model = match cached {
         Some(model) => model,
         None => {
             let compiled = CompileSession::new(point.hw.clone(), graph, opts)
-                .and_then(|session| session.run());
+                .and_then(|session| session.run_observed(observer));
             match compiled {
                 Ok(model) => {
                     if let Some(p) = &path {
@@ -705,18 +1035,15 @@ fn evaluate_point(
                     model
                 }
                 Err(e) => {
-                    return (
-                        record(false, Some(format!("compile: {e}")), None),
-                        hit,
-                        false,
-                    )
+                    return outcome(record(false, Some(format!("compile: {e}")), None), false)
                 }
             }
         }
     };
 
     let sim = Simulator::new(point.hw.clone());
-    match sim.run(&model) {
+    let sim_result = sim.run(&model);
+    match sim_result {
         Ok(r) => {
             let metrics = PointMetrics {
                 cycles: r.total_cycles,
@@ -733,13 +1060,9 @@ fn evaluate_point(
                 active_cores: r.active_cores,
                 crossbars_used: model.report.crossbars_used,
             };
-            (record(true, None, Some(metrics)), hit, true)
+            outcome(record(true, None, Some(metrics)), true)
         }
-        Err(e) => (
-            record(false, Some(format!("simulate: {e}")), None),
-            hit,
-            true,
-        ),
+        Err(e) => outcome(record(false, Some(format!("simulate: {e}")), None), true),
     }
 }
 
@@ -969,6 +1292,95 @@ mod tests {
             cold.report.to_json().unwrap(),
             warm.report.to_json().unwrap()
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn progress_sink_sees_every_point_in_canonical_order_metadata() {
+        let spec = tiny_spec(r#"{"base":"small_test","parallelism":[4,8]}"#);
+        let events: Arc<std::sync::Mutex<Vec<PointEvent>>> =
+            Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        let outcome = ExploreEngine::new()
+            .with_threads(2)
+            .with_progress(Arc::new(move |e: &PointEvent| {
+                sink.lock().unwrap().push(e.clone());
+            }))
+            .run(&spec)
+            .unwrap();
+        let mut events = events.lock().unwrap().clone();
+        events.sort_by_key(|e| e.index);
+        assert_eq!(events.len(), 8);
+        let plan = SweepPlan::new(&spec).unwrap();
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.index, i);
+            assert_eq!(e.total, 8);
+            assert_eq!(e.key, plan.points()[i].key());
+            assert_eq!(e.rung, 0);
+            assert!(e.ok);
+            assert!(!e.cache_hit);
+        }
+        // The sink is observation only: the report matches a silent run.
+        let silent = ExploreEngine::new().with_threads(2).run(&spec).unwrap();
+        assert_eq!(
+            outcome.report.to_json().unwrap(),
+            silent.report.to_json().unwrap()
+        );
+    }
+
+    #[test]
+    fn cache_limit_evicts_but_never_changes_bytes() {
+        let dir =
+            std::env::temp_dir().join(format!("pimcomp-dse-limit-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = tiny_spec(r#"{"base":"small_test","parallelism":[4,8]}"#);
+        let unbounded = ExploreEngine::new().with_cache_dir(&dir);
+        let cold = unbounded.run(&spec).unwrap();
+        assert_eq!(cold.eviction, None, "no limit, no eviction pass");
+
+        // Eight tiny artifacts fit in a megabyte, so drive the bound
+        // down to the byte level (the builder's MB granularity is for
+        // real stores) — the post-run sweep must now evict.
+        let mut bounded = unbounded.clone().with_cache_limit_mb(1);
+        bounded.cache_max_bytes = Some(1024);
+        let warm = bounded.run(&spec).unwrap();
+        let stats = warm.eviction.expect("bounded run reports eviction");
+        assert!(stats.evicted_files > 0, "{stats:?}");
+        assert!(stats.kept_bytes <= 1024, "{stats:?}");
+        assert_eq!(
+            cold.report.to_json().unwrap(),
+            warm.report.to_json().unwrap()
+        );
+
+        // Evicted artifacts just recompile: bytes still identical.
+        let after = bounded.run(&spec).unwrap();
+        assert!(after.cache_misses > 0, "eviction forces recompiles");
+        assert_eq!(
+            cold.report.to_json().unwrap(),
+            after.report.to_json().unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_cache_index_is_a_structured_error_not_a_panic() {
+        let dir =
+            std::env::temp_dir().join(format!("pimcomp-dse-corrupt-idx-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(cache::CACHE_INDEX_FILE), "{not json").unwrap();
+        let spec = tiny_spec(r#"{"base":"small_test","parallelism":[4]}"#);
+        let err = ExploreEngine::new()
+            .with_cache_dir(&dir)
+            .with_cache_limit_mb(1)
+            .run(&spec)
+            .unwrap_err();
+        match err {
+            ExploreError::Serialization { detail } => {
+                assert!(detail.contains("cache index"), "{detail}");
+            }
+            other => panic!("expected Serialization, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

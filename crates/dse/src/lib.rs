@@ -114,11 +114,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod engine;
 mod report;
 mod spec;
 
-pub use engine::{BudgetSummary, ExploreEngine, ExploreOutcome, RungSummary};
+pub use cache::{enforce_cache_limit, EvictionStats, CACHE_INDEX_FILE};
+pub use engine::{
+    BudgetSummary, ExploreEngine, ExploreOutcome, PointEvent, PointOutcome, ProgressSink,
+    RungSummary, SweepPlan,
+};
 pub use report::{PointMetrics, PointRecord, SweepDiff, SweepReport, SWEEP_FORMAT_VERSION};
 pub use spec::{
     policy_names, policy_spec_name, AutoHardware, HalvingSpec, HardwareAxis, SearchStrategy,

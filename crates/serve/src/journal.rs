@@ -1,0 +1,538 @@
+//! The append-only sweep journal: one JSON line per completed point,
+//! preceded by a header line binding the file to its sweep.
+//!
+//! ```text
+//! {"version":1,"job":"smoke","spec_fingerprint":...,"points":16}
+//! {"index":0,"record":{...}}
+//! {"index":3,"record":{...}}
+//! ...
+//! ```
+//!
+//! The coordinator appends an entry as each `PointDone` arrives and
+//! fsyncs once per lease batch, so a crash loses at most the entries
+//! of the batch in flight. [`replay`] tolerates exactly the damage a
+//! crash can cause — a truncated *final* line without a trailing
+//! newline — and rejects everything else as corruption. Replay is
+//! idempotent under duplicate entries: records are deterministic, so
+//! re-journaling an index (a re-issued lease whose original worker
+//! also finished) overwrites an identical value.
+
+use crate::ServeError;
+use pimcomp_dse::PointRecord;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// The journal format version; bump on any breaking change to the
+/// header or entry shape.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// The first line of every journal: which sweep this file belongs to.
+/// Resume refuses a journal whose fingerprint or point count disagrees
+/// with the spec being served — replaying someone else's records into
+/// a report would be silently wrong.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalHeader {
+    /// [`JOURNAL_VERSION`] at write time.
+    pub version: u32,
+    /// Job label (informational).
+    pub job: String,
+    /// [`spec_fingerprint`] of the spec JSON this journal records.
+    pub spec_fingerprint: u64,
+    /// Points in the expanded grid.
+    pub points: u64,
+}
+
+/// One completed point: its canonical index and deterministic record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalEntry {
+    /// Point index in the canonical grid.
+    pub index: u64,
+    /// The point's record.
+    pub record: PointRecord,
+}
+
+/// FNV-1a over the spec JSON bytes: a stable, dependency-free
+/// fingerprint binding a journal to the exact spec text it was
+/// recorded under. Reformatting the spec file changes the fingerprint
+/// on purpose — resume must not guess whether two spellings expand
+/// identically.
+pub fn spec_fingerprint(spec_json: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in spec_json.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// An open journal being appended to by a live coordinator.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Creates a fresh journal at `path` (truncating any existing
+    /// file), writes the header, and syncs it to disk.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on any file operation,
+    /// [`ServeError::Journal`] if the header cannot be encoded.
+    pub fn create(path: &Path, header: &JournalHeader) -> Result<Self, ServeError> {
+        let file = File::create(path).map_err(|e| ServeError::Io {
+            detail: format!("creating journal {}: {e}", path.display()),
+        })?;
+        let mut journal = Journal {
+            file,
+            path: path.to_path_buf(),
+        };
+        let line = serde_json::to_string(header).map_err(|e| ServeError::Journal {
+            detail: format!("encoding journal header: {e}"),
+        })?;
+        journal.write_line(&line)?;
+        journal.sync()?;
+        Ok(journal)
+    }
+
+    /// Opens an existing journal for appending, after [`replay`] has
+    /// validated it against `header`. The `replayed` summary says
+    /// where the durable history ends: a torn final line is truncated
+    /// away (appending after it would corrupt the next entry), and a
+    /// valid final line missing its newline gets one before any new
+    /// entry lands.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the file cannot be opened or repaired.
+    pub fn open_append(path: &Path, replayed: &Replayed) -> Result<Self, ServeError> {
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| ServeError::Io {
+                detail: format!("opening journal {}: {e}", path.display()),
+            })?;
+        file.set_len(replayed.durable_len)
+            .map_err(|e| ServeError::Io {
+                detail: format!(
+                    "truncating journal {} to its durable {} byte(s): {e}",
+                    path.display(),
+                    replayed.durable_len
+                ),
+            })?;
+        let mut journal = Journal {
+            file,
+            path: path.to_path_buf(),
+        };
+        if replayed.needs_newline {
+            journal.file.write_all(b"\n").map_err(|e| ServeError::Io {
+                detail: format!(
+                    "terminating the final journal line in {}: {e}",
+                    path.display()
+                ),
+            })?;
+        }
+        Ok(journal)
+    }
+
+    /// Appends one entry (buffered in the OS; call [`Journal::sync`]
+    /// to make a batch durable).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] / [`ServeError::Journal`] on write or encode
+    /// failure.
+    pub fn append(&mut self, entry: &JournalEntry) -> Result<(), ServeError> {
+        let line = serde_json::to_string(entry).map_err(|e| ServeError::Journal {
+            detail: format!("encoding journal entry {}: {e}", entry.index),
+        })?;
+        self.write_line(&line)
+    }
+
+    /// Fsyncs everything appended so far — the per-batch durability
+    /// point.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the sync fails.
+    pub fn sync(&mut self) -> Result<(), ServeError> {
+        self.file.sync_data().map_err(|e| ServeError::Io {
+            detail: format!("syncing journal {}: {e}", self.path.display()),
+        })
+    }
+
+    fn write_line(&mut self, line: &str) -> Result<(), ServeError> {
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.write_all(b"\n"))
+            .map_err(|e| ServeError::Io {
+                detail: format!("appending to journal {}: {e}", self.path.display()),
+            })
+    }
+}
+
+/// What [`replay`] recovered, plus where the durable history ends —
+/// [`Journal::open_append`] uses the boundary to repair the one kind
+/// of damage a crash can leave (a torn final line) before appending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replayed {
+    /// Recovered records keyed by point index.
+    pub records: BTreeMap<u64, PointRecord>,
+    /// Bytes of parseable history; anything past this offset is a torn
+    /// final line that must be truncated before appending resumes.
+    pub durable_len: u64,
+    /// True when the durable tail is a valid line missing its trailing
+    /// newline; a newline must be written before the next entry.
+    pub needs_newline: bool,
+}
+
+/// Replays a journal: validates the header, parses every entry, and
+/// returns the recovered records keyed by point index, along with the
+/// durable-byte boundary [`Journal::open_append`] needs.
+///
+/// Duplicate indices are idempotent (last entry wins — records are
+/// deterministic, so duplicates carry identical payloads). A truncated
+/// final line with no trailing newline — the one artifact a crash
+/// mid-append can leave — is dropped; its entry was never made durable
+/// as a unit. Any other malformed line is corruption and errors.
+///
+/// # Errors
+///
+/// * [`ServeError::Io`] when the file cannot be read,
+/// * [`ServeError::Journal`] when the header is missing, malformed,
+///   from another version, or for a different sweep (`expect` supplies
+///   the fingerprint and point count being served); when a non-final
+///   line is malformed; or when an entry's index is out of range.
+pub fn replay(path: &Path, expect: &JournalHeader) -> Result<Replayed, ServeError> {
+    let text = std::fs::read_to_string(path).map_err(|e| ServeError::Io {
+        detail: format!("reading journal {}: {e}", path.display()),
+    })?;
+    let complete_tail = text.ends_with('\n');
+    let lines: Vec<&str> = text.lines().collect();
+    let Some((first, rest)) = lines.split_first() else {
+        return Err(ServeError::Journal {
+            detail: format!("journal {} is empty (no header)", path.display()),
+        });
+    };
+
+    let header: JournalHeader = serde_json::from_str(first).map_err(|e| ServeError::Journal {
+        detail: format!("journal {} has a malformed header: {e}", path.display()),
+    })?;
+    if header.version != JOURNAL_VERSION {
+        return Err(ServeError::Journal {
+            detail: format!(
+                "journal {} is version {} (this build reads v{JOURNAL_VERSION})",
+                path.display(),
+                header.version
+            ),
+        });
+    }
+    if header.spec_fingerprint != expect.spec_fingerprint || header.points != expect.points {
+        return Err(ServeError::Journal {
+            detail: format!(
+                "journal {} records a different sweep \
+                 (fingerprint {:016x}/{} points vs spec {:016x}/{} points); \
+                 refusing to mix results",
+                path.display(),
+                header.spec_fingerprint,
+                header.points,
+                expect.spec_fingerprint,
+                expect.points
+            ),
+        });
+    }
+
+    let mut records = BTreeMap::new();
+    // Walk entries tracking byte offsets, so a torn final line leaves
+    // `durable_len` at the boundary the append path must truncate to.
+    let mut pos = first.len() + usize::from(!rest.is_empty() || complete_tail);
+    let mut durable_len = pos;
+    let mut needs_newline = rest.is_empty() && !complete_tail;
+    for (i, line) in rest.iter().enumerate() {
+        let is_final_line = i + 1 == rest.len();
+        let terminated = !is_final_line || complete_tail;
+        let line_end = pos + line.len() + usize::from(terminated);
+        if line.trim().is_empty() {
+            pos = line_end;
+            durable_len = line_end;
+            needs_newline = !terminated;
+            continue;
+        }
+        match serde_json::from_str::<JournalEntry>(line) {
+            Ok(entry) => {
+                if entry.index >= header.points {
+                    return Err(ServeError::Journal {
+                        detail: format!(
+                            "journal {} entry index {} out of range for {} points",
+                            path.display(),
+                            entry.index,
+                            header.points
+                        ),
+                    });
+                }
+                records.insert(entry.index, entry.record);
+                pos = line_end;
+                durable_len = line_end;
+                needs_newline = !terminated;
+            }
+            Err(e) => {
+                if is_final_line && !complete_tail {
+                    // Crash mid-append: the batch in flight was never
+                    // durable; the points re-run under a fresh lease.
+                    break;
+                }
+                return Err(ServeError::Journal {
+                    detail: format!("journal {} line {} is corrupt: {e}", path.display(), i + 2),
+                });
+            }
+        }
+    }
+    Ok(Replayed {
+        records,
+        durable_len: durable_len as u64,
+        needs_newline,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "pimcomp-journal-{tag}-{}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            version: JOURNAL_VERSION,
+            job: "test".into(),
+            spec_fingerprint: spec_fingerprint("{}"),
+            points: 8,
+        }
+    }
+
+    fn record(seed: u64) -> PointRecord {
+        PointRecord {
+            model: "tiny_mlp".into(),
+            mode: "HT".into(),
+            hardware: "small_test".into(),
+            policy: "naive".into(),
+            batch: 1,
+            seed,
+            rung: 0,
+            budget: 2,
+            pruned_at: None,
+            ok: true,
+            error: None,
+            metrics: None,
+            pareto: false,
+        }
+    }
+
+    #[test]
+    fn append_replay_round_trips() {
+        let path = temp_path("roundtrip");
+        let mut journal = Journal::create(&path, &header()).unwrap();
+        for index in [0u64, 3, 5] {
+            journal
+                .append(&JournalEntry {
+                    index,
+                    record: record(index),
+                })
+                .unwrap();
+        }
+        journal.sync().unwrap();
+        let replayed = replay(&path, &header()).unwrap();
+        assert_eq!(replayed.records.len(), 3);
+        assert_eq!(replayed.records[&3].seed, 3);
+        let on_disk = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(replayed.durable_len, on_disk);
+        assert!(!replayed.needs_newline);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_final_line_is_dropped_not_fatal() {
+        let path = temp_path("truncated");
+        let mut journal = Journal::create(&path, &header()).unwrap();
+        journal
+            .append(&JournalEntry {
+                index: 0,
+                record: record(0),
+            })
+            .unwrap();
+        journal.sync().unwrap();
+        // Simulate a crash mid-append: garbage with no trailing newline.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        let durable = text.len() as u64;
+        text.push_str("{\"index\":1,\"rec");
+        std::fs::write(&path, &text).unwrap();
+        let replayed = replay(&path, &header()).unwrap();
+        assert_eq!(replayed.records.len(), 1);
+        assert!(replayed.records.contains_key(&0));
+        assert_eq!(
+            replayed.durable_len, durable,
+            "torn line must not be durable"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_append_truncates_a_torn_tail_before_appending() {
+        let path = temp_path("repair");
+        let mut journal = Journal::create(&path, &header()).unwrap();
+        journal
+            .append(&JournalEntry {
+                index: 0,
+                record: record(0),
+            })
+            .unwrap();
+        drop(journal);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"index\":1,\"rec");
+        std::fs::write(&path, &text).unwrap();
+
+        // Resume: replay, repair, append a fresh entry — the file must
+        // replay cleanly again with both real entries and no glue.
+        let replayed = replay(&path, &header()).unwrap();
+        let mut journal = Journal::open_append(&path, &replayed).unwrap();
+        journal
+            .append(&JournalEntry {
+                index: 1,
+                record: record(1),
+            })
+            .unwrap();
+        journal.sync().unwrap();
+        let replayed = replay(&path, &header()).unwrap();
+        assert_eq!(replayed.records.len(), 2);
+        assert_eq!(replayed.records[&1], record(1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_append_terminates_an_unterminated_valid_final_line() {
+        let path = temp_path("newline");
+        let mut journal = Journal::create(&path, &header()).unwrap();
+        journal
+            .append(&JournalEntry {
+                index: 0,
+                record: record(0),
+            })
+            .unwrap();
+        drop(journal);
+        // Strip the final newline: the last entry is valid JSON but a
+        // raw append would glue the next entry onto it.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.trim_end_matches('\n')).unwrap();
+
+        let replayed = replay(&path, &header()).unwrap();
+        assert!(replayed.needs_newline);
+        assert_eq!(replayed.records.len(), 1);
+        let mut journal = Journal::open_append(&path, &replayed).unwrap();
+        journal
+            .append(&JournalEntry {
+                index: 2,
+                record: record(2),
+            })
+            .unwrap();
+        drop(journal);
+        let replayed = replay(&path, &header()).unwrap();
+        assert_eq!(replayed.records.len(), 2);
+        assert_eq!(replayed.records[&0], record(0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_middle_line_is_a_structured_error() {
+        let path = temp_path("corrupt");
+        let mut journal = Journal::create(&path, &header()).unwrap();
+        journal
+            .append(&JournalEntry {
+                index: 0,
+                record: record(0),
+            })
+            .unwrap();
+        drop(journal);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{garbage}\n");
+        text.push_str(
+            &(serde_json::to_string(&JournalEntry {
+                index: 1,
+                record: record(1),
+            })
+            .unwrap()
+                + "\n"),
+        );
+        std::fs::write(&path, &text).unwrap();
+        let err = replay(&path, &header()).unwrap_err();
+        assert!(matches!(err, ServeError::Journal { .. }), "{err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_sweep_journal_is_refused() {
+        let path = temp_path("wrongspec");
+        let journal = Journal::create(&path, &header()).unwrap();
+        drop(journal);
+        let mut other = header();
+        other.spec_fingerprint ^= 1;
+        let err = replay(&path, &other).unwrap_err();
+        assert!(matches!(err, ServeError::Journal { .. }), "{err:?}");
+        let mut other = header();
+        other.points = 9;
+        let err = replay(&path, &other).unwrap_err();
+        assert!(matches!(err, ServeError::Journal { .. }), "{err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_range_index_is_refused() {
+        let path = temp_path("range");
+        let mut journal = Journal::create(&path, &header()).unwrap();
+        journal
+            .append(&JournalEntry {
+                index: 8,
+                record: record(8),
+            })
+            .unwrap();
+        drop(journal);
+        let err = replay(&path, &header()).unwrap_err();
+        assert!(matches!(err, ServeError::Journal { .. }), "{err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn duplicate_entries_replay_idempotently() {
+        let path = temp_path("dup");
+        let mut journal = Journal::create(&path, &header()).unwrap();
+        for _ in 0..3 {
+            journal
+                .append(&JournalEntry {
+                    index: 2,
+                    record: record(2),
+                })
+                .unwrap();
+        }
+        drop(journal);
+        let replayed = replay(&path, &header()).unwrap();
+        assert_eq!(replayed.records.len(), 1);
+        assert_eq!(replayed.records[&2], record(2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fingerprint_is_text_sensitive() {
+        assert_ne!(
+            spec_fingerprint("{\"a\":1}"),
+            spec_fingerprint("{\"a\": 1}")
+        );
+        assert_eq!(spec_fingerprint("x"), spec_fingerprint("x"));
+    }
+}

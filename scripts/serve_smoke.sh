@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Distributed-sweep smoke drill, run by the `serve-smoke` CI job and
+# runnable locally:
+#
+#   cargo build --release && bash scripts/serve_smoke.sh
+#
+# Drill 1: coordinator + 2 concurrent workers (shared artifact cache)
+#          against the committed axes fixture; the served report must
+#          be byte-identical to a single-process `pimcomp explore` run.
+# Drill 2: journaled run where a worker dies mid-lease (--max-points)
+#          and a replacement picks up the reclaimed points; bytes must
+#          still match, and re-serving the completed journal with no
+#          workers must reproduce them a third time.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${PIMCOMP_BIN:-target/release/pimcomp}"
+SPEC="${1:-crates/bench/fixtures/smoke_sweep_axes.json}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+wait_for_port_file() {
+  for _ in $(seq 200); do
+    [ -s "$1" ] && return 0
+    sleep 0.05
+  done
+  echo "serve-smoke: coordinator never wrote $1" >&2
+  return 1
+}
+
+echo "== reference: single-process explore =="
+"$BIN" explore "$SPEC" --threads 2 --cache off --out "$WORK/single.json" >/dev/null
+
+echo "== drill 1: coordinator + 2 workers, shared cache =="
+"$BIN" serve --spec "$SPEC" --listen 127.0.0.1:0 --port-file "$WORK/port1" \
+  --lease-size 2 --out "$WORK/served1.json" &
+COORD=$!
+wait_for_port_file "$WORK/port1"
+ADDR="$(cat "$WORK/port1")"
+"$BIN" work --connect "$ADDR" --name w0 --cache "$WORK/cache" &
+W0=$!
+"$BIN" work --connect "$ADDR" --name w1 --cache "$WORK/cache" &
+W1=$!
+wait "$W0" "$W1" "$COORD"
+cmp "$WORK/single.json" "$WORK/served1.json"
+echo "serve-smoke: 2-worker report is byte-identical"
+
+echo "== drill 2: worker killed mid-lease, restarted, journaled =="
+"$BIN" serve --spec "$SPEC" --listen 127.0.0.1:0 --port-file "$WORK/port2" \
+  --lease-size 4 --lease-timeout-secs 30 --journal "$WORK/sweep.journal" \
+  --out "$WORK/served2.json" &
+COORD=$!
+wait_for_port_file "$WORK/port2"
+ADDR="$(cat "$WORK/port2")"
+# This worker takes a 4-point lease, evaluates 3, and drops the
+# connection — the coordinator reclaims the unfinished remainder.
+"$BIN" work --connect "$ADDR" --name w0-dies --max-points 3 --throttle-ms 20 \
+  | tee "$WORK/dies.log"
+grep -q "stopped early" "$WORK/dies.log"
+# The "restart": a fresh worker finishes everything, reclaimed points
+# included.
+"$BIN" work --connect "$ADDR" --name w0-restarted
+wait "$COORD"
+cmp "$WORK/single.json" "$WORK/served2.json"
+echo "serve-smoke: kill/restart report is byte-identical"
+
+echo "== drill 3: resume the completed journal with no workers =="
+"$BIN" serve --spec "$SPEC" --journal "$WORK/sweep.journal" \
+  --out "$WORK/served3.json" | tee "$WORK/resume.log"
+grep -q "evaluated 0 points" "$WORK/resume.log"
+cmp "$WORK/single.json" "$WORK/served3.json"
+echo "serve-smoke: journal-resume report is byte-identical"

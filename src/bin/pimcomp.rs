@@ -12,6 +12,8 @@
 //! pimcomp models                                # list the zoo
 //! pimcomp explore  sweep.json [--threads N] [--out report.json]
 //! pimcomp explore  --diff old.json --against new.json
+//! pimcomp serve    --spec sweep.json [--out report.json] [--journal FILE]
+//! pimcomp work     --connect host:port [--cache DIR]
 //! ```
 //!
 //! `--model` accepts either a zoo name (`vgg16`, `resnet18`,
@@ -63,6 +65,8 @@ fn main() -> ExitCode {
         "inspect" => cmd_inspect(&opts),
         "export" => cmd_export(&opts),
         "models" => cmd_models(),
+        "serve" => cmd_serve(&opts),
+        "work" => cmd_work(&opts),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -90,6 +94,8 @@ USAGE:
   pimcomp explore  <SPEC.json> [options]               run a design-space sweep
   pimcomp explore  --diff <OLD.json> --against <NEW.json>
                                                        diff two sweep reports
+  pimcomp serve    --spec <SPEC.json> [options]        coordinate a distributed sweep
+  pimcomp work     --connect <HOST:PORT> [options]     join a sweep as a worker
 
 OPTIONS (compile):
   --mode ht|ll            pipeline mode (default: ht)
@@ -124,11 +130,39 @@ OPTIONS (explore):
   --csv FILE.csv          write the sweep report as CSV
   --cache DIR|off         per-point artifact cache; reruns replay cached
                           points (default: .pimcomp-cache)
+  --cache-max-mb N        bound the cache directory; least-recently-used
+                          artifacts are evicted after the run (default:
+                          unbounded)
   --budget-summary        print per-rung evaluation accounting and the
                           evaluations saved vs an exhaustive sweep (the
                           spec's `search` section selects the strategy)
+  --progress              stream per-point completions (key, rung, cache
+                          hit/miss) to stderr; stdout is unchanged
   --diff OLD --against NEW
-                          compare two sweep reports instead of running";
+                          compare two sweep reports instead of running
+
+OPTIONS (serve):
+  --spec SPEC.json        the sweep spec (exhaustive search only)
+  --listen HOST:PORT      listen address (default: 127.0.0.1:0 — any free
+                          port; see --port-file)
+  --port-file FILE        write the bound address (host:port) to FILE once
+                          listening, for scripted worker launches
+  --journal FILE          append-only crash-resume journal; rerunning with
+                          the same spec and journal resumes completed points
+  --lease-size N          points per worker lease (default: 4)
+  --lease-timeout-secs S  reclaim leases older than this (default: 60)
+  --out FILE.json         write the report — byte-identical to a
+                          single-process `pimcomp explore --out` run
+  --csv FILE.csv          write the report as CSV
+  --progress              stream lease/point/worker events to stderr
+
+OPTIONS (work):
+  --connect HOST:PORT     coordinator address (required)
+  --name NAME             display name in the coordinator's progress view
+  --cache DIR             shared content-addressed artifact store
+  --cache-max-mb N        bound the cache (LRU eviction after each lease)
+  --max-points N          stop after N points (CI kill/restart drills)
+  --throttle-ms MS        sleep after each point (test interleaving)";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
@@ -537,7 +571,7 @@ fn cmd_explore(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
-            if key == "budget-summary" {
+            if key == "budget-summary" || key == "progress" {
                 flags.insert(key.to_string(), "true".to_string());
                 continue;
             }
@@ -581,6 +615,29 @@ fn cmd_explore(args: &[String]) -> Result<(), String> {
         Some("off") => {}
         Some(dir) => engine = engine.with_cache_dir(dir),
         None => engine = engine.with_cache_dir(".pimcomp-cache"),
+    }
+    if let Some(raw) = flags.get("cache-max-mb") {
+        let max_mb: u64 = raw
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or("--cache-max-mb expects a positive integer (megabytes)")?;
+        engine = engine.with_cache_limit_mb(max_mb);
+    }
+    if flags.contains_key("progress") {
+        // Per-point completions go to stderr; stdout (the summary and
+        // frontier table) is byte-for-byte what a silent run prints.
+        engine = engine.with_progress(std::sync::Arc::new(|e: &pimcomp::dse::PointEvent| {
+            eprintln!(
+                "[explore] {}/{} {} rung {} ({}{})",
+                e.index + 1,
+                e.total,
+                e.key,
+                e.rung,
+                if e.cache_hit { "cache hit" } else { "compiled" },
+                if e.ok { "" } else { ", failed" }
+            );
+        }));
     }
 
     // The mode/batch factor is spelled so the printed product equals
@@ -633,6 +690,17 @@ fn cmd_explore(args: &[String]) -> Result<(), String> {
         outcome.cache_hits,
         outcome.cache_misses
     );
+    if let Some(ev) = &outcome.eviction {
+        if ev.evicted_files > 0 {
+            println!(
+                "  cache bound: evicted {} artifact(s) ({:.1} MB), kept {} ({:.1} MB)",
+                ev.evicted_files,
+                ev.evicted_bytes as f64 / (1024.0 * 1024.0),
+                ev.kept_files,
+                ev.kept_bytes as f64 / (1024.0 * 1024.0)
+            );
+        }
+    }
     if flags.contains_key("budget-summary") {
         println!();
         print!("{}", outcome.budget);
@@ -689,6 +757,130 @@ fn cmd_explore(args: &[String]) -> Result<(), String> {
         std::fs::write(path, report.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote {path}");
     }
+    Ok(())
+}
+
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
+    use pimcomp::serve::{Coordinator, CoordinatorConfig};
+
+    let spec_path = opts
+        .get("spec")
+        .ok_or("`--spec SPEC.json` is required (an exhaustive sweep spec)")?;
+    let json =
+        std::fs::read_to_string(spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+
+    let mut cfg = CoordinatorConfig::default();
+    if let Some(listen) = opts.get("listen") {
+        cfg.listen = listen.clone();
+    }
+    if let Some(raw) = opts.get("lease-size") {
+        cfg.lease_size = raw
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or("--lease-size expects a positive integer")?;
+    }
+    if let Some(raw) = opts.get("lease-timeout-secs") {
+        let secs: u64 = raw
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or("--lease-timeout-secs expects a positive integer")?;
+        cfg.lease_timeout = Duration::from_secs(secs);
+    }
+    cfg.journal = opts.get("journal").map(std::path::PathBuf::from);
+    cfg.progress = opts.contains_key("progress");
+    // Label the job by the spec's file stem so journal headers and
+    // progress lines say which sweep this is.
+    if let Some(stem) = std::path::Path::new(spec_path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+    {
+        cfg.job = stem.to_string();
+    }
+
+    let coordinator = Coordinator::bind(&json, cfg).map_err(|e| e.to_string())?;
+    let addr = coordinator.local_addr().map_err(|e| e.to_string())?;
+    println!("coordinating sweep {spec_path} on {addr}");
+    if let Some(path) = opts.get("port-file") {
+        std::fs::write(path, format!("{addr}\n")).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("  wrote {path}");
+    }
+
+    let outcome = coordinator.run().map_err(|e| e.to_string())?;
+    let report = &outcome.report;
+    println!(
+        "  evaluated {} points ({} resumed from the journal): {} ok, {} failed",
+        outcome.evaluated_points,
+        outcome.resumed_points,
+        report.points.len() - report.failures(),
+        report.failures()
+    );
+    println!(
+        "  {} worker connection(s), {} lease(s) issued, {} reclaimed",
+        outcome.workers_seen, outcome.leases_issued, outcome.leases_reclaimed
+    );
+    if let Some(path) = opts.get("out") {
+        // Same bytes as `pimcomp explore --out` — the determinism gate
+        // `cmp`s the two files.
+        std::fs::write(path, report.to_json().map_err(|e| e.to_string())? + "\n")
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("  wrote {path} (report format v{})", report.format_version);
+    }
+    if let Some(path) = opts.get("csv") {
+        std::fs::write(path, report.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("  wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_work(opts: &HashMap<String, String>) -> Result<(), String> {
+    use pimcomp::serve::{run_worker, WorkerConfig};
+
+    let connect = opts
+        .get("connect")
+        .ok_or("`--connect HOST:PORT` is required (the coordinator's address)")?;
+    let mut cfg = WorkerConfig::connect_to(connect.as_str());
+    if let Some(name) = opts.get("name") {
+        cfg.name = name.clone();
+    }
+    cfg.cache_dir = opts.get("cache").map(std::path::PathBuf::from);
+    if let Some(raw) = opts.get("cache-max-mb") {
+        let max_mb: u64 = raw
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or("--cache-max-mb expects a positive integer (megabytes)")?;
+        cfg.cache_max_mb = Some(max_mb);
+    }
+    if let Some(raw) = opts.get("max-points") {
+        cfg.max_points = Some(
+            raw.parse()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or("--max-points expects a positive integer")?,
+        );
+    }
+    if let Some(raw) = opts.get("throttle-ms") {
+        let ms: u64 = raw
+            .parse()
+            .map_err(|_| "--throttle-ms expects milliseconds")?;
+        cfg.throttle = Some(Duration::from_millis(ms));
+    }
+
+    let summary = run_worker(&cfg).map_err(|e| e.to_string())?;
+    println!(
+        "worker {} done: {} point(s) evaluated ({} cache hits) over {} lease(s){}",
+        summary.worker,
+        summary.points_evaluated,
+        summary.cache_hits,
+        summary.leases,
+        if summary.stopped_early {
+            ", stopped early at --max-points"
+        } else {
+            ""
+        }
+    );
     Ok(())
 }
 

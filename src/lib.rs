@@ -11,6 +11,10 @@
 //! * [`sim`] — the cycle-accurate simulator ([`pimcomp_sim`]).
 //! * [`dse`] — deterministic design-space exploration over compiler +
 //!   simulator ([`pimcomp_dse`]).
+//! * [`serve`] — the distributed, resumable sweep service: a
+//!   coordinator/worker fan-out over TCP with a journaled crash-resume
+//!   whose reports stay byte-identical to single-process runs
+//!   ([`pimcomp_serve`]).
 //!
 //! # Quickstart: staged compilation sessions
 //!
@@ -57,6 +61,7 @@ pub use pimcomp_core as compiler;
 pub use pimcomp_dse as dse;
 pub use pimcomp_ir as ir;
 pub use pimcomp_onnx as onnx;
+pub use pimcomp_serve as serve;
 pub use pimcomp_sim as sim;
 
 /// The most commonly used items, importable with one `use`.
@@ -69,5 +74,6 @@ pub mod prelude {
     };
     pub use pimcomp_dse::{ExploreEngine, ExploreError, SweepReport, SweepSpec};
     pub use pimcomp_ir::{Graph, GraphBuilder};
+    pub use pimcomp_serve::{run_worker, Coordinator, CoordinatorConfig, ServeError, WorkerConfig};
     pub use pimcomp_sim::{SimReport, Simulator};
 }
