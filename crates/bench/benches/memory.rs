@@ -7,7 +7,7 @@ use pimcomp_core::{CompileOptions, PimCompiler, ReusePolicy};
 use pimcomp_ir::transform::normalize;
 
 fn bench_memory(c: &mut Criterion) {
-    let graph = normalize(&pimcomp_ir::models::resnet18());
+    let graph = normalize(&pimcomp_ir::models::resnet18()).unwrap();
     let hw = HardwareConfig::puma_with_chips(5);
     let mut group = c.benchmark_group("memory");
     group.sample_size(20);

@@ -10,7 +10,7 @@ fn bench_partition(c: &mut Criterion) {
     let hw = HardwareConfig::puma();
     let mut group = c.benchmark_group("partition");
     for name in pimcomp_ir::models::PAPER_BENCHMARKS {
-        let graph = normalize(&pimcomp_ir::models::by_name(name).unwrap());
+        let graph = normalize(&pimcomp_ir::models::by_name(name).unwrap()).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, g| {
             b.iter(|| Partitioning::new(std::hint::black_box(g), &hw).unwrap());
         });

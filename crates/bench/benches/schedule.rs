@@ -7,7 +7,7 @@ use pimcomp_core::{puma_mapping, DepInfo, HtSchedule, LlSchedule, Partitioning};
 use pimcomp_ir::transform::normalize;
 
 fn bench_schedule(c: &mut Criterion) {
-    let graph = normalize(&pimcomp_ir::models::resnet18());
+    let graph = normalize(&pimcomp_ir::models::resnet18()).unwrap();
     let hw = HardwareConfig::puma_with_chips(5);
     let partitioning = Partitioning::new(&graph, &hw).unwrap();
     let dep = DepInfo::analyze(&graph);

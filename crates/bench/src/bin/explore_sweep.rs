@@ -54,7 +54,13 @@ fn main() {
             }
         };
         let seconds = t0.elapsed().as_secs_f64();
-        let json = outcome.report.to_json().expect("report serializes");
+        let json = match outcome.report.to_json() {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error: sweep report failed to serialize at {t} threads: {e}");
+                std::process::exit(2);
+            }
+        };
         match &reference {
             None => reference = Some(json),
             Some(r) => {
@@ -95,9 +101,16 @@ fn main() {
     let engine = ExploreEngine::new()
         .with_threads(*threads.last().unwrap_or(&1))
         .with_cache_dir(&dir);
-    let cold = engine.run(&spec).expect("cold cached run");
+    let run_cached = |label: &str| {
+        engine.run(&spec).unwrap_or_else(|e| {
+            eprintln!("error: {label} cached run failed: {e}");
+            std::fs::remove_dir_all(&dir).ok();
+            std::process::exit(1);
+        })
+    };
+    let cold = run_cached("cold");
     let t0 = Instant::now();
-    let warm = engine.run(&spec).expect("warm cached run");
+    let warm = run_cached("warm");
     let warm_s = t0.elapsed().as_secs_f64();
     std::fs::remove_dir_all(&dir).ok();
     if warm.cache_hits != n_points || cold.cache_hits != 0 {

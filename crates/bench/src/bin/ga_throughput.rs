@@ -43,6 +43,15 @@ struct Row {
     best_fitness: f64,
 }
 
+/// Partitions `graph` for `hw`, exiting with a clear message (status 2)
+/// when the model does not fit — a harness must report, not panic.
+fn partition_or_exit(name: &str, graph: &pimcomp_ir::Graph, hw: &HardwareConfig) -> Partitioning {
+    Partitioning::new(graph, hw).unwrap_or_else(|e| {
+        eprintln!("error: cannot partition `{name}` for the target hardware: {e}");
+        std::process::exit(2);
+    })
+}
+
 fn main() {
     let opts = HarnessOptions::from_args();
     let mut sweep = opts.threads.clone().unwrap_or_else(|| vec![1, 2, 4, 8]);
@@ -95,16 +104,27 @@ fn main() {
     let mut speedup_ok = true;
     for name in networks {
         let Some(graph) = pimcomp_ir::models::by_name(name) else {
-            eprintln!("unknown network `{name}`");
-            continue;
+            // A typo in --only must not silently yield an empty (and
+            // therefore "passing") measurement.
+            eprintln!(
+                "error: unknown network `{name}`; available networks: {}",
+                pimcomp_bench::available_networks().join(", ")
+            );
+            std::process::exit(2);
         };
-        let graph = normalize(&graph);
+        let graph = match normalize(&graph) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("error: network `{name}` failed normalization: {e}");
+                std::process::exit(2);
+            }
+        };
         let base = HardwareConfig::puma();
-        let partitioning = Partitioning::new(&graph, &base).expect("partitioning");
+        let partitioning = partition_or_exit(name, &graph, &base);
         let per_chip = base.cores_per_chip * base.crossbars_per_core;
         let chips = (2 * partitioning.min_crossbars()).div_ceil(per_chip).max(1);
         let hw = HardwareConfig::puma_with_chips(chips);
-        let partitioning = Partitioning::new(&graph, &hw).expect("partitioning");
+        let partitioning = partition_or_exit(name, &graph, &hw);
         let dep = DepInfo::analyze(&graph);
 
         for mode in [PipelineMode::HighThroughput, PipelineMode::LowLatency] {
@@ -122,7 +142,15 @@ fn main() {
                     ..ga_base.clone()
                 };
                 let t0 = Instant::now();
-                let (_, stats) = optimize(&ctx, &params).expect("GA run");
+                let (_, stats) = match optimize(&ctx, &params) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!(
+                            "error: GA run failed for {name}/{mode} at {threads} threads: {e}"
+                        );
+                        std::process::exit(2);
+                    }
+                };
                 let wall = t0.elapsed();
                 let wall_ms = wall.as_secs_f64() * 1e3;
                 let evals_per_sec = stats.evaluations as f64 / wall.as_secs_f64().max(1e-9);

@@ -212,17 +212,52 @@ impl std::fmt::Display for UnknownNetwork {
 
 impl std::error::Error for UnknownNetwork {}
 
+/// Why [`load_network`] could not produce a compilable graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// The name did not resolve to a zoo model.
+    Unknown(UnknownNetwork),
+    /// The model resolved but failed graph normalization.
+    Malformed {
+        /// The network name as requested.
+        name: String,
+        /// The underlying IR error.
+        source: pimcomp_ir::IrError,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Unknown(e) => e.fmt(f),
+            LoadError::Malformed { name, source } => {
+                write!(f, "network `{name}` failed normalization: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
 /// Loads and normalizes a benchmark network by name.
 ///
 /// # Errors
 ///
-/// [`UnknownNetwork`] (listing every valid name) instead of a panic, so
-/// harness binaries and sweep drivers survive a typo in `--only`.
-pub fn load_network(name: &str) -> Result<Graph, UnknownNetwork> {
-    let g = pimcomp_ir::models::by_name(name).ok_or_else(|| UnknownNetwork {
-        name: name.to_string(),
+/// [`LoadError::Unknown`] (listing every valid name) instead of a
+/// panic, so harness binaries and sweep drivers survive a typo in
+/// `--only`; [`LoadError::Malformed`] if normalization rejects the
+/// model (impossible for the committed zoo, reachable once imported
+/// graphs flow through here).
+pub fn load_network(name: &str) -> Result<Graph, LoadError> {
+    let g = pimcomp_ir::models::by_name(name).ok_or_else(|| {
+        LoadError::Unknown(UnknownNetwork {
+            name: name.to_string(),
+        })
     })?;
-    Ok(normalize(&g))
+    normalize(&g).map_err(|source| LoadError::Malformed {
+        name: name.to_string(),
+        source,
+    })
 }
 
 /// [`load_network`] for binaries: prints the error (with the list of
@@ -466,7 +501,10 @@ mod tests {
     #[test]
     fn unknown_network_error_lists_available_names() {
         let err = load_network("alexnet").unwrap_err();
-        assert_eq!(err.name, "alexnet");
+        match &err {
+            LoadError::Unknown(u) => assert_eq!(u.name, "alexnet"),
+            other => panic!("expected Unknown, got {other:?}"),
+        }
         let msg = err.to_string();
         for name in available_networks() {
             assert!(msg.contains(name), "`{msg}` should list `{name}`");

@@ -167,7 +167,9 @@ impl PumaCompiler {
                 detail: e.to_string(),
             })?;
         let graph = if opts.normalize {
-            pimcomp_ir::transform::normalize(graph)
+            pimcomp_ir::transform::normalize(graph).map_err(|e| CompileError::InvalidGraph {
+                detail: e.to_string(),
+            })?
         } else {
             graph.clone()
         };
@@ -259,7 +261,7 @@ mod tests {
 
     #[test]
     fn puma_replicates_early_layers_more() {
-        let g = normalize(&models::tiny_cnn());
+        let g = normalize(&models::tiny_cnn()).unwrap();
         let hw = HardwareConfig::small_test();
         let p = Partitioning::new(&g, &hw).unwrap();
         let m = puma_mapping(&p, &hw).unwrap();
@@ -276,7 +278,7 @@ mod tests {
 
     #[test]
     fn puma_mapping_is_feasible_and_valid() {
-        let g = normalize(&models::tiny_cnn());
+        let g = normalize(&models::tiny_cnn()).unwrap();
         let hw = HardwareConfig::small_test();
         let p = Partitioning::new(&g, &hw).unwrap();
         let m = puma_mapping(&p, &hw).unwrap();
@@ -293,7 +295,7 @@ mod tests {
     fn puma_mapping_concentrates_on_few_cores() {
         // Greedy fill packs sequentially: active cores should be close
         // to the theoretical minimum.
-        let g = normalize(&models::tiny_cnn());
+        let g = normalize(&models::tiny_cnn()).unwrap();
         let hw = HardwareConfig::small_test();
         let p = Partitioning::new(&g, &hw).unwrap();
         let m = puma_mapping(&p, &hw).unwrap();

@@ -27,7 +27,7 @@
 
 use crate::ga::GaContext;
 use crate::mapping::Chromosome;
-use crate::partition::Partitioning;
+use crate::partition::{MvmIdx, Partitioning};
 use crate::replication::ReplicationPlan;
 use crate::waiting::DepInfo;
 use crate::CompileError;
@@ -52,7 +52,7 @@ pub fn ht_core_time(hw: &HardwareConfig, items: &[(usize, usize)]) -> u64 {
 /// [`ht_core_time`] over a caller-owned buffer (filtered and sorted in
 /// place), so the GA's hottest loop can reuse one scratch allocation
 /// across cores.
-fn ht_core_time_in_place(hw: &HardwareConfig, items: &mut Vec<(usize, usize)>) -> u64 {
+pub(crate) fn ht_core_time_in_place(hw: &HardwareConfig, items: &mut Vec<(usize, usize)>) -> u64 {
     items.retain(|&(a, c)| a > 0 && c > 0);
     if items.is_empty() {
         return 0;
@@ -236,8 +236,22 @@ pub(crate) fn ll_issue_floor(
     chromosome: &Chromosome,
     replication: &ReplicationPlan,
 ) -> f64 {
+    let mut loads = Vec::new();
+    ll_issue_floor_in(hw, partitioning, chromosome, replication, &mut loads)
+}
+
+/// [`ll_issue_floor`] over a caller-owned per-core load buffer, so the
+/// GA's evaluation loop does not allocate it per offspring.
+fn ll_issue_floor_in(
+    hw: &HardwareConfig,
+    partitioning: &Partitioning,
+    chromosome: &Chromosome,
+    replication: &ReplicationPlan,
+    loads: &mut Vec<u64>,
+) -> f64 {
     let mut worst: u64 = 0;
-    let mut loads = vec![0u64; chromosome.cores()];
+    loads.clear();
+    loads.resize(chromosome.cores(), 0);
     for (slot, gene) in chromosome.genes() {
         let core = chromosome.core_of_slot(slot);
         let wpr = replication.windows_per_replica(partitioning, gene.mvm) as u64;
@@ -247,7 +261,8 @@ pub(crate) fn ll_issue_floor(
     worst as f64 * hw.issue_interval() as f64
 }
 
-/// The Fig. 6 topological chain estimate.
+/// The Fig. 6 topological chain estimate (from-scratch entry point:
+/// builds the static tables and state buffer per call).
 fn ll_chain_estimate(
     hw: &HardwareConfig,
     graph: &Graph,
@@ -255,86 +270,163 @@ fn ll_chain_estimate(
     dep: &DepInfo,
     replication: &ReplicationPlan,
 ) -> f64 {
-    let mut states: HashMap<NodeId, LlNodeState> = HashMap::new();
+    let tables = LlStatic::build(graph, partitioning, dep);
+    let mut states = Vec::new();
+    ll_chain_estimate_in(hw, &tables, replication, &mut states)
+}
+
+/// Everything about the graph the LL chain estimate reads that does
+/// *not* depend on the replication plan, flattened into dense per-node
+/// tables so the GA's hottest LL loop does no hash lookups, no
+/// topological sorting and no per-node allocation. Built once per
+/// evaluation context (the tables are only valid for the
+/// `(graph, partitioning, dep)` triple they were built from).
+struct LlStatic {
+    /// Node ids in the same topological order `Graph::topo_order`
+    /// yields, paired with each node's static record.
+    topo: Vec<usize>,
+    /// Dense by node id.
+    nodes: Vec<LlStaticNode>,
+}
+
+struct LlStaticNode {
+    is_input: bool,
+    is_mvm: bool,
+    /// MVM nodes: `(index, windows, ags_per_replica)` per partition
+    /// entry, in `Partitioning::indices_of` order.
+    mvm_indices: Vec<(MvmIdx, usize, usize)>,
+    /// Non-MVM nodes: partition indices of the nearest MVM providers.
+    provider_indices: Vec<MvmIdx>,
+    /// Non-MVM nodes: `windows_of * elems_of` element count.
+    elems: usize,
+    /// Predecessors in `Graph::predecessors` order with the edge's
+    /// waiting fraction (0 when the dependency edge is untracked).
+    preds: Vec<(usize, f64)>,
+}
+
+impl LlStatic {
+    fn build(graph: &Graph, partitioning: &Partitioning, dep: &DepInfo) -> Self {
+        let nodes = (0..graph.node_count())
+            .map(|raw| {
+                let id = NodeId(raw);
+                let node = graph.node(id);
+                let is_mvm = node.op.is_mvm();
+                LlStaticNode {
+                    is_input: matches!(node.op, Op::Input { .. }),
+                    is_mvm,
+                    mvm_indices: if is_mvm {
+                        partitioning
+                            .indices_of(id)
+                            .into_iter()
+                            .map(|idx| {
+                                let e = partitioning.entry(idx);
+                                (idx, e.windows, e.ags_per_replica)
+                            })
+                            .collect()
+                    } else {
+                        Vec::new()
+                    },
+                    provider_indices: if is_mvm {
+                        Vec::new()
+                    } else {
+                        graph
+                            .mvm_providers(id)
+                            .into_iter()
+                            .flat_map(|p| partitioning.indices_of(p))
+                            .collect()
+                    },
+                    elems: dep.windows_of(id) * dep.elems_of(id),
+                    preds: graph
+                        .predecessors(id)
+                        .iter()
+                        .map(|&p| (p.0, dep.edge(id, p).map_or(0.0, |e| e.waiting)))
+                        .collect(),
+                }
+            })
+            .collect();
+        LlStatic {
+            topo: graph.topo_order().into_iter().map(|id| id.0).collect(),
+            nodes,
+        }
+    }
+}
+
+/// The Fig. 6 chain recursion over prebuilt [`LlStatic`] tables and a
+/// reusable state buffer. Performs the arithmetic in exactly the order
+/// the original hash-map walk did, so the result is bit-identical.
+fn ll_chain_estimate_in(
+    hw: &HardwareConfig,
+    tables: &LlStatic,
+    replication: &ReplicationPlan,
+    states: &mut Vec<LlNodeState>,
+) -> f64 {
+    states.clear();
+    states.resize(
+        tables.nodes.len(),
+        LlNodeState {
+            start: 0.0,
+            finish: 0.0,
+        },
+    );
     let mut last_finish: f64 = 0.0;
 
-    for id in graph.topo_order() {
-        let node = graph.node(id);
-        if matches!(node.op, Op::Input { .. }) {
-            states.insert(
-                id,
-                LlNodeState {
-                    start: 0.0,
-                    finish: 0.0,
-                },
-            );
+    for &id in &tables.topo {
+        let node = &tables.nodes[id];
+        if node.is_input {
+            states[id] = LlNodeState {
+                start: 0.0,
+                finish: 0.0,
+            };
             continue;
         }
 
-        let u = node_uninterrupted_time(hw, graph, partitioning, dep, replication, id);
+        let u = static_node_uninterrupted_time(hw, node, replication);
 
         let mut start: f64 = 0.0;
         let mut providers_finish: f64 = 0.0;
-        for &p in graph.predecessors(id) {
-            let ps = states[&p];
+        for &(p, w) in &node.preds {
+            let ps = states[p];
             let period = (ps.finish - ps.start).max(0.0);
-            let w = dep.edge(id, p).map_or(0.0, |e| e.waiting);
             start = start.max(ps.start + period * w);
             providers_finish = providers_finish.max(ps.finish);
         }
 
         let finish = (start + u).max(providers_finish);
         last_finish = last_finish.max(finish);
-        states.insert(id, LlNodeState { start, finish });
+        states[id] = LlNodeState { start, finish };
     }
     last_finish
 }
 
-/// Uninterrupted execution time `U_x` of one node under the plan.
-pub(crate) fn node_uninterrupted_time(
+/// Uninterrupted execution time `U_x` of one node under the plan, over
+/// an [`LlStaticNode`] record (the graph/partitioning walks hoisted
+/// out): MVM nodes take the max over their column groups of
+/// `ceil(windows/R) × max(ags_per_replica·T_interval, T_MVM)`;
+/// vector/memory nodes divide their element count by the VFU rate of
+/// the `R_pred` cores the work is distributed over (Section IV-D.2).
+fn static_node_uninterrupted_time(
     hw: &HardwareConfig,
-    graph: &Graph,
-    partitioning: &Partitioning,
-    dep: &DepInfo,
+    node: &LlStaticNode,
     replication: &ReplicationPlan,
-    id: NodeId,
 ) -> f64 {
-    let node = graph.node(id);
-    if node.op.is_mvm() {
-        // Max over column groups: the node is done when its slowest
-        // group is.
+    if node.is_mvm {
         let mut u: f64 = 0.0;
-        for idx in partitioning.indices_of(id) {
-            let e = partitioning.entry(idx);
+        for &(idx, windows, ags_per_replica) in &node.mvm_indices {
             let r = replication.count(idx);
-            let per_window = (e.ags_per_replica as u64 * hw.issue_interval()).max(hw.mvm_latency);
-            u = u.max(e.windows.div_ceil(r) as f64 * per_window as f64);
+            let per_window = (ags_per_replica as u64 * hw.issue_interval()).max(hw.mvm_latency);
+            u = u.max(windows.div_ceil(r) as f64 * per_window as f64);
         }
         u
     } else {
-        // Vector/memory work distributed across the predecessor conv's
-        // replicas.
-        let elems = dep.windows_of(id) * dep.elems_of(id);
-        let r_pred = effective_pred_replication(graph, partitioning, replication, id);
+        let r_pred = node
+            .provider_indices
+            .iter()
+            .map(|&idx| replication.count(idx))
+            .max()
+            .unwrap_or(1);
         let vfu_rate = hw.vfu_per_core as f64 * hw.vfu_lane_throughput;
-        elems as f64 / (vfu_rate * r_pred as f64)
+        node.elems as f64 / (vfu_rate * r_pred as f64)
     }
-}
-
-/// Replication of the node's nearest MVM provider(s); 1 when none.
-pub(crate) fn effective_pred_replication(
-    graph: &Graph,
-    partitioning: &Partitioning,
-    replication: &ReplicationPlan,
-    id: NodeId,
-) -> usize {
-    graph
-        .mvm_providers(id)
-        .into_iter()
-        .flat_map(|p| partitioning.indices_of(p))
-        .map(|idx| replication.count(idx))
-        .max()
-        .unwrap_or(1)
 }
 
 // ---------------------------------------------------------------------------
@@ -378,8 +470,37 @@ pub(crate) enum EvalKind {
     Incremental,
 }
 
+/// Reusable buffers for the evaluation engine, owned per worker thread
+/// (see `run_indexed_with`) or per [`FitnessMemo`]. Everything in here
+/// is overwritten before being read, so reuse across evaluations is an
+/// allocation optimization only — results stay bit-identical.
+///
+/// A scratch is tied to the first [`GaContext`] it is used with (the
+/// cached LL tables describe that context's graph); the GA creates one
+/// per worker per run, which upholds the contract by construction.
+#[derive(Default)]
+pub(crate) struct EvalScratch {
+    /// `(ag_count, cycles)` buffer for [`ht_core_time_of`].
+    items: Vec<(usize, usize)>,
+    /// Per-core busy times under construction (HT).
+    times: Vec<u64>,
+    /// Batched list of cores to re-evaluate (HT incremental).
+    dirty: Vec<usize>,
+    /// Membership mask for `dirty` (reset between evaluations).
+    dirty_mask: Vec<bool>,
+    /// Per-node replication-count-changed mask (HT incremental).
+    counts_changed: Vec<bool>,
+    /// Per-core issue loads (LL floor).
+    loads: Vec<u64>,
+    /// Per-node chain states (LL).
+    states: Vec<LlNodeState>,
+    /// Replication-independent LL tables, built on first LL use.
+    ll: Option<LlStatic>,
+}
+
 /// Evaluates a chromosome's fitness, incrementally when a parent basis
-/// is supplied.
+/// is supplied. `scratch` provides the reusable buffers; it never
+/// influences the result.
 ///
 /// The returned `f64` is bit-identical to the from-scratch estimators
 /// ([`ht_fitness`] / [`ll_fitness_with_issue_floor`]) regardless of the
@@ -390,60 +511,63 @@ pub(crate) fn compute_fitness(
     ctx: &GaContext<'_>,
     chromosome: &Chromosome,
     parent: Option<(&Chromosome, &EvalBasis)>,
+    scratch: &mut EvalScratch,
 ) -> Result<(f64, EvalBasis, EvalKind), CompileError> {
     let plan = chromosome.replication(ctx.partitioning)?;
     match ctx.mode {
         PipelineMode::HighThroughput => {
-            let mut scratch = Vec::new();
+            let mut kind = EvalKind::Full;
+            let mut incremental = false;
             if let Some((pc, basis)) = parent {
                 if let EvalDetail::Ht { core_times } = &basis.detail {
                     if same_grid(pc, chromosome) {
-                        let dirty = dirty_cores(pc, chromosome, &basis.counts, plan.counts());
-                        let mut times = core_times.clone();
-                        for (core, time) in times.iter_mut().enumerate() {
-                            if dirty[core] {
-                                *time = ht_core_time_of(
-                                    ctx.hw,
-                                    ctx.partitioning,
-                                    chromosome,
-                                    &plan,
-                                    core,
-                                    &mut scratch,
-                                );
-                            }
+                        // Batched dirty-core re-eval: diff the grids
+                        // once, collect the distinct dirty cores, then
+                        // recompute only those entries of the parent's
+                        // per-core times.
+                        scratch.times.clear();
+                        scratch.times.extend_from_slice(core_times);
+                        collect_dirty_cores(pc, chromosome, &basis.counts, plan.counts(), scratch);
+                        for i in 0..scratch.dirty.len() {
+                            let core = scratch.dirty[i];
+                            scratch.times[core] = ht_core_time_of(
+                                ctx.hw,
+                                ctx.partitioning,
+                                chromosome,
+                                &plan,
+                                core,
+                                &mut scratch.items,
+                            );
                         }
-                        let fitness = ht_combine(&times);
-                        return Ok((
-                            fitness,
-                            EvalBasis {
-                                counts: plan.counts().to_vec(),
-                                detail: EvalDetail::Ht { core_times: times },
-                            },
-                            EvalKind::Incremental,
-                        ));
+                        kind = EvalKind::Incremental;
+                        incremental = true;
                     }
                 }
             }
-            let core_times: Vec<u64> = (0..chromosome.cores())
-                .map(|core| {
-                    ht_core_time_of(
+            if !incremental {
+                scratch.times.clear();
+                for core in 0..chromosome.cores() {
+                    let t = ht_core_time_of(
                         ctx.hw,
                         ctx.partitioning,
                         chromosome,
                         &plan,
                         core,
-                        &mut scratch,
-                    )
-                })
-                .collect();
-            let fitness = ht_combine(&core_times);
+                        &mut scratch.items,
+                    );
+                    scratch.times.push(t);
+                }
+            }
+            let fitness = ht_combine(&scratch.times);
             Ok((
                 fitness,
                 EvalBasis {
                     counts: plan.counts().to_vec(),
-                    detail: EvalDetail::Ht { core_times },
+                    detail: EvalDetail::Ht {
+                        core_times: scratch.times.clone(),
+                    },
                 },
-                EvalKind::Full,
+                kind,
             ))
         }
         PipelineMode::LowLatency => {
@@ -457,12 +581,24 @@ pub(crate) fn compute_fitness(
             });
             let (chain, kind) = match reused {
                 Some(chain) => (chain, EvalKind::Incremental),
-                None => (
-                    ll_chain_estimate(ctx.hw, ctx.graph, ctx.partitioning, ctx.dep, &plan),
-                    EvalKind::Full,
-                ),
+                None => {
+                    let EvalScratch { ll, states, .. } = scratch;
+                    let tables = ll.get_or_insert_with(|| {
+                        LlStatic::build(ctx.graph, ctx.partitioning, ctx.dep)
+                    });
+                    (
+                        ll_chain_estimate_in(ctx.hw, tables, &plan, states),
+                        EvalKind::Full,
+                    )
+                }
             };
-            let fitness = chain.max(ll_issue_floor(ctx.hw, ctx.partitioning, chromosome, &plan));
+            let fitness = chain.max(ll_issue_floor_in(
+                ctx.hw,
+                ctx.partitioning,
+                chromosome,
+                &plan,
+                &mut scratch.loads,
+            ));
             Ok((
                 fitness,
                 EvalBasis {
@@ -481,37 +617,52 @@ fn same_grid(a: &Chromosome, b: &Chromosome) -> bool {
     a.cores() == b.cores() && a.max_nodes_per_core() == b.max_nodes_per_core()
 }
 
-/// Cores whose HT busy time may differ between `parent` and `child`:
-/// cores whose slots changed, plus every core hosting a node whose
-/// replication count changed (its windows-per-replica shifted on *all*
-/// of its cores, not only where AGs moved). Counts come from the
-/// already-derived plans, so no extra slot walk is needed unless a
-/// count actually changed.
-fn dirty_cores(
+/// Collects into `scratch.dirty` the cores whose HT busy time may
+/// differ between `parent` and `child`: cores whose slots changed, plus
+/// every core hosting a node whose replication count changed (its
+/// windows-per-replica shifted on *all* of its cores, not only where
+/// AGs moved). Counts come from the already-derived plans, so no extra
+/// slot walk is needed unless a count actually changed.
+fn collect_dirty_cores(
     parent: &Chromosome,
     child: &Chromosome,
     parent_counts: &[usize],
     child_counts: &[usize],
-) -> Vec<bool> {
-    let mut dirty = vec![false; child.cores()];
+    scratch: &mut EvalScratch,
+) {
+    scratch.dirty.clear();
+    scratch.dirty_mask.clear();
+    scratch.dirty_mask.resize(child.cores(), false);
+    let mark = |core: usize, dirty: &mut Vec<usize>, mask: &mut Vec<bool>| {
+        if !mask[core] {
+            mask[core] = true;
+            dirty.push(core);
+        }
+    };
     for slot in 0..child.len() {
-        if parent.gene(slot) != child.gene(slot) {
-            dirty[child.core_of_slot(slot)] = true;
+        if parent.slot_differs(child, slot) {
+            mark(
+                child.core_of_slot(slot),
+                &mut scratch.dirty,
+                &mut scratch.dirty_mask,
+            );
         }
     }
     if parent_counts != child_counts {
-        let changed: Vec<bool> = parent_counts
-            .iter()
-            .zip(child_counts)
-            .map(|(p, c)| p != c)
-            .collect();
+        scratch.counts_changed.clear();
+        scratch
+            .counts_changed
+            .extend(parent_counts.iter().zip(child_counts).map(|(p, c)| p != c));
         for (slot, gene) in parent.genes().chain(child.genes()) {
-            if *changed.get(gene.mvm).unwrap_or(&false) {
-                dirty[child.core_of_slot(slot)] = true;
+            if *scratch.counts_changed.get(gene.mvm).unwrap_or(&false) {
+                mark(
+                    child.core_of_slot(slot),
+                    &mut scratch.dirty,
+                    &mut scratch.dirty_mask,
+                );
             }
         }
     }
-    dirty
 }
 
 /// Entries the memo keeps per unique chromosome.
@@ -541,7 +692,7 @@ const MEMO_CAPACITY: usize = 1 << 16;
 /// use pimcomp_core::{DepInfo, FitnessMemo, GaContext, Partitioning};
 /// use pimcomp_ir::transform::normalize;
 ///
-/// let graph = normalize(&pimcomp_ir::models::tiny_cnn());
+/// let graph = normalize(&pimcomp_ir::models::tiny_cnn()).unwrap();
 /// let hw = HardwareConfig::small_test();
 /// let partitioning = Partitioning::new(&graph, &hw).unwrap();
 /// let dep = DepInfo::analyze(&graph);
@@ -580,6 +731,7 @@ const MEMO_CAPACITY: usize = 1 << 16;
 pub struct FitnessMemo<'a> {
     ctx: &'a GaContext<'a>,
     entries: HashMap<u128, MemoEntry>,
+    scratch: EvalScratch,
     hits: usize,
     full: usize,
     incremental: usize,
@@ -591,6 +743,7 @@ impl<'a> FitnessMemo<'a> {
         FitnessMemo {
             ctx,
             entries: HashMap::new(),
+            scratch: EvalScratch::default(),
             hits: 0,
             full: 0,
             incremental: 0,
@@ -643,7 +796,8 @@ impl<'a> FitnessMemo<'a> {
             Some((p, basis))
         });
         let basis_ref = parent_entry.as_ref().map(|(p, b)| (*p, b.as_ref()));
-        let (fitness, basis, kind) = compute_fitness(self.ctx, chromosome, basis_ref)?;
+        let (fitness, basis, kind) =
+            compute_fitness(self.ctx, chromosome, basis_ref, &mut self.scratch)?;
         self.observe(kind);
         self.record(fingerprint, fitness, Arc::new(basis));
         Ok(fitness)

@@ -43,10 +43,11 @@
 //!   mode) — exactly, not approximately.
 
 use crate::fitness::{
-    compute_fitness, ht_fitness, ll_fitness_with_issue_floor, EvalBasis, EvalKind, FitnessMemo,
+    compute_fitness, ht_fitness, ll_fitness_with_issue_floor, EvalBasis, EvalKind, EvalScratch,
+    FitnessMemo,
 };
 use crate::mapping::{Chromosome, Gene};
-use crate::parallel::run_indexed;
+use crate::parallel::run_indexed_with;
 use crate::partition::{MvmIdx, Partitioning};
 use crate::waiting::DepInfo;
 use crate::CompileError;
@@ -329,6 +330,28 @@ struct Offspring {
     tally: MutationTally,
 }
 
+/// Reusable per-worker buffers for offspring derivation. Purely an
+/// allocation cache (cleared before every use), so reuse across
+/// offspring slots never changes results.
+#[derive(Default)]
+struct MutScratch {
+    /// Candidate gene lists (spread source genes, merge genes).
+    genes: Vec<(usize, Gene)>,
+    /// Merge target genes.
+    targets: Vec<(usize, Gene)>,
+    /// Shrink slot walk order.
+    slots: Vec<usize>,
+    /// `(ag_count, cycles)` per-core items for `critical_node`.
+    items: Vec<(usize, usize)>,
+}
+
+/// Everything one evaluation worker reuses across its offspring slots.
+#[derive(Default)]
+struct WorkerScratch {
+    eval: EvalScratch,
+    mutation: MutScratch,
+}
+
 /// Heuristic `max_node_num_in_core` when the user does not pin one.
 pub fn default_max_nodes_per_core(nodes: usize, cores: usize) -> usize {
     ((2 * nodes).div_ceil(cores) + 2).clamp(4, nodes.max(4))
@@ -383,10 +406,10 @@ pub fn optimize_observed(
     // cannot strand them. Individual 0 stays at the minimum plan as a
     // safe anchor. Every individual derives from its own seed stream
     // and is evaluated from scratch across the worker pool.
-    let built = run_indexed(threads, pop_n, |i| {
+    let built = run_indexed_with(threads, pop_n, EvalScratch::default, |scratch, i| {
         let mut rng = StdRng::seed_from_u64(stream_seed(params.seed, 0, i as u64));
         let draft = initial_draft(ctx, cores, max_nodes, capacity, i > 0, &mut rng)?;
-        let (fitness, basis, _) = compute_fitness(ctx, &draft.chromosome, None)?;
+        let (fitness, basis, _) = compute_fitness(ctx, &draft.chromosome, None, scratch)?;
         Ok::<_, CompileError>((draft, fitness, basis))
     });
     let mut population: Vec<Individual> = Vec::with_capacity(pop_n);
@@ -420,7 +443,8 @@ pub fn optimize_observed(
 
         // Derive and evaluate the whole offspring batch against the
         // immutable parent population; each slot owns its RNG stream.
-        let results = run_indexed(threads, offspring_n, |slot| {
+        let results = run_indexed_with(threads, offspring_n, WorkerScratch::default, |ws, slot| {
+            let scratch = &mut ws.eval;
             let mut rng =
                 StdRng::seed_from_u64(stream_seed(params.seed, gen as u64 + 1, slot as u64));
             let parent = tournament(&population, params.tournament, &mut rng);
@@ -429,7 +453,14 @@ pub fn optimize_observed(
             let mut changed = false;
             let mut tally = MutationTally::default();
             for _ in 0..n_mut {
-                changed |= mutate(&mut draft, ctx, capacity, &mut rng, &mut tally);
+                changed |= mutate(
+                    &mut draft,
+                    ctx,
+                    capacity,
+                    &mut rng,
+                    &mut tally,
+                    &mut ws.mutation,
+                );
             }
             if !changed {
                 return Ok(Offspring {
@@ -456,6 +487,7 @@ pub fn optimize_observed(
                 ctx,
                 &draft.chromosome,
                 Some((&parent.draft.chromosome, &parent.basis)),
+                scratch,
             )?;
             Ok::<_, CompileError>(Offspring {
                 draft,
@@ -647,12 +679,13 @@ fn mutate(
     capacity: usize,
     rng: &mut StdRng,
     tally: &mut MutationTally,
+    ms: &mut MutScratch,
 ) -> bool {
     let n = ctx.partitioning.len();
     match rng.gen_range(0..4u8) {
         0 => {
             let node = if ctx.mode == PipelineMode::HighThroughput && rng.gen_bool(0.5) {
-                critical_node(ind, ctx).unwrap_or_else(|| rng.gen_range(0..n))
+                critical_node(ind, ctx, ms).unwrap_or_else(|| rng.gen_range(0..n))
             } else {
                 rng.gen_range(0..n)
             };
@@ -664,28 +697,27 @@ fn mutate(
             } else {
                 rng.gen_range(0..n)
             };
-            mutate_shrink(ind, ctx, node, rng)
+            mutate_shrink(ind, ctx, node, rng, ms)
         }
-        2 => mutate_spread(ind, ctx, capacity, rng),
-        _ => mutate_merge(ind, ctx, capacity, rng),
+        2 => mutate_spread(ind, ctx, capacity, rng, ms),
+        _ => mutate_merge(ind, ctx, capacity, rng, ms),
     }
 }
 
 /// A node with AGs on the bottleneck core (largest estimated HT time),
 /// preferring the gene with the largest cycle count there.
-fn critical_node(ind: &Draft, ctx: &GaContext<'_>) -> Option<MvmIdx> {
+fn critical_node(ind: &Draft, ctx: &GaContext<'_>, ms: &mut MutScratch) -> Option<MvmIdx> {
     let plan = ind.chromosome.replication(ctx.partitioning).ok()?;
     let mut worst: Option<(u64, usize)> = None;
-    let mut items: Vec<(usize, usize)> = Vec::new();
     for core in 0..ind.chromosome.cores() {
-        items.clear();
+        ms.items.clear();
         for (_, gene) in ind.chromosome.genes_of_core(core) {
-            items.push((
+            ms.items.push((
                 gene.ag_count,
                 plan.windows_per_replica(ctx.partitioning, gene.mvm),
             ));
         }
-        let t = crate::fitness::ht_core_time(ctx.hw, &items);
+        let t = crate::fitness::ht_core_time_in_place(ctx.hw, &mut ms.items);
         if worst.is_none_or(|(w, _)| t > w) {
             worst = Some((t, core));
         }
@@ -740,7 +772,13 @@ fn mutate_grow(
 
 /// Operator II: decrease `node`'s replication (geometric step, at least
 /// one replica remains), recovering the crossbars from its genes.
-fn mutate_shrink(ind: &mut Draft, ctx: &GaContext<'_>, node: MvmIdx, rng: &mut StdRng) -> bool {
+fn mutate_shrink(
+    ind: &mut Draft,
+    ctx: &GaContext<'_>,
+    node: MvmIdx,
+    rng: &mut StdRng,
+    ms: &mut MutScratch,
+) -> bool {
     let entry = ctx.partitioning.entry(node);
     let a = entry.ags_per_replica;
     let total = ind.chromosome.ag_total(node);
@@ -751,14 +789,16 @@ fn mutate_shrink(ind: &mut Draft, ctx: &GaContext<'_>, node: MvmIdx, rng: &mut S
     let amount = rng.gen_range(1..cur);
     let mut to_remove = amount * a;
     // Walk this node's gene slots in random order, shaving counts.
-    let mut slots: Vec<usize> = ind
-        .chromosome
-        .genes()
-        .filter(|(_, g)| g.mvm == node)
-        .map(|(s, _)| s)
-        .collect();
-    slots.shuffle(rng);
-    for slot in slots {
+    ms.slots.clear();
+    ms.slots.extend(
+        ind.chromosome
+            .genes()
+            .filter(|(_, g)| g.mvm == node)
+            .map(|(s, _)| s),
+    );
+    ms.slots.shuffle(rng);
+    for i in 0..ms.slots.len() {
+        let slot = ms.slots[i];
         if to_remove == 0 {
             break;
         }
@@ -784,13 +824,17 @@ fn mutate_shrink(ind: &mut Draft, ctx: &GaContext<'_>, node: MvmIdx, rng: &mut S
 }
 
 /// Operator III: spread part of a random gene's AGs to another core.
-fn mutate_spread(ind: &mut Draft, ctx: &GaContext<'_>, capacity: usize, rng: &mut StdRng) -> bool {
-    let genes: Vec<(usize, Gene)> = ind
-        .chromosome
-        .genes()
-        .filter(|(_, g)| g.ag_count >= 2)
-        .collect();
-    let Some(&(slot, gene)) = genes.choose(rng) else {
+fn mutate_spread(
+    ind: &mut Draft,
+    ctx: &GaContext<'_>,
+    capacity: usize,
+    rng: &mut StdRng,
+    ms: &mut MutScratch,
+) -> bool {
+    ms.genes.clear();
+    ms.genes
+        .extend(ind.chromosome.genes().filter(|(_, g)| g.ag_count >= 2));
+    let Some(&(slot, gene)) = ms.genes.choose(rng) else {
         return false;
     };
     let entry = ctx.partitioning.entry(gene.mvm);
@@ -835,9 +879,16 @@ fn mutate_spread(ind: &mut Draft, ctx: &GaContext<'_>, capacity: usize, rng: &mu
 
 /// Operator IV: merge a whole gene into a gene of the same node on
 /// another core.
-fn mutate_merge(ind: &mut Draft, ctx: &GaContext<'_>, capacity: usize, rng: &mut StdRng) -> bool {
-    let genes: Vec<(usize, Gene)> = ind.chromosome.genes().collect();
-    let Some(&(slot, gene)) = genes.choose(rng) else {
+fn mutate_merge(
+    ind: &mut Draft,
+    ctx: &GaContext<'_>,
+    capacity: usize,
+    rng: &mut StdRng,
+    ms: &mut MutScratch,
+) -> bool {
+    ms.genes.clear();
+    ms.genes.extend(ind.chromosome.genes());
+    let Some(&(slot, gene)) = ms.genes.choose(rng) else {
         return false;
     };
     let entry = ctx.partitioning.entry(gene.mvm);
@@ -845,13 +896,16 @@ fn mutate_merge(ind: &mut Draft, ctx: &GaContext<'_>, capacity: usize, rng: &mut
     let needed = gene.ag_count * entry.crossbars_per_ag;
 
     // Candidate targets: other cores already hosting this node.
-    let mut targets: Vec<(usize, Gene)> = genes
-        .iter()
-        .copied()
-        .filter(|&(s, g)| g.mvm == gene.mvm && ind.chromosome.core_of_slot(s) != src_core)
-        .collect();
-    targets.shuffle(rng);
-    for (dst_slot, dst_gene) in targets {
+    ms.targets.clear();
+    ms.targets.extend(
+        ms.genes
+            .iter()
+            .copied()
+            .filter(|&(s, g)| g.mvm == gene.mvm && ind.chromosome.core_of_slot(s) != src_core),
+    );
+    ms.targets.shuffle(rng);
+    for i in 0..ms.targets.len() {
+        let (dst_slot, dst_gene) = ms.targets[i];
         let dst_core = ind.chromosome.core_of_slot(dst_slot);
         if ind.used_crossbars[dst_core] + needed > capacity {
             continue;
@@ -967,7 +1021,7 @@ mod tests {
     use pimcomp_ir::transform::normalize;
 
     fn setup(mode: PipelineMode) -> (Graph, HardwareConfig) {
-        let g = normalize(&models::tiny_cnn());
+        let g = normalize(&models::tiny_cnn()).unwrap();
         let hw = HardwareConfig::small_test();
         let _ = mode;
         (g, hw)
@@ -1070,7 +1124,7 @@ mod tests {
 
     #[test]
     fn insufficient_capacity_is_reported() {
-        let g = normalize(&models::vgg16());
+        let g = normalize(&models::vgg16()).unwrap();
         let hw = HardwareConfig::small_test(); // far too small for vgg16
         let p = Partitioning::new(&g, &hw).unwrap();
         let dep = DepInfo::analyze(&g);

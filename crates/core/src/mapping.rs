@@ -59,11 +59,74 @@ impl Gene {
 /// `max_node_num_in_core` bounds how many distinct nodes one core may
 /// host, which keeps the mapping from scattering so far that on-chip
 /// communication dominates (paper Section IV-C.1).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Storage is struct-of-arrays: the node index and AG count of every
+/// slot live in parallel vectors with a bitset marking occupied slots,
+/// so the GA's slot scans walk contiguous words instead of
+/// discriminant-tagged options, and the memoization fingerprint can be
+/// maintained incrementally (XOR in/out one slot's contribution on
+/// every [`Chromosome::set_gene`]) instead of rehashing the whole grid
+/// per offspring. Serialization keeps the original
+/// `{slots, cores, max_nodes_per_core}` shape, so on-disk artifacts
+/// are unaffected by the layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Chromosome {
+    mvms: Vec<usize>,
+    ags: Vec<usize>,
+    occupied: Vec<u64>,
+    cores: usize,
+    max_nodes_per_core: usize,
+    fp: u128,
+}
+
+/// The serialized shape of a [`Chromosome`] (its original
+/// array-of-options layout, kept stable across the SoA refactor).
+#[derive(Serialize, Deserialize)]
+struct ChromosomeWire {
     slots: Vec<Option<Gene>>,
     cores: usize,
     max_nodes_per_core: usize,
+}
+
+impl Serialize for Chromosome {
+    fn to_value(&self) -> serde::Value {
+        ChromosomeWire {
+            slots: (0..self.len()).map(|s| self.gene(s)).collect(),
+            cores: self.cores,
+            max_nodes_per_core: self.max_nodes_per_core,
+        }
+        .to_value()
+    }
+}
+
+impl Deserialize for Chromosome {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let wire = ChromosomeWire::from_value(v)?;
+        if wire.cores == 0
+            || wire.max_nodes_per_core == 0
+            || wire.slots.len() != wire.cores * wire.max_nodes_per_core
+        {
+            return Err(serde::DeError::new(format!(
+                "chromosome grid {}x{} does not match {} slots",
+                wire.cores,
+                wire.max_nodes_per_core,
+                wire.slots.len()
+            )));
+        }
+        let mut c = Chromosome::empty(wire.cores, wire.max_nodes_per_core);
+        for (slot, gene) in wire.slots.into_iter().enumerate() {
+            c.set_gene(slot, gene);
+        }
+        Ok(c)
+    }
+}
+
+/// SplitMix64 finalizer used to derive the per-slot fingerprint tokens.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Chromosome {
@@ -75,21 +138,47 @@ impl Chromosome {
     /// Panics if either dimension is zero.
     pub fn empty(cores: usize, max_nodes_per_core: usize) -> Self {
         assert!(cores > 0 && max_nodes_per_core > 0);
+        let slots = cores * max_nodes_per_core;
+        let base = u128::from(mix64(cores as u64 ^ 0x5049_4D43_4F4D_5031))
+            | (u128::from(mix64(max_nodes_per_core as u64 ^ 0x6368_726f_6d6f_736f)) << 64);
         Chromosome {
-            slots: vec![None; cores * max_nodes_per_core],
+            mvms: vec![0; slots],
+            ags: vec![0; slots],
+            occupied: vec![0; slots.div_ceil(64)],
             cores,
             max_nodes_per_core,
+            fp: base,
         }
+    }
+
+    /// The fingerprint contribution of one occupied slot: a 128-bit
+    /// pseudo-random token of the `(slot, mvm, ag_count)` triple,
+    /// XOR-combined into [`Chromosome::fingerprint`].
+    fn slot_token(slot: usize, gene: Gene) -> u128 {
+        let lo = mix64(
+            mix64(mix64(slot as u64 ^ 0x243F_6A88_85A3_08D3) ^ gene.mvm as u64)
+                ^ gene.ag_count as u64,
+        );
+        let hi = mix64(
+            mix64(mix64(slot as u64 ^ 0x1319_8A2E_0370_7344) ^ gene.ag_count as u64)
+                ^ gene.mvm as u64,
+        );
+        u128::from(lo) | (u128::from(hi) << 64)
+    }
+
+    #[inline]
+    fn is_occupied(&self, slot: usize) -> bool {
+        self.occupied[slot / 64] & (1u64 << (slot % 64)) != 0
     }
 
     /// Total slot count (`cores × max_node_num_in_core`).
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.mvms.len()
     }
 
     /// `true` if no slot is occupied.
     pub fn is_empty(&self) -> bool {
-        self.slots.iter().all(|s| s.is_none())
+        self.occupied.iter().all(|&w| w == 0)
     }
 
     /// Core count.
@@ -114,34 +203,81 @@ impl Chromosome {
 
     /// Gene in a slot.
     pub fn gene(&self, slot: usize) -> Option<Gene> {
-        self.slots[slot]
+        self.is_occupied(slot).then(|| Gene {
+            mvm: self.mvms[slot],
+            ag_count: self.ags[slot],
+        })
     }
 
     /// Replaces a slot's content, returning the previous gene.
     pub fn set_gene(&mut self, slot: usize, gene: Option<Gene>) -> Option<Gene> {
-        std::mem::replace(&mut self.slots[slot], gene)
+        let prev = self.gene(slot);
+        if let Some(g) = prev {
+            self.fp ^= Self::slot_token(slot, g);
+        }
+        match gene {
+            Some(g) => {
+                self.fp ^= Self::slot_token(slot, g);
+                self.mvms[slot] = g.mvm;
+                self.ags[slot] = g.ag_count;
+                self.occupied[slot / 64] |= 1u64 << (slot % 64);
+            }
+            None => {
+                self.mvms[slot] = 0;
+                self.ags[slot] = 0;
+                self.occupied[slot / 64] &= !(1u64 << (slot % 64));
+            }
+        }
+        prev
     }
 
-    /// All `(slot, gene)` pairs in slot order.
+    /// All `(slot, gene)` pairs in slot order. Iterates the occupancy
+    /// bitset word-wise (skipping empty regions), so scans over sparse
+    /// grids touch only occupied slots.
     pub fn genes(&self) -> impl Iterator<Item = (usize, Gene)> + '_ {
-        self.slots
+        self.occupied
             .iter()
             .enumerate()
-            .filter_map(|(i, g)| g.map(|g| (i, g)))
+            .flat_map(move |(word, &bits)| {
+                let mut rest = bits;
+                std::iter::from_fn(move || {
+                    if rest == 0 {
+                        return None;
+                    }
+                    let bit = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    Some(word * 64 + bit)
+                })
+            })
+            .map(|slot| {
+                (
+                    slot,
+                    Gene {
+                        mvm: self.mvms[slot],
+                        ag_count: self.ags[slot],
+                    },
+                )
+            })
     }
 
     /// Genes of one core.
     pub fn genes_of_core(&self, core: usize) -> impl Iterator<Item = (usize, Gene)> + '_ {
-        let range = self.slots_of_core(core);
-        self.slots[range.clone()]
-            .iter()
-            .enumerate()
-            .filter_map(move |(i, g)| g.map(|g| (range.start + i, g)))
+        self.slots_of_core(core)
+            .filter_map(|s| self.gene(s).map(|g| (s, g)))
     }
 
     /// First free slot of a core, if any.
     pub fn free_slot_of_core(&self, core: usize) -> Option<usize> {
-        self.slots_of_core(core).find(|&s| self.slots[s].is_none())
+        self.slots_of_core(core).find(|&s| !self.is_occupied(s))
+    }
+
+    /// Whether `slot` holds different content in `self` and `other`
+    /// (the slot-level diff behind the GA's dirty-core re-evaluation;
+    /// compares the SoA columns directly so no `Option` is built).
+    pub(crate) fn slot_differs(&self, other: &Self, slot: usize) -> bool {
+        let occ = self.is_occupied(slot);
+        occ != other.is_occupied(slot)
+            || (occ && (self.mvms[slot] != other.mvms[slot] || self.ags[slot] != other.ags[slot]))
     }
 
     /// Slot of a gene of `mvm` on `core`, if present.
@@ -211,44 +347,26 @@ impl Chromosome {
     /// The paper's flat integer encoding of the whole chromosome
     /// (`0` for empty slots).
     pub fn to_codes(&self) -> Vec<u64> {
-        self.slots
-            .iter()
-            .map(|s| s.map_or(0, |g| g.code()))
+        (0..self.len())
+            .map(|s| self.gene(s).map_or(0, |g| g.code()))
             .collect()
     }
 
-    /// A 128-bit FNV-1a fingerprint over the grid dimensions and every
-    /// slot code — the key of the GA's fitness memoization cache.
+    /// A 128-bit Zobrist-style fingerprint over the grid dimensions and
+    /// every slot — the key of the GA's fitness memoization cache.
+    ///
+    /// The value is the XOR of a pseudo-random token per occupied slot
+    /// (derived from the `(slot, mvm, ag_count)` triple by SplitMix64
+    /// mixing) over a dimension-derived base, maintained incrementally
+    /// by [`Chromosome::set_gene`] — reading it is O(1) no matter how
+    /// large the grid is, which matters because the GA fingerprints
+    /// every offspring.
     ///
     /// Equal chromosomes always produce equal fingerprints; at 128 bits
     /// the collision probability over a GA run's worth of distinct
-    /// chromosomes (≤ 2^16 memo entries) is negligible (< 2^-95).
+    /// chromosomes (≤ 2^16 memo entries) is negligible.
     pub fn fingerprint(&self) -> u128 {
-        const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
-        const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
-        let mut hash = FNV_OFFSET;
-        let mut eat = |word: u64| {
-            for byte in word.to_le_bytes() {
-                hash = (hash ^ u128::from(byte)).wrapping_mul(FNV_PRIME);
-            }
-        };
-        eat(self.cores as u64);
-        eat(self.max_nodes_per_core as u64);
-        for slot in &self.slots {
-            // Two fixed-width words per slot (not `Gene::code`, whose
-            // radix caps `ag_count` and panics beyond it).
-            match slot {
-                Some(g) => {
-                    eat(g.mvm as u64);
-                    eat(g.ag_count as u64);
-                }
-                None => {
-                    eat(u64::MAX);
-                    eat(u64::MAX);
-                }
-            }
-        }
-        hash
+        self.fp
     }
 
     /// Rebuilds a chromosome from [`Chromosome::to_codes`] output.
@@ -258,11 +376,11 @@ impl Chromosome {
     /// Panics if `codes` length is not `cores * max_nodes_per_core`.
     pub fn from_codes(codes: &[u64], cores: usize, max_nodes_per_core: usize) -> Self {
         assert_eq!(codes.len(), cores * max_nodes_per_core);
-        Chromosome {
-            slots: codes.iter().map(|&c| Gene::from_code(c)).collect(),
-            cores,
-            max_nodes_per_core,
+        let mut c = Chromosome::empty(cores, max_nodes_per_core);
+        for (slot, &code) in codes.iter().enumerate() {
+            c.set_gene(slot, Gene::from_code(code));
         }
+        c
     }
 }
 
@@ -577,5 +695,78 @@ mod tests {
         let codes = c.to_codes();
         let c2 = Chromosome::from_codes(&codes, 4, 2);
         assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn fingerprint_is_path_independent() {
+        // The incrementally maintained fingerprint must depend only on
+        // the final content, not on the set_gene history.
+        let (c, _) = filled();
+        let rebuilt = Chromosome::from_codes(&c.to_codes(), 4, 2);
+        assert_eq!(c.fingerprint(), rebuilt.fingerprint());
+
+        // Scribble over a slot and restore it: fingerprint returns.
+        let mut d = c.clone();
+        let before = d.fingerprint();
+        let old = d.set_gene(
+            1,
+            Some(Gene {
+                mvm: 1,
+                ag_count: 3,
+            }),
+        );
+        assert_ne!(d.fingerprint(), before);
+        d.set_gene(1, old);
+        assert_eq!(d.fingerprint(), before);
+        assert_eq!(d, c);
+
+        // Distinct grids (even with identical flattened content) and
+        // distinct slots disagree.
+        assert_ne!(
+            Chromosome::empty(4, 2).fingerprint(),
+            Chromosome::empty(2, 4).fingerprint()
+        );
+        let mut a = Chromosome::empty(4, 2);
+        let mut b = Chromosome::empty(4, 2);
+        a.set_gene(
+            0,
+            Some(Gene {
+                mvm: 0,
+                ag_count: 1,
+            }),
+        );
+        b.set_gene(
+            1,
+            Some(Gene {
+                mvm: 0,
+                ag_count: 1,
+            }),
+        );
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn serde_keeps_the_array_of_options_wire_format() {
+        let mut c = Chromosome::empty(2, 2);
+        c.set_gene(
+            2,
+            Some(Gene {
+                mvm: 7,
+                ag_count: 3,
+            }),
+        );
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(
+            json,
+            r#"{"slots":[null,null,{"mvm":7,"ag_count":3},null],"cores":2,"max_nodes_per_core":2}"#
+        );
+        let back: Chromosome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.fingerprint(), c.fingerprint());
+
+        // A grid/slot-count mismatch is a deserialization error, not a
+        // panic or a silently corrupted chromosome.
+        let bad = r#"{"slots":[null,null],"cores":2,"max_nodes_per_core":2}"#;
+        assert!(serde_json::from_str::<Chromosome>(bad).is_err());
     }
 }

@@ -26,20 +26,44 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_with(threads, count, || (), |(), index| task(index))
+}
+
+/// [`run_indexed`] with per-worker scratch state: `init` builds one
+/// `S` per worker thread (once, before its first task) and `task`
+/// receives it mutably alongside the index.
+///
+/// The scratch is an *allocation cache*, not a communication channel:
+/// `task`'s result must be a pure function of the index exactly as in
+/// [`run_indexed`] — it may use the scratch for reusable buffers but
+/// must not let values computed for one index leak into another's
+/// result. The GA threads its fitness-evaluation scratch (core-time
+/// buffers, dirty masks, chain states) through here so the hot loop
+/// stops allocating per offspring while staying bit-identical across
+/// thread counts.
+pub fn run_indexed_with<T, S, I, F>(threads: usize, count: usize, init: I, task: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     if threads <= 1 || count <= 1 {
-        return (0..count).map(task).collect();
+        let mut scratch = init();
+        return (0..count).map(|index| task(&mut scratch, index)).collect();
     }
     let workers = threads.min(count);
     let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
     std::thread::scope(|scope| {
         let task = &task;
+        let init = &init;
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 scope.spawn(move || {
+                    let mut scratch = init();
                     let mut out = Vec::with_capacity(count.div_ceil(workers));
                     let mut index = w;
                     while index < count {
-                        out.push((index, task(index)));
+                        out.push((index, task(&mut scratch, index)));
                         index += workers;
                     }
                     out
@@ -79,5 +103,21 @@ mod tests {
     #[test]
     fn more_threads_than_tasks_is_fine() {
         assert_eq!(run_indexed(16, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn scratch_variant_matches_plain_for_any_thread_count() {
+        for threads in [1, 2, 5, 32] {
+            let out = run_indexed_with(threads, 41, Vec::new, |buf: &mut Vec<usize>, i| {
+                // Use the scratch as a buffer; result depends only on i.
+                buf.clear();
+                buf.extend(0..i);
+                buf.iter().sum::<usize>()
+            });
+            assert_eq!(
+                out,
+                (0..41).map(|i| i * (i.max(1) - 1) / 2).collect::<Vec<_>>()
+            );
+        }
     }
 }

@@ -305,7 +305,7 @@ mod tests {
 
     #[test]
     fn vgg16_partitions_every_mvm_node() {
-        let g = pimcomp_ir::transform::normalize(&models::vgg16());
+        let g = pimcomp_ir::transform::normalize(&models::vgg16()).unwrap();
         let p = Partitioning::new(&g, &hw()).unwrap();
         // 13 convs (one group each) + fc6/fc7 split 4-ways + fc8.
         assert_eq!(p.len(), 13 + 4 + 4 + 1);

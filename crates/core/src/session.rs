@@ -183,7 +183,9 @@ impl CompileSession {
         })?;
         opts.validate()?;
         let graph = if opts.normalize {
-            pimcomp_ir::transform::normalize(graph)
+            pimcomp_ir::transform::normalize(graph).map_err(|e| CompileError::InvalidGraph {
+                detail: e.to_string(),
+            })?
         } else {
             graph.clone()
         };

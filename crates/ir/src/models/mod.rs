@@ -123,7 +123,7 @@ mod tests {
     #[test]
     fn normalized_benchmarks_have_no_bn_or_dropout() {
         for g in paper_benchmarks() {
-            let n = normalize(&g);
+            let n = normalize(&g).unwrap();
             for node in n.nodes() {
                 assert!(
                     !matches!(node.op, crate::Op::BatchNorm | crate::Op::Dropout),

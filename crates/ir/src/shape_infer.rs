@@ -13,7 +13,9 @@ pub(crate) fn window_extent(
     pad: usize,
     ceil_mode: bool,
 ) -> Option<usize> {
-    let padded = input + 2 * pad;
+    // Checked: an imported graph can carry a pad near usize::MAX, and
+    // `input + 2*pad` must not wrap (or abort in debug builds).
+    let padded = pad.checked_mul(2).and_then(|p| input.checked_add(p))?;
     if padded < kernel || stride == 0 {
         return None;
     }
@@ -84,12 +86,14 @@ pub fn infer_output_shape(node: &str, op: &Op, inputs: &[&Shape]) -> Result<Shap
             }
             let h = window_extent(x.height(), c.kernel.0, c.stride.0, c.padding.0, false)
                 .ok_or_else(|| {
+                    // Saturating: this message must not itself overflow
+                    // on the adversarial padding it is reporting.
                     shape_err(format!(
                         "kernel {}x{} larger than padded input {}x{}",
                         c.kernel.0,
                         c.kernel.1,
-                        x.height() + 2 * c.padding.0,
-                        x.width() + 2 * c.padding.1
+                        x.height().saturating_add(c.padding.0.saturating_mul(2)),
+                        x.width().saturating_add(c.padding.1.saturating_mul(2))
                     ))
                 })?;
             let w = window_extent(x.width(), c.kernel.1, c.stride.1, c.padding.1, false)
@@ -111,6 +115,9 @@ pub fn infer_output_shape(node: &str, op: &Op, inputs: &[&Shape]) -> Result<Shap
             let x = single(inputs).ok_or_else(|| arity_err(1))?;
             if !x.is_chw() {
                 return Err(shape_err(format!("pool expects CxHxW input, got {x}")));
+            }
+            if p.kernel.0 == 0 || p.kernel.1 == 0 {
+                return Err(attr_err("kernel must be positive".into()));
             }
             if p.stride.0 == 0 || p.stride.1 == 0 {
                 return Err(attr_err("stride must be positive".into()));
@@ -150,14 +157,16 @@ pub fn infer_output_shape(node: &str, op: &Op, inputs: &[&Shape]) -> Result<Shap
                 )));
             }
             let (h, w) = (first.height(), first.width());
-            let mut channels = 0;
+            let mut channels = 0usize;
             for x in inputs {
                 if !x.is_chw() || x.height() != h || x.width() != w {
                     return Err(shape_err(format!(
                         "concat inputs must share spatial dims; got {first} vs {x}"
                     )));
                 }
-                channels += x.channels();
+                channels = channels
+                    .checked_add(x.channels())
+                    .ok_or_else(|| shape_err("concat channel count overflows".into()))?;
             }
             Ok(Shape::chw(channels, h, w))
         }
@@ -182,10 +191,15 @@ pub fn infer_output_shape(node: &str, op: &Op, inputs: &[&Shape]) -> Result<Shap
             if !x.is_chw() {
                 return Err(shape_err(format!("pad expects CxHxW input, got {x}")));
             }
+            let grow = |extent: usize, pad: usize| {
+                pad.checked_mul(2)
+                    .and_then(|twice| extent.checked_add(twice))
+                    .ok_or_else(|| attr_err(format!("pad {pad} overflows the tensor extent")))
+            };
             Ok(Shape::chw(
                 x.channels(),
-                x.height() + 2 * p.height,
-                x.width() + 2 * p.width,
+                grow(x.height(), p.height)?,
+                grow(x.width(), p.width)?,
             ))
         }
     }
@@ -342,6 +356,47 @@ mod tests {
         let x = Shape::chw(512, 7, 7);
         let y = infer_output_shape("f", &Op::Flatten, &[&x]).unwrap();
         assert_eq!(y, Shape::flat(512 * 7 * 7));
+    }
+
+    /// Regression: adversarial attribute values from an imported graph
+    /// used to overflow (`input + 2*pad` aborts in debug builds) or
+    /// slip through unvalidated (zero-sized pool kernels); all of them
+    /// must surface as structured errors instead.
+    #[test]
+    fn hostile_attributes_error_instead_of_panicking() {
+        // Conv padding near usize::MAX: both the inference and its
+        // error message must survive.
+        let x = Shape::chw(3, 8, 8);
+        let huge_pad = Op::Conv2d(Conv2d {
+            in_channels: 3,
+            out_channels: 8,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (usize::MAX / 2 + 1, usize::MAX / 2 + 1),
+            groups: 1,
+            bias: true,
+        });
+        let e = infer_output_shape("c", &huge_pad, &[&x]).unwrap_err();
+        assert!(matches!(e, IrError::ShapeMismatch { .. }));
+
+        // Pad op whose growth overflows the extent.
+        let pad = Op::Pad(crate::Pad2d {
+            height: usize::MAX / 2 + 1,
+            width: 0,
+        });
+        let e = infer_output_shape("pad", &pad, &[&x]).unwrap_err();
+        assert!(matches!(e, IrError::InvalidAttribute { .. }));
+
+        // Zero-sized pool kernel used to be accepted silently.
+        let pool = Op::Pool(Pool {
+            kind: PoolKind::Max,
+            kernel: (0, 3),
+            stride: (1, 1),
+            padding: (0, 0),
+            ceil_mode: false,
+        });
+        let e = infer_output_shape("p", &pool, &[&x]).unwrap_err();
+        assert!(matches!(e, IrError::InvalidAttribute { .. }));
     }
 
     #[test]

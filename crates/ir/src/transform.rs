@@ -6,26 +6,44 @@
 //! elimination, and dead-node elimination.
 
 use crate::graph::{Graph, Node, NodeId};
-use crate::Op;
+use crate::{IrError, Op};
 use std::collections::{HashMap, HashSet};
 
 /// Removes `Dropout` nodes (identity at inference), rewiring consumers to
 /// the dropout's producer.
-pub fn eliminate_dropout(graph: &Graph) -> Graph {
+///
+/// # Errors
+///
+/// Returns [`IrError`] when the spliced graph no longer forms a valid
+/// model — e.g. [`IrError::MissingInput`] when removal leaves no nodes.
+/// Every error here is reachable from an imported graph, never from a
+/// well-formed model zoo network.
+pub fn eliminate_dropout(graph: &Graph) -> Result<Graph, IrError> {
     remove_identity_nodes(graph, |n| matches!(n.op, Op::Dropout))
 }
 
 /// Folds `BatchNorm` nodes into the scale/shift of their producer; for
 /// compilation purposes this means deleting the node, since affine
 /// parameters ride along with the convolution weights on the crossbars.
-pub fn fold_batch_norm(graph: &Graph) -> Graph {
+///
+/// # Errors
+///
+/// Returns [`IrError`] when the spliced graph no longer forms a valid
+/// model (see [`eliminate_dropout`]).
+pub fn fold_batch_norm(graph: &Graph) -> Result<Graph, IrError> {
     remove_identity_nodes(graph, |n| matches!(n.op, Op::BatchNorm))
 }
 
 /// Removes nodes whose output is never consumed and which are not graph
 /// outputs of interest (conservatively: keeps every sink that is not an
 /// orphaned `Input`).
-pub fn eliminate_dead_nodes(graph: &Graph) -> Graph {
+///
+/// # Errors
+///
+/// Returns [`IrError::MissingInput`] when nothing survives — an imported
+/// graph whose only compute is dropout/BN collapses to bare inputs,
+/// which are then orphaned sinks and pruned here.
+pub fn eliminate_dead_nodes(graph: &Graph) -> Result<Graph, IrError> {
     // Mark everything reachable walking backwards from sinks.
     let mut live: HashSet<NodeId> = HashSet::new();
     let mut stack: Vec<NodeId> = graph
@@ -42,13 +60,20 @@ pub fn eliminate_dead_nodes(graph: &Graph) -> Graph {
 
 /// Runs the standard pre-compilation pipeline:
 /// dropout elimination → batch-norm folding → dead-node elimination.
-pub fn normalize(graph: &Graph) -> Graph {
-    eliminate_dead_nodes(&fold_batch_norm(&eliminate_dropout(graph)))
+///
+/// # Errors
+///
+/// Returns [`IrError`] when a pass reduces the graph to something that
+/// is not a valid model (typically [`IrError::MissingInput`] for a
+/// graph with no compute nodes left). Callers importing untrusted
+/// `.onnx` graphs should surface this instead of assuming success.
+pub fn normalize(graph: &Graph) -> Result<Graph, IrError> {
+    eliminate_dead_nodes(&fold_batch_norm(&eliminate_dropout(graph)?)?)
 }
 
 /// Removes all single-input nodes matching `pred`, splicing consumers to
 /// the removed node's producer.
-fn remove_identity_nodes(graph: &Graph, pred: impl Fn(&Node) -> bool) -> Graph {
+fn remove_identity_nodes(graph: &Graph, pred: impl Fn(&Node) -> bool) -> Result<Graph, IrError> {
     // Resolve each removed node to its surviving ancestor.
     let mut forward: HashMap<NodeId, NodeId> = HashMap::new();
     for id in graph.topo_order() {
@@ -63,8 +88,8 @@ fn remove_identity_nodes(graph: &Graph, pred: impl Fn(&Node) -> bool) -> Graph {
 }
 
 /// Rebuilds the graph keeping only nodes for which `keep` holds,
-/// renumbering ids densely. Edges to dropped nodes must not exist.
-fn rebuild_subset(graph: &Graph, keep: impl Fn(NodeId) -> bool) -> Graph {
+/// renumbering ids densely.
+fn rebuild_subset(graph: &Graph, keep: impl Fn(NodeId) -> bool) -> Result<Graph, IrError> {
     let mut remap: HashMap<NodeId, NodeId> = HashMap::new();
     let mut nodes = Vec::new();
     for id in graph.topo_order() {
@@ -74,21 +99,27 @@ fn rebuild_subset(graph: &Graph, keep: impl Fn(NodeId) -> bool) -> Graph {
         let old = graph.node(id);
         let new_id = NodeId(nodes.len());
         remap.insert(id, new_id);
+        let mut inputs = Vec::with_capacity(old.inputs.len());
+        for i in &old.inputs {
+            // A kept node referencing a dropped one means the keep set
+            // is not closed under predecessors — a malformed graph, not
+            // a programming error worth a panic.
+            inputs.push(*remap.get(i).ok_or(IrError::UnknownNode { id: i.0 })?);
+        }
         nodes.push(Node {
             id: new_id,
             name: old.name.clone(),
             op: old.op.clone(),
-            inputs: old.inputs.iter().map(|i| remap[i]).collect(),
+            inputs,
             output_shape: old.output_shape.clone(),
         });
     }
     Graph::from_nodes(graph.name(), nodes)
-        .expect("subset of a valid graph with remapped dense ids is valid")
 }
 
 /// Rebuilds the graph dropping the keys of `forward`, rewiring any edge
 /// into a dropped node to its resolved ancestor.
-fn rebuild_with_remap(graph: &Graph, forward: &HashMap<NodeId, NodeId>) -> Graph {
+fn rebuild_with_remap(graph: &Graph, forward: &HashMap<NodeId, NodeId>) -> Result<Graph, IrError> {
     let mut remap: HashMap<NodeId, NodeId> = HashMap::new();
     let mut nodes = Vec::new();
     for id in graph.topo_order() {
@@ -98,22 +129,24 @@ fn rebuild_with_remap(graph: &Graph, forward: &HashMap<NodeId, NodeId>) -> Graph
         let old = graph.node(id);
         let new_id = NodeId(nodes.len());
         remap.insert(id, new_id);
+        let mut inputs = Vec::with_capacity(old.inputs.len());
+        for i in &old.inputs {
+            let resolved = forward.get(i).unwrap_or(i);
+            inputs.push(
+                *remap
+                    .get(resolved)
+                    .ok_or(IrError::UnknownNode { id: resolved.0 })?,
+            );
+        }
         nodes.push(Node {
             id: new_id,
             name: old.name.clone(),
             op: old.op.clone(),
-            inputs: old
-                .inputs
-                .iter()
-                .map(|i| {
-                    let resolved = forward.get(i).unwrap_or(i);
-                    remap[resolved]
-                })
-                .collect(),
+            inputs,
             output_shape: old.output_shape.clone(),
         });
     }
-    Graph::from_nodes(graph.name(), nodes).expect("identity-node removal preserves validity")
+    Graph::from_nodes(graph.name(), nodes)
 }
 
 #[cfg(test)]
@@ -129,7 +162,7 @@ mod tests {
         let d = b.dropout("drop", c).unwrap();
         let _r = b.relu("r", d).unwrap();
         let g = b.finish().unwrap();
-        let g2 = eliminate_dropout(&g);
+        let g2 = eliminate_dropout(&g).unwrap();
         assert_eq!(g2.node_count(), 3);
         let r = g2.node_by_name("r").unwrap();
         let c = g2.node_by_name("c").unwrap();
@@ -145,7 +178,7 @@ mod tests {
         let d2 = b.dropout("d2", d1).unwrap();
         let _r = b.relu("r", d2).unwrap();
         let g = b.finish().unwrap();
-        let g2 = eliminate_dropout(&g);
+        let g2 = eliminate_dropout(&g).unwrap();
         assert_eq!(g2.node_count(), 3);
         assert!(g2.validate().is_ok());
     }
@@ -158,7 +191,7 @@ mod tests {
         let bn = b.batch_norm("bn", c).unwrap();
         let _r = b.relu("r", bn).unwrap();
         let g = b.finish().unwrap();
-        let g2 = fold_batch_norm(&g);
+        let g2 = fold_batch_norm(&g).unwrap();
         assert!(g2.node_by_name("bn").is_none());
         assert_eq!(g2.node_count(), 3);
     }
@@ -174,7 +207,7 @@ mod tests {
         let g = b.finish().unwrap();
         // Both `dead` and `r` are sinks; dead-node elimination keeps all
         // non-input sinks, so nothing is removed here...
-        let g2 = eliminate_dead_nodes(&g);
+        let g2 = eliminate_dead_nodes(&g).unwrap();
         assert_eq!(g2.node_count(), 4);
         // ...but an orphaned input disappears.
         let mut b = GraphBuilder::new("t2");
@@ -182,7 +215,7 @@ mod tests {
         let x = b.input("x", [4, 8, 8]);
         let _c = b.conv2d("c", x, 4, (3, 3), (1, 1), (1, 1)).unwrap();
         let g = b.finish().unwrap();
-        let g2 = eliminate_dead_nodes(&g);
+        let g2 = eliminate_dead_nodes(&g).unwrap();
         assert_eq!(g2.node_count(), 2);
         assert!(g2.node_by_name("unused").is_none());
     }
@@ -196,8 +229,27 @@ mod tests {
         let d = b.dropout("d", bn).unwrap();
         let _r = b.relu("r", d).unwrap();
         let g = b.finish().unwrap();
-        let once = normalize(&g);
-        let twice = normalize(&once);
+        let once = normalize(&g).unwrap();
+        let twice = normalize(&once).unwrap();
         assert_eq!(once, twice);
+    }
+
+    /// Regression: an imported graph whose only compute node is a
+    /// dropout collapses to a lone orphaned input under normalize; this
+    /// used to panic (`expect` on `Graph::from_nodes` hitting
+    /// `MissingInput`) instead of returning an error.
+    #[test]
+    fn normalize_reports_graphs_that_collapse_to_nothing() {
+        let mut b = GraphBuilder::new("dropout-only");
+        let x = b.input("x", [4, 8, 8]);
+        let _d = b.dropout("drop", x).unwrap();
+        let g = b.finish().unwrap();
+        // Dropout removal leaves only the input...
+        let spliced = eliminate_dropout(&g).unwrap();
+        assert_eq!(spliced.node_count(), 1);
+        // ...which dead-node elimination prunes as an orphaned sink,
+        // leaving nothing to compile. That is an error, not a panic.
+        let err = normalize(&g).unwrap_err();
+        assert_eq!(err, crate::IrError::MissingInput);
     }
 }

@@ -26,7 +26,7 @@ use crate::SimError;
 use pimcomp_arch::{EnergyModel, NocModel};
 use pimcomp_core::CompiledModel;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Per-program execution phase.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,10 +65,18 @@ pub(crate) fn run(
     let t_int = hw.issue_interval();
     let t_mvm = hw.mvm_latency;
 
-    // Owner-program index: (core, mvm) -> program id.
-    let mut prog_at: HashMap<(usize, usize), usize> = HashMap::new();
+    // Owner-program index: (core, mvm) -> program id, as a dense table
+    // (the event loop probes it once per partial-sum send; a hash map
+    // here costs a SipHash per probe for nothing).
+    let mvm_stride = schedule
+        .programs
+        .iter()
+        .map(|p| p.mvm + 1)
+        .max()
+        .unwrap_or(0);
+    let mut prog_at: Vec<usize> = vec![usize::MAX; cores * mvm_stride];
     for (i, p) in schedule.programs.iter().enumerate() {
-        prog_at.insert((p.core, p.mvm), i);
+        prog_at[p.core * mvm_stride + p.mvm] = i;
     }
 
     let mut phase: Vec<Phase> = schedule
@@ -84,8 +92,16 @@ pub(crate) fn run(
         .collect();
     let mut vec_phase = vec![VecPhase::NotStarted; schedule.vec_tasks.len()];
 
-    // Partial-sum arrivals: (owner program, round) -> (count, latest).
-    let mut partials: HashMap<(usize, usize), (usize, u64)> = HashMap::new();
+    // Partial-sum arrivals per owner program, indexed by round:
+    // `partials[pid][round] = (count, latest)`. Senders may run many
+    // rounds ahead of the owner, so the per-program table grows lazily
+    // to the highest round touched; a consumed round is reset to (0, 0)
+    // (indistinguishable from "never arrived", which is what the
+    // `< recvs_per_round` checks below rely on).
+    let mut partials: Vec<Vec<(usize, u64)>> = vec![Vec::new(); schedule.programs.len()];
+    let partials_at = |partials: &Vec<Vec<(usize, u64)>>, pid: usize, round: usize| {
+        partials[pid].get(round).copied().unwrap_or((0, 0))
+    };
 
     // One global-memory port per chip (Table I: 4 MB global memory per
     // chip); cores contend within their chip.
@@ -163,7 +179,7 @@ pub(crate) fn run(
                         break;
                     }
                     Phase::AwaitPartials { round, ready } => {
-                        let got = partials.get(&(pid, round)).copied().unwrap_or((0, 0));
+                        let got = partials_at(&partials, pid, round);
                         if got.0 < p.recvs_per_round {
                             continue; // message arrival re-queues us
                         }
@@ -175,7 +191,7 @@ pub(crate) fn run(
                         let t_vfu = vfu_free[core].max(start) + hw.vfu_cycles(add_elems);
                         vfu_free[core] = t_vfu;
                         vfu_elems += add_elems as u64;
-                        partials.remove(&(pid, round));
+                        partials[pid][round] = (0, 0);
                         spans[core].record(start, t_vfu);
                         phase[pid] = Phase::StorePending { round, at: t_vfu };
                         cursor[core] = (pick + 1) % total_items;
@@ -238,8 +254,13 @@ pub(crate) fn run(
                             let arr = t_adds + noc.transfer_cycles(core, s.to_core, s.bytes);
                             noc_bytes += s.bytes as u64;
                             noc_pj += noc.transfer_energy_pj(core, s.to_core, s.bytes);
-                            if let Some(&owner_pid) = prog_at.get(&(s.to_core, p.mvm)) {
-                                let e = partials.entry((owner_pid, round)).or_insert((0, 0));
+                            let owner_pid = prog_at[s.to_core * mvm_stride + p.mvm];
+                            if owner_pid != usize::MAX {
+                                let table = &mut partials[owner_pid];
+                                if table.len() <= round {
+                                    table.resize(round + 1, (0, 0));
+                                }
+                                let e = &mut table[round];
                                 e.0 += 1;
                                 e.1 = e.1.max(arr);
                                 queue.push(Reverse((arr, s.to_core)));
@@ -326,11 +347,10 @@ pub(crate) fn run(
                 match phase[pid] {
                     Phase::AwaitPartials { round, ready } => {
                         let p = &schedule.programs[pid];
-                        if let Some(&(cnt, arr)) = partials.get(&(pid, round)) {
-                            if cnt >= p.recvs_per_round {
-                                let t = arr.max(ready).max(now + 1);
-                                wake_at = Some(wake_at.map_or(t, |w: u64| w.min(t)));
-                            }
+                        let (cnt, arr) = partials_at(&partials, pid, round);
+                        if cnt >= p.recvs_per_round {
+                            let t = arr.max(ready).max(now + 1);
+                            wake_at = Some(wake_at.map_or(t, |w: u64| w.min(t)));
                         }
                     }
                     Phase::StorePending { at, .. } if at > now => {

@@ -20,16 +20,18 @@ use crate::SimError;
 use pimcomp_arch::{EnergyModel, NocModel};
 use pimcomp_core::{CompiledModel, LlUnitKind};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Per-replica runtime state.
 #[derive(Debug, Clone)]
 struct ReplicaRt {
     /// Windows completed by this replica.
     done: usize,
-    /// Per-core base time of the previous window's MVM issue group
-    /// (crossbar pipelining: next window's MVMs start ≥ prev + T_MVM).
-    prev_base: HashMap<usize, u64>,
+    /// Base time of the previous window's MVM issue group, aligned by
+    /// position with the replica's `ags_per_core` list (cores are
+    /// unique within a replica); `u64::MAX` = no previous window.
+    /// Crossbar pipelining: next window's MVMs start ≥ prev + T_MVM.
+    prev_base: Vec<u64>,
 }
 
 /// Runs the LL simulation for a compiled model.
@@ -55,9 +57,9 @@ pub(crate) fn run(
         .map(|u| {
             u.replicas
                 .iter()
-                .map(|_| ReplicaRt {
+                .map(|r| ReplicaRt {
                     done: 0,
-                    prev_base: HashMap::new(),
+                    prev_base: vec![u64::MAX; r.ags_per_core.len()],
                 })
                 .collect()
         })
@@ -66,10 +68,23 @@ pub(crate) fn run(
     let mut vfu_free = vec![0u64; cores];
     let mut spans: Vec<ActivitySpan> = vec![ActivitySpan::default(); cores];
 
-    // Node production prefixes (windows complete in row-major prefix).
-    let mut node_prefix: HashMap<usize, usize> = HashMap::new();
+    // Node production prefixes (windows complete in row-major prefix)
+    // and waiter lists, both dense by node index — the event loop hits
+    // them on every dependency check and wake-up.
+    let node_count = compiled.graph.node_count();
+    let mut node_prefix: Vec<usize> = vec![0; node_count];
     // Waiters: node index -> (unit, replica, threshold).
-    let mut waiters: HashMap<usize, Vec<(usize, usize, usize)>> = HashMap::new();
+    let mut waiters: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); node_count];
+    // Dense view of the schedule's units-of-node map, resolved once.
+    let empty_units: Vec<usize> = Vec::new();
+    let units_by_node: Vec<&[usize]> = (0..node_count)
+        .map(|i| {
+            schedule
+                .units_of_node
+                .get(&i)
+                .map_or(empty_units.as_slice(), |v| v.as_slice())
+        })
+        .collect();
 
     // Counters.
     let mut mvm_ops = 0u64;
@@ -139,12 +154,9 @@ pub(crate) fn run(
             let req = compiled
                 .dep
                 .required_windows(&compiled.graph, u.node, p.node, j);
-            let have = *node_prefix.get(&p.node.index()).unwrap_or(&0);
+            let have = node_prefix[p.node.index()];
             if have < req {
-                waiters
-                    .entry(p.node.index())
-                    .or_default()
-                    .push((uid, k, req));
+                waiters[p.node.index()].push((uid, k, req));
                 blocked = true;
                 break;
             }
@@ -158,14 +170,14 @@ pub(crate) fn run(
             LlUnitKind::Mvm { mvm } => {
                 let entry = compiled.partitioning.entry(mvm);
                 let mut mvm_end = ready;
-                for &(core, count) in &rep_spec.ags_per_core {
-                    let prev = reps[uid][k].prev_base.get(&core).copied();
+                for (pos, &(core, count)) in rep_spec.ags_per_core.iter().enumerate() {
+                    let prev = reps[uid][k].prev_base[pos];
                     let mut base = ready.max(issue_free[core]);
-                    if let Some(pb) = prev {
-                        base = base.max(pb + t_mvm);
+                    if prev != u64::MAX {
+                        base = base.max(prev + t_mvm);
                     }
                     issue_free[core] = base + count as u64 * t_int;
-                    reps[uid][k].prev_base.insert(core, base);
+                    reps[uid][k].prev_base[pos] = base;
                     let end = base + (count as u64 - 1) * t_int + t_mvm;
                     mvm_end = mvm_end.max(end);
                     spans[core].record(base, end);
@@ -212,23 +224,25 @@ pub(crate) fn run(
         last_done = last_done.max(t_done);
 
         // Update the node's production prefix and wake waiters.
-        let prefix = node_prefix_of(schedule, &reps, u.node.index());
-        let old = node_prefix.insert(u.node.index(), prefix).unwrap_or(0);
+        let prefix = node_prefix_of(units, units_by_node[u.node.index()], &reps);
+        let old = node_prefix[u.node.index()];
+        node_prefix[u.node.index()] = prefix;
         if prefix > old {
-            if let Some(list) = waiters.get_mut(&u.node.index()) {
-                let mut still: Vec<(usize, usize, usize)> = Vec::with_capacity(list.len());
-                for &(wu, wk, thr) in list.iter() {
-                    if thr <= prefix {
-                        // Forwarding latency applies once per wake; the
-                        // transfers of subsequent ready windows overlap
-                        // with compute (wormhole pipelining).
-                        queue.push(Reverse((t_done + dep_delay[wu], wu, wk)));
-                    } else {
-                        still.push((wu, wk, thr));
-                    }
+            let list = &mut waiters[u.node.index()];
+            let mut kept = 0;
+            for i in 0..list.len() {
+                let (wu, wk, thr) = list[i];
+                if thr <= prefix {
+                    // Forwarding latency applies once per wake; the
+                    // transfers of subsequent ready windows overlap
+                    // with compute (wormhole pipelining).
+                    queue.push(Reverse((t_done + dep_delay[wu], wu, wk)));
+                } else {
+                    list[kept] = (wu, wk, thr);
+                    kept += 1;
                 }
-                *list = still;
             }
+            list.truncate(kept);
         }
 
         // Next window of this replica.
@@ -298,19 +312,19 @@ pub(crate) fn run(
 }
 
 /// Prefix-complete window count of a node: the strided minimum across
-/// replicas, then the minimum across the node's column-group units.
+/// replicas, then the minimum across the node's column-group units
+/// (`unit_ids`, pre-resolved from the schedule's units-of-node map).
 fn node_prefix_of(
-    schedule: &pimcomp_core::LlSchedule,
+    units: &[pimcomp_core::LlUnit],
+    unit_ids: &[usize],
     reps: &[Vec<ReplicaRt>],
-    node_index: usize,
 ) -> usize {
-    let unit_ids = match schedule.units_of_node.get(&node_index) {
-        Some(ids) => ids,
-        None => return 0,
-    };
+    if unit_ids.is_empty() {
+        return 0;
+    }
     let mut prefix = usize::MAX;
     for &uid in unit_ids {
-        let u = &schedule.units[uid];
+        let u = &units[uid];
         let r = u.replicas.len();
         let mut up = u.windows;
         for (k, _) in u.replicas.iter().enumerate() {

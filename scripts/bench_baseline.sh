@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Measures (or gates) the repo's performance baseline.
+#
+#   scripts/bench_baseline.sh                 # refresh BENCH_baseline.json
+#   scripts/bench_baseline.sh --check         # compare against the committed
+#                                             # snapshot; exit 1 on >25% regression
+#
+# Extra arguments are forwarded to the `bench_baseline` binary
+# (e.g. `--iters 9`, `--tolerance 0.4`). The snapshot schema and the
+# regeneration workflow are documented in docs/BENCHMARKS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_baseline.json
+mode=measure
+args=()
+for a in "$@"; do
+  if [ "$a" = "--check" ]; then
+    mode=check
+  else
+    args+=("$a")
+  fi
+done
+
+cargo build --release -q -p pimcomp-bench --bin bench_baseline
+
+if [ "$mode" = check ]; then
+  exec cargo run --release -q -p pimcomp-bench --bin bench_baseline -- \
+    --check "$BASELINE" ${args[@]+"${args[@]}"}
+else
+  cargo run --release -q -p pimcomp-bench --bin bench_baseline -- \
+    --out "$BASELINE" ${args[@]+"${args[@]}"} >/dev/null
+  echo "refreshed $BASELINE — commit it to update the regression gate"
+fi

@@ -226,7 +226,8 @@ fn hardware(opts: &HashMap<String, String>, graph: &Graph) -> Result<HardwareCon
 }
 
 fn cmd_compile(opts: &HashMap<String, String>) -> Result<(), String> {
-    let graph = normalize(&load_model(opts)?);
+    let graph =
+        normalize(&load_model(opts)?).map_err(|e| format!("model failed normalization: {e}"))?;
     let hw = hardware(opts, &graph)?;
     let mode = match opts.get("mode").map(String::as_str).unwrap_or("ht") {
         "ht" | "HT" => PipelineMode::HighThroughput,

@@ -154,7 +154,7 @@ fn memory_policies_are_monotone_end_to_end() {
 fn squeezenet_compiles_on_the_paper_target() {
     // One full-size benchmark exercised end-to-end on the PUMA target
     // (minimal GA keeps this fast enough for a debug test run).
-    let graph = pimcomp_ir::transform::normalize(&models::squeezenet());
+    let graph = pimcomp_ir::transform::normalize(&models::squeezenet()).unwrap();
     let hw = HardwareConfig::puma();
     let opts = CompileOptions::new(PipelineMode::HighThroughput).with_ga(pimcomp_core::GaParams {
         population: 6,

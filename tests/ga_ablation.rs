@@ -27,7 +27,7 @@ fn context<'a>(
 
 #[test]
 fn evolution_beats_random_initialization() {
-    let graph = normalize(&pimcomp_ir::models::tiny_cnn());
+    let graph = normalize(&pimcomp_ir::models::tiny_cnn()).unwrap();
     let hw = HardwareConfig::small_test();
     let partitioning = Partitioning::new(&graph, &hw).unwrap();
     let dep = DepInfo::analyze(&graph);
@@ -69,7 +69,7 @@ fn ga_matches_the_balanced_heuristic_on_its_home_turf() {
     // The PUMA heuristic is near-optimal for HT on a simple chain; the
     // GA must land within a few percent of it (and usually beats its
     // mapping).
-    let graph = normalize(&pimcomp_ir::models::tiny_cnn());
+    let graph = normalize(&pimcomp_ir::models::tiny_cnn()).unwrap();
     let hw = HardwareConfig::small_test();
     let partitioning = Partitioning::new(&graph, &hw).unwrap();
     let dep = DepInfo::analyze(&graph);
@@ -105,7 +105,7 @@ fn ga_matches_the_balanced_heuristic_on_its_home_turf() {
 #[test]
 fn ga_history_is_monotonically_non_increasing() {
     // Elitism guarantees the best-so-far never regresses.
-    let graph = normalize(&pimcomp_ir::models::two_branch());
+    let graph = normalize(&pimcomp_ir::models::two_branch()).unwrap();
     let hw = HardwareConfig::small_test();
     let partitioning = Partitioning::new(&graph, &hw).unwrap();
     let dep = DepInfo::analyze(&graph);
@@ -127,7 +127,7 @@ fn ga_history_is_monotonically_non_increasing() {
 fn max_nodes_per_core_bounds_scattering_without_breaking_feasibility() {
     // DESIGN.md ablation: the chromosome capacity knob trades mapping
     // freedom against on-chip communication locality (paper §IV-C.1).
-    let graph = normalize(&pimcomp_ir::models::tiny_cnn());
+    let graph = normalize(&pimcomp_ir::models::tiny_cnn()).unwrap();
     let hw = HardwareConfig::small_test();
     let partitioning = Partitioning::new(&graph, &hw).unwrap();
     let dep = DepInfo::analyze(&graph);

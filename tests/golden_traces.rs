@@ -176,7 +176,7 @@ fn compile_resnet(mode: PipelineMode, seed: u64) -> (CompiledModel, GaParams) {
     // Size the target like the CLI default: 2x headroom over the
     // single-replica demand.
     let base = HardwareConfig::puma();
-    let normalized = pimcomp_ir::transform::normalize(&graph);
+    let normalized = pimcomp_ir::transform::normalize(&graph).unwrap();
     let p = Partitioning::new(&normalized, &base).unwrap();
     let per_chip = base.cores_per_chip * base.crossbars_per_core;
     let chips = (2 * p.min_crossbars()).div_ceil(per_chip).max(1);

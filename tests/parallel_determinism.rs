@@ -10,7 +10,7 @@ use pimcomp_ir::transform::normalize;
 use std::num::NonZeroUsize;
 
 fn run(mode: PipelineMode, seed: u64, threads: Option<usize>) -> (Chromosome, GaStats) {
-    let graph = normalize(&pimcomp_ir::models::tiny_cnn());
+    let graph = normalize(&pimcomp_ir::models::tiny_cnn()).unwrap();
     let hw = HardwareConfig::small_test();
     let partitioning = Partitioning::new(&graph, &hw).unwrap();
     let dep = DepInfo::analyze(&graph);
