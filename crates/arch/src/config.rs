@@ -120,6 +120,16 @@ pub struct HardwareConfig {
     /// (leakage) rather than activity-proportional. Calibration knob for
     /// the Fig. 9 energy split; see DESIGN.md.
     pub leakage_fraction: f64,
+    /// Cycles to program one crossbar row of NVM cells. Writes proceed
+    /// row by row but are parallel across the cells of a row and across
+    /// the crossbars of an array group, so rewriting an AG slice of `r`
+    /// weight rows costs `r * xbar_write_row_cycles` cycles
+    /// (COMPASS-style weight reloading; ReRAM SET/RESET is orders of
+    /// magnitude slower than a read, hence the large default).
+    pub xbar_write_row_cycles: u64,
+    /// Energy to program one NVM cell, in pJ (the reload cost model's
+    /// energy counterpart to `xbar_write_row_cycles`).
+    pub xbar_write_pj_per_cell: f64,
 }
 
 impl HardwareConfig {
@@ -149,6 +159,8 @@ impl HardwareConfig {
             noc_flit_bits: 64,
             clock_ghz: 1.0,
             leakage_fraction: 0.4,
+            xbar_write_row_cycles: 100,
+            xbar_write_pj_per_cell: 10.0,
         }
     }
 
@@ -180,6 +192,8 @@ impl HardwareConfig {
             noc_flit_bits: 64,
             clock_ghz: 1.0,
             leakage_fraction: 0.4,
+            xbar_write_row_cycles: 16,
+            xbar_write_pj_per_cell: 1.0,
         }
     }
 
@@ -267,6 +281,13 @@ impl HardwareConfig {
         (bytes as f64 / self.local_memory_bw).ceil() as u64
     }
 
+    /// Cycles to rewrite an array-group slice covering `rows` weight
+    /// rows: programming is row-serial but cell- and crossbar-parallel,
+    /// so only the row count matters.
+    pub fn xbar_write_cycles(&self, rows: usize) -> u64 {
+        rows as u64 * self.xbar_write_row_cycles
+    }
+
     /// Validates parameter domains.
     ///
     /// # Errors
@@ -311,6 +332,18 @@ impl HardwareConfig {
             return Err(HwError::InvalidParameter {
                 name: "mvm_latency",
                 detail: "must be positive".into(),
+            });
+        }
+        if self.xbar_write_row_cycles == 0 {
+            return Err(HwError::InvalidParameter {
+                name: "xbar_write_row_cycles",
+                detail: "must be positive".into(),
+            });
+        }
+        if !self.xbar_write_pj_per_cell.is_finite() || self.xbar_write_pj_per_cell < 0.0 {
+            return Err(HwError::InvalidParameter {
+                name: "xbar_write_pj_per_cell",
+                detail: "must be a finite non-negative number".into(),
             });
         }
         for (name, v) in [
@@ -398,6 +431,18 @@ mod tests {
 
         let mut hw = HardwareConfig::puma();
         hw.global_memory_bw = 0.0;
+        assert!(hw.validate().is_err());
+
+        let mut hw = HardwareConfig::puma();
+        hw.xbar_write_row_cycles = 0;
+        assert!(hw.validate().is_err());
+
+        let mut hw = HardwareConfig::puma();
+        hw.xbar_write_pj_per_cell = f64::NAN;
+        assert!(hw.validate().is_err());
+
+        let mut hw = HardwareConfig::puma();
+        hw.xbar_write_pj_per_cell = -1.0;
         assert!(hw.validate().is_err());
     }
 

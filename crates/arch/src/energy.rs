@@ -41,6 +41,9 @@ pub struct EnergyModel {
     pub global_mem_pj_per_byte: f64,
     /// Energy per flit per hop on the NoC, in pJ.
     pub noc_pj_per_flit_hop: f64,
+    /// Energy to program one NVM cell during a weight reload, in pJ
+    /// (taken directly from [`HardwareConfig::xbar_write_pj_per_cell`]).
+    pub xbar_write_pj_per_cell: f64,
     /// Static power breakdown.
     pub leakage: LeakageBreakdown,
     /// Clock used for power↔energy conversion, GHz.
@@ -78,6 +81,7 @@ impl EnergyModel {
             local_mem_pj_per_byte: sram.access_pj_per_byte(hw.local_memory_bytes),
             global_mem_pj_per_byte: sram.access_pj_per_byte(hw.global_memory_bytes),
             noc_pj_per_flit_hop: lib.router.power_mw * dyn_frac / hw.clock_ghz,
+            xbar_write_pj_per_cell: hw.xbar_write_pj_per_cell,
             leakage: LeakageBreakdown {
                 core_mw: lib.core.power_mw * hw.leakage_fraction,
                 router_mw: lib.router.power_mw * hw.leakage_fraction,

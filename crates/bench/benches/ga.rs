@@ -23,6 +23,7 @@ fn bench_ga(c: &mut Criterion) {
             partitioning: &partitioning,
             dep: &dep,
             mode,
+            core_limit: None,
         };
         group.bench_function(format!("resnet18/{mode}/20x30"), |b| {
             b.iter(|| {

@@ -9,7 +9,8 @@
 //! * **sweep points/sec** — the committed smoke sweep fixture
 //!   (`explore_sweep --fast`) at one thread;
 //! * **end-to-end compile wall time** for three zoo models
-//!   (resnet18, squeezenet, googlenet).
+//!   (resnet18, squeezenet, googlenet), plus resnet18 squeezed onto a
+//!   single chip in `weight_reload` mode (the epoch-packer path).
 //!
 //! ```text
 //! bench_baseline [--iters N] [--out PATH] [--check PATH]
@@ -28,7 +29,9 @@
 //! The full schema is documented in `docs/BENCHMARKS.md`.
 
 use pimcomp_arch::{HardwareConfig, PipelineMode};
-use pimcomp_core::{optimize, DepInfo, GaContext, GaParams, Partitioning};
+use pimcomp_core::{
+    optimize, CompileOptions, CompileSession, DepInfo, GaContext, GaParams, Partitioning,
+};
 use pimcomp_dse::{ExploreEngine, SweepSpec};
 use serde::{Deserialize, Serialize};
 use std::num::NonZeroUsize;
@@ -202,6 +205,7 @@ fn measure_ga(iters: usize, quiet: bool) -> Vec<Metric> {
             partitioning: &partitioning,
             dep: &dep,
             mode,
+            core_limit: None,
         };
         let mut samples = Vec::with_capacity(iters);
         for _ in 0..iters {
@@ -287,6 +291,44 @@ fn measure_compile(iters: usize, quiet: bool) -> Vec<Metric> {
         }
         metrics.push(m);
     }
+
+    // Resource-constrained compile: resnet18 on a single chip in
+    // `weight_reload` mode. Over budget, so the deterministic epoch
+    // packer replaces the GA — this times the partition + packing +
+    // reload-planning + schedule path the chips:1 workflow exercises.
+    let graph = pimcomp_bench::load_network_or_exit("resnet18");
+    let hw = HardwareConfig::puma_with_chips(1);
+    let opts = CompileOptions::new(PipelineMode::HighThroughput)
+        .with_ga(ga.clone())
+        .with_weight_reload(None);
+    // One packer-path compile finishes in well under a millisecond, so
+    // a sample is `inner` back-to-back compiles to stay clear of timer
+    // and scheduler noise.
+    let inner = 20;
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        for _ in 0..inner {
+            let compiled = CompileSession::new(hw.clone(), &graph, opts.clone())
+                .and_then(|s| s.run())
+                .unwrap_or_else(|e| {
+                    eprintln!("error: reload-mode compile of resnet18 failed: {e}");
+                    std::process::exit(2);
+                });
+            std::hint::black_box(&compiled);
+        }
+        samples.push(t0.elapsed().as_secs_f64() * 1e3 / inner as f64);
+    }
+    let m = summarize(
+        "compile_wall_ms_resnet18_reload_1chip",
+        "latency",
+        "ms",
+        samples,
+    );
+    if !quiet {
+        eprintln!("  {}: median {:.2} {}", m.name, m.median, m.unit);
+    }
+    metrics.push(m);
     metrics
 }
 

@@ -134,6 +134,7 @@ fn main() {
                 partitioning: &partitioning,
                 dep: &dep,
                 mode,
+                core_limit: None,
             };
             let mut serial: Option<Row> = None;
             for &threads in &sweep {

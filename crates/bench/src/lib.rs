@@ -300,6 +300,13 @@ pub const PAPER_SWEEP_HALVING_SPEC: &str = include_str!("../fixtures/paper_sweep
 /// identity. On disk at `crates/bench/fixtures/smoke_sweep_axes.json`.
 pub const SMOKE_SWEEP_AXES_SPEC: &str = include_str!("../fixtures/smoke_sweep_axes.json");
 
+/// The committed weight-reload smoke sweep: one model under two
+/// crossbar budgets plus a reload-off twin of the same point, so CI's
+/// explore-smoke job exercises the `weight_reload` axis end to end —
+/// 1-vs-4-thread byte identity and budget-keyed cache replay. On disk
+/// at `crates/bench/fixtures/smoke_sweep_reload.json`.
+pub const SMOKE_SWEEP_RELOAD_SPEC: &str = include_str!("../fixtures/smoke_sweep_reload.json");
+
 /// A harness step failure: which half of the compile → simulate pair
 /// went wrong. The five committed paper benchmarks always succeed, but
 /// the harness also runs user-supplied graphs (`--only` over the zoo,
@@ -577,6 +584,17 @@ mod tests {
         // 2 models x 2 auto parallelism x 2 policies x (HT: 2 batches
         // + LL: 1) x 1 seed.
         assert_eq!(axes.len(), 2 * 2 * 2 * 3);
+        // The reload spec sweeps off + two budgets over a single point.
+        let reload = pimcomp_dse::SweepSpec::from_json(SMOKE_SWEEP_RELOAD_SPEC).unwrap();
+        assert_eq!(
+            reload.weight_reload,
+            vec![
+                pimcomp_dse::ReloadSetting::Off,
+                pimcomp_dse::ReloadSetting::On(Some(32)),
+                pimcomp_dse::ReloadSetting::On(Some(64)),
+            ]
+        );
+        assert_eq!(reload.points().unwrap().len(), 3);
     }
 
     #[test]

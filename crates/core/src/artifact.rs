@@ -106,7 +106,14 @@ impl CompiledArtifact {
     /// v3: [`GaStats`](crate::GaStats) gained the mutation-operator
     /// tallies (`grow_successes`, `grow_failures`), replacing the old
     /// `GA_DEBUG` stderr diagnostics.
-    pub const FORMAT_VERSION: u32 = 3;
+    ///
+    /// v4: `weight_reload` support — [`CompiledModel`] gained the
+    /// `reload` field (the epoch/reload schedule,
+    /// [`ReloadPlan`](crate::ReloadPlan)), `report.ga` became truly
+    /// optional (epoch-packed compilations skip the GA), and
+    /// [`HardwareConfig`] gained the crossbar write cost model
+    /// (`xbar_write_row_cycles`, `xbar_write_pj_per_cell`).
+    pub const FORMAT_VERSION: u32 = 4;
 
     /// Packages a compiled model, fingerprinting its hardware target.
     #[must_use]

@@ -248,6 +248,7 @@ impl PumaCompiler {
             dep,
             schedule,
             memory,
+            reload: None,
             report,
         })
     }

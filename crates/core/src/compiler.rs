@@ -7,7 +7,7 @@
 use crate::ga::{GaParams, GaStats};
 use crate::mapping::CoreMapping;
 use crate::memory::{MemoryPlan, ReusePolicy};
-use crate::partition::Partitioning;
+use crate::partition::{Partitioning, ReloadPlan};
 use crate::schedule::Schedule;
 use crate::session::{CompileObserver, CompileSession};
 use crate::waiting::DepInfo;
@@ -33,6 +33,17 @@ pub struct CompileOptions {
     /// Run `pimcomp_ir::transform::normalize` before compiling
     /// (batch-norm folding, dropout elimination). On by default.
     pub normalize: bool,
+    /// Resource-constrained compilation: when the model does not fit
+    /// the crossbar budget, split it into *mapping epochs* and rewrite
+    /// crossbar contents between them (COMPASS-style weight reloading)
+    /// instead of failing with
+    /// [`CompileError::InsufficientCapacity`]. Off by default.
+    pub weight_reload: bool,
+    /// Crossbar budget for `weight_reload` mode. `None` uses the full
+    /// hardware capacity; `Some(n)` restricts placement to `n`
+    /// crossbars even if the chip has more (for what-if sweeps over
+    /// budgets). Only meaningful with `weight_reload: true`.
+    pub reload_budget: Option<usize>,
 }
 
 impl CompileOptions {
@@ -50,6 +61,8 @@ impl CompileOptions {
             },
             memory_policy: ReusePolicy::AgReuse,
             normalize: true,
+            weight_reload: false,
+            reload_budget: None,
         }
     }
 
@@ -67,7 +80,8 @@ impl CompileOptions {
     ///   outside `[0, 1]`,
     /// * `max_nodes_per_core` is pinned to zero,
     /// * a batch larger than 1 is combined with low-latency mode
-    ///   (batching is a high-throughput transfer concept).
+    ///   (batching is a high-throughput transfer concept),
+    /// * `reload_budget` is set without `weight_reload`, or is zero.
     pub fn validate(&self) -> Result<(), CompileError> {
         let invalid = |detail: &str| {
             Err(CompileError::InvalidOptions {
@@ -97,6 +111,12 @@ impl CompileOptions {
                 "`batch` only applies to high-throughput mode; \
                  use batch 1 (the default) for low-latency compilations",
             );
+        }
+        if self.reload_budget.is_some() && !self.weight_reload {
+            return invalid("`reload_budget` requires `weight_reload: true`");
+        }
+        if self.reload_budget == Some(0) {
+            return invalid("`reload_budget` must be at least 1 crossbar");
         }
         Ok(())
     }
@@ -147,6 +167,14 @@ impl CompileOptions {
     /// Sets the HT transfer batch.
     pub fn with_batch(mut self, batch: usize) -> Self {
         self.batch = batch.max(1);
+        self
+    }
+
+    /// Enables `weight_reload` mode with an optional crossbar budget
+    /// (`None` = the full hardware capacity).
+    pub fn with_weight_reload(mut self, budget: Option<usize>) -> Self {
+        self.weight_reload = true;
+        self.reload_budget = budget;
         self
     }
 }
@@ -217,6 +245,11 @@ pub struct CompiledModel {
     pub schedule: Schedule,
     /// Local-memory plan under the selected policy.
     pub memory: MemoryPlan,
+    /// Epoch/reload plan. `Some` whenever the model was compiled in
+    /// `weight_reload` mode (a model that fits its budget gets a
+    /// single-epoch plan with zero reload cost, so the mode stays
+    /// visible in the artifact); `None` for ordinary compilations.
+    pub reload: Option<ReloadPlan>,
     /// Compilation summary.
     pub report: CompileReport,
 }

@@ -41,6 +41,15 @@ pub enum CompileError {
         /// Underlying description.
         detail: String,
     },
+    /// A `weight_reload` crossbar budget is too small to hold even the
+    /// widest single Array Group, so no epoch schedule exists (an AG is
+    /// the atomic placement unit and cannot be split further).
+    ReloadBudgetTooSmall {
+        /// The requested crossbar budget.
+        budget: usize,
+        /// Crossbars the widest single AG needs.
+        min_ag: usize,
+    },
     /// The [`CompileOptions`](crate::CompileOptions) are malformed or
     /// internally inconsistent (zero batch, empty GA population, an
     /// option that does not apply to the selected pipeline mode, ...).
@@ -59,7 +68,9 @@ impl fmt::Display for CompileError {
                 available,
             } => write!(
                 f,
-                "model needs at least {required} crossbars but target has {available}"
+                "model needs at least {required} crossbars but target has {available} \
+                 (enable `weight_reload` mode to time-multiplex the crossbars, or use \
+                 `hardware: \"auto\"` to size the chip up)"
             ),
             CompileError::AgTooWide {
                 node,
@@ -79,6 +90,11 @@ impl fmt::Display for CompileError {
             CompileError::InvalidHardware { detail } => {
                 write!(f, "invalid hardware configuration: {detail}")
             }
+            CompileError::ReloadBudgetTooSmall { budget, min_ag } => write!(
+                f,
+                "weight_reload budget of {budget} crossbars cannot hold the widest \
+                 array group, which needs {min_ag}"
+            ),
             CompileError::InvalidGraph { detail } => write!(f, "invalid graph: {detail}"),
             CompileError::InvalidOptions { detail } => {
                 write!(f, "invalid compile options: {detail}")

@@ -143,6 +143,15 @@ pub fn ht_fitness(
     ht_combine(&core_times)
 }
 
+/// Adds the reload-barrier stalls of a `weight_reload` plan to a mode
+/// fitness estimate (both in cycles), so reload-aware compilations are
+/// scored on the full cost of time-multiplexing: a tight budget that
+/// forces many epochs loses to a looser one even when their compute
+/// fitness ties. `None` (ordinary compilation) passes through.
+pub fn with_reload_stalls(fitness: f64, reload: Option<&crate::partition::ReloadPlan>) -> f64 {
+    fitness + reload.map_or(0.0, |p| p.total_write_cycles as f64)
+}
+
 /// HT fitness computed from a materialized [`CoreMapping`] instead of a
 /// chromosome (used for baseline mappings built without the GA). The
 /// `max` objective only — no tie-breaker — so reported values compare
@@ -702,6 +711,7 @@ const MEMO_CAPACITY: usize = 1 << 16;
 ///     partitioning: &partitioning,
 ///     dep: &dep,
 ///     mode: PipelineMode::HighThroughput,
+///     core_limit: None,
 /// };
 /// let mut memo = FitnessMemo::new(&ctx);
 /// # let cores = hw.total_cores();

@@ -252,9 +252,23 @@ pub struct GaContext<'a> {
     pub dep: &'a DepInfo,
     /// Which fitness to optimize.
     pub mode: PipelineMode,
+    /// Restricts the search to cores `0..limit` (`None` = every core).
+    /// Used by `weight_reload` compilations whose crossbar budget is
+    /// smaller than the chip, so the GA packs into the budgeted prefix
+    /// of cores; downstream stages size arrays by the full core count,
+    /// so a limited chromosome simply leaves the tail cores empty.
+    pub core_limit: Option<usize>,
 }
 
 impl GaContext<'_> {
+    /// Cores available to the search: the hardware's core count, or the
+    /// `core_limit` prefix when one is set (never more than the chip
+    /// has).
+    pub fn cores(&self) -> usize {
+        let total = self.hw.total_cores();
+        self.core_limit.map_or(total, |l| l.min(total)).max(1)
+    }
+
     /// Evaluates the mode's fitness for a chromosome from scratch
     /// (lower is better). This is the reference implementation the
     /// memoized/incremental engine ([`FitnessMemo`](crate::FitnessMemo))
@@ -382,7 +396,7 @@ pub fn optimize_observed(
     params: &GaParams,
     on_generation: &mut dyn FnMut(GaGeneration),
 ) -> Result<(Chromosome, GaStats), CompileError> {
-    let cores = ctx.hw.total_cores();
+    let cores = ctx.cores();
     let capacity = ctx.hw.crossbar_capacity_per_core();
     let max_nodes = params
         .max_nodes_per_core
@@ -1045,6 +1059,7 @@ mod tests {
             partitioning: &p,
             dep: &dep,
             mode,
+            core_limit: None,
         };
         let params = GaParams::fast(seed).with_parallelism(parallelism);
         let (best, stats) = optimize(&ctx, &params).unwrap();
@@ -1134,6 +1149,7 @@ mod tests {
             partitioning: &p,
             dep: &dep,
             mode: PipelineMode::HighThroughput,
+            core_limit: None,
         };
         assert!(matches!(
             optimize(&ctx, &GaParams::fast(1)),
@@ -1168,6 +1184,7 @@ mod tests {
             partitioning: &p,
             dep: &dep,
             mode: PipelineMode::HighThroughput,
+            core_limit: None,
         };
         let full = GaParams {
             iterations: 12,

@@ -83,7 +83,10 @@ pub use lower::{lower_to_ops, CoreOp, OpStream};
 pub use mapping::{AgInstance, Chromosome, CoreMapping, Gene, GENE_RADIX};
 pub use memory::{MemoryPlan, ReusePolicy};
 pub use parallel::run_indexed;
-pub use partition::{sized_chips, MvmIdx, NodePartition, Partitioning};
+pub use partition::{
+    sized_chips, EpochAssignment, EpochPlan, EpochReloadCost, MvmIdx, NodePartition, Partitioning,
+    ReloadPlan,
+};
 pub use replication::ReplicationPlan;
 pub use schedule::{
     HtNodeProgram, HtSchedule, HtSend, HtVecTask, LlProviderRef, LlReplica, LlSchedule, LlUnit,

@@ -520,6 +520,56 @@ impl CoreMapping {
         })
     }
 
+    /// Materializes an epoch plan (`weight_reload` mode) into the same
+    /// mapping shape the GA produces, overlaying all epochs: every AG
+    /// instance keeps the core its epoch assigned it, and replication
+    /// is fixed at 1 (duplication-free placement — time-multiplexed
+    /// crossbars leave no room for replicas).
+    ///
+    /// Cores shared by several epochs are *physically* over-committed
+    /// here — that is the point of weight reloading; capacity holds
+    /// within each epoch, which [`EpochPlan::new`](crate::partition::EpochPlan::new) guarantees.
+    /// Instances are ordered by node then slice, matching
+    /// [`CoreMapping::from_chromosome`]'s node/replica/slice order.
+    pub fn from_epoch_plan(
+        plan: &crate::partition::EpochPlan,
+        partitioning: &Partitioning,
+        cores: usize,
+    ) -> Self {
+        let mut core_of = vec![Vec::new(); partitioning.len()];
+        for (mvm, e) in partitioning.entries().iter().enumerate() {
+            core_of[mvm] = vec![usize::MAX; e.ags_per_replica];
+        }
+        for epoch in &plan.epochs {
+            for a in epoch {
+                core_of[a.mvm][a.slice] = a.core;
+            }
+        }
+        let mut instances = Vec::new();
+        let mut per_core = vec![Vec::new(); cores];
+        let mut owners = Vec::with_capacity(partitioning.len());
+        for (mvm, slices) in core_of.iter().enumerate() {
+            debug_assert!(!slices.contains(&usize::MAX), "epoch plan covers all AGs");
+            owners.push(vec![slices[0]]);
+            for (slice, &core) in slices.iter().enumerate() {
+                let id = instances.len();
+                instances.push(AgInstance {
+                    mvm,
+                    replica: 0,
+                    slice,
+                    core,
+                });
+                per_core[core].push(id);
+            }
+        }
+        CoreMapping {
+            replication: ReplicationPlan::ones(partitioning),
+            instances,
+            per_core,
+            owners,
+        }
+    }
+
     /// Number of cores that host at least one AG.
     pub fn active_cores(&self) -> usize {
         self.per_core.iter().filter(|v| !v.is_empty()).count()

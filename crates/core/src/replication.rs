@@ -58,6 +58,12 @@ impl ReplicationPlan {
         self.counts[idx] = count;
     }
 
+    /// `true` when no node is replicated (every count is 1) — the
+    /// duplication-free shape `weight_reload` epoch mapping produces.
+    pub fn is_duplication_free(&self) -> bool {
+        self.counts.iter().all(|&c| c == 1)
+    }
+
     /// Total AG instances of node `idx` under this plan.
     pub fn total_ags(&self, partitioning: &Partitioning, idx: MvmIdx) -> usize {
         self.counts[idx] * partitioning.entry(idx).ags_per_replica

@@ -13,6 +13,8 @@ mod ll;
 pub use ht::{HtNodeProgram, HtSchedule, HtSend, HtVecTask};
 pub use ll::{LlProviderRef, LlReplica, LlSchedule, LlUnit, LlUnitKind};
 
+pub(crate) use ht::slice_rows;
+
 use serde::{Deserialize, Serialize};
 
 /// A compiled dataflow schedule, one variant per pipeline mode.

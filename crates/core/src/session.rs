@@ -50,7 +50,7 @@ use crate::compiler::{CompileOptions, CompileReport, CompiledModel, StageTimings
 use crate::ga::{optimize_observed, GaContext, GaGeneration, GaParams, GaStats};
 use crate::mapping::CoreMapping;
 use crate::memory::{MemoryPlan, ReusePolicy};
-use crate::partition::Partitioning;
+use crate::partition::{EpochPlan, EpochReloadCost, Partitioning, ReloadPlan};
 use crate::schedule::{HtSchedule, LlSchedule, Schedule};
 use crate::waiting::DepInfo;
 use crate::{fitness, CompileError};
@@ -333,12 +333,17 @@ impl Partitioned {
     }
 
     /// Stages 2+3 (§IV-C): joint weight replication + core mapping via
-    /// the genetic algorithm.
+    /// the genetic algorithm — or, in `weight_reload` mode when the
+    /// model exceeds its crossbar budget, the deterministic epoch
+    /// packer (COMPASS-style time multiplexing, no GA).
     ///
     /// # Errors
     ///
-    /// [`CompileError::InsufficientCapacity`] when even one replica per
-    /// node cannot be placed.
+    /// * [`CompileError::InsufficientCapacity`] when even one replica
+    ///   per node cannot be placed (suggesting `weight_reload` as an
+    ///   escape hatch),
+    /// * [`CompileError::ReloadBudgetTooSmall`] when a reload budget
+    ///   cannot hold even one Array Group.
     pub fn optimize(self) -> Result<Optimized, CompileError> {
         self.optimize_observed(&mut NullObserver)
     }
@@ -375,34 +380,124 @@ impl Partitioned {
     ) -> Result<Optimized, CompileError> {
         observer.on_stage_start(CompileStage::ReplicatingMapping);
         let t0 = Instant::now();
+        let hw = &self.session.hw;
+        let capacity = hw.crossbar_capacity_per_core();
+
+        // `weight_reload` mode: resolve the budget and decide between
+        // the GA (model fits the budgeted core prefix; reload cost is
+        // zero) and the deterministic epoch packer (over budget; the
+        // crossbars are time-multiplexed, so replication is pointless
+        // and the GA's search space collapses — a next-fit pass is
+        // both deterministic and sufficient).
+        let budget = self.session.opts.weight_reload.then(|| {
+            self.session
+                .opts
+                .reload_budget
+                .unwrap_or_else(|| hw.total_crossbars())
+                .min(hw.total_crossbars())
+        });
+        let (core_limit, epoch_plan) = match budget {
+            None => (None, None),
+            Some(b) => {
+                let usable = (b / capacity).min(hw.total_cores());
+                if usable >= 1 && self.partitioning.min_crossbars() <= usable * capacity {
+                    (Some(usable), None)
+                } else {
+                    let plan = EpochPlan::new(&self.partitioning, hw, b)?;
+                    (None, Some(plan))
+                }
+            }
+        };
+
+        if let Some(plan) = epoch_plan {
+            let mapping = CoreMapping::from_epoch_plan(&plan, &self.partitioning, hw.total_cores());
+            let reload = plan.reload_plan(&self.partitioning, hw);
+            let elapsed = t0.elapsed();
+            observer.on_stage_finish(CompileStage::ReplicatingMapping, elapsed);
+            return Ok(Optimized {
+                partitioned: self,
+                mapping,
+                ga_stats: None,
+                reload: Some(reload),
+                elapsed,
+            });
+        }
+
         let ctx = GaContext {
             hw: &self.session.hw,
             graph: &self.session.graph,
             partitioning: &self.partitioning,
             dep: &self.dep,
             mode: self.session.opts.mode,
+            core_limit,
         };
         let (chromosome, ga_stats) = optimize_observed(&ctx, &self.session.opts.ga, &mut |p| {
             observer.on_ga_generation(p);
         })?;
         let mapping = CoreMapping::from_chromosome(&chromosome, &self.partitioning)?;
+        let reload = budget.map(|b| {
+            resident_reload_plan(
+                &self.partitioning,
+                &mapping,
+                &self.session.hw,
+                b,
+                core_limit.unwrap_or_else(|| self.session.hw.total_cores()),
+            )
+        });
         let elapsed = t0.elapsed();
         observer.on_stage_finish(CompileStage::ReplicatingMapping, elapsed);
         Ok(Optimized {
             partitioned: self,
             mapping,
-            ga_stats,
+            ga_stats: Some(ga_stats),
+            reload,
             elapsed,
         })
     }
 }
 
-/// Stage-2/3 artifact: the GA's replication + placement result (§IV-C).
+/// The [`ReloadPlan`] of a reload-mode model that fits its budget: one
+/// epoch, every weight resident, zero reload cost — kept (rather than
+/// `None`) so artifacts record that the compilation was
+/// budget-constrained.
+fn resident_reload_plan(
+    partitioning: &Partitioning,
+    mapping: &CoreMapping,
+    hw: &HardwareConfig,
+    budget: usize,
+    ring_cores: usize,
+) -> ReloadPlan {
+    let cells_per_weight = hw.cells_per_weight();
+    let mut resident = 0u64;
+    for inst in &mapping.instances {
+        let e = partitioning.entry(inst.mvm);
+        let rows = crate::schedule::slice_rows(e.weight_height, hw.crossbar_rows, inst.slice);
+        resident += (rows * e.weight_width * cells_per_weight) as u64;
+    }
+    ReloadPlan {
+        budget,
+        ring_cores,
+        epochs: vec![EpochReloadCost {
+            resident_cells: resident,
+            ..EpochReloadCost::default()
+        }],
+        total_ags_written: 0,
+        total_cells_written: 0,
+        total_write_cycles: 0,
+        total_write_pj: 0.0,
+        total_compute_cycles: 0,
+    }
+}
+
+/// Stage-2/3 artifact: the replication + placement result (§IV-C) —
+/// from the GA, or from the epoch packer in over-budget
+/// `weight_reload` compilations.
 #[derive(Debug, Clone)]
 pub struct Optimized {
     partitioned: Partitioned,
     mapping: CoreMapping,
-    ga_stats: GaStats,
+    ga_stats: Option<GaStats>,
+    reload: Option<ReloadPlan>,
     elapsed: Duration,
 }
 
@@ -412,9 +507,17 @@ impl Optimized {
         &self.mapping
     }
 
-    /// The GA's optimization trace.
-    pub fn ga_stats(&self) -> &GaStats {
-        &self.ga_stats
+    /// The GA's optimization trace (`None` when the epoch packer
+    /// produced the mapping — over-budget `weight_reload` runs skip
+    /// the GA entirely).
+    pub fn ga_stats(&self) -> Option<&GaStats> {
+        self.ga_stats.as_ref()
+    }
+
+    /// The reload schedule (`Some` for every `weight_reload`
+    /// compilation; zero-cost single epoch when the model fits).
+    pub fn reload(&self) -> Option<&ReloadPlan> {
+        self.reload.as_ref()
     }
 
     /// The upstream partitioning artifact.
@@ -618,6 +721,7 @@ impl Scheduled {
             partitioned,
             mapping,
             ga_stats,
+            reload,
             elapsed: t_mapping,
         } = optimized;
         let Partitioned {
@@ -627,18 +731,25 @@ impl Scheduled {
             elapsed: t_partition,
         } = partitioned;
 
-        let estimated = match session.opts.mode {
-            PipelineMode::HighThroughput => {
-                fitness::ht_fitness_from_mapping(&session.hw, &partitioning, &mapping)
-            }
-            PipelineMode::LowLatency => fitness::ll_fitness(
-                &session.hw,
-                &session.graph,
-                &partitioning,
-                &dep,
-                &mapping.replication,
-            ),
+        // Multi-epoch reload plans execute serially, so their analytic
+        // per-epoch compute sum replaces the mapping-based estimate
+        // (which would treat all epochs as concurrently resident).
+        let estimated = match reload.as_ref().filter(|p| !p.is_single_epoch()) {
+            Some(plan) => plan.total_compute_cycles as f64,
+            None => match session.opts.mode {
+                PipelineMode::HighThroughput => {
+                    fitness::ht_fitness_from_mapping(&session.hw, &partitioning, &mapping)
+                }
+                PipelineMode::LowLatency => fitness::ll_fitness(
+                    &session.hw,
+                    &session.graph,
+                    &partitioning,
+                    &dep,
+                    &mapping.replication,
+                ),
+            },
         };
+        let estimated = fitness::with_reload_stalls(estimated, reload.as_ref());
 
         let report = CompileReport {
             model: session.graph.name().to_string(),
@@ -649,7 +760,7 @@ impl Scheduled {
                 replicating_mapping: t_mapping,
                 dataflow_scheduling: t_schedule,
             },
-            ga: Some(ga_stats),
+            ga: ga_stats,
             replication: mapping.replication.counts().to_vec(),
             active_cores: mapping.active_cores(),
             crossbars_used: mapping.replication.total_crossbars(&partitioning),
@@ -665,6 +776,7 @@ impl Scheduled {
             dep,
             schedule,
             memory,
+            reload,
             report,
         }
     }
@@ -716,7 +828,7 @@ mod tests {
         assert!(!p.partitioning().is_empty());
         let o = p.optimize().unwrap();
         assert!(o.mapping().active_cores() > 0);
-        assert!(o.ga_stats().evaluations > 0);
+        assert!(o.ga_stats().unwrap().evaluations > 0);
         let s = o.schedule().unwrap();
         assert!(s.schedule().as_ht().is_some());
         assert!(s.memory().peak_bytes > 0);
@@ -811,8 +923,11 @@ mod tests {
             .unwrap()
             .optimize_with_budget(5)
             .unwrap();
-        assert_eq!(short.ga_stats().history.len(), 5);
-        assert_eq!(short.ga_stats().history[..], full.ga_stats().history[..5]);
+        assert_eq!(short.ga_stats().unwrap().history.len(), 5);
+        assert_eq!(
+            short.ga_stats().unwrap().history[..],
+            full.ga_stats().unwrap().history[..5]
+        );
         assert!(matches!(
             session(PipelineMode::HighThroughput)
                 .partition()

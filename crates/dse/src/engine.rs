@@ -4,7 +4,7 @@
 
 use crate::cache::{self, EvictionStats};
 use crate::report::{PointMetrics, PointRecord, SweepReport};
-use crate::spec::{HalvingSpec, SearchStrategy, SweepPoint, SweepSpec};
+use crate::spec::{HalvingSpec, ReloadSetting, SearchStrategy, SweepPoint, SweepSpec};
 use crate::{resolve_model, ExploreError};
 use pimcomp_arch::PipelineMode;
 use pimcomp_core::{
@@ -693,6 +693,7 @@ impl ExploreEngine {
                     policy: crate::policy_spec_name(points[idx].policy).to_string(),
                     batch: points[idx].batch as u64,
                     seed: points[idx].seed,
+                    weight_reload: points[idx].reload.label(),
                     rung: 0,
                     budget: 0,
                     pruned_at: None,
@@ -922,13 +923,17 @@ fn point_options(point: &SweepPoint, spec: &SweepSpec, iterations: usize) -> Com
     // Point expansion already collapsed the batch axis for LL points
     // (batch 1), so the options always pass CompileOptions::validate.
     debug_assert!(point.mode == PipelineMode::HighThroughput || point.batch == 1);
-    CompileOptions::new(point.mode)
+    let mut opts = CompileOptions::new(point.mode)
         .with_ga(ga)
         .with_policy(point.policy)
         .with_batch(point.batch)
         // The rung budget overrides the spec's full budget through the
         // same public API any budgeted driver would use.
-        .with_ga_budget(iterations)
+        .with_ga_budget(iterations);
+    if let ReloadSetting::On(budget) = point.reload {
+        opts = opts.with_weight_reload(budget);
+    }
+    opts
 }
 
 /// The cache file for a point: keyed by graph fingerprint, hardware
@@ -988,6 +993,7 @@ fn evaluate_point(
         policy: crate::policy_spec_name(point.policy).to_string(),
         batch: point.batch as u64,
         seed: point.seed,
+        weight_reload: point.reload.label(),
         rung: 0,
         budget: 0,
         pruned_at: None,
@@ -1059,6 +1065,7 @@ fn evaluate_point(
                 global_traffic_kb: r.memory.global_traffic_bytes as f64 / 1024.0,
                 active_cores: r.active_cores,
                 crossbars_used: model.report.crossbars_used,
+                reload_stall_cycles: r.reload_stall_cycles,
             };
             outcome(record(true, None, Some(metrics)), true)
         }
@@ -1452,6 +1459,82 @@ mod tests {
         assert!(
             traffic.iter().any(|&t| (t - traffic[0]).abs() > 1e-9),
             "policy/batch axes produced identical memory metrics: {traffic:?}"
+        );
+    }
+
+    #[test]
+    fn weight_reload_sweeps_are_thread_and_cache_invariant() {
+        let dir =
+            std::env::temp_dir().join(format!("pimcomp-dse-reload-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Two constrained budgets plus the unconstrained baseline of
+        // the same point: the reload axis must be live (stall cycles
+        // appear under the budgets) and byte-identical across thread
+        // counts and cache states.
+        let spec = SweepSpec::from_json(
+            r#"{"models":["tiny_cnn"],"modes":["ht"],
+                "hardware":{"base":"small_test"},"seeds":[1],
+                "ga":{"population":4,"iterations":2},
+                "weight_reload":{"budgets":[32,64],"include_off":true}}"#,
+        )
+        .unwrap();
+        let engine = ExploreEngine::new().with_cache_dir(&dir);
+        let cold = engine.run(&spec).unwrap();
+        assert_eq!(cold.cache_hits, 0);
+        let warm = engine.with_threads(4).run(&spec).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(warm.cache_misses, 0, "budgets must key distinct entries");
+        assert_eq!(
+            cold.report.to_json().unwrap(),
+            warm.report.to_json().unwrap()
+        );
+        let serial = ExploreEngine::new().run(&spec).unwrap();
+        assert_eq!(
+            cold.report.to_json().unwrap(),
+            serial.report.to_json().unwrap()
+        );
+
+        assert_eq!(cold.report.points.len(), 3);
+        assert_eq!(cold.report.failures(), 0);
+        let by_reload = |label: &str| {
+            cold.report
+                .points
+                .iter()
+                .find(|p| p.weight_reload == label)
+                .unwrap_or_else(|| panic!("no point with weight_reload `{label}`"))
+        };
+        let off = by_reload("off");
+        assert!(!off.key().contains("reload"), "{}", off.key());
+        assert_eq!(off.metrics.as_ref().unwrap().reload_stall_cycles, 0);
+        for label in ["32", "64"] {
+            let p = by_reload(label);
+            assert!(
+                p.key().ends_with(&format!("/reload-{label}")),
+                "{}",
+                p.key()
+            );
+            let m = p.metrics.as_ref().unwrap();
+            assert!(
+                m.reload_stall_cycles > 0,
+                "budget {label} should force reload stalls"
+            );
+            assert!(
+                m.cycles > off.metrics.as_ref().unwrap().cycles,
+                "constrained budget {label} must cost cycles over unconstrained"
+            );
+        }
+        // Tighter budgets rewrite at least as much.
+        assert!(
+            by_reload("32")
+                .metrics
+                .as_ref()
+                .unwrap()
+                .reload_stall_cycles
+                >= by_reload("64")
+                    .metrics
+                    .as_ref()
+                    .unwrap()
+                    .reload_stall_cycles
         );
     }
 

@@ -126,8 +126,8 @@ pub use engine::{
 };
 pub use report::{PointMetrics, PointRecord, SweepDiff, SweepReport, SWEEP_FORMAT_VERSION};
 pub use spec::{
-    policy_names, policy_spec_name, AutoHardware, HalvingSpec, HardwareAxis, SearchStrategy,
-    SweepPoint, SweepSpec, EXAMPLE_SPEC, MAX_SWEEP_POINTS,
+    policy_names, policy_spec_name, AutoHardware, HalvingSpec, HardwareAxis, ReloadSetting,
+    SearchStrategy, SweepPoint, SweepSpec, EXAMPLE_SPEC, MAX_SWEEP_POINTS,
 };
 
 use std::fmt;

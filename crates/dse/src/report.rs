@@ -13,7 +13,11 @@ use std::fmt;
 ///
 /// v3: [`PointRecord`] gained the compiler-knob axes (`policy`,
 /// `batch`), which also entered the point key and the CSV columns.
-pub const SWEEP_FORMAT_VERSION: u32 = 3;
+///
+/// v4: [`PointRecord`] gained the `weight_reload` axis (entering the
+/// point key for reload-on points and the CSV columns) and
+/// [`PointMetrics`] gained `reload_stall_cycles`.
+pub const SWEEP_FORMAT_VERSION: u32 = 4;
 
 /// Deterministic metrics of one successfully compiled and simulated
 /// sweep point. Everything here is a pure function of (model, mode,
@@ -46,6 +50,11 @@ pub struct PointMetrics {
     pub active_cores: usize,
     /// Crossbars occupied by weights.
     pub crossbars_used: usize,
+    /// Cycles the pipeline stalled rewriting crossbar weights between
+    /// mapping epochs. Zero for every point that fit its budget (or
+    /// compiled without `weight_reload`). Folded into `cycles`, so the
+    /// objective vector needs no fifth axis.
+    pub reload_stall_cycles: u64,
 }
 
 impl PointMetrics {
@@ -113,6 +122,10 @@ pub struct PointRecord {
     pub batch: u64,
     /// GA seed of this point.
     pub seed: u64,
+    /// Weight-reload setting of this point: `off`, `full` (reload mode
+    /// at the target's full crossbar capacity), or the explicit
+    /// crossbar budget.
+    pub weight_reload: String,
     /// Highest search rung this point was evaluated at (0-based).
     /// Exhaustive sweeps have a single rung, so this is always 0 there;
     /// under successive halving a value below the final rung means the
@@ -141,12 +154,19 @@ pub struct PointRecord {
 
 impl PointRecord {
     /// Stable identity (`model/mode/hardware/policy/bBATCH/seedSEED`),
-    /// the key diffs join on.
+    /// the key diffs join on. Reload-on points carry a trailing
+    /// `/reload-BUDGET` segment, matching
+    /// [`SweepPoint::key`](crate::SweepPoint::key).
     pub fn key(&self) -> String {
-        format!(
+        let mut key = format!(
             "{}/{}/{}/{}/b{}/seed{}",
             self.model, self.mode, self.hardware, self.policy, self.batch, self.seed
-        )
+        );
+        if self.weight_reload != "off" {
+            key.push_str("/reload-");
+            key.push_str(&self.weight_reload);
+        }
+        key
     }
 }
 
@@ -249,20 +269,21 @@ impl SweepReport {
     /// Deterministic like [`SweepReport::to_json`].
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "model,mode,hardware,policy,batch,seed,rung,budget,pruned_at,ok,pareto,cycles,\
-             throughput_inf_per_s,latency_us,energy_uj,dynamic_uj,leakage_uj,\
+            "model,mode,hardware,policy,batch,seed,weight_reload,rung,budget,pruned_at,ok,\
+             pareto,cycles,throughput_inf_per_s,latency_us,energy_uj,dynamic_uj,leakage_uj,\
              crossbar_utilization,core_utilization,avg_local_kb,global_traffic_kb,\
-             active_cores,crossbars_used,error\n",
+             active_cores,crossbars_used,reload_stall_cycles,error\n",
         );
         for p in &self.points {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},",
+                "{},{},{},{},{},{},{},{},{},{},{},{},",
                 csv_field(&p.model),
                 csv_field(&p.mode),
                 csv_field(&p.hardware),
                 csv_field(&p.policy),
                 p.batch,
                 p.seed,
+                csv_field(&p.weight_reload),
                 p.rung,
                 p.budget,
                 p.pruned_at.map(|r| r.to_string()).unwrap_or_default(),
@@ -271,7 +292,7 @@ impl SweepReport {
             ));
             match &p.metrics {
                 Some(m) => out.push_str(&format!(
-                    "{},{},{},{},{},{},{},{},{},{},{},{},",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},",
                     m.cycles,
                     m.throughput_inf_per_s,
                     m.latency_us,
@@ -283,9 +304,10 @@ impl SweepReport {
                     m.avg_local_kb,
                     m.global_traffic_kb,
                     m.active_cores,
-                    m.crossbars_used
+                    m.crossbars_used,
+                    m.reload_stall_cycles
                 )),
-                None => out.push_str(",,,,,,,,,,,,"),
+                None => out.push_str(",,,,,,,,,,,,,"),
             }
             out.push_str(&csv_field(p.error.as_deref().unwrap_or("")));
             out.push('\n');
@@ -509,6 +531,7 @@ mod tests {
             global_traffic_kb: 16.0,
             active_cores: 4,
             crossbars_used: 32,
+            reload_stall_cycles: 0,
         }
     }
 
@@ -520,6 +543,7 @@ mod tests {
             policy: "ag".into(),
             batch: 2,
             seed: 1,
+            weight_reload: "off".into(),
             rung: 0,
             budget: 4,
             pruned_at: None,
@@ -681,11 +705,12 @@ mod tests {
         let csv = report.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert!(lines[0]
-            .starts_with("model,mode,hardware,policy,batch,seed,rung,budget,pruned_at,ok,pareto"));
-        // policy ag, batch 2, seed 1, rung 0, budget 4, empty
-        // pruned_at, ok, pareto, cycles.
-        assert!(lines[1].contains("ag,2,1,0,4,,true,true,100"));
+        assert!(lines[0].starts_with(
+            "model,mode,hardware,policy,batch,seed,weight_reload,rung,budget,pruned_at,ok,pareto"
+        ));
+        // policy ag, batch 2, seed 1, reload off, rung 0, budget 4,
+        // empty pruned_at, ok, pareto, cycles.
+        assert!(lines[1].contains("ag,2,1,off,0,4,,true,true,100"));
         assert!(lines[2].contains("\"bad, \"\"quoted\"\"\""));
     }
 

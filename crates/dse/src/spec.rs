@@ -171,6 +171,28 @@ impl Default for AutoHardware {
     }
 }
 
+/// One value of the `weight_reload` sweep axis: whether a point
+/// compiles in reload mode, and under which crossbar budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReloadSetting {
+    /// Ordinary compilation (the default axis value).
+    Off,
+    /// `weight_reload` mode: `None` uses the target's full crossbar
+    /// count as the budget, `Some(b)` caps it at `b` crossbars.
+    On(Option<usize>),
+}
+
+impl ReloadSetting {
+    /// The value's report/CSV spelling: `off`, `full`, or the budget.
+    pub fn label(&self) -> String {
+        match self {
+            ReloadSetting::Off => "off".to_string(),
+            ReloadSetting::On(None) => "full".to_string(),
+            ReloadSetting::On(Some(b)) => b.to_string(),
+        }
+    }
+}
+
 /// The hardware axis of a sweep: either explicit labelled
 /// configurations (expanded from one or more [`HardwareGrid`]s) or
 /// per-model automatic sizing ([`AutoHardware`]).
@@ -235,6 +257,11 @@ pub struct SweepSpec {
     /// collapses for LL modes per
     /// [`CompileOptions::validate`](pimcomp_core::CompileOptions::validate).
     pub batches: Vec<usize>,
+    /// Weight-reload settings, one sweep axis (default `[Off]` — every
+    /// point compiles normally). Reload-on values compile in
+    /// `weight_reload` mode under a crossbar budget, splitting
+    /// over-budget models into serialized mapping epochs.
+    pub weight_reload: Vec<ReloadSetting>,
     /// How the engine walks the grid (default: exhaustive).
     pub search: SearchStrategy,
 }
@@ -257,14 +284,19 @@ pub struct SweepPoint {
     pub batch: usize,
     /// GA seed for this point.
     pub seed: u64,
+    /// Weight-reload setting for this point.
+    pub reload: ReloadSetting,
 }
 
 impl SweepPoint {
     /// Stable identity of the point inside a report
     /// (`model/mode/hardware/policy/bBATCH/seedSEED`), the key sweep
-    /// diffs join on.
+    /// diffs join on. Reload-on points append a `/reload-BUDGET`
+    /// segment (`full` for the full-capacity budget); reload-off
+    /// points keep the historical six-segment form, so keys from
+    /// pre-reload reports still line up in diffs.
     pub fn key(&self) -> String {
-        format!(
+        let mut key = format!(
             "{}/{}/{}/{}/b{}/seed{}",
             self.model,
             self.mode,
@@ -272,7 +304,12 @@ impl SweepPoint {
             policy_spec_name(self.policy),
             self.batch,
             self.seed
-        )
+        );
+        if self.reload != ReloadSetting::Off {
+            key.push_str("/reload-");
+            key.push_str(&self.reload.label());
+        }
+        key
     }
 }
 
@@ -313,6 +350,13 @@ impl SweepSpec {
     ///   batch 1, so for LL modes the axis collapses to a single
     ///   point. The scalar `batch` form is still accepted but cannot
     ///   be combined with the axis.
+    /// * `weight_reload` — optional reload axis (default: off for
+    ///   every point). `true` compiles every point in `weight_reload`
+    ///   mode at the target's full crossbar capacity; `false` is the
+    ///   default; the object form
+    ///   `{ "budgets": [2304, 1152], "include_off": true }` sweeps one
+    ///   reload point per crossbar budget, optionally alongside an
+    ///   ordinary compilation of the same point.
     /// * `search` — optional strategy object (default exhaustive):
     ///   `{ "strategy": "exhaustive" }` or `{ "strategy": "halving",
     ///   "rungs": [2, 8, 24], "keep_fraction": 0.5,
@@ -334,7 +378,7 @@ impl SweepSpec {
 
     fn from_value(value: &Value) -> Result<Self, ExploreError> {
         let entries = as_object(value, "sweep spec")?;
-        const KNOWN: [&str; 12] = [
+        const KNOWN: [&str; 13] = [
             "master_seed",
             "models",
             "modes",
@@ -346,6 +390,7 @@ impl SweepSpec {
             "memory_policies",
             "batch",
             "ht_batches",
+            "weight_reload",
             "search",
         ];
         for (key, _) in entries {
@@ -559,6 +604,11 @@ impl SweepSpec {
         let batch_names: Vec<String> = batches.iter().map(usize::to_string).collect();
         reject_duplicates(&batch_names, "ht_batches")?;
 
+        let weight_reload = match value.get("weight_reload") {
+            None => vec![ReloadSetting::Off],
+            Some(v) => parse_reload(v)?,
+        };
+
         let search = match value.get("search") {
             None => SearchStrategy::Exhaustive,
             Some(v) => parse_search(v, ga_iterations)?,
@@ -574,6 +624,7 @@ impl SweepSpec {
             ga_iterations,
             policies,
             batches,
+            weight_reload,
             search,
         };
         // Cheap structural checks at parse time: oversized or empty
@@ -609,6 +660,7 @@ impl SweepSpec {
             * self.policies.len()
             * mode_batches
             * self.seeds.len()
+            * self.weight_reload.len()
     }
 
     /// `true` when any axis is empty (the sweep has no points).
@@ -617,10 +669,10 @@ impl SweepSpec {
     }
 
     /// Expands the cross-product into points, in the fixed axis order
-    /// models → modes → hardware → policies → batches → seeds. The
-    /// order is part of the determinism contract: point index, and
-    /// hence any master-seed derived quantity, depends only on the
-    /// spec.
+    /// models → modes → hardware → policies → batches → seeds →
+    /// weight_reload. The order is part of the determinism contract:
+    /// point index, and hence any master-seed derived quantity,
+    /// depends only on the spec.
     ///
     /// With `hardware: "auto"` this resolves every model (loading
     /// `.onnx` paths from disk) to size its configurations; the engine
@@ -695,15 +747,18 @@ impl SweepSpec {
                     for &policy in &self.policies {
                         for &batch in batches {
                             for &seed in &self.seeds {
-                                out.push(SweepPoint {
-                                    model: model.clone(),
-                                    mode,
-                                    hw_label: label.clone(),
-                                    hw: hw.clone(),
-                                    policy,
-                                    batch,
-                                    seed,
-                                });
+                                for &reload in &self.weight_reload {
+                                    out.push(SweepPoint {
+                                        model: model.clone(),
+                                        mode,
+                                        hw_label: label.clone(),
+                                        hw: hw.clone(),
+                                        policy,
+                                        batch,
+                                        seed,
+                                        reload,
+                                    });
+                                }
                             }
                         }
                     }
@@ -948,6 +1003,64 @@ fn parse_grid(v: &Value) -> Result<Vec<(String, HardwareConfig)>, ExploreError> 
     }
     grid.enumerate()
         .map_err(|e| invalid(format!("hardware grid: {e}")))
+}
+
+fn parse_reload(v: &Value) -> Result<Vec<ReloadSetting>, ExploreError> {
+    match v {
+        Value::Bool(false) => Ok(vec![ReloadSetting::Off]),
+        Value::Bool(true) => Ok(vec![ReloadSetting::On(None)]),
+        Value::Map(entries) => {
+            const KNOWN: [&str; 2] = ["budgets", "include_off"];
+            for (key, _) in entries {
+                if !KNOWN.contains(&key.as_str()) {
+                    return Err(invalid(format!(
+                        "unknown `weight_reload` field `{key}` (known fields: {})",
+                        KNOWN.join(", ")
+                    )));
+                }
+            }
+            let budgets: Vec<usize> = match v.get("budgets") {
+                Some(Value::Seq(items)) if !items.is_empty() => items
+                    .iter()
+                    .map(|b| as_u64(b, "weight_reload.budgets entry").map(|b| b as usize))
+                    .collect::<Result<_, _>>()?,
+                Some(_) | None => {
+                    return Err(invalid(
+                        "`weight_reload.budgets` must be a non-empty array of \
+                         positive crossbar budgets",
+                    ))
+                }
+            };
+            if budgets.contains(&0) {
+                return Err(invalid(
+                    "`weight_reload.budgets` entries must be at least 1",
+                ));
+            }
+            let names: Vec<String> = budgets.iter().map(usize::to_string).collect();
+            reject_duplicates(&names, "weight_reload.budgets")?;
+            let include_off = match v.get("include_off") {
+                None => false,
+                Some(Value::Bool(b)) => *b,
+                Some(other) => {
+                    return Err(invalid(format!(
+                        "`weight_reload.include_off` must be a boolean, found {}",
+                        other.kind()
+                    )))
+                }
+            };
+            let mut axis = Vec::new();
+            if include_off {
+                axis.push(ReloadSetting::Off);
+            }
+            axis.extend(budgets.into_iter().map(|b| ReloadSetting::On(Some(b))));
+            Ok(axis)
+        }
+        other => Err(invalid(format!(
+            "`weight_reload` must be `true`, `false`, or an object \
+             {{\"budgets\": [...], \"include_off\": bool}}, found {}",
+            other.kind()
+        ))),
+    }
 }
 
 fn parse_search(v: &Value, ga_iterations: usize) -> Result<SearchStrategy, ExploreError> {
@@ -1220,6 +1333,39 @@ mod tests {
                     "hardware":{"auto":true,"headroom":0.5}}"#,
                 "`hardware.headroom` must be a finite number >= 1",
             ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},"weight_reload":"yes"}"#,
+                "`weight_reload` must be `true`, `false`, or an object",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},"weight_reload":{}}"#,
+                "`weight_reload.budgets` must be a non-empty array of positive crossbar budgets",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},
+                    "weight_reload":{"budgets":[]}}"#,
+                "`weight_reload.budgets` must be a non-empty array of positive crossbar budgets",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},
+                    "weight_reload":{"budgets":[0]}}"#,
+                "`weight_reload.budgets` entries must be at least 1",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},
+                    "weight_reload":{"budgets":[256,256]}}"#,
+                "duplicate entry `256` in weight_reload.budgets",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},
+                    "weight_reload":{"budgets":[256],"include_off":1}}"#,
+                "`weight_reload.include_off` must be a boolean",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},
+                    "weight_reload":{"caps":[256]}}"#,
+                "unknown `weight_reload` field `caps`",
+            ),
         ] {
             let err = SweepSpec::from_json(json).unwrap_err();
             let msg = err.to_string();
@@ -1323,6 +1469,63 @@ mod tests {
             }
             other => panic!("expected auto hardware, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn weight_reload_axis_expands_and_keys_reload_points() {
+        // Default: off for every point, no key suffix.
+        let spec =
+            SweepSpec::from_json(r#"{"models":["tiny_mlp"],"hardware":{"base":"small_test"}}"#)
+                .unwrap();
+        assert_eq!(spec.weight_reload, vec![ReloadSetting::Off]);
+        assert!(!spec.points().unwrap()[0].key().contains("reload"));
+
+        // `true`: every point compiles in reload mode at full capacity.
+        let spec = SweepSpec::from_json(
+            r#"{"models":["tiny_mlp"],"hardware":{"base":"small_test"},
+                "seeds":[1],"weight_reload":true}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.weight_reload, vec![ReloadSetting::On(None)]);
+        assert_eq!(
+            spec.points().unwrap()[0].key(),
+            "tiny_mlp/HT/small_test/ag/b2/seed1/reload-full"
+        );
+
+        // Budget list with include_off: off first, then one point per
+        // budget, innermost in the expansion order.
+        let spec = SweepSpec::from_json(
+            r#"{"models":["tiny_mlp"],"hardware":{"base":"small_test"},
+                "seeds":[1],
+                "weight_reload":{"budgets":[256,128],"include_off":true}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            spec.weight_reload,
+            vec![
+                ReloadSetting::Off,
+                ReloadSetting::On(Some(256)),
+                ReloadSetting::On(Some(128)),
+            ]
+        );
+        assert_eq!(spec.len(), 3);
+        let keys: Vec<String> = spec.points().unwrap().iter().map(|p| p.key()).collect();
+        assert_eq!(
+            keys,
+            [
+                "tiny_mlp/HT/small_test/ag/b2/seed1",
+                "tiny_mlp/HT/small_test/ag/b2/seed1/reload-256",
+                "tiny_mlp/HT/small_test/ag/b2/seed1/reload-128",
+            ]
+        );
+
+        // `false` is accepted and identical to omitting the field.
+        let spec = SweepSpec::from_json(
+            r#"{"models":["tiny_mlp"],"hardware":{"base":"small_test"},
+                "weight_reload":false}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.weight_reload, vec![ReloadSetting::Off]);
     }
 
     #[test]

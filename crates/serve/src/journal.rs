@@ -326,6 +326,7 @@ mod tests {
             policy: "naive".into(),
             batch: 1,
             seed,
+            weight_reload: "off".into(),
             rung: 0,
             budget: 2,
             pruned_at: None,

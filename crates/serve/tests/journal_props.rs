@@ -41,6 +41,7 @@ fn record(index: u64) -> PointRecord {
         policy: "naive".into(),
         batch: 1 + index % 4,
         seed: index,
+        weight_reload: "off".into(),
         rung: 0,
         budget: 2,
         pruned_at: None,

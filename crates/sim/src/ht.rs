@@ -402,6 +402,7 @@ pub(crate) fn run(
         memory_pj: global_bytes as f64 * energy_model.global_mem_pj_per_byte
             + local_bytes as f64 * energy_model.local_mem_pj_per_byte,
         noc_pj,
+        reload_pj: 0.0,
         leakage_pj: 0.0,
     };
     // Leakage: each active core leaks over its own activity span (in HT
@@ -422,13 +423,24 @@ pub(crate) fn run(
     );
     energy.leakage_pj = leak;
 
+    // `weight_reload` epochs: the per-inference round reprograms the
+    // time-multiplexed crossbars at each epoch barrier, serializing the
+    // pipeline — the write stalls stretch the steady-state interval and
+    // the cell writes add dynamic energy (both from the compiled
+    // reload schedule; no event-level modeling is needed because every
+    // core stalls at the barrier together).
+    let reload = compiled.reload.as_ref();
+    let reload_stall_cycles = reload.map_or(0, |p| p.total_write_cycles);
+    let total_cycles = pipeline_interval + reload_stall_cycles;
+    energy.reload_pj = reload.map_or(0.0, |p| p.total_write_pj);
+
     Ok(SimReport {
         model: compiled.graph.name().to_string(),
         compiler: compiled.report.compiler.clone(),
         mode: compiled.mode,
-        total_cycles: pipeline_interval,
-        throughput_inf_per_s: SimReport::throughput_from_cycles(pipeline_interval, hw.clock_ghz),
-        latency_us: pipeline_interval as f64 / (hw.clock_ghz * 1000.0),
+        total_cycles,
+        throughput_inf_per_s: SimReport::throughput_from_cycles(total_cycles, hw.clock_ghz),
+        latency_us: total_cycles as f64 / (hw.clock_ghz * 1000.0),
         mvm_ops,
         crossbar_mvms,
         vfu_elems,
@@ -440,6 +452,10 @@ pub(crate) fn run(
             peak_local_bytes: compiled.memory.peak_bytes,
             global_traffic_bytes: global_bytes as usize,
         },
+        reload_epochs: reload.map_or(0, |p| p.epoch_count()),
+        reload_ags_rewritten: reload.map_or(0, |p| p.total_ags_written),
+        reload_cells_rewritten: reload.map_or(0, |p| p.total_cells_written),
+        reload_stall_cycles,
         active_cores,
         per_core_busy,
     })

@@ -41,6 +41,7 @@
 
 mod ht;
 mod ll;
+mod reload;
 mod report;
 mod resources;
 
@@ -131,6 +132,13 @@ impl Simulator {
             self.hw, compiled.hw,
             "simulator and compilation should target the same hardware"
         );
+        // Multi-epoch `weight_reload` models execute their epochs
+        // serially; the event engines would model the over-committed
+        // mapping as concurrent, so they take the analytic path (see
+        // the `reload` module docs).
+        if let Some(plan) = compiled.reload.as_ref().filter(|p| !p.is_single_epoch()) {
+            return reload::run(compiled, &self.energy, plan);
+        }
         match compiled.mode {
             pimcomp_arch::PipelineMode::HighThroughput => ht::run(compiled, &self.energy),
             pimcomp_arch::PipelineMode::LowLatency => ll::run(compiled, &self.energy),
@@ -342,6 +350,65 @@ mod tests {
             naive.memory.global_traffic_bytes,
             ag.memory.global_traffic_bytes
         );
+    }
+
+    #[test]
+    fn multi_epoch_reload_takes_the_analytic_path() {
+        // A tight budget forces a multi-epoch plan; the report must be
+        // assembled from the ReloadPlan (serial epochs + write
+        // barriers), not the event engines.
+        let graph = models::tiny_cnn();
+        let hw = HardwareConfig::small_test();
+        let compiled = PimCompiler::new(hw.clone())
+            .compile(
+                &graph,
+                &CompileOptions::new(PipelineMode::HighThroughput)
+                    .with_fast_ga(5)
+                    .with_weight_reload(Some(32)),
+            )
+            .unwrap();
+        let plan = compiled.reload.as_ref().unwrap();
+        assert!(plan.epoch_count() > 1);
+        let r = Simulator::new(hw).run(&compiled).unwrap();
+        let batch = compiled.schedule.as_ht().map_or(1, |s| s.batch) as u64;
+        assert_eq!(
+            r.total_cycles,
+            plan.total_compute_cycles * batch + plan.total_write_cycles
+        );
+        assert_eq!(r.reload_epochs, plan.epoch_count());
+        assert_eq!(r.reload_ags_rewritten, plan.total_ags_written);
+        assert_eq!(r.reload_stall_cycles, plan.total_write_cycles);
+        assert!(r.reload_stall_cycles > 0);
+        assert_eq!(r.energy.reload_pj, plan.total_write_pj);
+        assert!(r.energy.reload_pj > 0.0);
+        assert!(r.energy.leakage_pj > 0.0);
+        assert!(r.mvm_ops > 0);
+        // Event-level counters are out of scope on the analytic path.
+        assert!(r.per_core_busy.is_empty());
+    }
+
+    #[test]
+    fn resident_reload_simulates_like_an_ordinary_compile() {
+        // A budget the model fits keeps the event engines: the report
+        // must match the reload-off compilation of the same seed except
+        // for the (zero-cost) reload bookkeeping.
+        let graph = models::tiny_cnn();
+        let hw = HardwareConfig::small_test();
+        let compile = |reload: bool| {
+            let mut opts = CompileOptions::new(PipelineMode::HighThroughput).with_fast_ga(5);
+            if reload {
+                opts = opts.with_weight_reload(None);
+            }
+            PimCompiler::new(hw.clone()).compile(&graph, &opts).unwrap()
+        };
+        let plain = Simulator::new(hw.clone()).run(&compile(false)).unwrap();
+        let resident = compile(true);
+        assert!(resident.reload.as_ref().unwrap().is_single_epoch());
+        let r = Simulator::new(hw.clone()).run(&resident).unwrap();
+        assert_eq!(r.total_cycles, plain.total_cycles);
+        assert_eq!(r.reload_stall_cycles, 0);
+        assert_eq!(r.energy.reload_pj, 0.0);
+        assert_eq!(r.energy.total_pj(), plain.energy.total_pj());
     }
 
     #[test]

@@ -277,6 +277,7 @@ pub(crate) fn run(
         memory_pj: global_bytes as f64 * energy_model.global_mem_pj_per_byte
             + local_bytes as f64 * energy_model.local_mem_pj_per_byte,
         noc_pj,
+        reload_pj: 0.0,
         leakage_pj: 0.0,
     };
     // LL leakage: cores hold live inter-layer state, so every active
@@ -287,6 +288,15 @@ pub(crate) fn run(
             + energy_model.leakage.global_memory_mw * hw.chips as f64,
         latency,
     );
+
+    // `weight_reload` epochs: each epoch barrier reprograms the shared
+    // crossbars before the next layer span can stream, so the write
+    // stalls extend the single-inference latency directly and the cell
+    // writes add dynamic energy (from the compiled reload schedule).
+    let reload = compiled.reload.as_ref();
+    let reload_stall_cycles = reload.map_or(0, |p| p.total_write_cycles);
+    let latency = latency + reload_stall_cycles;
+    energy.reload_pj = reload.map_or(0.0, |p| p.total_write_pj);
 
     Ok(SimReport {
         model: compiled.graph.name().to_string(),
@@ -306,6 +316,10 @@ pub(crate) fn run(
             peak_local_bytes: compiled.memory.peak_bytes,
             global_traffic_bytes: global_bytes as usize,
         },
+        reload_epochs: reload.map_or(0, |p| p.epoch_count()),
+        reload_ags_rewritten: reload.map_or(0, |p| p.total_ags_written),
+        reload_cells_rewritten: reload.map_or(0, |p| p.total_cells_written),
+        reload_stall_cycles,
         active_cores,
         per_core_busy: spans.iter().map(|s| s.busy_cycles()).collect(),
     })

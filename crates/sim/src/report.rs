@@ -16,6 +16,9 @@ pub struct EnergyReport {
     pub memory_pj: f64,
     /// NoC transfer energy.
     pub noc_pj: f64,
+    /// Crossbar write energy of `weight_reload` epochs (zero for
+    /// ordinary compilations and single-epoch reload plans).
+    pub reload_pj: f64,
     /// Total leakage (static) energy.
     pub leakage_pj: f64,
 }
@@ -23,7 +26,7 @@ pub struct EnergyReport {
 impl EnergyReport {
     /// Total dynamic energy.
     pub fn dynamic_pj(&self) -> f64 {
-        self.mvm_pj + self.vfu_pj + self.memory_pj + self.noc_pj
+        self.mvm_pj + self.vfu_pj + self.memory_pj + self.noc_pj + self.reload_pj
     }
 
     /// Total energy.
@@ -75,6 +78,16 @@ pub struct SimReport {
     pub energy: EnergyReport,
     /// Memory statistics.
     pub memory: MemoryReport,
+    /// `weight_reload`: mapping epochs executed (0 when the model was
+    /// not compiled in reload mode; 1 means it fit its budget).
+    pub reload_epochs: usize,
+    /// `weight_reload`: AGs rewritten per inference round.
+    pub reload_ags_rewritten: usize,
+    /// `weight_reload`: NVM cells written per inference round.
+    pub reload_cells_rewritten: u64,
+    /// `weight_reload`: cycles stalled at reload barriers (already
+    /// included in `total_cycles`).
+    pub reload_stall_cycles: u64,
     /// Cores that did any work.
     pub active_cores: usize,
     /// Per-core busy cycles (bottleneck analysis).
@@ -103,10 +116,11 @@ mod tests {
             vfu_pj: 5.0,
             memory_pj: 3.0,
             noc_pj: 2.0,
+            reload_pj: 4.0,
             leakage_pj: 20.0,
         };
-        assert_eq!(e.dynamic_pj(), 20.0);
-        assert_eq!(e.total_pj(), 40.0);
+        assert_eq!(e.dynamic_pj(), 24.0);
+        assert_eq!(e.total_pj(), 44.0);
     }
 
     #[test]

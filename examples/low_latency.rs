@@ -20,10 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let optimized = CompileSession::new(hw.clone(), &graph, opts.clone())?
         .partition()?
         .optimize()?;
+    let ga = optimized.ga_stats().expect("GA path");
     println!(
         "GA converged over {} generations ({} fitness evaluations)",
-        optimized.ga_stats().history.len(),
-        optimized.ga_stats().evaluations
+        ga.history.len(),
+        ga.evaluations
     );
     let ours = optimized.schedule()?.finish();
     let base = PumaCompiler::new(hw.clone()).compile(&graph, &opts)?;

@@ -46,10 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             partitioned.partitioning().min_crossbars()
         );
         let optimized = partitioned.optimize()?;
+        let ga = optimized.ga_stats().expect("GA path");
         println!(
             "  GA: {:.0} -> {:.0} estimated cycles",
-            optimized.ga_stats().initial_fitness,
-            optimized.ga_stats().final_fitness
+            ga.initial_fitness, ga.final_fitness
         );
         let compiled = optimized.schedule()?.finish();
         let report = Simulator::new(hw.clone()).run(&compiled)?;

@@ -104,6 +104,13 @@ OPTIONS (compile):
   --policy naive|add|ag   memory-reuse policy (default: ag)
   --ga POPxITERS          GA size (default: 100x200)
   --seed S                GA seed (default: 1)
+  --weight-reload         allow time-multiplexing the crossbars: models
+                          larger than the target compile into mapping
+                          epochs whose weights are rewritten between
+                          phases (reload stalls appear in the report)
+  --reload-budget N       cap the resident crossbar budget at N
+                          (default: the target's full crossbar count;
+                          requires --weight-reload)
   --threads N|auto        GA worker threads (`auto` uses all cores; any
                           value compiles bit-identically; default: the
                           PIMCOMP_GA_THREADS env var, else 1)
@@ -172,7 +179,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("unexpected argument `{a}`"));
         };
         match key {
-            "simulate" | "progress" => {
+            "simulate" | "progress" | "weight-reload" => {
                 map.insert(key.to_string(), "true".to_string());
             }
             _ => {
@@ -282,7 +289,16 @@ fn cmd_compile(opts: &HashMap<String, String>) -> Result<(), String> {
         hw.cores_per_chip,
         hw.parallelism
     );
-    let compile_opts = CompileOptions::new(mode).with_ga(ga).with_policy(policy);
+    let reload_budget = opts
+        .get("reload-budget")
+        .map(|s| s.parse::<usize>().map_err(|_| "bad --reload-budget"))
+        .transpose()?;
+    let mut compile_opts = CompileOptions::new(mode).with_ga(ga).with_policy(policy);
+    if opts.contains_key("weight-reload") {
+        compile_opts = compile_opts.with_weight_reload(reload_budget);
+    } else if reload_budget.is_some() {
+        return Err("--reload-budget requires --weight-reload".to_string());
+    }
     let session =
         CompileSession::new(hw.clone(), &graph, compile_opts).map_err(|e| e.to_string())?;
     let compiled = if opts.contains_key("progress") {
@@ -310,6 +326,24 @@ fn cmd_compile(opts: &HashMap<String, String>) -> Result<(), String> {
         },
         r.estimated_fitness
     );
+    if let Some(plan) = &compiled.reload {
+        if plan.is_single_epoch() {
+            println!(
+                "  weight reload: fits the {}-crossbar budget in one epoch (no reload cost)",
+                plan.budget
+            );
+        } else {
+            println!(
+                "  weight reload: {} epochs over a {}-crossbar budget, {} AGs rewritten, \
+                 {} write-stall cycles, {:.1} uJ write energy",
+                plan.epoch_count(),
+                plan.budget,
+                plan.total_ags_written,
+                plan.total_write_cycles,
+                plan.total_write_pj / 1e6
+            );
+        }
+    }
 
     let sim_report = if opts.contains_key("simulate") {
         let report = Simulator::new(hw)
@@ -332,6 +366,15 @@ fn cmd_compile(opts: &HashMap<String, String>) -> Result<(), String> {
             report.energy.leakage_pj / 1e6,
             report.memory.avg_local_bytes / 1024.0
         );
+        if report.reload_stall_cycles > 0 {
+            println!(
+                "  reload: {} epochs, {} AGs rewritten, {} stall cycles, {:.1} uJ write energy",
+                report.reload_epochs,
+                report.reload_ags_rewritten,
+                report.reload_stall_cycles,
+                report.energy.reload_pj / 1e6
+            );
+        }
         Some(report)
     } else {
         None
@@ -521,6 +564,22 @@ fn inspect_artifact(path: &str) -> Result<(), String> {
         m.memory.peak_bytes as f64 / 1024.0
     );
     println!("replication: {:?}", r.replication);
+    match &m.reload {
+        Some(plan) if plan.is_single_epoch() => println!(
+            "weight reload: single epoch within a {}-crossbar budget (resident, no reload cost)",
+            plan.budget
+        ),
+        Some(plan) => println!(
+            "weight reload: {} epochs over a {}-crossbar budget ({} AGs rewritten, \
+             {} write-stall cycles, {:.1} uJ)",
+            plan.epoch_count(),
+            plan.budget,
+            plan.total_ags_written,
+            plan.total_write_cycles,
+            plan.total_write_pj / 1e6
+        ),
+        None => {}
+    }
     println!("estimated fitness: {:.0} cycles", r.estimated_fitness);
     Ok(())
 }
@@ -659,9 +718,16 @@ fn cmd_explore(args: &[String]) -> Result<(), String> {
             if ll_modes == 1 { "" } else { "s" },
         ),
     };
+    // The reload axis only shows up when the spec sweeps it; the
+    // historical banner stays untouched for reload-off sweeps.
+    let reload_axis = if spec.weight_reload.as_slice() == [pimcomp::dse::ReloadSetting::Off] {
+        String::new()
+    } else {
+        format!(" x {} reload settings", spec.weight_reload.len())
+    };
     println!(
         "exploring {} points ({} models x {mode_axis} x {} hardware configs x {} policies \
-         x {} seeds, {} search, {threads} threads)...",
+         x {} seeds{reload_axis}, {} search, {threads} threads)...",
         spec.len(),
         spec.models.len(),
         spec.hardware.len(),

@@ -199,8 +199,9 @@ fn new_axes_sweep_is_thread_invariant_and_replays_from_cache() {
         four.report.to_json().unwrap(),
         "new-axes sweep must emit identical bytes at 1 and 4 threads"
     );
-    // v3 report: the compiler-knob axes are in every record.
-    assert_eq!(cold.report.format_version, 3);
+    // v4 report: the compiler-knob and weight-reload axes are in every
+    // record.
+    assert_eq!(cold.report.format_version, 4);
     assert_eq!(cold.report.points.len(), 24);
     assert_eq!(cold.report.failures(), 0);
     assert!(cold
@@ -228,6 +229,63 @@ fn new_axes_sweep_is_thread_invariant_and_replays_from_cache() {
         .unwrap();
     std::fs::remove_dir_all(&dir).ok();
     assert_eq!(warm.cache_misses, 0, "warm rerun must fully replay");
+    assert_eq!(warm.cache_hits, cold.cache_misses);
+    assert_eq!(
+        cold.report.to_json().unwrap(),
+        warm.report.to_json().unwrap(),
+        "cache replay must not change a single report byte"
+    );
+}
+
+/// A weight-reload sweep over two crossbar budgets plus the
+/// unconstrained baseline of the same point.
+const RELOAD_SPEC: &str = r#"{
+  "master_seed": 17,
+  "models": ["tiny_cnn"],
+  "modes": ["ht"],
+  "hardware": { "base": "small_test" },
+  "seeds": [1],
+  "ga": { "population": 6, "iterations": 4 },
+  "weight_reload": { "budgets": [32, 64], "include_off": true }
+}"#;
+
+#[test]
+fn reload_sweep_is_thread_invariant_and_replays_from_cache() {
+    let dir = temp_dir("reload");
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = SweepSpec::from_json(RELOAD_SPEC).unwrap();
+    let cold = ExploreEngine::new()
+        .with_threads(1)
+        .with_cache_dir(&dir)
+        .run(&spec)
+        .unwrap();
+    let four = ExploreEngine::new().with_threads(4).run(&spec).unwrap();
+    assert_eq!(
+        cold.report.to_json().unwrap(),
+        four.report.to_json().unwrap(),
+        "reload sweep must emit identical bytes at 1 and 4 threads"
+    );
+    assert_eq!(cold.report.points.len(), 3);
+    assert_eq!(cold.report.failures(), 0);
+    // The axis is live: constrained budgets stall on weight rewrites,
+    // the unconstrained baseline never does.
+    for p in &cold.report.points {
+        let m = p.metrics.as_ref().unwrap();
+        if p.weight_reload == "off" {
+            assert_eq!(m.reload_stall_cycles, 0, "{}", p.key());
+        } else {
+            assert!(m.reload_stall_cycles > 0, "{}", p.key());
+            assert!(p.key().contains("/reload-"), "{}", p.key());
+        }
+    }
+    // Warm rerun replays every budget's entry byte-for-byte.
+    let warm = ExploreEngine::new()
+        .with_threads(4)
+        .with_cache_dir(&dir)
+        .run(&spec)
+        .unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(warm.cache_misses, 0, "warm reload rerun must fully replay");
     assert_eq!(warm.cache_hits, cold.cache_misses);
     assert_eq!(
         cold.report.to_json().unwrap(),

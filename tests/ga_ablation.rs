@@ -22,6 +22,7 @@ fn context<'a>(
         partitioning,
         dep,
         mode,
+        core_limit: None,
     }
 }
 

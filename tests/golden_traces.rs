@@ -32,12 +32,14 @@ struct Trace {
     ga_iterations: usize,
     /// The mode's analytic fitness of the final mapping (cycles).
     estimated_fitness: f64,
-    /// GA trace endpoints and engine counters.
-    ga_initial_fitness: f64,
-    ga_final_fitness: f64,
-    ga_evaluations: usize,
-    ga_incremental_evals: usize,
-    ga_cache_hits: usize,
+    /// GA trace endpoints and engine counters. `None` for over-budget
+    /// `weight_reload` compilations, whose deterministic epoch packer
+    /// replaces the GA entirely.
+    ga_initial_fitness: Option<f64>,
+    ga_final_fitness: Option<f64>,
+    ga_evaluations: Option<usize>,
+    ga_incremental_evals: Option<usize>,
+    ga_cache_hits: Option<usize>,
     /// Final replica count per partitioned node.
     replication: Vec<usize>,
     /// Cores hosting at least one AG.
@@ -50,6 +52,21 @@ struct Trace {
     schedule: ScheduleTrace,
     /// Local-memory plan peak, in bytes.
     memory_peak_bytes: usize,
+    /// Weight-reloading schedule summary. `None` unless the model was
+    /// compiled with `weight_reload`.
+    reload: Option<ReloadTrace>,
+}
+
+/// The drift-sensitive facts of a [`pimcomp_core::ReloadPlan`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ReloadTrace {
+    budget: usize,
+    ring_cores: usize,
+    epochs: usize,
+    total_ags_written: usize,
+    total_cells_written: u64,
+    total_write_cycles: u64,
+    total_compute_cycles: u64,
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -65,7 +82,7 @@ enum ScheduleTrace {
 }
 
 fn trace_of(model: &CompiledModel, seed: u64, ga: &GaParams) -> Trace {
-    let stats = model.report.ga.as_ref().expect("GA compilation");
+    let stats = model.report.ga.as_ref();
     let schedule = match &model.schedule {
         Schedule::HighThroughput(ht) => ScheduleTrace::Ht {
             programs: ht.programs.len(),
@@ -84,17 +101,26 @@ fn trace_of(model: &CompiledModel, seed: u64, ga: &GaParams) -> Trace {
         ga_population: ga.population,
         ga_iterations: ga.iterations,
         estimated_fitness: model.report.estimated_fitness,
-        ga_initial_fitness: stats.initial_fitness,
-        ga_final_fitness: stats.final_fitness,
-        ga_evaluations: stats.evaluations,
-        ga_incremental_evals: stats.incremental_evals,
-        ga_cache_hits: stats.cache_hits,
+        ga_initial_fitness: stats.map(|s| s.initial_fitness),
+        ga_final_fitness: stats.map(|s| s.final_fitness),
+        ga_evaluations: stats.map(|s| s.evaluations),
+        ga_incremental_evals: stats.map(|s| s.incremental_evals),
+        ga_cache_hits: stats.map(|s| s.cache_hits),
         replication: model.report.replication.clone(),
         active_cores: model.report.active_cores,
         crossbars_used: model.report.crossbars_used,
         per_core_ag_counts: model.mapping.per_core.iter().map(Vec::len).collect(),
         schedule,
         memory_peak_bytes: model.memory.peak_bytes,
+        reload: model.reload.as_ref().map(|r| ReloadTrace {
+            budget: r.budget,
+            ring_cores: r.ring_cores,
+            epochs: r.epoch_count(),
+            total_ags_written: r.total_ags_written,
+            total_cells_written: r.total_cells_written,
+            total_write_cycles: r.total_write_cycles,
+            total_compute_cycles: r.total_compute_cycles,
+        }),
     }
 }
 
@@ -194,6 +220,24 @@ fn compile_resnet(mode: PipelineMode, seed: u64) -> (CompiledModel, GaParams) {
     (model, ga)
 }
 
+fn compile_resnet_reload_chip1(seed: u64) -> (CompiledModel, GaParams) {
+    // A single chip cannot hold resnet18's weights, so `weight_reload`
+    // has to split the mapping into epochs: the deterministic packer
+    // runs instead of the GA, and the trace pins the whole reload
+    // schedule (epoch count, rewrites, stall cycles).
+    let graph = pimcomp_ir::models::resnet18();
+    let hw = HardwareConfig::puma_with_chips(1);
+    let ga = GaParams::fast(seed);
+    let opts = CompileOptions::new(PipelineMode::HighThroughput)
+        .with_ga(ga.clone())
+        .with_weight_reload(None);
+    let model = CompileSession::new(hw, &graph, opts)
+        .unwrap()
+        .run()
+        .unwrap();
+    (model, ga)
+}
+
 #[test]
 fn small_ht_trace_matches_golden() {
     let (model, ga) = compile_small(PipelineMode::HighThroughput, 7);
@@ -216,6 +260,18 @@ fn resnet_ht_trace_matches_golden() {
 fn resnet_ll_trace_matches_golden() {
     let (model, ga) = compile_resnet(PipelineMode::LowLatency, 42);
     check("resnet_ll_seed42", &model, 42, &ga);
+}
+
+#[test]
+fn resnet_reload_chip1_trace_matches_golden() {
+    let (model, ga) = compile_resnet_reload_chip1(7);
+    let reload = model.reload.as_ref().expect("reload-mode artifact");
+    assert!(
+        reload.epoch_count() > 1 && reload.total_write_cycles > 0,
+        "chips:1 resnet18 should be over budget and pay reload stalls"
+    );
+    assert!(model.report.ga.is_none(), "epoch packer bypasses the GA");
+    check("resnet_reload_chip1_ht_seed7", &model, 7, &ga);
 }
 
 #[test]

@@ -20,6 +20,7 @@ fn run(mode: PipelineMode, seed: u64, threads: Option<usize>) -> (Chromosome, Ga
         partitioning: &partitioning,
         dep: &dep,
         mode,
+        core_limit: None,
     };
     let params = GaParams {
         population: 12,
@@ -101,4 +102,44 @@ fn full_compilation_is_thread_count_invariant() {
         serial.report.estimated_fitness.to_bits(),
         parallel.report.estimated_fitness.to_bits()
     );
+}
+
+#[test]
+fn weight_reload_compilation_is_thread_count_invariant() {
+    // Both reload paths must be invariant: a budget the model fits
+    // (GA under a core limit, resident single-epoch plan) and a tight
+    // budget (deterministic epoch packer, no GA).
+    use pimcomp_core::{CompileOptions, CompileSession};
+    let graph = pimcomp_ir::models::tiny_cnn();
+    let hw = HardwareConfig::small_test();
+    let compile = |threads: Option<usize>, budget: usize| {
+        let opts = CompileOptions::new(PipelineMode::HighThroughput)
+            .with_fast_ga(7)
+            .with_parallelism(threads.and_then(NonZeroUsize::new))
+            .with_weight_reload(Some(budget));
+        CompileSession::new(hw.clone(), &graph, opts)
+            .unwrap()
+            .run()
+            .unwrap()
+    };
+    for budget in [hw.total_crossbars(), 32] {
+        let serial = compile(None, budget);
+        let parallel = compile(Some(4), budget);
+        assert_eq!(serial.mapping, parallel.mapping, "budget {budget}");
+        assert_eq!(serial.schedule, parallel.schedule, "budget {budget}");
+        assert_eq!(serial.reload, parallel.reload, "budget {budget}");
+        assert_eq!(
+            serial.report.estimated_fitness.to_bits(),
+            parallel.report.estimated_fitness.to_bits(),
+            "budget {budget}"
+        );
+    }
+    // The full-capacity budget stays resident; the tight budget must
+    // actually exercise multi-epoch reloads.
+    let resident = compile(None, hw.total_crossbars()).reload.unwrap();
+    assert!(resident.is_single_epoch());
+    assert_eq!(resident.total_write_cycles, 0);
+    let tight = compile(None, 32).reload.unwrap();
+    assert!(tight.epoch_count() > 1);
+    assert!(tight.total_write_cycles > 0);
 }

@@ -334,6 +334,7 @@ proptest! {
             partitioning: &p,
             dep: &dep,
             mode: if ht { PipelineMode::HighThroughput } else { PipelineMode::LowLatency },
+            core_limit: None,
         };
         let mut memo = FitnessMemo::new(&ctx);
 
