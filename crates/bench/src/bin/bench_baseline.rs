@@ -9,8 +9,10 @@
 //! * **sweep points/sec** — the committed smoke sweep fixture
 //!   (`explore_sweep --fast`) at one thread;
 //! * **end-to-end compile wall time** for three zoo models
-//!   (resnet18, squeezenet, googlenet), plus resnet18 squeezed onto a
-//!   single chip in `weight_reload` mode (the epoch-packer path).
+//!   (resnet18, squeezenet, googlenet), tiny_bert with its symbolic
+//!   sequence dimension bound to 64 tokens (the transformer path),
+//!   plus resnet18 squeezed onto a single chip in `weight_reload`
+//!   mode (the epoch-packer path).
 //!
 //! ```text
 //! bench_baseline [--iters N] [--out PATH] [--check PATH]
@@ -286,6 +288,39 @@ fn measure_compile(iters: usize, quiet: bool) -> Vec<Metric> {
             std::hint::black_box(&compiled);
         }
         let m = summarize(&format!("compile_wall_ms_{name}"), "latency", "ms", samples);
+        if !quiet {
+            eprintln!("  {}: median {:.2} {}", m.name, m.median, m.unit);
+        }
+        metrics.push(m);
+    }
+
+    // Transformer compile: tiny_bert on a single chip with its
+    // symbolic sequence dimension bound to 64 tokens — times the
+    // session-level seq binding plus the MatMul/attention partitioning
+    // and vector-unit costing paths the CNN models never touch. One
+    // compile is fast, so a sample is `inner` back-to-back compiles.
+    {
+        let graph = pimcomp_bench::load_network_or_exit("tiny_bert");
+        let hw = HardwareConfig::puma_with_chips(1);
+        let opts = CompileOptions::new(PipelineMode::HighThroughput)
+            .with_ga(ga.clone())
+            .with_seq_len(64);
+        let inner = 10;
+        let mut samples = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            for _ in 0..inner {
+                let compiled = CompileSession::new(hw.clone(), &graph, opts.clone())
+                    .and_then(|s| s.run())
+                    .unwrap_or_else(|e| {
+                        eprintln!("error: compiling tiny_bert failed: {e}");
+                        std::process::exit(2);
+                    });
+                std::hint::black_box(&compiled);
+            }
+            samples.push(t0.elapsed().as_secs_f64() * 1e3 / inner as f64);
+        }
+        let m = summarize("compile_wall_ms_tiny_bert", "latency", "ms", samples);
         if !quiet {
             eprintln!("  {}: median {:.2} {}", m.name, m.median, m.unit);
         }

@@ -44,6 +44,10 @@ pub struct CompileOptions {
     /// crossbars even if the chip has more (for what-if sweeps over
     /// budgets). Only meaningful with `weight_reload: true`.
     pub reload_budget: Option<usize>,
+    /// Sequence length to bind symbolic (`seq`) dimensions to before
+    /// compiling. Required for transformer graphs imported with a
+    /// symbolic sequence axis; ignored by fully fixed graphs.
+    pub seq_len: Option<usize>,
 }
 
 impl CompileOptions {
@@ -63,6 +67,7 @@ impl CompileOptions {
             normalize: true,
             weight_reload: false,
             reload_budget: None,
+            seq_len: None,
         }
     }
 
@@ -81,7 +86,8 @@ impl CompileOptions {
     /// * `max_nodes_per_core` is pinned to zero,
     /// * a batch larger than 1 is combined with low-latency mode
     ///   (batching is a high-throughput transfer concept),
-    /// * `reload_budget` is set without `weight_reload`, or is zero.
+    /// * `reload_budget` is set without `weight_reload`, or is zero,
+    /// * `seq_len` is set to zero.
     pub fn validate(&self) -> Result<(), CompileError> {
         let invalid = |detail: &str| {
             Err(CompileError::InvalidOptions {
@@ -117,6 +123,9 @@ impl CompileOptions {
         }
         if self.reload_budget == Some(0) {
             return invalid("`reload_budget` must be at least 1 crossbar");
+        }
+        if self.seq_len == Some(0) {
+            return invalid("`seq_len` must be at least 1");
         }
         Ok(())
     }
@@ -175,6 +184,13 @@ impl CompileOptions {
     pub fn with_weight_reload(mut self, budget: Option<usize>) -> Self {
         self.weight_reload = true;
         self.reload_budget = budget;
+        self
+    }
+
+    /// Binds symbolic sequence dimensions to `len` tokens before
+    /// compiling. Has no effect on fully fixed graphs.
+    pub fn with_seq_len(mut self, len: usize) -> Self {
+        self.seq_len = Some(len);
         self
     }
 }

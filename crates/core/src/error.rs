@@ -50,6 +50,13 @@ pub enum CompileError {
         /// Crossbars the widest single AG needs.
         min_ag: usize,
     },
+    /// The graph carries a symbolic sequence (`seq`) dimension but no
+    /// sequence length was supplied, so concrete shapes — and with them
+    /// windows, crossbar demand and schedules — cannot be computed.
+    UnboundSeqLen {
+        /// Name of the symbolic graph.
+        model: String,
+    },
     /// The [`CompileOptions`](crate::CompileOptions) are malformed or
     /// internally inconsistent (zero batch, empty GA population, an
     /// option that does not apply to the selected pipeline mode, ...).
@@ -94,6 +101,11 @@ impl fmt::Display for CompileError {
                 f,
                 "weight_reload budget of {budget} crossbars cannot hold the widest \
                  array group, which needs {min_ag}"
+            ),
+            CompileError::UnboundSeqLen { model } => write!(
+                f,
+                "model `{model}` has a symbolic sequence dimension; bind it with \
+                 `--seq-len N` (CLI) or `CompileOptions::with_seq_len` (API)"
             ),
             CompileError::InvalidGraph { detail } => write!(f, "invalid graph: {detail}"),
             CompileError::InvalidOptions { detail } => {

@@ -306,7 +306,8 @@ struct LlStaticNode {
     mvm_indices: Vec<(MvmIdx, usize, usize)>,
     /// Non-MVM nodes: partition indices of the nearest MVM providers.
     provider_indices: Vec<MvmIdx>,
-    /// Non-MVM nodes: `windows_of * elems_of` element count.
+    /// Non-MVM nodes: `windows_of * vfu_window_work` — total VFU work,
+    /// equal to the plain element count for streaming operators.
     elems: usize,
     /// Predecessors in `Graph::predecessors` order with the edge's
     /// waiting fraction (0 when the dependency edge is untracked).
@@ -344,7 +345,7 @@ impl LlStatic {
                             .flat_map(|p| partitioning.indices_of(p))
                             .collect()
                     },
-                    elems: dep.windows_of(id) * dep.elems_of(id),
+                    elems: dep.windows_of(id) * crate::waiting::vfu_window_work(graph, id),
                     preds: graph
                         .predecessors(id)
                         .iter()

@@ -95,4 +95,4 @@ pub use schedule::{
 pub use session::{
     CompileObserver, CompileSession, CompileStage, NullObserver, Optimized, Partitioned, Scheduled,
 };
-pub use waiting::{required_windows, DepInfo, DepRule, EdgeDep};
+pub use waiting::{required_windows, vfu_window_work, DepInfo, DepRule, EdgeDep};

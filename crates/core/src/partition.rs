@@ -94,8 +94,17 @@ impl Partitioning {
     ///
     /// # Errors
     ///
-    /// [`CompileError::NoMvmNodes`] when the graph has no conv/fc node.
+    /// [`CompileError::NoMvmNodes`] when the graph has no conv/fc node;
+    /// [`CompileError::UnboundSeqLen`] when the graph still carries a
+    /// symbolic sequence dimension (window counts need fixed shapes —
+    /// bind via [`pimcomp_ir::transform::bind_seq_len`] or compile
+    /// through a session with `seq_len` set).
     pub fn new(graph: &Graph, hw: &HardwareConfig) -> Result<Self, CompileError> {
+        if graph.has_symbolic_dims() {
+            return Err(CompileError::UnboundSeqLen {
+                model: graph.name().to_string(),
+            });
+        }
         let wxbar = hw.weight_cols_per_crossbar();
         let max_cols_per_group = hw.crossbar_capacity_per_core() * wxbar;
         let mut entries = Vec::new();
@@ -104,7 +113,8 @@ impl Partitioning {
             let (h, w) = match &node.op {
                 Op::Conv2d(c) => (c.weight_matrix_height(), c.weight_matrix_width()),
                 Op::Linear(l) => (l.weight_matrix_height(), l.weight_matrix_width()),
-                _ => unreachable!("mvm_nodes returns only conv/fc"),
+                Op::MatMul(m) => (m.weight_matrix_height(), m.weight_matrix_width()),
+                _ => unreachable!("mvm_nodes returns only conv/fc/matmul"),
             };
             let (oh, ow) = (node.output_shape.height(), node.output_shape.width());
             let col_groups = w.div_ceil(max_cols_per_group);

@@ -9,7 +9,7 @@
 
 use crate::mapping::CoreMapping;
 use crate::partition::Partitioning;
-use crate::waiting::DepInfo;
+use crate::waiting::{vfu_window_work, DepInfo};
 use pimcomp_arch::HardwareConfig;
 use pimcomp_ir::{Graph, NodeId, Op};
 use serde::{Deserialize, Serialize};
@@ -183,7 +183,11 @@ impl HtSchedule {
             if node.op.is_mvm() || !is_costed_vec(&node.op) {
                 continue;
             }
-            let total_elems = dep.windows_of(node.id) * dep.elems_of(node.id);
+            // VFU time prices the per-window *work* (contraction length
+            // included for bmm/attention); memory traffic prices the
+            // output *footprint*. Identical for plain streaming ops.
+            let total_work = dep.windows_of(node.id) * vfu_window_work(graph, node.id);
+            let out_elems = dep.windows_of(node.id) * dep.elems_of(node.id);
             let in_elems: usize = graph
                 .predecessors(node.id)
                 .iter()
@@ -193,7 +197,7 @@ impl HtSchedule {
             let k = targets.len().max(1);
             for (i, &core) in targets.iter().enumerate() {
                 // Deal remainders to the first shares.
-                let share = total_elems / k + usize::from(i < total_elems % k);
+                let share = total_work / k + usize::from(i < total_work % k);
                 if share == 0 {
                     continue;
                 }
@@ -204,7 +208,7 @@ impl HtSchedule {
                     core,
                     elems: share,
                     load_bytes: (in_elems / k) * elem_bytes,
-                    store_bytes: (total_elems / k) * elem_bytes,
+                    store_bytes: (out_elems / k) * elem_bytes,
                 });
             }
         }
@@ -254,6 +258,9 @@ fn is_costed_vec(op: &Op) -> bool {
             | Op::Softmax
             | Op::Lrn(_)
             | Op::Pad(_)
+            | Op::LayerNorm
+            | Op::Bmm(_)
+            | Op::Attention(_)
     )
 }
 

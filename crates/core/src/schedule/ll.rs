@@ -8,7 +8,7 @@
 
 use crate::mapping::CoreMapping;
 use crate::partition::{MvmIdx, Partitioning};
-use crate::waiting::{DepInfo, DepRule};
+use crate::waiting::{vfu_window_work, DepInfo, DepRule};
 use pimcomp_arch::HardwareConfig;
 use pimcomp_ir::{Graph, NodeId, Op};
 use serde::{Deserialize, Serialize};
@@ -180,7 +180,7 @@ impl LlSchedule {
                     replicas,
                     providers,
                     ags_per_replica: 0,
-                    vfu_elems_per_window: dep.elems_of(id),
+                    vfu_elems_per_window: vfu_window_work(graph, id),
                 });
             } else {
                 // Zero-cost reshapes (flatten, etc.): pass-through unit
@@ -238,6 +238,9 @@ fn is_costed_vec(op: &Op) -> bool {
             | Op::Softmax
             | Op::Lrn(_)
             | Op::Pad(_)
+            | Op::LayerNorm
+            | Op::Bmm(_)
+            | Op::Attention(_)
     )
 }
 

@@ -172,7 +172,9 @@ impl CompileSession {
     ///   for malformed inputs,
     /// * [`CompileError::InvalidOptions`] for malformed options (zero
     ///   batch, empty GA population or generations, HT-only options in
-    ///   LL mode — see [`CompileOptions::validate`]).
+    ///   LL mode — see [`CompileOptions::validate`]),
+    /// * [`CompileError::UnboundSeqLen`] when the graph has a symbolic
+    ///   sequence dimension and `opts.seq_len` is `None`.
     pub fn new(
         hw: HardwareConfig,
         graph: &Graph,
@@ -182,12 +184,27 @@ impl CompileSession {
             detail: e.to_string(),
         })?;
         opts.validate()?;
+        // Bind the symbolic sequence length before anything computes
+        // shapes; fully fixed graphs pass through untouched.
+        let graph = match opts.seq_len {
+            Some(len) => pimcomp_ir::transform::bind_seq_len(graph, len).map_err(|e| {
+                CompileError::InvalidGraph {
+                    detail: e.to_string(),
+                }
+            })?,
+            None if graph.has_symbolic_dims() => {
+                return Err(CompileError::UnboundSeqLen {
+                    model: graph.name().to_string(),
+                })
+            }
+            None => graph.clone(),
+        };
         let graph = if opts.normalize {
-            pimcomp_ir::transform::normalize(graph).map_err(|e| CompileError::InvalidGraph {
+            pimcomp_ir::transform::normalize(&graph).map_err(|e| CompileError::InvalidGraph {
                 detail: e.to_string(),
             })?
         } else {
-            graph.clone()
+            graph
         };
         graph.validate().map_err(|e| CompileError::InvalidGraph {
             detail: e.to_string(),

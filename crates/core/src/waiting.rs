@@ -159,14 +159,45 @@ fn unit_windows(graph: &Graph, id: NodeId) -> (usize, usize) {
     match &node.op {
         // Full-feature operators produce one unit.
         Op::Linear(_) | Op::GlobalAvgPool | Op::Softmax | Op::Flatten => (1, shape.numel()),
-        // Everything else streams spatial positions.
-        _ => {
-            if shape.is_chw() {
-                (shape.height() * shape.width(), shape.channels())
-            } else {
-                (1, shape.numel())
-            }
+        // Everything else streams spatial positions: `height·width`
+        // windows of `channels` elements. For CHW maps that is the
+        // spatial extent; for `[seq, features]` streams it is one window
+        // per sequence position (rank-1 shapes degenerate to a single
+        // `1 × numel` window, exactly as before the rank-N refactor).
+        _ => (shape.height() * shape.width(), shape.channels()),
+    }
+}
+
+/// Per-window VFU work (element operations) of a node, used by the
+/// schedulers and the fitness model to price vector-unit time.
+///
+/// For plain streaming operators one window costs its output elements.
+/// Activation-by-activation matrix products carry the contraction
+/// length, and fused attention prices the full `QKᵀ → softmax → ·V`
+/// chain per query row, so transformer vector work scales with
+/// `seq × hidden` instead of just the output footprint.
+pub fn vfu_window_work(graph: &Graph, id: NodeId) -> usize {
+    let node = graph.node(id);
+    let (_, elems) = unit_windows(graph, id);
+    match &node.op {
+        Op::Bmm(_) => {
+            // Contraction length = feature width of input A.
+            let k = graph
+                .predecessors(id)
+                .first()
+                .map(|&p| graph.node(p).output_shape.channels())
+                .unwrap_or(1);
+            elems.saturating_mul(k)
         }
+        Op::Attention(_) => {
+            // Per query row: s·d (scores) + s (softmax) + s·d (context).
+            let s = node.output_shape.height() * node.output_shape.width();
+            let d = node.output_shape.channels();
+            (2 * s).saturating_mul(d).saturating_add(s)
+        }
+        // Mean/variance pass plus the normalize pass.
+        Op::LayerNorm => 2 * elems,
+        _ => elems,
     }
 }
 
@@ -184,6 +215,10 @@ fn dep_rule(op: &Op) -> DepRule {
             padding: p.padding,
         },
         Op::Linear(_) | Op::GlobalAvgPool | Op::Softmax | Op::Flatten => DepRule::Full,
+        // Both operands of an activation×activation product (and the
+        // packed K/V of fused attention) must be complete before the
+        // first output row; a transpose reorders the whole tensor.
+        Op::Bmm(_) | Op::Attention(_) | Op::Transpose | Op::Reshape { .. } => DepRule::Full,
         _ => DepRule::PassThrough,
     }
 }

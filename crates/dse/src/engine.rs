@@ -694,6 +694,7 @@ impl ExploreEngine {
                     batch: points[idx].batch as u64,
                     seed: points[idx].seed,
                     weight_reload: points[idx].reload.label(),
+                    seq_len: points[idx].seq.map(|s| s as u64),
                     rung: 0,
                     budget: 0,
                     pruned_at: None,
@@ -933,6 +934,9 @@ fn point_options(point: &SweepPoint, spec: &SweepSpec, iterations: usize) -> Com
     if let ReloadSetting::On(budget) = point.reload {
         opts = opts.with_weight_reload(budget);
     }
+    if let Some(seq) = point.seq {
+        opts = opts.with_seq_len(seq);
+    }
     opts
 }
 
@@ -994,6 +998,7 @@ fn evaluate_point(
         batch: point.batch as u64,
         seed: point.seed,
         weight_reload: point.reload.label(),
+        seq_len: point.seq.map(|s| s as u64),
         rung: 0,
         budget: 0,
         pruned_at: None,

@@ -17,7 +17,10 @@ use std::fmt;
 /// v4: [`PointRecord`] gained the `weight_reload` axis (entering the
 /// point key for reload-on points and the CSV columns) and
 /// [`PointMetrics`] gained `reload_stall_cycles`.
-pub const SWEEP_FORMAT_VERSION: u32 = 4;
+///
+/// v5: [`PointRecord`] gained the `seq_len` axis (entering the point
+/// key for sequence-bound points and the CSV columns).
+pub const SWEEP_FORMAT_VERSION: u32 = 5;
 
 /// Deterministic metrics of one successfully compiled and simulated
 /// sweep point. Everything here is a pure function of (model, mode,
@@ -126,6 +129,9 @@ pub struct PointRecord {
     /// at the target's full crossbar capacity), or the explicit
     /// crossbar budget.
     pub weight_reload: String,
+    /// Sequence-length binding of this point (`None` = unbound, the
+    /// only possibility for specs without a `seq_lens` axis).
+    pub seq_len: Option<u64>,
     /// Highest search rung this point was evaluated at (0-based).
     /// Exhaustive sweeps have a single rung, so this is always 0 there;
     /// under successive halving a value below the final rung means the
@@ -155,7 +161,8 @@ pub struct PointRecord {
 impl PointRecord {
     /// Stable identity (`model/mode/hardware/policy/bBATCH/seedSEED`),
     /// the key diffs join on. Reload-on points carry a trailing
-    /// `/reload-BUDGET` segment, matching
+    /// `/reload-BUDGET` segment and sequence-bound points a trailing
+    /// `/seqN` segment, matching
     /// [`SweepPoint::key`](crate::SweepPoint::key).
     pub fn key(&self) -> String {
         let mut key = format!(
@@ -165,6 +172,9 @@ impl PointRecord {
         if self.weight_reload != "off" {
             key.push_str("/reload-");
             key.push_str(&self.weight_reload);
+        }
+        if let Some(seq) = self.seq_len {
+            key.push_str(&format!("/seq{seq}"));
         }
         key
     }
@@ -269,14 +279,14 @@ impl SweepReport {
     /// Deterministic like [`SweepReport::to_json`].
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "model,mode,hardware,policy,batch,seed,weight_reload,rung,budget,pruned_at,ok,\
-             pareto,cycles,throughput_inf_per_s,latency_us,energy_uj,dynamic_uj,leakage_uj,\
+            "model,mode,hardware,policy,batch,seed,weight_reload,seq_len,rung,budget,pruned_at,\
+             ok,pareto,cycles,throughput_inf_per_s,latency_us,energy_uj,dynamic_uj,leakage_uj,\
              crossbar_utilization,core_utilization,avg_local_kb,global_traffic_kb,\
              active_cores,crossbars_used,reload_stall_cycles,error\n",
         );
         for p in &self.points {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},",
                 csv_field(&p.model),
                 csv_field(&p.mode),
                 csv_field(&p.hardware),
@@ -284,6 +294,7 @@ impl SweepReport {
                 p.batch,
                 p.seed,
                 csv_field(&p.weight_reload),
+                p.seq_len.map(|s| s.to_string()).unwrap_or_default(),
                 p.rung,
                 p.budget,
                 p.pruned_at.map(|r| r.to_string()).unwrap_or_default(),
@@ -544,6 +555,7 @@ mod tests {
             batch: 2,
             seed: 1,
             weight_reload: "off".into(),
+            seq_len: None,
             rung: 0,
             budget: 4,
             pruned_at: None,
@@ -706,11 +718,12 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with(
-            "model,mode,hardware,policy,batch,seed,weight_reload,rung,budget,pruned_at,ok,pareto"
+            "model,mode,hardware,policy,batch,seed,weight_reload,seq_len,rung,budget,pruned_at,\
+             ok,pareto"
         ));
-        // policy ag, batch 2, seed 1, reload off, rung 0, budget 4,
-        // empty pruned_at, ok, pareto, cycles.
-        assert!(lines[1].contains("ag,2,1,off,0,4,,true,true,100"));
+        // policy ag, batch 2, seed 1, reload off, empty seq_len, rung 0,
+        // budget 4, empty pruned_at, ok, pareto, cycles.
+        assert!(lines[1].contains("ag,2,1,off,,0,4,,true,true,100"));
         assert!(lines[2].contains("\"bad, \"\"quoted\"\"\""));
     }
 

@@ -262,6 +262,12 @@ pub struct SweepSpec {
     /// `weight_reload` mode under a crossbar budget, splitting
     /// over-budget models into serialized mapping epochs.
     pub weight_reload: Vec<ReloadSetting>,
+    /// Sequence-length bindings, one sweep axis (default `[None]` — no
+    /// binding). Each `Some(n)` compiles the point with symbolic `seq`
+    /// dimensions bound to `n` tokens; fixed-shape models ignore the
+    /// binding, symbolic models *require* one
+    /// ([`CompileError::UnboundSeqLen`](pimcomp_core::CompileError::UnboundSeqLen)).
+    pub seq_lens: Vec<Option<usize>>,
     /// How the engine walks the grid (default: exhaustive).
     pub search: SearchStrategy,
 }
@@ -286,6 +292,8 @@ pub struct SweepPoint {
     pub seed: u64,
     /// Weight-reload setting for this point.
     pub reload: ReloadSetting,
+    /// Sequence length binding for this point (`None` = unbound).
+    pub seq: Option<usize>,
 }
 
 impl SweepPoint {
@@ -294,7 +302,9 @@ impl SweepPoint {
     /// diffs join on. Reload-on points append a `/reload-BUDGET`
     /// segment (`full` for the full-capacity budget); reload-off
     /// points keep the historical six-segment form, so keys from
-    /// pre-reload reports still line up in diffs.
+    /// pre-reload reports still line up in diffs. Sequence-bound
+    /// points likewise append a final `/seqN` segment; unbound points
+    /// (every point of a spec without `seq_lens`) stay unchanged.
     pub fn key(&self) -> String {
         let mut key = format!(
             "{}/{}/{}/{}/b{}/seed{}",
@@ -308,6 +318,9 @@ impl SweepPoint {
         if self.reload != ReloadSetting::Off {
             key.push_str("/reload-");
             key.push_str(&self.reload.label());
+        }
+        if let Some(seq) = self.seq {
+            key.push_str(&format!("/seq{seq}"));
         }
         key
     }
@@ -357,6 +370,11 @@ impl SweepSpec {
     ///   `{ "budgets": [2304, 1152], "include_off": true }` sweeps one
     ///   reload point per crossbar budget, optionally alongside an
     ///   ordinary compilation of the same point.
+    /// * `seq_lens` — optional non-empty array of positive sequence
+    ///   lengths, one sweep axis (default: unbound). Each entry
+    ///   compiles the point with symbolic `seq` dimensions bound to
+    ///   that many tokens; required for transformer models such as
+    ///   `tiny_bert`, ignored by fixed-shape CNNs.
     /// * `search` — optional strategy object (default exhaustive):
     ///   `{ "strategy": "exhaustive" }` or `{ "strategy": "halving",
     ///   "rungs": [2, 8, 24], "keep_fraction": 0.5,
@@ -378,7 +396,7 @@ impl SweepSpec {
 
     fn from_value(value: &Value) -> Result<Self, ExploreError> {
         let entries = as_object(value, "sweep spec")?;
-        const KNOWN: [&str; 13] = [
+        const KNOWN: [&str; 14] = [
             "master_seed",
             "models",
             "modes",
@@ -391,6 +409,7 @@ impl SweepSpec {
             "batch",
             "ht_batches",
             "weight_reload",
+            "seq_lens",
             "search",
         ];
         for (key, _) in entries {
@@ -609,6 +628,29 @@ impl SweepSpec {
             Some(v) => parse_reload(v)?,
         };
 
+        let seq_lens: Vec<Option<usize>> = match value.get("seq_lens") {
+            None => vec![None],
+            Some(Value::Seq(items)) if !items.is_empty() => {
+                let lens: Vec<usize> = items
+                    .iter()
+                    .map(|v| as_u64(v, "seq_lens entry").map(|s| s as usize))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if lens.contains(&0) {
+                    return Err(invalid(
+                        "`seq_lens` must be a non-empty array of positive integers",
+                    ));
+                }
+                let len_names: Vec<String> = lens.iter().map(usize::to_string).collect();
+                reject_duplicates(&len_names, "seq_lens")?;
+                lens.into_iter().map(Some).collect()
+            }
+            Some(_) => {
+                return Err(invalid(
+                    "`seq_lens` must be a non-empty array of positive integers",
+                ))
+            }
+        };
+
         let search = match value.get("search") {
             None => SearchStrategy::Exhaustive,
             Some(v) => parse_search(v, ga_iterations)?,
@@ -625,6 +667,7 @@ impl SweepSpec {
             policies,
             batches,
             weight_reload,
+            seq_lens,
             search,
         };
         // Cheap structural checks at parse time: oversized or empty
@@ -661,6 +704,7 @@ impl SweepSpec {
             * mode_batches
             * self.seeds.len()
             * self.weight_reload.len()
+            * self.seq_lens.len()
     }
 
     /// `true` when any axis is empty (the sweep has no points).
@@ -670,7 +714,8 @@ impl SweepSpec {
 
     /// Expands the cross-product into points, in the fixed axis order
     /// models → modes → hardware → policies → batches → seeds →
-    /// weight_reload. The order is part of the determinism contract:
+    /// weight_reload → seq_lens. The order is part of the determinism
+    /// contract:
     /// point index, and hence any master-seed derived quantity,
     /// depends only on the spec.
     ///
@@ -732,7 +777,8 @@ impl SweepSpec {
             let hw_list: &[(String, HardwareConfig)] = match &self.hardware {
                 HardwareAxis::Explicit(list) => list,
                 HardwareAxis::Auto(auto) => {
-                    sized = sized_hardware(auto, model, &graphs[mi])?;
+                    let max_seq = self.seq_lens.iter().flatten().max().copied();
+                    sized = sized_hardware(auto, model, &graphs[mi], max_seq)?;
                     &sized
                 }
             };
@@ -748,16 +794,19 @@ impl SweepSpec {
                         for &batch in batches {
                             for &seed in &self.seeds {
                                 for &reload in &self.weight_reload {
-                                    out.push(SweepPoint {
-                                        model: model.clone(),
-                                        mode,
-                                        hw_label: label.clone(),
-                                        hw: hw.clone(),
-                                        policy,
-                                        batch,
-                                        seed,
-                                        reload,
-                                    });
+                                    for &seq in &self.seq_lens {
+                                        out.push(SweepPoint {
+                                            model: model.clone(),
+                                            mode,
+                                            hw_label: label.clone(),
+                                            hw: hw.clone(),
+                                            policy,
+                                            batch,
+                                            seed,
+                                            reload,
+                                            seq,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -773,10 +822,17 @@ impl SweepSpec {
 /// count with the shared headroom heuristic, then enumerates the
 /// parallelism list through a [`HardwareGrid`] so labels
 /// (`auto-puma+chips3+par4`) and validation match explicit grids.
+///
+/// A model with a symbolic sequence dimension is sized at `max_seq`
+/// (the largest entry of the sweep's `seq_lens` axis), so the chosen
+/// chip count fits the worst-case point of the sweep. Without a
+/// `seq_lens` axis such a model cannot be sized and the spec is
+/// rejected with a structured error.
 fn sized_hardware(
     auto: &AutoHardware,
     model: &str,
     graph: &Graph,
+    max_seq: Option<usize>,
 ) -> Result<Vec<(String, HardwareConfig)>, ExploreError> {
     let base = preset(&auto.base).ok_or_else(|| {
         invalid(format!(
@@ -785,6 +841,24 @@ fn sized_hardware(
             preset_names().join(", ")
         ))
     })?;
+    let bound;
+    let graph = if graph.has_symbolic_dims() {
+        let Some(len) = max_seq else {
+            return Err(invalid(format!(
+                "hardware auto-sizing failed for model `{model}`: the model \
+                 has a symbolic sequence dimension; add a `seq_lens` axis to \
+                 the sweep so it can be sized at the largest sequence length"
+            )));
+        };
+        bound = pimcomp_ir::transform::bind_seq_len(graph, len).map_err(|e| {
+            invalid(format!(
+                "hardware auto-sizing failed for model `{model}`: {e}"
+            ))
+        })?;
+        &bound
+    } else {
+        graph
+    };
     let chips = pimcomp_core::sized_chips(graph, &base, auto.headroom).map_err(|e| {
         invalid(format!(
             "hardware auto-sizing failed for model `{model}`: {e}"
@@ -1366,6 +1440,22 @@ mod tests {
                     "weight_reload":{"caps":[256]}}"#,
                 "unknown `weight_reload` field `caps`",
             ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},"seq_lens":[]}"#,
+                "`seq_lens` must be a non-empty array of positive integers",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},"seq_lens":64}"#,
+                "`seq_lens` must be a non-empty array of positive integers",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},"seq_lens":[0]}"#,
+                "`seq_lens` must be a non-empty array of positive integers",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},"seq_lens":[64,64]}"#,
+                "duplicate entry `64` in seq_lens",
+            ),
         ] {
             let err = SweepSpec::from_json(json).unwrap_err();
             let msg = err.to_string();
@@ -1395,6 +1485,32 @@ mod tests {
         // `.onnx` paths are not resolved against the zoo at parse time.
         SweepSpec::from_json(r#"{"models":["anything.onnx"],"hardware":{"base":"small_test"}}"#)
             .unwrap();
+    }
+
+    #[test]
+    fn seq_lens_axis_expands_innermost_and_tags_keys() {
+        let spec = SweepSpec::from_json(
+            r#"{"models":["tiny_bert"],"hardware":{"base":"small_test"},
+                "seeds":[1],"seq_lens":[64,128]}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.seq_lens, vec![Some(64), Some(128)]);
+        assert_eq!(spec.len(), 2);
+        let points = spec.points().unwrap();
+        assert_eq!(points[0].seq, Some(64));
+        assert_eq!(points[1].seq, Some(128));
+        assert!(points[0].key().ends_with("/seq64"), "{}", points[0].key());
+        assert!(points[1].key().ends_with("/seq128"), "{}", points[1].key());
+
+        // Without the axis, points stay unbound and keys keep the
+        // historical form.
+        let plain = SweepSpec::from_json(
+            r#"{"models":["tiny_mlp"],"hardware":{"base":"small_test"},"seeds":[1]}"#,
+        )
+        .unwrap();
+        let points = plain.points().unwrap();
+        assert_eq!(points[0].seq, None);
+        assert!(!points[0].key().contains("/seq"), "{}", points[0].key());
     }
 
     #[test]
@@ -1469,6 +1585,34 @@ mod tests {
             }
             other => panic!("expected auto hardware, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn auto_hardware_sizes_symbolic_models_at_the_largest_seq_len() {
+        // tiny_bert has a symbolic sequence dimension: auto sizing
+        // binds the largest `seq_lens` entry so the chip count fits
+        // the worst-case point of the sweep.
+        let spec = SweepSpec::from_json(
+            r#"{"models":["tiny_bert"],
+                "hardware":{"auto":true,"base":"puma"},
+                "seq_lens":[64, 128]}"#,
+        )
+        .unwrap();
+        let points = spec.points().unwrap();
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.hw_label.starts_with("auto-puma+chips"), "{}", p.hw_label);
+            p.hw.validate().unwrap();
+        }
+
+        // Without the axis the model cannot be sized; the spec is
+        // rejected with a structured error naming the fix.
+        let bare = SweepSpec::from_json(r#"{"models":["tiny_bert"],"hardware":"auto"}"#).unwrap();
+        let err = bare.points().unwrap_err();
+        assert!(
+            err.to_string().contains("add a `seq_lens` axis"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Ergonomic graph construction with on-the-fly shape inference.
 
 use crate::graph::{Graph, Node, NodeId};
-use crate::op::{Activation, Conv2d, EltwiseKind, Linear, Lrn, Op, Pad2d, Pool, PoolKind};
+use crate::op::{
+    Activation, Attention, Bmm, Conv2d, EltwiseKind, Linear, Lrn, MatMul, Op, Pad2d, Pool, PoolKind,
+};
 use crate::shape_infer::infer_output_shape;
-use crate::{IrError, Shape};
+use crate::{Dim, IrError, Shape};
 use std::collections::HashSet;
 
 /// Incrementally builds a validated [`Graph`].
@@ -106,6 +108,20 @@ impl GraphBuilder {
         )
     }
 
+    /// Adds a `[seq, features]` token-stream input with a symbolic
+    /// sequence length (bound later by the compile session).
+    pub fn input_seq(&mut self, name: impl Into<String>, features: usize) -> NodeId {
+        let shape = Shape::seq_features(features);
+        self.push_unchecked(
+            name.into(),
+            Op::Input {
+                shape: shape.clone(),
+            },
+            vec![],
+            shape,
+        )
+    }
+
     /// Adds an arbitrary operator; the general escape hatch behind the
     /// typed helpers.
     ///
@@ -191,6 +207,126 @@ impl GraphBuilder {
             }),
             vec![input],
         )
+    }
+
+    /// Adds a weight-stationary matrix multiply; the contraction width is
+    /// taken from the producer's innermost (feature) dimension.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the producer's feature dimension is symbolic, on
+    /// duplicate names, or when `input` does not belong to this builder.
+    pub fn matmul(
+        &mut self,
+        name: impl Into<String>,
+        input: NodeId,
+        out_features: usize,
+    ) -> Result<NodeId, IrError> {
+        let name = name.into();
+        let in_features = match self.try_shape(input)?.dims().last() {
+            Some(Dim::Fixed(f)) => *f,
+            _ => {
+                return Err(IrError::ShapeMismatch {
+                    node: name,
+                    detail: "matmul needs a fixed feature dimension on its input".into(),
+                })
+            }
+        };
+        self.add(
+            name,
+            Op::MatMul(MatMul {
+                in_features,
+                out_features,
+                bias: true,
+            }),
+            vec![input],
+        )
+    }
+
+    /// Adds an activation-by-activation matrix multiply (`A @ B`, or
+    /// `A @ Bᵀ` when `transpose_b`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the contraction axes disagree or are symbolic.
+    pub fn bmm(
+        &mut self,
+        name: impl Into<String>,
+        a: NodeId,
+        b: NodeId,
+        transpose_b: bool,
+        scaled: bool,
+    ) -> Result<NodeId, IrError> {
+        self.add(
+            name,
+            Op::Bmm(Bmm {
+                transpose_b,
+                scaled,
+            }),
+            vec![a, b],
+        )
+    }
+
+    /// Adds a layer normalization over the feature axis.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on duplicate names.
+    pub fn layer_norm(
+        &mut self,
+        name: impl Into<String>,
+        input: NodeId,
+    ) -> Result<NodeId, IrError> {
+        self.add(name, Op::LayerNorm, vec![input])
+    }
+
+    /// Adds a GELU activation (transformer feed-forward blocks).
+    ///
+    /// # Errors
+    ///
+    /// Fails only on duplicate names.
+    pub fn gelu(&mut self, name: impl Into<String>, input: NodeId) -> Result<NodeId, IrError> {
+        self.activation(name, input, Activation::Gelu)
+    }
+
+    /// Adds a transpose of the last two dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the input has rank below 2.
+    pub fn transpose(&mut self, name: impl Into<String>, input: NodeId) -> Result<NodeId, IrError> {
+        self.add(name, Op::Transpose, vec![input])
+    }
+
+    /// Adds a reshape to `shape`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the element count is not preserved.
+    pub fn reshape(
+        &mut self,
+        name: impl Into<String>,
+        input: NodeId,
+        shape: Shape,
+    ) -> Result<NodeId, IrError> {
+        self.add(name, Op::Reshape { shape }, vec![input])
+    }
+
+    /// Adds a fused scaled-dot-product attention over `(q, k, v)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the inputs are not three equal `[seq, hidden]` streams
+    /// or `heads` does not divide the hidden width.
+    pub fn attention(
+        &mut self,
+        name: impl Into<String>,
+        q: NodeId,
+        k: NodeId,
+        v: NodeId,
+        heads: usize,
+    ) -> Result<NodeId, IrError> {
+        self.add(name, Op::Attention(Attention { heads }), vec![q, k, v])
     }
 
     /// Adds a max-pooling layer.

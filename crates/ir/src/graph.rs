@@ -243,6 +243,14 @@ impl Graph {
         Ok(())
     }
 
+    /// `true` while any node's output shape still carries the symbolic
+    /// sequence length (the graph must be bound via
+    /// [`transform::bind_seq_len`](crate::transform::bind_seq_len) before
+    /// compilation).
+    pub fn has_symbolic_dims(&self) -> bool {
+        self.nodes.iter().any(|n| n.output_shape.is_symbolic())
+    }
+
     /// Ids of convolution / fully connected nodes (the MVM producers that
     /// undergo partitioning and replication), in topological order.
     pub fn mvm_nodes(&self) -> Vec<NodeId> {

@@ -56,7 +56,9 @@ pub use builder::GraphBuilder;
 pub use dot::to_dot;
 pub use error::IrError;
 pub use graph::{Graph, Node, NodeId};
-pub use op::{Activation, Conv2d, EltwiseKind, Linear, Lrn, Op, Pad2d, Pool, PoolKind};
+pub use op::{
+    Activation, Attention, Bmm, Conv2d, EltwiseKind, Linear, Lrn, MatMul, Op, Pad2d, Pool, PoolKind,
+};
 pub use shape_infer::infer_output_shape;
 pub use stats::{GraphStats, NodeStats};
-pub use tensor::Shape;
+pub use tensor::{Dim, Shape};

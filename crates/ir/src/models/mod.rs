@@ -15,6 +15,7 @@ mod inception;
 mod resnet;
 mod small;
 mod squeezenet;
+mod tiny_bert;
 mod vgg;
 
 pub use googlenet::googlenet;
@@ -22,6 +23,7 @@ pub use inception::inception_v3;
 pub use resnet::{resnet18, resnet34, resnet50};
 pub use small::{linear_chain, tiny_cnn, tiny_mlp, two_branch};
 pub use squeezenet::squeezenet;
+pub use tiny_bert::tiny_bert;
 pub use vgg::vgg16;
 
 use crate::Graph;
@@ -39,7 +41,7 @@ pub const PAPER_BENCHMARKS: [&str; 5] = [
 /// the extra ResNet depths. Drivers that accept model names (the CLI,
 /// the sweep engine, the benchmark harness) list this on bad input so
 /// users never have to guess the spelling.
-pub const ZOO: [&str; 7] = [
+pub const ZOO: [&str; 8] = [
     "vgg16",
     "resnet18",
     "resnet34",
@@ -47,6 +49,7 @@ pub const ZOO: [&str; 7] = [
     "googlenet",
     "inception_v3",
     "squeezenet",
+    "tiny_bert",
 ];
 
 /// The small synthetic test networks, resolvable by [`test_model`].
@@ -77,6 +80,7 @@ pub fn by_name(name: &str) -> Option<Graph> {
         "googlenet" => Some(googlenet()),
         "inception_v3" | "inceptionv3" => Some(inception_v3()),
         "squeezenet" => Some(squeezenet()),
+        "tiny_bert" => Some(tiny_bert()),
         _ => None,
     }
 }

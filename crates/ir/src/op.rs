@@ -78,6 +78,58 @@ impl Linear {
     }
 }
 
+/// Weight-stationary matrix multiply applied per row of a token stream
+/// (`[.., in] @ W[in, out] -> [.., out]`).
+///
+/// The weight matrix is mapped onto crossbars exactly like a fully
+/// connected layer — the only difference is that every leading-dimension
+/// row (e.g. every sequence position) streams through the same arrays,
+/// so the operator produces `seq` windows instead of one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MatMul {
+    /// Contraction width (rows of the stationary weight matrix).
+    pub in_features: usize,
+    /// Output width (columns of the stationary weight matrix).
+    pub out_features: usize,
+    /// Whether a bias vector is added (handled by the VFU).
+    pub bias: bool,
+}
+
+impl MatMul {
+    /// Height of the weight matrix (`in_features`).
+    pub fn weight_matrix_height(&self) -> usize {
+        self.in_features
+    }
+
+    /// Width of the weight matrix (`out_features`).
+    pub fn weight_matrix_width(&self) -> usize {
+        self.out_features
+    }
+}
+
+/// Activation-by-activation matrix multiply (`A @ B`), executed by the
+/// VFU — neither operand is a stationary weight, so nothing is mapped
+/// onto crossbars (attention score and context products).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Bmm {
+    /// Multiply by `B`ᵀ instead of `B` (the Q·Kᵀ score product).
+    pub transpose_b: bool,
+    /// Scale the product by `1/sqrt(k)` where `k` is the contraction
+    /// width (scaled dot-product attention).
+    pub scaled: bool,
+}
+
+/// Fused scaled-dot-product attention over `(Q, K, V)` token streams.
+///
+/// Built by the `fuse_attention` transform pass from the
+/// `Bmm(transpose_b) → Softmax → Bmm` subgraph; executed by the VFU with
+/// cost `2·s·d + s` multiply-accumulates per query row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Attention {
+    /// Number of attention heads (`hidden % heads == 0`).
+    pub heads: usize,
+}
+
 /// Pooling flavor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PoolKind {
@@ -112,6 +164,8 @@ pub enum Activation {
     Sigmoid,
     /// Hyperbolic tangent.
     Tanh,
+    /// Gaussian error linear unit (transformer feed-forward blocks).
+    Gelu,
 }
 
 /// Element-wise binary combination of equally-shaped inputs.
@@ -148,10 +202,11 @@ pub struct Pad2d {
 /// Operators fall into the paper's execution-model classes:
 ///
 /// * **MVM producers** mapped onto PIM crossbars: [`Op::Conv2d`],
-///   [`Op::Linear`].
+///   [`Op::Linear`], [`Op::MatMul`].
 /// * **VFU vector operations**: pooling, activation, element-wise, LRN,
-///   batch-norm, softmax.
-/// * **Local-memory data movement**: concat, flatten, pad (no arithmetic).
+///   batch-norm, softmax, layer-norm, activation-matmul, attention.
+/// * **Local-memory data movement**: concat, flatten, pad, transpose,
+///   reshape (no arithmetic).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum Op {
@@ -186,6 +241,21 @@ pub enum Op {
     Lrn(Lrn),
     /// Standalone zero padding.
     Pad(Pad2d),
+    /// Weight-stationary per-row matrix multiply (crossbar-mapped).
+    MatMul(MatMul),
+    /// Activation-by-activation matrix multiply (VFU).
+    Bmm(Bmm),
+    /// Layer normalization over the feature axis.
+    LayerNorm,
+    /// Swap the last two dimensions (local-memory data movement).
+    Transpose,
+    /// Reinterpret the element stream under a new shape.
+    Reshape {
+        /// Target shape (must preserve the element count).
+        shape: crate::Shape,
+    },
+    /// Fused scaled-dot-product attention over `(Q, K, V)`.
+    Attention(Attention),
 }
 
 impl Op {
@@ -204,6 +274,7 @@ impl Op {
                 Activation::Relu => "relu",
                 Activation::Sigmoid => "sigmoid",
                 Activation::Tanh => "tanh",
+                Activation::Gelu => "gelu",
             },
             Op::Concat => "concat",
             Op::Eltwise(e) => match e {
@@ -216,14 +287,20 @@ impl Op {
             Op::Dropout => "dropout",
             Op::Lrn(_) => "lrn",
             Op::Pad(_) => "pad",
+            Op::MatMul(_) => "matmul",
+            Op::Bmm(_) => "bmm",
+            Op::LayerNorm => "layernorm",
+            Op::Transpose => "transpose",
+            Op::Reshape { .. } => "reshape",
+            Op::Attention(_) => "attention",
         }
     }
 
     /// `true` for operators whose weights are mapped onto crossbars and
     /// which therefore go through node partitioning / replication
-    /// (convolution and fully connected layers).
+    /// (convolution, fully connected, and weight-stationary matmul).
     pub fn is_mvm(&self) -> bool {
-        matches!(self, Op::Conv2d(_) | Op::Linear(_))
+        matches!(self, Op::Conv2d(_) | Op::Linear(_) | Op::MatMul(_))
     }
 
     /// `true` for operators executed by the vector functional unit.
@@ -237,12 +314,23 @@ impl Op {
                 | Op::Softmax
                 | Op::BatchNorm
                 | Op::Lrn(_)
+                | Op::Bmm(_)
+                | Op::LayerNorm
+                | Op::Attention(_)
         )
     }
 
     /// `true` for pure data-movement operators handled in local memory.
     pub fn is_memory(&self) -> bool {
-        matches!(self, Op::Concat | Op::Flatten | Op::Pad(_) | Op::Dropout)
+        matches!(
+            self,
+            Op::Concat
+                | Op::Flatten
+                | Op::Pad(_)
+                | Op::Dropout
+                | Op::Transpose
+                | Op::Reshape { .. }
+        )
     }
 
     /// Number of inputs this operator requires; `None` when variadic
@@ -250,7 +338,8 @@ impl Op {
     pub fn arity(&self) -> Option<usize> {
         match self {
             Op::Input { .. } => Some(0),
-            Op::Eltwise(_) => Some(2),
+            Op::Eltwise(_) | Op::Bmm(_) => Some(2),
+            Op::Attention(_) => Some(3),
             Op::Concat => None,
             _ => Some(1),
         }
@@ -352,6 +441,21 @@ mod tests {
                 height: 1,
                 width: 1,
             }),
+            Op::MatMul(MatMul {
+                in_features: 1,
+                out_features: 1,
+                bias: false,
+            }),
+            Op::Bmm(Bmm {
+                transpose_b: true,
+                scaled: true,
+            }),
+            Op::LayerNorm,
+            Op::Transpose,
+            Op::Reshape {
+                shape: crate::Shape::flat(1),
+            },
+            Op::Attention(Attention { heads: 1 }),
         ];
         for op in &ops {
             let classes = usize::from(op.is_mvm())
@@ -366,6 +470,15 @@ mod tests {
         assert_eq!(Op::Eltwise(EltwiseKind::Add).arity(), Some(2));
         assert_eq!(Op::Concat.arity(), None);
         assert_eq!(Op::Flatten.arity(), Some(1));
+        assert_eq!(
+            Op::Bmm(Bmm {
+                transpose_b: false,
+                scaled: false
+            })
+            .arity(),
+            Some(2)
+        );
+        assert_eq!(Op::Attention(Attention { heads: 4 }).arity(), Some(3));
         assert_eq!(
             Op::Input {
                 shape: crate::Shape::flat(1)

@@ -1,6 +1,6 @@
 //! Per-operator output shape inference.
 
-use crate::{IrError, Op, Shape};
+use crate::{Dim, IrError, Op, Shape};
 
 /// Computes one spatial output extent for a sliding-window operator.
 ///
@@ -102,11 +102,13 @@ pub fn infer_output_shape(node: &str, op: &Op, inputs: &[&Shape]) -> Result<Shap
         }
         Op::Linear(l) => {
             let x = single(inputs).ok_or_else(|| arity_err(1))?;
-            if x.numel() != l.in_features {
+            let numel = x
+                .try_numel()
+                .ok_or_else(|| shape_err(format!("fc expects a fixed input shape, got {x}")))?;
+            if numel != l.in_features {
                 return Err(shape_err(format!(
-                    "fc expects {} input features, got {} ({x})",
+                    "fc expects {} input features, got {numel} ({x})",
                     l.in_features,
-                    x.numel()
                 )));
             }
             Ok(Shape::flat(l.out_features))
@@ -135,9 +137,102 @@ pub fn infer_output_shape(node: &str, op: &Op, inputs: &[&Shape]) -> Result<Shap
             }
             Ok(Shape::chw(x.channels(), 1, 1))
         }
-        Op::Activation(_) | Op::BatchNorm | Op::Dropout | Op::Softmax => {
+        Op::Activation(_) | Op::BatchNorm | Op::Dropout | Op::Softmax | Op::LayerNorm => {
             let x = single(inputs).ok_or_else(|| arity_err(1))?;
             Ok(x.clone())
+        }
+        Op::MatMul(m) => {
+            let x = single(inputs).ok_or_else(|| arity_err(1))?;
+            match x.dims().last() {
+                Some(Dim::Fixed(f)) if *f == m.in_features => {}
+                _ => {
+                    return Err(shape_err(format!(
+                        "matmul expects {} input features on the last axis, got {x}",
+                        m.in_features
+                    )));
+                }
+            }
+            let mut dims = x.dims().to_vec();
+            *dims.last_mut().expect("shape is never empty") = Dim::Fixed(m.out_features);
+            Ok(Shape::from_dims(dims))
+        }
+        Op::Bmm(b) => {
+            if inputs.len() != 2 {
+                return Err(arity_err(2));
+            }
+            let (a, bb) = (inputs[0], inputs[1]);
+            if a.rank() != 2 || bb.rank() != 2 {
+                return Err(shape_err(format!(
+                    "bmm expects rank-2 inputs, got {a} and {bb}"
+                )));
+            }
+            // Contraction axis: last of A against last (transposed) or
+            // first of B. A symbolic axis contracts against itself
+            // (the seq-length context product), so equality of `Dim`s —
+            // not fixedness — is what matters here.
+            let (contract_a, contract_b, out) = if b.transpose_b {
+                (a.dims()[1], bb.dims()[1], [a.dims()[0], bb.dims()[0]])
+            } else {
+                (a.dims()[1], bb.dims()[0], [a.dims()[0], bb.dims()[1]])
+            };
+            if contract_a != contract_b {
+                return Err(shape_err(format!(
+                    "bmm contraction axes must match: {a} vs {bb}{}",
+                    if b.transpose_b { " (transposed)" } else { "" }
+                )));
+            }
+            Ok(Shape::from_dims(out.to_vec()))
+        }
+        Op::Transpose => {
+            let x = single(inputs).ok_or_else(|| arity_err(1))?;
+            if x.rank() < 2 {
+                return Err(shape_err(format!(
+                    "transpose expects at least rank-2 input, got {x}"
+                )));
+            }
+            let mut dims = x.dims().to_vec();
+            dims.swap(x.rank() - 2, x.rank() - 1);
+            Ok(Shape::from_dims(dims))
+        }
+        Op::Reshape { shape } => {
+            let x = single(inputs).ok_or_else(|| arity_err(1))?;
+            let seq_count = |s: &Shape| s.dims().iter().filter(|d| matches!(d, Dim::Seq)).count();
+            let fixed_product =
+                |s: &Shape| -> usize { s.dims().iter().filter_map(|d| d.fixed()).product() };
+            if seq_count(x) != seq_count(shape) || fixed_product(x) != fixed_product(shape) {
+                return Err(shape_err(format!(
+                    "reshape must preserve the element count: {x} -> {shape}"
+                )));
+            }
+            Ok(shape.clone())
+        }
+        Op::Attention(at) => {
+            if inputs.len() != 3 {
+                return Err(arity_err(3));
+            }
+            let q = inputs[0];
+            for x in inputs {
+                if x.rank() != 2 || **x != *q {
+                    return Err(shape_err(format!(
+                        "attention expects three equal rank-2 (seq x hidden) inputs, got {q} vs {x}"
+                    )));
+                }
+            }
+            let hidden = match q.dims()[1] {
+                Dim::Fixed(h) => h,
+                Dim::Seq => {
+                    return Err(shape_err(format!(
+                        "attention hidden width must be fixed, got {q}"
+                    )));
+                }
+            };
+            if at.heads == 0 || hidden % at.heads != 0 {
+                return Err(attr_err(format!(
+                    "attention heads {} must be positive and divide hidden width {hidden}",
+                    at.heads
+                )));
+            }
+            Ok(q.clone())
         }
         Op::Lrn(l) => {
             let x = single(inputs).ok_or_else(|| arity_err(1))?;
@@ -184,7 +279,10 @@ pub fn infer_output_shape(node: &str, op: &Op, inputs: &[&Shape]) -> Result<Shap
         }
         Op::Flatten => {
             let x = single(inputs).ok_or_else(|| arity_err(1))?;
-            Ok(Shape::flat(x.numel()))
+            let numel = x.try_numel().ok_or_else(|| {
+                shape_err(format!("flatten expects a fixed input shape, got {x}"))
+            })?;
+            Ok(Shape::flat(numel))
         }
         Op::Pad(p) => {
             let x = single(inputs).ok_or_else(|| arity_err(1))?;
@@ -397,6 +495,138 @@ mod tests {
         });
         let e = infer_output_shape("p", &pool, &[&x]).unwrap_err();
         assert!(matches!(e, IrError::InvalidAttribute { .. }));
+    }
+
+    #[test]
+    fn matmul_preserves_leading_dims() {
+        let op = Op::MatMul(crate::MatMul {
+            in_features: 128,
+            out_features: 256,
+            bias: true,
+        });
+        // Symbolic leading dim flows through untouched.
+        let x = Shape::seq_features(128);
+        let y = infer_output_shape("mm", &op, &[&x]).unwrap();
+        assert_eq!(y, Shape::from_dims(vec![Dim::Seq, Dim::Fixed(256)]));
+        // Bound token stream.
+        let x = Shape::new([64usize, 128]);
+        let y = infer_output_shape("mm", &op, &[&x]).unwrap();
+        assert_eq!(y, Shape::new([64usize, 256]));
+        // Feature-width mismatch is structured.
+        let bad = Shape::seq_features(100);
+        let e = infer_output_shape("mm", &op, &[&bad]).unwrap_err();
+        assert!(matches!(e, IrError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn bmm_scores_and_context_shapes() {
+        let scores = Op::Bmm(crate::Bmm {
+            transpose_b: true,
+            scaled: true,
+        });
+        let q = Shape::seq_features(128);
+        let y = infer_output_shape("scores", &scores, &[&q, &q]).unwrap();
+        assert_eq!(y, Shape::from_dims(vec![Dim::Seq, Dim::Seq]));
+
+        let ctx = Op::Bmm(crate::Bmm {
+            transpose_b: false,
+            scaled: false,
+        });
+        // [seq, seq] x [seq, 128]: the symbolic axis contracts against
+        // itself and the result stays symbolic in the leading dim.
+        let v = Shape::seq_features(128);
+        let y = infer_output_shape("ctx", &ctx, &[&y, &v]).unwrap();
+        assert_eq!(y, Shape::from_dims(vec![Dim::Seq, Dim::Fixed(128)]));
+        // A fixed axis against the symbolic one does not match.
+        let bad = Shape::new([64usize, 128]);
+        let sym = Shape::seq_features(128);
+        let e = infer_output_shape("ctx", &ctx, &[&bad, &sym]).unwrap_err();
+        assert!(matches!(e, IrError::ShapeMismatch { .. }));
+
+        let bound = Shape::new([64usize, 64]);
+        let v = Shape::new([64usize, 128]);
+        let y = infer_output_shape("ctx", &ctx, &[&bound, &v]).unwrap();
+        assert_eq!(y, Shape::new([64usize, 128]));
+    }
+
+    #[test]
+    fn transpose_and_reshape() {
+        let x = Shape::new([64usize, 128]);
+        let y = infer_output_shape("t", &Op::Transpose, &[&x]).unwrap();
+        assert_eq!(y, Shape::new([128usize, 64]));
+        let e = infer_output_shape("t", &Op::Transpose, &[&Shape::flat(8)]).unwrap_err();
+        assert!(matches!(e, IrError::ShapeMismatch { .. }));
+
+        let re = Op::Reshape {
+            shape: Shape::new([128usize, 64]),
+        };
+        assert!(infer_output_shape("r", &re, &[&x]).is_ok());
+        let bad = Op::Reshape {
+            shape: Shape::new([128usize, 63]),
+        };
+        assert!(infer_output_shape("r", &bad, &[&x]).is_err());
+        // Symbolic reshapes must preserve both the fixed product and the
+        // symbolic dim count.
+        let sym = Shape::seq_features(128);
+        let re_sym = Op::Reshape {
+            shape: Shape::from_dims(vec![Dim::Fixed(128), Dim::Seq]),
+        };
+        assert!(infer_output_shape("r", &re_sym, &[&sym]).is_ok());
+        let drop_seq = Op::Reshape {
+            shape: Shape::flat(128),
+        };
+        assert!(infer_output_shape("r", &drop_seq, &[&sym]).is_err());
+    }
+
+    #[test]
+    fn attention_validates_heads_and_inputs() {
+        let op = Op::Attention(crate::Attention { heads: 4 });
+        let q = Shape::seq_features(128);
+        assert_eq!(infer_output_shape("at", &op, &[&q, &q, &q]).unwrap(), q);
+        // Arity.
+        let e = infer_output_shape("at", &op, &[&q, &q]).unwrap_err();
+        assert!(matches!(e, IrError::ArityMismatch { expected: 3, .. }));
+        // Mismatched K.
+        let k = Shape::seq_features(64);
+        assert!(infer_output_shape("at", &op, &[&q, &k, &q]).is_err());
+        // Heads must divide hidden.
+        let bad = Op::Attention(crate::Attention { heads: 3 });
+        let e = infer_output_shape("at", &bad, &[&q, &q, &q]).unwrap_err();
+        assert!(matches!(e, IrError::InvalidAttribute { .. }));
+    }
+
+    /// Regression (rank audit): ops that index into dims must reject
+    /// hostile rank-1 / rank-4 / symbolic inputs with structured errors
+    /// instead of panicking or silently mis-reading extents.
+    #[test]
+    fn hostile_ranks_error_instead_of_panicking() {
+        let r1 = Shape::flat(7);
+        let r4 = Shape::new([2usize, 3, 4, 5]);
+        let sym = Shape::seq_features(16);
+
+        for x in [&r1, &r4, &sym] {
+            let e = infer_output_shape("g", &Op::GlobalAvgPool, &[x]).unwrap_err();
+            assert!(matches!(e, IrError::ShapeMismatch { .. }), "gap on {x}");
+            let e = infer_output_shape("cat", &Op::Concat, &[x, x]).unwrap_err();
+            assert!(matches!(e, IrError::ShapeMismatch { .. }), "concat on {x}");
+        }
+
+        // Flatten accepts any fixed rank but must reject symbolic input.
+        assert_eq!(
+            infer_output_shape("f", &Op::Flatten, &[&r4]).unwrap(),
+            Shape::flat(2 * 3 * 4 * 5)
+        );
+        let e = infer_output_shape("f", &Op::Flatten, &[&sym]).unwrap_err();
+        assert!(matches!(e, IrError::ShapeMismatch { .. }));
+
+        // Linear likewise needs a fixed element count.
+        let fc = Op::Linear(Linear {
+            in_features: 16,
+            out_features: 4,
+            bias: false,
+        });
+        let e = infer_output_shape("fc", &fc, &[&sym]).unwrap_err();
+        assert!(matches!(e, IrError::ShapeMismatch { .. }));
     }
 
     #[test]

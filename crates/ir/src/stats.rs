@@ -14,9 +14,10 @@ pub struct NodeStats {
     pub params: usize,
     /// Multiply-accumulate count for one inference.
     pub macs: usize,
-    /// Output element count.
+    /// Output element count (0 while the shape is still symbolic).
     pub output_elems: usize,
-    /// Sliding-window count `Hout*Wout` (1 for FC; 0 for non-MVM ops).
+    /// Sliding-window count `Hout*Wout` (1 for FC, the row count for
+    /// matmul; 0 for non-MVM ops and for symbolic shapes).
     pub windows: usize,
 }
 
@@ -51,6 +52,18 @@ impl NodeStats {
                 l.in_features * l.out_features,
                 1,
             ),
+            Op::MatMul(m) => {
+                let params = m.in_features * m.out_features;
+                // Every leading-dimension row streams through the same
+                // stationary weights; unknown (symbolic) row counts
+                // report zero windows/MACs until bound.
+                let rows = node
+                    .output_shape
+                    .try_numel()
+                    .map(|n| n / m.out_features)
+                    .unwrap_or(0);
+                (params, params * rows, rows)
+            }
             _ => (0, 0, 0),
         };
         NodeStats {
@@ -58,7 +71,7 @@ impl NodeStats {
             op: node.op.mnemonic().to_string(),
             params,
             macs,
-            output_elems: node.output_shape.numel(),
+            output_elems: node.output_shape.try_numel().unwrap_or(0),
             windows,
         }
     }
@@ -109,6 +122,26 @@ mod tests {
         let s = NodeStats::of(g.node(f));
         assert_eq!(s.windows, 1);
         assert_eq!(s.macs, 1280);
+    }
+
+    #[test]
+    fn matmul_stats_scale_with_bound_rows() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input_seq("x", 128);
+        let m = b.matmul("mm", x, 256).unwrap();
+        let g = b.finish().unwrap();
+        // Symbolic: params known, per-inference work unknown.
+        let s = NodeStats::of(g.node(m));
+        assert_eq!(s.params, 128 * 256);
+        assert_eq!(s.macs, 0);
+        assert_eq!(s.windows, 0);
+        assert_eq!(s.output_elems, 0);
+        // Bound at seq 16: one window per row.
+        let bound = crate::transform::bind_seq_len(&g, 16).unwrap();
+        let s = NodeStats::of(bound.node_by_name("mm").unwrap());
+        assert_eq!(s.windows, 16);
+        assert_eq!(s.macs, 128 * 256 * 16);
+        assert_eq!(s.output_elems, 16 * 256);
     }
 
     #[test]

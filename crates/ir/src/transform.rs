@@ -6,7 +6,9 @@
 //! elimination, and dead-node elimination.
 
 use crate::graph::{Graph, Node, NodeId};
-use crate::{IrError, Op};
+use crate::op::Attention;
+use crate::shape_infer::infer_output_shape;
+use crate::{IrError, Op, Shape};
 use std::collections::{HashMap, HashSet};
 
 /// Removes `Dropout` nodes (identity at inference), rewiring consumers to
@@ -58,8 +60,142 @@ pub fn eliminate_dead_nodes(graph: &Graph) -> Result<Graph, IrError> {
     rebuild_subset(graph, |id| live.contains(&id))
 }
 
+/// Fuses the `Bmm(transpose_b) → Softmax → Bmm` attention subgraph into a
+/// single [`Op::Attention`] node.
+///
+/// The pattern is matched structurally: a scaled score product
+/// `Q·Kᵀ` whose *only* consumer is a softmax, whose *only* consumer is
+/// the context product against `V`, with `Q`, `K` and `V` sharing one
+/// `[seq, hidden]` shape. The fused node keeps the context product's
+/// name (it produces the same tensor) and is created single-headed —
+/// the VFU cost model depends only on `seq` and `hidden`, not the head
+/// split. Graphs without the pattern are returned unchanged.
+///
+/// # Errors
+///
+/// Returns [`IrError`] when the rebuilt graph fails validation — only
+/// reachable from a malformed input graph.
+pub fn fuse_attention(graph: &Graph) -> Result<Graph, IrError> {
+    // ctx id -> (scores id, softmax id, q, k, v)
+    let mut fused: HashMap<NodeId, (NodeId, NodeId, NodeId, NodeId, NodeId)> = HashMap::new();
+    let mut consumed: HashSet<NodeId> = HashSet::new();
+    for id in graph.topo_order() {
+        let scores = graph.node(id);
+        let Op::Bmm(b) = &scores.op else { continue };
+        if !b.transpose_b || graph.successors(id).len() != 1 {
+            continue;
+        }
+        let sm_id = graph.successors(id)[0];
+        if !matches!(graph.node(sm_id).op, Op::Softmax) || graph.successors(sm_id).len() != 1 {
+            continue;
+        }
+        let ctx_id = graph.successors(sm_id)[0];
+        let ctx = graph.node(ctx_id);
+        let Op::Bmm(cb) = &ctx.op else { continue };
+        if cb.transpose_b || ctx.inputs[0] != sm_id {
+            continue;
+        }
+        let (q, k, v) = (scores.inputs[0], scores.inputs[1], ctx.inputs[1]);
+        // Attention requires one shared [seq, hidden] shape; skip the
+        // pattern (leave it unfused) when V disagrees with Q/K.
+        if graph.node(v).output_shape != graph.node(q).output_shape {
+            continue;
+        }
+        if consumed.contains(&q) || consumed.contains(&k) || consumed.contains(&v) {
+            continue;
+        }
+        fused.insert(ctx_id, (id, sm_id, q, k, v));
+        consumed.insert(id);
+        consumed.insert(sm_id);
+    }
+    if fused.is_empty() {
+        return Ok(graph.clone());
+    }
+
+    let mut remap: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut nodes = Vec::new();
+    for id in graph.topo_order() {
+        if consumed.contains(&id) {
+            continue;
+        }
+        let old = graph.node(id);
+        let new_id = NodeId(nodes.len());
+        remap.insert(id, new_id);
+        let map_inputs = |ins: &[NodeId]| -> Result<Vec<NodeId>, IrError> {
+            ins.iter()
+                .map(|i| {
+                    remap
+                        .get(i)
+                        .copied()
+                        .ok_or(IrError::UnknownNode { id: i.0 })
+                })
+                .collect()
+        };
+        let (op, inputs) = match fused.get(&id) {
+            Some(&(_, _, q, k, v)) => (
+                Op::Attention(Attention { heads: 1 }),
+                map_inputs(&[q, k, v])?,
+            ),
+            None => (old.op.clone(), map_inputs(&old.inputs)?),
+        };
+        nodes.push(Node {
+            id: new_id,
+            name: old.name.clone(),
+            op,
+            inputs,
+            output_shape: old.output_shape.clone(),
+        });
+    }
+    Graph::from_nodes(graph.name(), nodes)
+}
+
+/// Binds the symbolic sequence length to `len`, re-running shape
+/// inference over the whole graph.
+///
+/// Graphs without symbolic dimensions are returned unchanged, so binding
+/// is idempotent and harmless on CNNs.
+///
+/// # Errors
+///
+/// Returns [`IrError::InvalidAttribute`] when `len` is zero, and
+/// propagates shape-inference failures (reachable when a hostile graph
+/// only type-checks for some sequence lengths).
+pub fn bind_seq_len(graph: &Graph, len: usize) -> Result<Graph, IrError> {
+    if len == 0 {
+        return Err(IrError::InvalidAttribute {
+            node: graph.name().to_string(),
+            detail: "sequence length must be at least 1".into(),
+        });
+    }
+    if !graph.has_symbolic_dims() {
+        return Ok(graph.clone());
+    }
+    let mut shapes: HashMap<NodeId, Shape> = HashMap::new();
+    let mut nodes: Vec<Node> = graph.nodes().to_vec();
+    for id in graph.topo_order() {
+        let old = graph.node(id);
+        let op = match &old.op {
+            Op::Input { shape } => Op::Input {
+                shape: shape.bind_seq(len),
+            },
+            Op::Reshape { shape } => Op::Reshape {
+                shape: shape.bind_seq(len),
+            },
+            other => other.clone(),
+        };
+        let input_shapes: Vec<&Shape> = old.inputs.iter().map(|i| &shapes[i]).collect();
+        let shape = infer_output_shape(&old.name, &op, &input_shapes)?;
+        shapes.insert(id, shape.clone());
+        let n = &mut nodes[id.index()];
+        n.op = op;
+        n.output_shape = shape;
+    }
+    Graph::from_nodes(graph.name(), nodes)
+}
+
 /// Runs the standard pre-compilation pipeline:
-/// dropout elimination → batch-norm folding → dead-node elimination.
+/// dropout elimination → batch-norm folding → attention fusion →
+/// dead-node elimination.
 ///
 /// # Errors
 ///
@@ -68,7 +204,9 @@ pub fn eliminate_dead_nodes(graph: &Graph) -> Result<Graph, IrError> {
 /// graph with no compute nodes left). Callers importing untrusted
 /// `.onnx` graphs should surface this instead of assuming success.
 pub fn normalize(graph: &Graph) -> Result<Graph, IrError> {
-    eliminate_dead_nodes(&fold_batch_norm(&eliminate_dropout(graph)?)?)
+    eliminate_dead_nodes(&fuse_attention(&fold_batch_norm(&eliminate_dropout(
+        graph,
+    )?)?)?)
 }
 
 /// Removes all single-input nodes matching `pred`, splicing consumers to
@@ -232,6 +370,99 @@ mod tests {
         let once = normalize(&g).unwrap();
         let twice = normalize(&once).unwrap();
         assert_eq!(once, twice);
+    }
+
+    /// Builds the raw (unfused) attention subgraph over a symbolic
+    /// `[seq, 64]` stream: q/k/v projections, scores, softmax, context.
+    fn raw_attention_graph() -> Graph {
+        let mut b = GraphBuilder::new("attn");
+        let x = b.input_seq("x", 64);
+        let q = b.matmul("q", x, 64).unwrap();
+        let k = b.matmul("k", x, 64).unwrap();
+        let v = b.matmul("v", x, 64).unwrap();
+        let s = b.bmm("scores", q, k, true, true).unwrap();
+        let sm = b.softmax("probs", s).unwrap();
+        let _ctx = b.bmm("ctx", sm, v, false, false).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn attention_pattern_is_fused() {
+        let g = raw_attention_graph();
+        let fused = fuse_attention(&g).unwrap();
+        // scores + softmax disappear, ctx becomes the fused node.
+        assert_eq!(fused.node_count(), g.node_count() - 2);
+        let ctx = fused.node_by_name("ctx").unwrap();
+        assert!(matches!(ctx.op, Op::Attention(_)));
+        assert_eq!(ctx.inputs.len(), 3);
+        assert!(fused.node_by_name("scores").is_none());
+        assert!(fused.node_by_name("probs").is_none());
+        // Output shape is preserved.
+        assert_eq!(
+            ctx.output_shape,
+            g.node_by_name("ctx").unwrap().output_shape
+        );
+    }
+
+    #[test]
+    fn fuse_attention_is_identity_without_the_pattern() {
+        let mut b = GraphBuilder::new("cnn");
+        let x = b.input("x", [4, 8, 8]);
+        let c = b.conv2d("c", x, 4, (3, 3), (1, 1), (1, 1)).unwrap();
+        let _r = b.relu("r", c).unwrap();
+        let g = b.finish().unwrap();
+        assert_eq!(fuse_attention(&g).unwrap(), g);
+    }
+
+    #[test]
+    fn softmax_with_extra_consumer_blocks_fusion() {
+        let mut b = GraphBuilder::new("attn");
+        let x = b.input_seq("x", 64);
+        let q = b.matmul("q", x, 64).unwrap();
+        let k = b.matmul("k", x, 64).unwrap();
+        let v = b.matmul("v", x, 64).unwrap();
+        let s = b.bmm("scores", q, k, true, true).unwrap();
+        let sm = b.softmax("probs", s).unwrap();
+        let _ctx = b.bmm("ctx", sm, v, false, false).unwrap();
+        // Second consumer of the softmax: pattern must not fuse.
+        let _ln = b.layer_norm("tap", sm).unwrap();
+        let g = b.finish().unwrap();
+        let out = fuse_attention(&g).unwrap();
+        assert_eq!(out, g);
+    }
+
+    #[test]
+    fn bind_seq_len_fixes_every_shape() {
+        let g = raw_attention_graph();
+        assert!(g.has_symbolic_dims());
+        let bound = bind_seq_len(&g, 16).unwrap();
+        assert!(!bound.has_symbolic_dims());
+        let ctx = bound.node_by_name("ctx").unwrap();
+        assert_eq!(ctx.output_shape, Shape::new([16usize, 64]));
+        let scores = bound.node_by_name("scores").unwrap();
+        assert_eq!(scores.output_shape, Shape::new([16usize, 16]));
+        // Different binding, different shapes; same graph otherwise.
+        let bound2 = bind_seq_len(&g, 32).unwrap();
+        assert_eq!(
+            bound2.node_by_name("scores").unwrap().output_shape,
+            Shape::new([32usize, 32])
+        );
+    }
+
+    #[test]
+    fn bind_seq_len_is_identity_on_fixed_graphs() {
+        let mut b = GraphBuilder::new("cnn");
+        let x = b.input("x", [4, 8, 8]);
+        let _c = b.conv2d("c", x, 4, (3, 3), (1, 1), (1, 1)).unwrap();
+        let g = b.finish().unwrap();
+        assert_eq!(bind_seq_len(&g, 128).unwrap(), g);
+    }
+
+    #[test]
+    fn bind_seq_len_rejects_zero() {
+        let g = raw_attention_graph();
+        let err = bind_seq_len(&g, 0).unwrap_err();
+        assert!(matches!(err, IrError::InvalidAttribute { .. }));
     }
 
     /// Regression: an imported graph whose only compute node is a

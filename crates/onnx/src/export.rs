@@ -9,7 +9,7 @@ use crate::proto::{
     AttributeProto, GraphProto, ModelProto, NodeProto, TensorProto, TensorShapeProto,
     ValueInfoProto,
 };
-use pimcomp_ir::{Activation, EltwiseKind, Graph, Op, PoolKind, Shape};
+use pimcomp_ir::{Activation, Dim, EltwiseKind, Graph, Op, PoolKind, Shape};
 
 /// ONNX opset the exporter targets.
 pub const EXPORT_OPSET: i64 = 13;
@@ -67,7 +67,11 @@ pub fn export_graph(graph: &Graph) -> ModelProto {
 
 fn nchw_shape(shape: &Shape) -> TensorShapeProto {
     let mut dims: Vec<Option<i64>> = vec![Some(1)];
-    dims.extend(shape.dims().iter().map(|&d| Some(d as i64)));
+    dims.extend(shape.dims().iter().map(|d| match d {
+        Dim::Fixed(n) => Some(*n as i64),
+        // Symbolic sequence length round-trips as a `dim_param`.
+        Dim::Seq => None,
+    }));
     TensorShapeProto { dims }
 }
 
@@ -162,6 +166,7 @@ fn fill_op(n: &mut NodeProto, g: &mut GraphProto, op: &Op, name: &str) {
                 Activation::Relu => "Relu".into(),
                 Activation::Sigmoid => "Sigmoid".into(),
                 Activation::Tanh => "Tanh".into(),
+                Activation::Gelu => "Gelu".into(),
             }
         }
         Op::Concat => {
@@ -206,6 +211,66 @@ fn fill_op(n: &mut NodeProto, g: &mut GraphProto, op: &Op, name: &str) {
                     p.width as i64,
                 ],
             )];
+        }
+        Op::MatMul(m) => {
+            // Activation @ stationary weight, `W` laid out `[in, out]`.
+            // An optional third bias input is this exporter's extension
+            // (plain ONNX pairs MatMul with a following Add).
+            n.op_type = "MatMul".into();
+            let wname = format!("{name}_weight");
+            g.initializer.push(TensorProto {
+                dims: vec![m.in_features as i64, m.out_features as i64],
+                data_type: 1,
+                name: wname.clone(),
+                raw_data: vec![],
+            });
+            n.input.push(wname);
+            if m.bias {
+                let bname = format!("{name}_bias");
+                g.initializer.push(TensorProto {
+                    dims: vec![m.out_features as i64],
+                    data_type: 1,
+                    name: bname.clone(),
+                    raw_data: vec![],
+                });
+                n.input.push(bname);
+            }
+        }
+        Op::Bmm(bm) => {
+            // Activation @ activation; transpose/scale ride along as
+            // attributes the importer understands.
+            n.op_type = "MatMul".into();
+            let mut attrs = Vec::new();
+            if bm.transpose_b {
+                attrs.push(AttributeProto::int("transB", 1));
+            }
+            if bm.scaled {
+                attrs.push(AttributeProto::int("scaled", 1));
+            }
+            n.attribute = attrs;
+        }
+        Op::LayerNorm => {
+            n.op_type = "LayerNormalization".into();
+            n.attribute = vec![AttributeProto::float("epsilon", 1e-5)];
+        }
+        Op::Transpose => n.op_type = "Transpose".into(),
+        Op::Reshape { shape } => {
+            n.op_type = "Reshape".into();
+            n.attribute = vec![AttributeProto::ints(
+                "shape",
+                shape
+                    .dims()
+                    .iter()
+                    .map(|d| match d {
+                        Dim::Fixed(v) => *v as i64,
+                        Dim::Seq => -1,
+                    })
+                    .collect(),
+            )];
+        }
+        Op::Attention(a) => {
+            n.op_type = "Attention".into();
+            n.attribute = vec![AttributeProto::int("heads", a.heads as i64)];
         }
         // `Op` is non-exhaustive; any future variant must be wired up
         // here. Exporting it as Identity keeps the file well-formed.

@@ -37,6 +37,37 @@ pub use import::{import_bytes, import_model};
 
 use std::fmt;
 
+/// Every ONNX `op_type` the importer accepts, sorted alphabetically.
+///
+/// [`OnnxError::UnsupportedOp`] lists these so users of foreign models
+/// can see at a glance what the supported inference subset is.
+pub const SUPPORTED_OPS: [&str; 24] = [
+    "Add",
+    "Attention",
+    "AveragePool",
+    "BatchNormalization",
+    "Concat",
+    "Conv",
+    "Dropout",
+    "Flatten",
+    "Gelu",
+    "Gemm",
+    "GlobalAveragePool",
+    "Identity",
+    "LRN",
+    "LayerNormalization",
+    "MatMul",
+    "MaxPool",
+    "Mul",
+    "Pad",
+    "Relu",
+    "Reshape",
+    "Sigmoid",
+    "Softmax",
+    "Sum",
+    "Tanh",
+];
+
 /// ONNX interchange errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -49,10 +80,13 @@ pub enum OnnxError {
     /// The model has no graph.
     MissingGraph,
     /// The graph uses an operator outside the supported inference
-    /// subset.
+    /// subset. The display form lists every supported `op_type`
+    /// ([`SUPPORTED_OPS`]) so the valid alternatives are never a guess.
     UnsupportedOp {
         /// The offending `op_type`.
-        op: String,
+        op_type: String,
+        /// Name of the graph node using it.
+        node: String,
     },
     /// The graph could not be converted to the IR.
     Import {
@@ -74,7 +108,11 @@ impl fmt::Display for OnnxError {
         match self {
             OnnxError::Malformed { detail } => write!(f, "malformed onnx payload: {detail}"),
             OnnxError::MissingGraph => write!(f, "model contains no graph"),
-            OnnxError::UnsupportedOp { op } => write!(f, "unsupported operator `{op}`"),
+            OnnxError::UnsupportedOp { op_type, node } => write!(
+                f,
+                "unsupported operator `{op_type}` at node `{node}`; supported operators: {}",
+                SUPPORTED_OPS.join(", ")
+            ),
             OnnxError::Import { detail } => write!(f, "import failed: {detail}"),
             OnnxError::InvalidGraph { detail } => {
                 write!(f, "imported graph failed validation: {detail}")

@@ -327,6 +327,7 @@ mod tests {
             batch: 1,
             seed,
             weight_reload: "off".into(),
+            seq_len: None,
             rung: 0,
             budget: 2,
             pruned_at: None,

@@ -42,6 +42,11 @@ fn record(index: u64) -> PointRecord {
         batch: 1 + index % 4,
         seed: index,
         weight_reload: "off".into(),
+        seq_len: if index.is_multiple_of(3) {
+            None
+        } else {
+            Some(32 * (1 + index % 4))
+        },
         rung: 0,
         budget: 2,
         pruned_at: None,

@@ -108,6 +108,9 @@ OPTIONS (compile):
                           larger than the target compile into mapping
                           epochs whose weights are rewritten between
                           phases (reload stalls appear in the report)
+  --seq-len N             bind symbolic sequence dimensions to N tokens
+                          (required for transformer models such as
+                          tiny_bert; ignored by fixed-shape CNNs)
   --reload-budget N       cap the resident crossbar budget at N
                           (default: the target's full crossbar count;
                           requires --weight-reload)
@@ -235,7 +238,23 @@ fn hardware(opts: &HashMap<String, String>, graph: &Graph) -> Result<HardwareCon
 fn cmd_compile(opts: &HashMap<String, String>) -> Result<(), String> {
     let graph =
         normalize(&load_model(opts)?).map_err(|e| format!("model failed normalization: {e}"))?;
-    let hw = hardware(opts, &graph)?;
+    let seq_len = opts
+        .get("seq-len")
+        .map(|s| {
+            s.parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or("--seq-len expects a positive integer")
+        })
+        .transpose()?;
+    // Hardware sizing needs fixed shapes; the session re-binds (a
+    // no-op on the already-bound graph) through the same options path
+    // API users take.
+    let sizing_graph = match seq_len {
+        Some(n) => pimcomp::ir::transform::bind_seq_len(&graph, n).map_err(|e| e.to_string())?,
+        None => graph.clone(),
+    };
+    let hw = hardware(opts, &sizing_graph)?;
     let mode = match opts.get("mode").map(String::as_str).unwrap_or("ht") {
         "ht" | "HT" => PipelineMode::HighThroughput,
         "ll" | "LL" => PipelineMode::LowLatency,
@@ -294,6 +313,9 @@ fn cmd_compile(opts: &HashMap<String, String>) -> Result<(), String> {
         .map(|s| s.parse::<usize>().map_err(|_| "bad --reload-budget"))
         .transpose()?;
     let mut compile_opts = CompileOptions::new(mode).with_ga(ga).with_policy(policy);
+    if let Some(n) = seq_len {
+        compile_opts = compile_opts.with_seq_len(n);
+    }
     if opts.contains_key("weight-reload") {
         compile_opts = compile_opts.with_weight_reload(reload_budget);
     } else if reload_budget.is_some() {
@@ -963,6 +985,30 @@ fn cmd_models() -> Result<(), String> {
             s.params as f64 / 1e6,
             s.macs as f64 / 1e9
         );
+    }
+    println!("other zoo models:");
+    for m in pimcomp::ir::models::ZOO {
+        if pimcomp::ir::models::PAPER_BENCHMARKS.contains(&m) {
+            continue;
+        }
+        let g = pimcomp::ir::models::by_name(m).expect("zoo model");
+        let s = GraphStats::of(&g);
+        if g.has_symbolic_dims() {
+            println!(
+                "  {:<14} {:>3} nodes {:>7.2}M params   symbolic seq (bind with --seq-len)",
+                m,
+                s.nodes,
+                s.params as f64 / 1e6
+            );
+        } else {
+            println!(
+                "  {:<14} {:>3} nodes {:>7.2}M params {:>6.2}G MACs",
+                m,
+                s.nodes,
+                s.params as f64 / 1e6,
+                s.macs as f64 / 1e9
+            );
+        }
     }
     println!(
         "test models: {}",

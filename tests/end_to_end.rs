@@ -34,6 +34,51 @@ fn every_small_model_compiles_and_simulates_in_both_modes() {
 }
 
 #[test]
+fn tiny_bert_compiles_and_simulates_in_every_mode() {
+    // HT, LL and over-constrained weight-reload on one chip, all at a
+    // bound sequence length of 64 tokens.
+    let hw = HardwareConfig::puma_with_chips(1);
+    let graph = models::tiny_bert();
+    let mut opt_sets = vec![
+        CompileOptions::new(PipelineMode::HighThroughput).with_fast_ga(3),
+        CompileOptions::new(PipelineMode::LowLatency).with_fast_ga(3),
+        CompileOptions::new(PipelineMode::HighThroughput)
+            .with_fast_ga(3)
+            .with_weight_reload(Some(64)),
+    ];
+    for opts in opt_sets.drain(..) {
+        let opts = opts.with_seq_len(64);
+        let compiled = PimCompiler::new(hw.clone())
+            .compile(&graph, &opts)
+            .unwrap_or_else(|e| panic!("tiny_bert {}: {e}", opts.mode));
+        assert!(!compiled.graph.has_symbolic_dims());
+        let report = Simulator::new(hw.clone())
+            .run(&compiled)
+            .unwrap_or_else(|e| panic!("tiny_bert {}: {e}", opts.mode));
+        assert!(report.total_cycles > 0, "tiny_bert {}", opts.mode);
+        assert!(report.mvm_ops > 0, "tiny_bert {}", opts.mode);
+    }
+}
+
+#[test]
+fn unbound_sequence_length_is_a_structured_error() {
+    let hw = HardwareConfig::puma_with_chips(1);
+    let opts = CompileOptions::new(PipelineMode::HighThroughput).with_fast_ga(3);
+    let err = PimCompiler::new(hw)
+        .compile(&models::tiny_bert(), &opts)
+        .unwrap_err();
+    assert!(
+        matches!(&err, pimcomp_core::CompileError::UnboundSeqLen { model } if model == "tiny_bert"),
+        "expected UnboundSeqLen, got: {err}"
+    );
+    let msg = err.to_string();
+    assert!(
+        msg.contains("--seq-len") && msg.contains("with_seq_len"),
+        "{msg}"
+    );
+}
+
+#[test]
 fn baseline_compiles_and_simulates_everything_too() {
     let hw = HardwareConfig::small_test();
     for graph in [models::tiny_cnn(), models::two_branch()] {

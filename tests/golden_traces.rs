@@ -238,6 +238,56 @@ fn compile_resnet_reload_chip1(seed: u64) -> (CompiledModel, GaParams) {
     (model, ga)
 }
 
+fn compile_tiny_bert(mode: PipelineMode, seed: u64, seq: usize) -> (CompiledModel, GaParams) {
+    let graph = pimcomp_ir::models::tiny_bert();
+    let hw = HardwareConfig::puma_with_chips(1);
+    let ga = GaParams::fast(seed);
+    let opts = CompileOptions::new(mode)
+        .with_ga(ga.clone())
+        .with_seq_len(seq);
+    let model = CompileSession::new(hw, &graph, opts)
+        .unwrap()
+        .run()
+        .unwrap();
+    (model, ga)
+}
+
+#[test]
+fn tiny_bert_ht_trace_matches_golden() {
+    let (model, ga) = compile_tiny_bert(PipelineMode::HighThroughput, 7, 64);
+    check("tiny_bert_ht_seed7", &model, 7, &ga);
+}
+
+#[test]
+fn tiny_bert_traces_are_thread_count_invariant() {
+    let (serial, ga) = compile_tiny_bert(PipelineMode::HighThroughput, 7, 64);
+    let graph = pimcomp_ir::models::tiny_bert();
+    let opts = CompileOptions::new(PipelineMode::HighThroughput)
+        .with_ga(ga.clone())
+        .with_seq_len(64)
+        .with_parallelism(std::num::NonZeroUsize::new(4));
+    let parallel = CompileSession::new(HardwareConfig::puma_with_chips(1), &graph, opts)
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(trace_of(&serial, 7, &ga), trace_of(&parallel, 7, &ga));
+}
+
+#[test]
+fn tiny_bert_seq_binding_changes_latency_deterministically() {
+    // Two different sequence lengths give different schedules (more
+    // windows, more vector work), while recompiling at the same length
+    // reproduces the identical trace.
+    let (s64, ga) = compile_tiny_bert(PipelineMode::HighThroughput, 7, 64);
+    let (s64b, _) = compile_tiny_bert(PipelineMode::HighThroughput, 7, 64);
+    let (s128, _) = compile_tiny_bert(PipelineMode::HighThroughput, 7, 128);
+    assert_eq!(trace_of(&s64, 7, &ga), trace_of(&s64b, 7, &ga));
+    assert_ne!(
+        s64.report.estimated_fitness, s128.report.estimated_fitness,
+        "sequence length must be priced into the fitness"
+    );
+}
+
 #[test]
 fn small_ht_trace_matches_golden() {
     let (model, ga) = compile_small(PipelineMode::HighThroughput, 7);
