@@ -36,6 +36,7 @@ mod energy;
 mod library;
 mod memory_model;
 mod noc;
+mod quant;
 mod router;
 mod sweep;
 
@@ -44,5 +45,6 @@ pub use energy::{EnergyModel, LeakageBreakdown};
 pub use library::{table1, ComponentLibrary, ComponentSpec};
 pub use memory_model::SramModel;
 pub use noc::NocModel;
+pub use quant::QuantConfig;
 pub use router::RouterModel;
 pub use sweep::{preset, preset_names, HardwareGrid};

@@ -12,7 +12,11 @@
 //!   (resnet18, squeezenet, googlenet), tiny_bert with its symbolic
 //!   sequence dimension bound to 64 tokens (the transformer path),
 //!   plus resnet18 squeezed onto a single chip in `weight_reload`
-//!   mode (the epoch-packer path).
+//!   mode (the epoch-packer path);
+//! * **reference functional inference wall time** — one
+//!   seed-synthesized resnet18 inference through the `pimcomp-exec`
+//!   f32 interpreter (the per-point cost a `quantization` sweep axis
+//!   adds).
 //!
 //! ```text
 //! bench_baseline [--iters N] [--out PATH] [--check PATH]
@@ -367,6 +371,29 @@ fn measure_compile(iters: usize, quiet: bool) -> Vec<Metric> {
     metrics
 }
 
+/// Reference functional inference wall time: one seed-synthesized f32
+/// inference of resnet18 through the `pimcomp-exec` interpreter. This
+/// is the dominant per-point cost a `quantization` sweep axis adds, so
+/// it is gated like the compile paths.
+fn measure_exec(iters: usize, quiet: bool) -> Metric {
+    let graph = pimcomp_bench::load_network_or_exit("resnet18");
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let outputs = pimcomp_exec::reference_outputs(&graph, 1).unwrap_or_else(|e| {
+            eprintln!("error: reference inference of resnet18 failed: {e}");
+            std::process::exit(2);
+        });
+        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(&outputs);
+    }
+    let m = summarize("exec_ref_infer_ms_resnet18", "latency", "ms", samples);
+    if !quiet {
+        eprintln!("  {}: median {:.2} {}", m.name, m.median, m.unit);
+    }
+    m
+}
+
 fn measure(opts: &Opts) -> Baseline {
     if !opts.quiet {
         eprintln!(
@@ -381,6 +408,7 @@ fn measure(opts: &Opts) -> Baseline {
     let mut metrics = measure_ga(opts.iters, opts.quiet);
     metrics.push(measure_sweep(opts.iters, opts.quiet));
     metrics.extend(measure_compile(opts.iters, opts.quiet));
+    metrics.push(measure_exec(opts.iters, opts.quiet));
     Baseline {
         version: SCHEMA_VERSION,
         machine: Machine {

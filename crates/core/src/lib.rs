@@ -89,8 +89,8 @@ pub use partition::{
 };
 pub use replication::ReplicationPlan;
 pub use schedule::{
-    HtNodeProgram, HtSchedule, HtSend, HtVecTask, LlProviderRef, LlReplica, LlSchedule, LlUnit,
-    LlUnitKind, Schedule,
+    slice_rows, HtNodeProgram, HtSchedule, HtSend, HtVecTask, LlProviderRef, LlReplica, LlSchedule,
+    LlUnit, LlUnitKind, Schedule,
 };
 pub use session::{
     CompileObserver, CompileSession, CompileStage, NullObserver, Optimized, Partitioned, Scheduled,

@@ -63,6 +63,15 @@ impl NodePartition {
         self.windows.div_ceil(r.max(1))
     }
 
+    /// Rows of this entry's weight matrix held by AG `slice`: the
+    /// half-open range `[slice * Hxbar, slice * Hxbar + rows)` where
+    /// `rows` is the returned count (`Hxbar` for full slices, the
+    /// remainder for the last, zero past the end). The functional
+    /// executor splits input vectors by exactly this geometry.
+    pub fn slice_rows(&self, crossbar_rows: usize, slice: usize) -> usize {
+        crate::schedule::slice_rows(self.weight_height, crossbar_rows, slice)
+    }
+
     /// Bytes of input one sliding window consumes.
     pub fn input_bytes_per_window(&self, hw: &HardwareConfig) -> usize {
         self.weight_height * hw.input_bytes_per_element()

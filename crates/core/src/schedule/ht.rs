@@ -240,7 +240,13 @@ impl HtSchedule {
 }
 
 /// Rows of the unfolded weight matrix covered by AG `slice`.
-pub(crate) fn slice_rows(total_rows: usize, crossbar_rows: usize, slice: usize) -> usize {
+///
+/// Slice `s` of a node's weight matrix spans rows
+/// `[s * crossbar_rows, s * crossbar_rows + slice_rows(..))`; the last
+/// slice carries the remainder and slices past the end are empty. This
+/// is the row geometry every consumer of a compiled layout (scheduler,
+/// memory planner, functional executor) must agree on, so it is public.
+pub fn slice_rows(total_rows: usize, crossbar_rows: usize, slice: usize) -> usize {
     let start = slice * crossbar_rows;
     total_rows.saturating_sub(start).min(crossbar_rows)
 }

@@ -10,10 +10,8 @@
 mod ht;
 mod ll;
 
-pub use ht::{HtNodeProgram, HtSchedule, HtSend, HtVecTask};
+pub use ht::{slice_rows, HtNodeProgram, HtSchedule, HtSend, HtVecTask};
 pub use ll::{LlProviderRef, LlReplica, LlSchedule, LlUnit, LlUnitKind};
-
-pub(crate) use ht::slice_rows;
 
 use serde::{Deserialize, Serialize};
 

@@ -695,6 +695,7 @@ impl ExploreEngine {
                     seed: points[idx].seed,
                     weight_reload: points[idx].reload.label(),
                     seq_len: points[idx].seq.map(|s| s as u64),
+                    quantization: points[idx].quant.map(u64::from),
                     rung: 0,
                     budget: 0,
                     pruned_at: None,
@@ -999,6 +1000,7 @@ fn evaluate_point(
         seed: point.seed,
         weight_reload: point.reload.label(),
         seq_len: point.seq.map(|s| s as u64),
+        quantization: point.quant.map(u64::from),
         rung: 0,
         budget: 0,
         pruned_at: None,
@@ -1056,6 +1058,35 @@ fn evaluate_point(
     let sim_result = sim.run(&model);
     match sim_result {
         Ok(r) => {
+            // Functional verification, when the quantization axis asks
+            // for it: run the compiled mapping through the executor and
+            // record accuracy metrics. `0` is the unquantized check,
+            // anything else the ADC bit-width. Exec errors fail the
+            // point like compile/simulate errors do.
+            let (output_rmse, top1_match) = match point.quant {
+                None => (None, None),
+                Some(bits) => {
+                    let quant = if bits == 0 {
+                        None
+                    } else {
+                        match pimcomp_arch::QuantConfig::for_hardware(&point.hw, bits) {
+                            Ok(q) => Some(q),
+                            Err(e) => {
+                                return outcome(
+                                    record(false, Some(format!("verify: {e}")), None),
+                                    true,
+                                )
+                            }
+                        }
+                    };
+                    match pimcomp_exec::verify_model(&model, point.seed, quant) {
+                        Ok(v) => (Some(v.output_rmse), Some(v.top1_match)),
+                        Err(e) => {
+                            return outcome(record(false, Some(format!("verify: {e}")), None), true)
+                        }
+                    }
+                }
+            };
             let metrics = PointMetrics {
                 cycles: r.total_cycles,
                 throughput_inf_per_s: r.throughput_inf_per_s,
@@ -1071,6 +1102,8 @@ fn evaluate_point(
                 active_cores: r.active_cores,
                 crossbars_used: model.report.crossbars_used,
                 reload_stall_cycles: r.reload_stall_cycles,
+                output_rmse,
+                top1_match,
             };
             outcome(record(true, None, Some(metrics)), true)
         }
@@ -1126,6 +1159,45 @@ mod tests {
             .points
             .iter()
             .all(|p| p.rung == 0 && p.budget == 2 && p.pruned_at.is_none()));
+    }
+
+    #[test]
+    fn quantization_axis_carries_accuracy_metrics_thread_invariantly() {
+        let spec = SweepSpec::from_json(
+            r#"{"models":["tiny_mlp"],"modes":["ht"],
+                 "hardware":{"base":"small_test"},
+                 "ga":{"population":4,"iterations":2},"master_seed":5,
+                 "quantization":[0,6,32]}"#,
+        )
+        .unwrap();
+        let serial = ExploreEngine::new().run(&spec).unwrap();
+        let parallel = ExploreEngine::new().with_threads(4).run(&spec).unwrap();
+        assert_eq!(
+            serial.report.to_json().unwrap(),
+            parallel.report.to_json().unwrap()
+        );
+        assert_eq!(serial.report.points.len(), 3);
+        assert_eq!(serial.report.failures(), 0);
+        let metric = |i: usize| serial.report.points[i].metrics.as_ref().unwrap();
+        // q0: unquantized functional check — layout agrees tightly.
+        assert_eq!(serial.report.points[0].quantization, Some(0));
+        assert!(metric(0).output_rmse.unwrap() <= 1e-4);
+        assert_eq!(metric(0).top1_match, Some(true));
+        // q6: full ADC model — an error is reported, never NaN.
+        assert_eq!(serial.report.points[1].quantization, Some(6));
+        assert!(metric(1).output_rmse.unwrap().is_finite());
+        // q32: ideal converter — only weight quantization remains, so
+        // the error is no larger than the 6-bit point's.
+        assert_eq!(serial.report.points[2].quantization, Some(32));
+        assert!(metric(2).output_rmse.unwrap() <= metric(1).output_rmse.unwrap());
+        // The axis tags keys and the CSV carries the new columns.
+        assert!(serial.report.points[1].key().ends_with("/q6"));
+        let csv = serial.report.to_csv();
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .contains("output_rmse,top1_match"));
     }
 
     #[test]

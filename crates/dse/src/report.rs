@@ -20,7 +20,12 @@ use std::fmt;
 ///
 /// v5: [`PointRecord`] gained the `seq_len` axis (entering the point
 /// key for sequence-bound points and the CSV columns).
-pub const SWEEP_FORMAT_VERSION: u32 = 5;
+///
+/// v6: [`PointRecord`] gained the `quantization` axis (entering the
+/// point key for quantized points and the CSV columns) and
+/// [`PointMetrics`] gained the functional-verification accuracy
+/// metrics `output_rmse` / `top1_match`.
+pub const SWEEP_FORMAT_VERSION: u32 = 6;
 
 /// Deterministic metrics of one successfully compiled and simulated
 /// sweep point. Everything here is a pure function of (model, mode,
@@ -58,6 +63,16 @@ pub struct PointMetrics {
     /// compiled without `weight_reload`). Folded into `cycles`, so the
     /// objective vector needs no fifth axis.
     pub reload_stall_cycles: u64,
+    /// Root-mean-square error of the mapped execution against the
+    /// reference interpreter, from the functional verification a
+    /// `quantization` axis requests. `None` for unverified points.
+    /// Deterministic: a pure function of (graph, seed, quantization
+    /// setting), like every other metric here.
+    pub output_rmse: Option<f64>,
+    /// Whether the mapped execution's top-1 output index matches the
+    /// reference interpreter's (1-sample accuracy proxy). `None` for
+    /// unverified points.
+    pub top1_match: Option<bool>,
 }
 
 impl PointMetrics {
@@ -132,6 +147,11 @@ pub struct PointRecord {
     /// Sequence-length binding of this point (`None` = unbound, the
     /// only possibility for specs without a `seq_lens` axis).
     pub seq_len: Option<u64>,
+    /// Quantization setting of this point (`None` = no functional
+    /// verification, the only possibility for specs without a
+    /// `quantization` axis; `0` = unquantized check; otherwise the ADC
+    /// bit-width).
+    pub quantization: Option<u64>,
     /// Highest search rung this point was evaluated at (0-based).
     /// Exhaustive sweeps have a single rung, so this is always 0 there;
     /// under successive halving a value below the final rung means the
@@ -161,9 +181,9 @@ pub struct PointRecord {
 impl PointRecord {
     /// Stable identity (`model/mode/hardware/policy/bBATCH/seedSEED`),
     /// the key diffs join on. Reload-on points carry a trailing
-    /// `/reload-BUDGET` segment and sequence-bound points a trailing
-    /// `/seqN` segment, matching
-    /// [`SweepPoint::key`](crate::SweepPoint::key).
+    /// `/reload-BUDGET` segment, sequence-bound points a trailing
+    /// `/seqN` segment, and quantized points a final `/qB` segment,
+    /// matching [`SweepPoint::key`](crate::SweepPoint::key).
     pub fn key(&self) -> String {
         let mut key = format!(
             "{}/{}/{}/{}/b{}/seed{}",
@@ -175,6 +195,9 @@ impl PointRecord {
         }
         if let Some(seq) = self.seq_len {
             key.push_str(&format!("/seq{seq}"));
+        }
+        if let Some(q) = self.quantization {
+            key.push_str(&format!("/q{q}"));
         }
         key
     }
@@ -279,14 +302,15 @@ impl SweepReport {
     /// Deterministic like [`SweepReport::to_json`].
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "model,mode,hardware,policy,batch,seed,weight_reload,seq_len,rung,budget,pruned_at,\
+            "model,mode,hardware,policy,batch,seed,weight_reload,seq_len,quantization,rung,\
+             budget,pruned_at,\
              ok,pareto,cycles,throughput_inf_per_s,latency_us,energy_uj,dynamic_uj,leakage_uj,\
              crossbar_utilization,core_utilization,avg_local_kb,global_traffic_kb,\
-             active_cores,crossbars_used,reload_stall_cycles,error\n",
+             active_cores,crossbars_used,reload_stall_cycles,output_rmse,top1_match,error\n",
         );
         for p in &self.points {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},",
                 csv_field(&p.model),
                 csv_field(&p.mode),
                 csv_field(&p.hardware),
@@ -295,6 +319,7 @@ impl SweepReport {
                 p.seed,
                 csv_field(&p.weight_reload),
                 p.seq_len.map(|s| s.to_string()).unwrap_or_default(),
+                p.quantization.map(|q| q.to_string()).unwrap_or_default(),
                 p.rung,
                 p.budget,
                 p.pruned_at.map(|r| r.to_string()).unwrap_or_default(),
@@ -303,7 +328,7 @@ impl SweepReport {
             ));
             match &p.metrics {
                 Some(m) => out.push_str(&format!(
-                    "{},{},{},{},{},{},{},{},{},{},{},{},{},",
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},",
                     m.cycles,
                     m.throughput_inf_per_s,
                     m.latency_us,
@@ -316,9 +341,11 @@ impl SweepReport {
                     m.global_traffic_kb,
                     m.active_cores,
                     m.crossbars_used,
-                    m.reload_stall_cycles
+                    m.reload_stall_cycles,
+                    m.output_rmse.map(|v| v.to_string()).unwrap_or_default(),
+                    m.top1_match.map(|v| v.to_string()).unwrap_or_default()
                 )),
-                None => out.push_str(",,,,,,,,,,,,,"),
+                None => out.push_str(",,,,,,,,,,,,,,,"),
             }
             out.push_str(&csv_field(p.error.as_deref().unwrap_or("")));
             out.push('\n');
@@ -543,6 +570,8 @@ mod tests {
             active_cores: 4,
             crossbars_used: 32,
             reload_stall_cycles: 0,
+            output_rmse: None,
+            top1_match: None,
         }
     }
 
@@ -556,6 +585,7 @@ mod tests {
             seed: 1,
             weight_reload: "off".into(),
             seq_len: None,
+            quantization: None,
             rung: 0,
             budget: 4,
             pruned_at: None,
@@ -718,12 +748,13 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with(
-            "model,mode,hardware,policy,batch,seed,weight_reload,seq_len,rung,budget,pruned_at,\
-             ok,pareto"
+            "model,mode,hardware,policy,batch,seed,weight_reload,seq_len,quantization,rung,\
+             budget,pruned_at,ok,pareto"
         ));
-        // policy ag, batch 2, seed 1, reload off, empty seq_len, rung 0,
-        // budget 4, empty pruned_at, ok, pareto, cycles.
-        assert!(lines[1].contains("ag,2,1,off,,0,4,,true,true,100"));
+        // policy ag, batch 2, seed 1, reload off, empty seq_len, empty
+        // quantization, rung 0, budget 4, empty pruned_at, ok, pareto,
+        // cycles.
+        assert!(lines[1].contains("ag,2,1,off,,,0,4,,true,true,100"));
         assert!(lines[2].contains("\"bad, \"\"quoted\"\"\""));
     }
 

@@ -268,6 +268,14 @@ pub struct SweepSpec {
     /// binding, symbolic models *require* one
     /// ([`CompileError::UnboundSeqLen`](pimcomp_core::CompileError::UnboundSeqLen)).
     pub seq_lens: Vec<Option<usize>>,
+    /// Quantization settings, one sweep axis (default `[None]` — no
+    /// functional verification). Each `Some(b)` runs the point's
+    /// compiled mapping through the functional executor
+    /// (`pimcomp-exec`) after simulation and records accuracy metrics:
+    /// `b = 0` verifies unquantized f32 numerics, `b > 0` models the
+    /// analog datapath with a `b`-bit ADC (`b = 32` is the ideal
+    /// converter — weight quantization only).
+    pub quantization: Vec<Option<u32>>,
     /// How the engine walks the grid (default: exhaustive).
     pub search: SearchStrategy,
 }
@@ -294,6 +302,10 @@ pub struct SweepPoint {
     pub reload: ReloadSetting,
     /// Sequence length binding for this point (`None` = unbound).
     pub seq: Option<usize>,
+    /// Quantization setting for this point (`None` = no functional
+    /// verification, `Some(0)` = unquantized check, `Some(b)` = `b`-bit
+    /// ADC model).
+    pub quant: Option<u32>,
 }
 
 impl SweepPoint {
@@ -303,8 +315,9 @@ impl SweepPoint {
     /// segment (`full` for the full-capacity budget); reload-off
     /// points keep the historical six-segment form, so keys from
     /// pre-reload reports still line up in diffs. Sequence-bound
-    /// points likewise append a final `/seqN` segment; unbound points
-    /// (every point of a spec without `seq_lens`) stay unchanged.
+    /// points likewise append a `/seqN` segment, and quantized points
+    /// a final `/qB` segment; points without those axes stay
+    /// unchanged.
     pub fn key(&self) -> String {
         let mut key = format!(
             "{}/{}/{}/{}/b{}/seed{}",
@@ -321,6 +334,9 @@ impl SweepPoint {
         }
         if let Some(seq) = self.seq {
             key.push_str(&format!("/seq{seq}"));
+        }
+        if let Some(q) = self.quant {
+            key.push_str(&format!("/q{q}"));
         }
         key
     }
@@ -375,6 +391,13 @@ impl SweepSpec {
     ///   compiles the point with symbolic `seq` dimensions bound to
     ///   that many tokens; required for transformer models such as
     ///   `tiny_bert`, ignored by fixed-shape CNNs.
+    /// * `quantization` — optional non-empty array of integer ADC
+    ///   bit-widths in 0..=32, one sweep axis (default: no functional
+    ///   verification). Each entry runs the compiled mapping through
+    ///   the functional executor and records `output_rmse` /
+    ///   `top1_match` accuracy metrics: `0` verifies unquantized f32
+    ///   numerics, `1..=31` model a that-many-bit ADC, `32` is the
+    ///   ideal converter (weight quantization only).
     /// * `search` — optional strategy object (default exhaustive):
     ///   `{ "strategy": "exhaustive" }` or `{ "strategy": "halving",
     ///   "rungs": [2, 8, 24], "keep_fraction": 0.5,
@@ -396,7 +419,7 @@ impl SweepSpec {
 
     fn from_value(value: &Value) -> Result<Self, ExploreError> {
         let entries = as_object(value, "sweep spec")?;
-        const KNOWN: [&str; 14] = [
+        const KNOWN: [&str; 15] = [
             "master_seed",
             "models",
             "modes",
@@ -410,6 +433,7 @@ impl SweepSpec {
             "ht_batches",
             "weight_reload",
             "seq_lens",
+            "quantization",
             "search",
         ];
         for (key, _) in entries {
@@ -651,6 +675,31 @@ impl SweepSpec {
             }
         };
 
+        let quantization: Vec<Option<u32>> = match value.get("quantization") {
+            None => vec![None],
+            Some(Value::Seq(items)) if !items.is_empty() => {
+                let bits: Vec<u64> = items
+                    .iter()
+                    .map(|v| as_u64(v, "quantization entry"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if bits.iter().any(|&b| b > 32) {
+                    return Err(invalid(
+                        "`quantization` must be a non-empty array of integer ADC bit-widths \
+                         in 0..=32",
+                    ));
+                }
+                let bit_names: Vec<String> = bits.iter().map(u64::to_string).collect();
+                reject_duplicates(&bit_names, "quantization")?;
+                bits.into_iter().map(|b| Some(b as u32)).collect()
+            }
+            Some(_) => {
+                return Err(invalid(
+                    "`quantization` must be a non-empty array of integer ADC bit-widths \
+                     in 0..=32",
+                ))
+            }
+        };
+
         let search = match value.get("search") {
             None => SearchStrategy::Exhaustive,
             Some(v) => parse_search(v, ga_iterations)?,
@@ -668,6 +717,7 @@ impl SweepSpec {
             batches,
             weight_reload,
             seq_lens,
+            quantization,
             search,
         };
         // Cheap structural checks at parse time: oversized or empty
@@ -705,6 +755,7 @@ impl SweepSpec {
             * self.seeds.len()
             * self.weight_reload.len()
             * self.seq_lens.len()
+            * self.quantization.len()
     }
 
     /// `true` when any axis is empty (the sweep has no points).
@@ -714,7 +765,8 @@ impl SweepSpec {
 
     /// Expands the cross-product into points, in the fixed axis order
     /// models → modes → hardware → policies → batches → seeds →
-    /// weight_reload → seq_lens. The order is part of the determinism
+    /// weight_reload → seq_lens → quantization. The order is part of
+    /// the determinism
     /// contract:
     /// point index, and hence any master-seed derived quantity,
     /// depends only on the spec.
@@ -795,17 +847,20 @@ impl SweepSpec {
                             for &seed in &self.seeds {
                                 for &reload in &self.weight_reload {
                                     for &seq in &self.seq_lens {
-                                        out.push(SweepPoint {
-                                            model: model.clone(),
-                                            mode,
-                                            hw_label: label.clone(),
-                                            hw: hw.clone(),
-                                            policy,
-                                            batch,
-                                            seed,
-                                            reload,
-                                            seq,
-                                        });
+                                        for &quant in &self.quantization {
+                                            out.push(SweepPoint {
+                                                model: model.clone(),
+                                                mode,
+                                                hw_label: label.clone(),
+                                                hw: hw.clone(),
+                                                policy,
+                                                batch,
+                                                seed,
+                                                reload,
+                                                seq,
+                                                quant,
+                                            });
+                                        }
                                     }
                                 }
                             }
@@ -1456,6 +1511,22 @@ mod tests {
                 r#"{"models":["tiny_mlp"],"hardware":{},"seq_lens":[64,64]}"#,
                 "duplicate entry `64` in seq_lens",
             ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},"quantization":[]}"#,
+                "`quantization` must be a non-empty array of integer ADC bit-widths in 0..=32",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},"quantization":8}"#,
+                "`quantization` must be a non-empty array of integer ADC bit-widths in 0..=32",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},"quantization":[33]}"#,
+                "`quantization` must be a non-empty array of integer ADC bit-widths in 0..=32",
+            ),
+            (
+                r#"{"models":["tiny_mlp"],"hardware":{},"quantization":[8,8]}"#,
+                "duplicate entry `8` in quantization",
+            ),
         ] {
             let err = SweepSpec::from_json(json).unwrap_err();
             let msg = err.to_string();
@@ -1511,6 +1582,32 @@ mod tests {
         let points = plain.points().unwrap();
         assert_eq!(points[0].seq, None);
         assert!(!points[0].key().contains("/seq"), "{}", points[0].key());
+    }
+
+    #[test]
+    fn quantization_axis_expands_innermost_and_tags_keys() {
+        let spec = SweepSpec::from_json(
+            r#"{"models":["tiny_mlp"],"hardware":{"base":"small_test"},
+                "seeds":[1],"quantization":[0,8]}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.quantization, vec![Some(0), Some(8)]);
+        assert_eq!(spec.len(), 2);
+        let points = spec.points().unwrap();
+        assert_eq!(points[0].quant, Some(0));
+        assert_eq!(points[1].quant, Some(8));
+        assert!(points[0].key().ends_with("/q0"), "{}", points[0].key());
+        assert!(points[1].key().ends_with("/q8"), "{}", points[1].key());
+
+        // Without the axis, points skip verification and keys keep the
+        // historical form.
+        let plain = SweepSpec::from_json(
+            r#"{"models":["tiny_mlp"],"hardware":{"base":"small_test"},"seeds":[1]}"#,
+        )
+        .unwrap();
+        let points = plain.points().unwrap();
+        assert_eq!(points[0].quant, None);
+        assert!(!points[0].key().contains("/q"), "{}", points[0].key());
     }
 
     #[test]

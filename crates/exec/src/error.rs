@@ -1,0 +1,128 @@
+//! Structured functional-execution errors.
+//!
+//! The executor consumes artifact-loaded data (graphs, partitionings,
+//! mappings) that may come from disk or the network; per the repo's
+//! panic policy it never indexes such data raw. Every inconsistency a
+//! hostile or truncated artifact can exhibit surfaces as an
+//! [`ExecError`].
+
+use std::fmt;
+
+/// Errors produced by the functional executor.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// A node references an input node id outside the graph (foreign
+    /// node id in an artifact-loaded graph).
+    NodeOutOfRange {
+        /// The referencing node's name.
+        node: String,
+        /// The out-of-range id.
+        id: usize,
+        /// Number of nodes in the graph.
+        count: usize,
+    },
+    /// The graph is not executable: cycle, duplicate/misnumbered node
+    /// ids, or an arity violation.
+    InvalidGraph {
+        /// Description of the defect.
+        detail: String,
+    },
+    /// The graph still carries a symbolic `seq` dimension; bind a
+    /// sequence length before executing.
+    SymbolicShape {
+        /// Name of the graph.
+        model: String,
+    },
+    /// A node's recorded output shape (or an input's shape) disagrees
+    /// with what its operator computes — the tensor cannot be produced.
+    ShapeMismatch {
+        /// Node name.
+        node: String,
+        /// Description of the disagreement.
+        detail: String,
+    },
+    /// The executor met an operator it has no kernel for.
+    UnsupportedOp {
+        /// Node name.
+        node: String,
+        /// Operator mnemonic.
+        op: String,
+    },
+    /// An MVM node has no partition entry in the compiled model.
+    MissingPartition {
+        /// Node name.
+        node: String,
+    },
+    /// The compiled mapping does not cover the partitioning: a
+    /// replica/slice with no Array-Group instance, a duplicate
+    /// instance, an out-of-range index, or a geometry field that
+    /// disagrees with the hardware (truncated or tampered artifact).
+    MappingIncomplete {
+        /// Description of the hole or inconsistency.
+        detail: String,
+    },
+    /// A mapped Array Group names a core outside the target.
+    CoreOutOfRange {
+        /// The core index.
+        core: usize,
+        /// Cores on the target.
+        total: usize,
+    },
+    /// A multi-epoch `weight_reload` artifact whose epoch plan cannot
+    /// be reconstructed or disagrees with its mapping.
+    ReloadPlanMismatch {
+        /// Description of the disagreement.
+        detail: String,
+    },
+    /// The quantization configuration is invalid.
+    InvalidQuant {
+        /// Underlying description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::NodeOutOfRange { node, id, count } => write!(
+                f,
+                "node `{node}` references node id {id} but the graph has {count} nodes"
+            ),
+            ExecError::InvalidGraph { detail } => write!(f, "graph is not executable: {detail}"),
+            ExecError::SymbolicShape { model } => write!(
+                f,
+                "model `{model}` has a symbolic sequence dimension; bind it before executing"
+            ),
+            ExecError::ShapeMismatch { node, detail } => {
+                write!(f, "shape mismatch at node `{node}`: {detail}")
+            }
+            ExecError::UnsupportedOp { node, op } => {
+                write!(
+                    f,
+                    "no functional kernel for operator `{op}` (node `{node}`)"
+                )
+            }
+            ExecError::MissingPartition { node } => {
+                write!(f, "MVM node `{node}` has no partition entry")
+            }
+            ExecError::MappingIncomplete { detail } => {
+                write!(f, "mapping does not cover the partitioning: {detail}")
+            }
+            ExecError::CoreOutOfRange { core, total } => {
+                write!(
+                    f,
+                    "mapped core {core} is outside the target ({total} cores)"
+                )
+            }
+            ExecError::ReloadPlanMismatch { detail } => {
+                write!(f, "weight-reload epoch plan mismatch: {detail}")
+            }
+            ExecError::InvalidQuant { detail } => {
+                write!(f, "invalid quantization configuration: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}

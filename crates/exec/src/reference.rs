@@ -1,0 +1,34 @@
+//! The reference MVM strategy: a direct f32 matrix multiply, summing
+//! each output element over the full contraction length in ascending
+//! index order. This is the numeric gold standard the mapped executor
+//! is differentially tested against.
+
+use crate::engine::{MvmBackend, MvmJob};
+use crate::error::ExecError;
+
+/// Computes MVM nodes as plain dense matmuls.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ReferenceBackend;
+
+impl MvmBackend for ReferenceBackend {
+    fn mvm(&mut self, job: &MvmJob) -> Result<Vec<f32>, ExecError> {
+        let mut out = vec![0.0f32; job.windows * job.width];
+        for w in 0..job.windows {
+            for c in 0..job.width {
+                let row = job.row(job.group_of(c), w);
+                out[w * job.width + c] = dot(row, job.weights.col(c));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Ascending-index f32 dot product — the one summation order every
+/// executor path derives from.
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}

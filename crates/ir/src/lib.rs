@@ -50,6 +50,7 @@ mod stats;
 mod tensor;
 
 pub mod models;
+pub mod synth;
 pub mod transform;
 
 pub use builder::GraphBuilder;

@@ -333,6 +333,32 @@ impl Op {
         )
     }
 
+    /// The `(height, width)` of the stationary weight matrix an MVM
+    /// operator maps onto crossbars (the unfolded matrix the
+    /// node-partitioning stage slices); `None` for non-MVM operators.
+    /// Functional kernels synthesize and index weights by exactly this
+    /// geometry.
+    pub fn weight_matrix(&self) -> Option<(usize, usize)> {
+        match self {
+            Op::Conv2d(c) => Some((c.weight_matrix_height(), c.weight_matrix_width())),
+            Op::Linear(l) => Some((l.weight_matrix_height(), l.weight_matrix_width())),
+            Op::MatMul(m) => Some((m.weight_matrix_height(), m.weight_matrix_width())),
+            _ => None,
+        }
+    }
+
+    /// Whether an MVM operator adds a bias vector (one element per
+    /// weight-matrix column, applied by the VFU after accumulation);
+    /// `None` for non-MVM operators.
+    pub fn has_bias(&self) -> Option<bool> {
+        match self {
+            Op::Conv2d(c) => Some(c.bias),
+            Op::Linear(l) => Some(l.bias),
+            Op::MatMul(m) => Some(m.bias),
+            _ => None,
+        }
+    }
+
     /// Number of inputs this operator requires; `None` when variadic
     /// (concat accepts two or more).
     pub fn arity(&self) -> Option<usize> {

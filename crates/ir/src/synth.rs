@@ -1,0 +1,93 @@
+//! Deterministic synthesis of test tensors (inputs, weights, biases)
+//! from a seed.
+//!
+//! The zoo graphs are shape-only — they carry no trained parameters —
+//! so functional execution needs *some* numbers. This module produces
+//! them reproducibly: every element is a pure function of
+//! `(seed, tag, index)`, where `tag` is a stable per-tensor label
+//! (conventionally the node name plus a `/w` / `/b` / `/x` suffix).
+//! Two executors that synthesize the same tensor therefore see
+//! bit-identical values regardless of traversal order, thread count or
+//! process, which is what makes differential testing of compiled
+//! layouts against a reference interpreter possible.
+//!
+//! Values are drawn from SplitMix64 output mapped uniformly onto
+//! `[-1, 1)`; callers apply their own scaling (e.g. `1/sqrt(fan_in)`
+//! for weights, so activations stay O(1) through deep networks).
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a hash of a tag string (stable across platforms and releases).
+fn tag_hash(tag: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in tag.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One synthesized element: uniform in `[-1, 1)`, a pure function of
+/// `(seed, tag, index)`.
+pub fn unit(seed: u64, tag: &str, index: usize) -> f32 {
+    unit_hashed(seed, tag_hash(tag), index)
+}
+
+fn unit_hashed(seed: u64, tag: u64, index: usize) -> f32 {
+    let word =
+        mix64(seed ^ tag.rotate_left(17) ^ (index as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+    // 24 high bits -> [0, 1) exactly representable in f32 -> [-1, 1).
+    let frac = (word >> 40) as f32 / (1u64 << 24) as f32;
+    2.0 * frac - 1.0
+}
+
+/// A synthesized tensor of `len` elements in `[-scale, scale)`.
+pub fn values(seed: u64, tag: &str, len: usize, scale: f32) -> Vec<f32> {
+    let h = tag_hash(tag);
+    (0..len).map(|i| scale * unit_hashed(seed, h, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesis_is_deterministic_and_tag_sensitive() {
+        let a = values(1, "conv1/w", 16, 1.0);
+        let b = values(1, "conv1/w", 16, 1.0);
+        assert_eq!(a, b);
+        assert_ne!(a, values(1, "conv2/w", 16, 1.0));
+        assert_ne!(a, values(2, "conv1/w", 16, 1.0));
+    }
+
+    #[test]
+    fn elements_are_independent_of_vector_length() {
+        // Element i must not depend on how many elements were asked
+        // for — executors may synthesize slices lazily.
+        let long = values(7, "x", 100, 1.0);
+        let short = values(7, "x", 10, 1.0);
+        assert_eq!(&long[..10], &short[..]);
+        assert_eq!(long[42], unit(7, "x", 42));
+    }
+
+    #[test]
+    fn values_stay_in_range_and_are_not_degenerate() {
+        let v = values(3, "input/x", 4096, 1.0);
+        assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        let mean: f32 = v.iter().sum::<f32>() / v.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean} suspiciously far from 0");
+        assert!(v.iter().any(|x| *x > 0.5) && v.iter().any(|x| *x < -0.5));
+    }
+
+    #[test]
+    fn scale_is_applied() {
+        let v = values(3, "w", 8, 0.25);
+        assert!(v.iter().all(|x| x.abs() <= 0.25));
+    }
+}

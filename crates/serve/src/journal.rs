@@ -328,6 +328,7 @@ mod tests {
             seed,
             weight_reload: "off".into(),
             seq_len: None,
+            quantization: None,
             rung: 0,
             budget: 2,
             pruned_at: None,

@@ -8,6 +8,11 @@
 //! local-memory usage, global-memory bandwidth contention, inter-core
 //! synchronization over the NoC, and energy (dynamic + leakage).
 //!
+//! The simulator reports *performance* of a compiled mapping; its
+//! functional counterpart `pimcomp-exec` checks *correctness* of the
+//! same mapping by executing it numerically. A sweep with a
+//! `quantization` axis carries both kinds of metrics side by side.
+//!
 //! # Example
 //!
 //! Compile through a staged session, persist the result as a versioned
@@ -113,6 +118,16 @@ impl Simulator {
     /// Creates a simulator with an explicit energy model.
     pub fn with_energy_model(hw: HardwareConfig, energy: EnergyModel) -> Self {
         Simulator { hw, energy }
+    }
+
+    /// The hardware target this simulator models. Report consumers use
+    /// this to normalize counters (e.g. utilization over
+    /// [`HardwareConfig::total_cores`]) against the exact target the
+    /// run used, and the DSE engine pairs it with the functional
+    /// executor (`pimcomp-exec`), which verifies *what* the compiled
+    /// mapping computes while the simulator reports *how fast* it runs.
+    pub fn hardware(&self) -> &HardwareConfig {
+        &self.hw
     }
 
     /// The energy model in use.

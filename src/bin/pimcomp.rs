@@ -62,6 +62,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "compile" => cmd_compile(&opts),
         "simulate" => cmd_simulate(&opts),
+        "verify" => cmd_verify(&opts),
         "inspect" => cmd_inspect(&opts),
         "export" => cmd_export(&opts),
         "models" => cmd_models(),
@@ -87,6 +88,8 @@ const USAGE: &str = "pimcomp — compilation framework for crossbar-based PIM DN
 USAGE:
   pimcomp compile  --model <NAME|FILE.onnx> [options]  compile (and optionally simulate)
   pimcomp simulate --artifact <FILE.pimc.json>         simulate a saved artifact
+  pimcomp verify   --artifact <FILE.pimc.json>         functionally execute a saved
+                                                       artifact and check its numerics
   pimcomp inspect  --model <NAME|FILE.onnx>            print graph and workload statistics
   pimcomp inspect  --artifact <FILE.pimc.json>         summarize a saved artifact's stages
   pimcomp export   --model <NAME> --out <FILE.onnx>    export a zoo model as ONNX
@@ -129,6 +132,20 @@ OPTIONS (simulate):
                           fingerprint is checked against it (default: the
                           artifact's own embedded hardware)
   --report FILE.json      write the simulation report as JSON
+
+OPTIONS (verify):
+  --artifact FILE         artifact produced by `compile --artifact`
+  --seed S                synthetic weight/input seed (default: 1); must
+                          match a seed the caller wants to reproduce —
+                          verification is self-contained, any seed works
+  --tolerance T           max acceptable output RMSE for the unquantized
+                          check (default: 1e-4)
+  --quantized             also execute with crossbar quantization (weight
+                          bit-slicing into cells plus ADC clipping) and
+                          report the accuracy degradation; the run fails
+                          only if the quantized top-1 prediction flips
+  --adc-bits B            ADC resolution for --quantized (default: 8;
+                          32 means an ideal converter)
 
 OPTIONS (explore):
   (the sweep spec JSON — models incl. .onnx paths, modes, hardware grids
@@ -182,7 +199,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("unexpected argument `{a}`"));
         };
         match key {
-            "simulate" | "progress" | "weight-reload" => {
+            "simulate" | "progress" | "weight-reload" | "quantized" => {
                 map.insert(key.to_string(), "true".to_string());
             }
             _ => {
@@ -533,6 +550,75 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
         std::fs::write(out, json).map_err(|e| e.to_string())?;
         println!("  wrote {out}");
     }
+    Ok(())
+}
+
+fn cmd_verify(opts: &HashMap<String, String>) -> Result<(), String> {
+    let path = opts
+        .get("artifact")
+        .ok_or("`--artifact FILE` is required (produced by `compile --artifact`)")?;
+    let artifact = CompiledArtifact::load(path).map_err(|e| e.to_string())?;
+    let model = artifact.model();
+    let seed: u64 = opts
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(1);
+    let tolerance: f64 = opts
+        .get("tolerance")
+        .map(|s| s.parse().map_err(|_| "bad --tolerance"))
+        .transpose()?
+        .unwrap_or(1e-4);
+    println!(
+        "loaded {path}: {} ({} mode, format v{}, hw fingerprint {:#018x})",
+        model.report.model,
+        model.mode,
+        artifact.format_version(),
+        artifact.hw_fingerprint()
+    );
+    let exact = pimcomp::exec::verify_model(model, seed, None).map_err(|e| e.to_string())?;
+    println!(
+        "  unquantized: RMSE {:.3e} over {} output values, top-1 {} (seed {seed})",
+        exact.output_rmse,
+        exact.output_len,
+        if exact.top1_match {
+            "match"
+        } else {
+            "MISMATCH"
+        }
+    );
+    if exact.output_rmse > tolerance {
+        return Err(format!(
+            "mapped execution diverges from the reference: RMSE {:.3e} exceeds tolerance {tolerance:.1e}",
+            exact.output_rmse
+        ));
+    }
+    if opts.contains_key("quantized") {
+        let adc_bits: u32 = opts
+            .get("adc-bits")
+            .map(|s| s.parse().map_err(|_| "bad --adc-bits"))
+            .transpose()?
+            .unwrap_or(8);
+        let quant = pimcomp_arch::QuantConfig::for_hardware(&model.hw, adc_bits)
+            .map_err(|e| e.to_string())?;
+        let q = pimcomp::exec::verify_model(model, seed, Some(quant)).map_err(|e| e.to_string())?;
+        println!(
+            "  quantized ({}b cells, {}b weights, {}b ADC): RMSE {:.3e}, top-1 {}",
+            model.hw.cell_bits,
+            model.hw.weight_bits,
+            adc_bits,
+            q.output_rmse,
+            if q.top1_match { "match" } else { "MISMATCH" }
+        );
+        if !q.top1_match {
+            return Err(format!(
+                "quantization at {adc_bits} ADC bits flips the top-1 prediction \
+                 (RMSE {:.3e}); raise --adc-bits or the cell precision",
+                q.output_rmse
+            ));
+        }
+    }
+    println!("  verification passed");
     Ok(())
 }
 

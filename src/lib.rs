@@ -8,6 +8,9 @@
 //! * [`onnx`] — minimal ONNX interchange ([`pimcomp_onnx`]).
 //! * [`arch`] — abstract accelerator architecture ([`pimcomp_arch`]).
 //! * [`compiler`] — the staged compilation pipeline ([`pimcomp_core`]).
+//! * [`exec`] — the functional executor: reference interpretation and
+//!   mapped per-crossbar execution with quantization modeling
+//!   ([`pimcomp_exec`]).
 //! * [`sim`] — the cycle-accurate simulator ([`pimcomp_sim`]).
 //! * [`dse`] — deterministic design-space exploration over compiler +
 //!   simulator ([`pimcomp_dse`]).
@@ -59,6 +62,7 @@
 pub use pimcomp_arch as arch;
 pub use pimcomp_core as compiler;
 pub use pimcomp_dse as dse;
+pub use pimcomp_exec as exec;
 pub use pimcomp_ir as ir;
 pub use pimcomp_onnx as onnx;
 pub use pimcomp_serve as serve;

@@ -199,9 +199,9 @@ fn new_axes_sweep_is_thread_invariant_and_replays_from_cache() {
         four.report.to_json().unwrap(),
         "new-axes sweep must emit identical bytes at 1 and 4 threads"
     );
-    // v5 report: the compiler-knob, weight-reload, and seq_len axes are
-    // in every record.
-    assert_eq!(cold.report.format_version, 5);
+    // v6 report: the compiler-knob, weight-reload, seq_len, and
+    // quantization axes are in every record.
+    assert_eq!(cold.report.format_version, 6);
     assert_eq!(cold.report.points.len(), 24);
     assert_eq!(cold.report.failures(), 0);
     assert!(cold

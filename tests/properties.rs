@@ -443,3 +443,121 @@ proptest! {
         }
     }
 }
+
+/// A random executable network: a conv/relu chain with an optional
+/// pooling stage and an optional classifier tail — wider op coverage
+/// than [`arb_chain_graph`] so the functional executor sees pools,
+/// flattens and linears, not just convolutions.
+fn arb_exec_graph() -> impl Strategy<Value = Graph> {
+    (
+        2usize..16, // input channels
+        8usize..24, // input extent
+        proptest::collection::vec((1usize..24, 1usize..3), 1..4),
+        any::<bool>(), // maxpool stage
+        any::<bool>(), // classifier tail
+        1usize..24,    // classifier width
+    )
+        .prop_map(|(cin, extent, convs, pool, tail, classes)| {
+            let mut b = GraphBuilder::new("prop_exec");
+            let mut cur = b.input("x", [cin, extent, extent]);
+            for (i, (ch, k)) in convs.into_iter().enumerate() {
+                let k = (2 * k + 1).min(extent);
+                let pad = k / 2;
+                cur = b
+                    .conv2d(format!("c{i}"), cur, ch, (k, k), (1, 1), (pad, pad))
+                    .expect("generated conv fits");
+                cur = b.relu(format!("r{i}"), cur).expect("relu");
+            }
+            if pool {
+                cur = b
+                    .max_pool("pool", cur, (2, 2), (2, 2), (0, 0))
+                    .expect("pool fits");
+            }
+            if tail {
+                cur = b.global_avg_pool("gap", cur).expect("gap");
+                cur = b.flatten("flat", cur).expect("flatten");
+                b.linear("fc", cur, classes).expect("fc");
+            }
+            b.finish().expect("generated graph is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The functional-executor safety net: arbitrary small networks
+    /// flow through partition → map → execute without panicking, and
+    /// the mapped per-crossbar layout agrees with the reference
+    /// interpreter within f32 summation-order tolerance. A quantized
+    /// pass over the same model must also run to completion.
+    #[test]
+    fn mapped_execution_agrees_with_reference(
+        graph in arb_exec_graph(),
+        seed in 0u64..1000,
+        ht in any::<bool>(),
+    ) {
+        use pimcomp_core::{CompileOptions, CompileSession, GaParams};
+        let hw = HardwareConfig::small_test();
+        let mode = if ht { PipelineMode::HighThroughput } else { PipelineMode::LowLatency };
+        let opts = CompileOptions::new(mode).with_ga(GaParams {
+            population: 4,
+            iterations: 2,
+            ..GaParams::fast(seed)
+        });
+        let model = CompileSession::new(hw.clone(), &graph, opts)
+            .unwrap()
+            .run()
+            .unwrap();
+        let outcome = pimcomp_exec::verify_model(&model, seed, None).unwrap();
+        prop_assert!(
+            outcome.output_rmse <= 1e-4,
+            "mapped layout diverges from reference: rmse {:.3e}",
+            outcome.output_rmse
+        );
+        let q = pimcomp_arch::QuantConfig::for_hardware(&hw, 6).unwrap();
+        let quant = pimcomp_exec::verify_model(&model, seed, Some(q)).unwrap();
+        prop_assert!(quant.output_rmse.is_finite());
+    }
+
+    /// ADC grids over one calibrated full scale are nested, so the
+    /// per-conversion error — measured on single-slice linear layers,
+    /// where each output element is exactly one ADC conversion —
+    /// is monotone non-increasing in ADC resolution, against the
+    /// ideal-converter (`adc_bits = 32`) baseline.
+    #[test]
+    fn adc_error_is_monotone_in_resolution(
+        in_features in 2usize..=64,
+        out_features in 1usize..=16,
+        seed in 0u64..1000,
+    ) {
+        use pimcomp_core::{CompileOptions, CompileSession, GaParams};
+        let mut b = GraphBuilder::new("adc_mono");
+        let x = b.input_flat("x", in_features);
+        b.linear("fc", x, out_features).expect("fc");
+        let graph = b.finish().expect("valid");
+        let hw = HardwareConfig::small_test();
+        prop_assert!(in_features <= hw.crossbar_rows, "single-slice precondition");
+        let opts = CompileOptions::new(PipelineMode::HighThroughput)
+            .with_ga(GaParams::fast(seed));
+        let model = CompileSession::new(hw.clone(), &graph, opts)
+            .unwrap()
+            .run()
+            .unwrap();
+        let ideal = pimcomp_arch::QuantConfig::for_hardware(&hw, 32).unwrap();
+        let baseline = pimcomp_exec::mapped_outputs(&model, seed, Some(ideal)).unwrap();
+        let base: Vec<f32> = baseline.iter().flat_map(|(_, t)| t.data.clone()).collect();
+        let mut prev = f64::INFINITY;
+        for bits in [1u32, 2, 3, 4, 6, 8, 10, 12, 16] {
+            let q = pimcomp_arch::QuantConfig::for_hardware(&hw, bits).unwrap();
+            let out = pimcomp_exec::mapped_outputs(&model, seed, Some(q)).unwrap();
+            let flat: Vec<f32> = out.iter().flat_map(|(_, t)| t.data.clone()).collect();
+            let err = pimcomp_exec::rmse(&flat, &base);
+            prop_assert!(
+                err <= prev + 1e-12,
+                "ADC error increased with resolution: {bits} bits gives rmse {err:.6e} \
+                 after {prev:.6e}"
+            );
+            prev = err;
+        }
+    }
+}
